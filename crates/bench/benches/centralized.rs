@@ -1,0 +1,34 @@
+//! Baseline bench: the centralized detector of Fan et al. (TODS 2008)
+//! on unfragmented data — the sanity anchor every distributed run is
+//! compared against for correctness, and the `check()` cost the §III-B
+//! model approximates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcd_bench::workloads::{cust8, xref8};
+use dcd_cfd::detect_simple;
+
+fn bench_centralized(c: &mut Criterion) {
+    let cust = cust8();
+    let cust_cfd = cust.main_cfd();
+    let xref = xref8();
+    let xref_cfd = xref.main_cfd();
+
+    let mut group = c.benchmark_group("centralized");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cust.relation.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("cust8", cust.relation.len()),
+        &(),
+        |b, ()| b.iter(|| detect_simple(&cust.relation, &cust_cfd)),
+    );
+    group.throughput(Throughput::Elements(xref.relation.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("xref8", xref.relation.len()),
+        &(),
+        |b, ()| b.iter(|| detect_simple(&xref.relation, &xref_cfd)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_centralized);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for Exp-4 (Fig. 3(e)): frequent-pattern mining and
+//! its effect on PATDETECTS for a wildcard-only FD on xrefH.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcd_bench::workloads::xref_h;
+use dcd_core::{mine_patterns, Detector, MiningConfig, PatDetectS, RunConfig};
+
+fn bench_fig3e_mining(c: &mut Criterion) {
+    let w = xref_h();
+    let partition = w.partition_by_info_type();
+    let fd = w.mining_fd();
+    let cfg = RunConfig::default();
+
+    let mut group = c.benchmark_group("fig3e_mining");
+    group.sample_size(10);
+    group.bench_function("PATDETECTS_no_mining", |b| {
+        b.iter(|| PatDetectS.run_simple(&partition, &fd, &cfg))
+    });
+    for theta in [0.05f64, 0.3, 0.8] {
+        let outcome = mine_patterns(
+            &partition,
+            &fd,
+            &MiningConfig { theta, max_width: 2 },
+            &cfg.cost,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("PATDETECTS_mined", format!("theta_{theta}")),
+            &theta,
+            |b, _| b.iter(|| PatDetectS.run_simple(&partition, &outcome.cfd, &cfg)),
+        );
+    }
+    group.bench_function("mining_pass_itself", |b| {
+        b.iter(|| {
+            mine_patterns(&partition, &fd, &MiningConfig { theta: 0.3, max_width: 2 }, &cfg.cost)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3e_mining);
+criterion_main!(benches);

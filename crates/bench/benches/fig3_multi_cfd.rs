@@ -1,0 +1,43 @@
+//! Criterion benches for Exp-5/6 (Fig. 3(f)–(i)): SEQDETECT vs
+//! CLUSTDETECT on overlapping CFD pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcd_bench::workloads::{cust8, xref8};
+use dcd_core::{ClustDetect, MultiDetector, RunConfig, SeqDetect};
+
+fn bench_multi_xref(c: &mut Criterion) {
+    let w = xref8();
+    let sigma = w.overlapping_pair();
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("fig3fg_multi_xref8");
+    group.sample_size(10);
+    for n_sites in [2usize, 8] {
+        let partition = w.partition(n_sites);
+        group.bench_with_input(BenchmarkId::new("SEQDETECT", n_sites), &n_sites, |b, _| {
+            b.iter(|| SeqDetect::default().run(&partition, &sigma, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("CLUSTDETECT", n_sites), &n_sites, |b, _| {
+            b.iter(|| ClustDetect::default().run(&partition, &sigma, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_cust(c: &mut Criterion) {
+    let w = cust8();
+    let sigma = w.overlapping_pair();
+    let cfg = RunConfig::default();
+    let partition = w.partition(8);
+    let mut group = c.benchmark_group("fig3hi_multi_cust8");
+    group.sample_size(10);
+    group.bench_function("SEQDETECT", |b| {
+        b.iter(|| SeqDetect::default().run(&partition, &sigma, &cfg))
+    });
+    group.bench_function("CLUSTDETECT", |b| {
+        b.iter(|| ClustDetect::default().run(&partition, &sigma, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_xref, bench_multi_cust);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for Exp-2/3 (Fig. 3(c)/(d)): scaling with data
+//! size and with tableau size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcd_bench::workloads::cust16;
+use dcd_core::{CtrDetect, Detector, PatDetectRT, RunConfig};
+use dcd_dist::HorizontalPartition;
+
+fn bench_fig3c_datasize(c: &mut Criterion) {
+    let w = cust16();
+    let cfd = w.main_cfd();
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("fig3c_datasize");
+    group.sample_size(10);
+    for pct in [20usize, 60, 100] {
+        let prefix = w.prefix(pct as f64 / 100.0);
+        let partition = HorizontalPartition::round_robin(&prefix, 8).unwrap();
+        group.throughput(Throughput::Elements(prefix.len() as u64));
+        group.bench_with_input(BenchmarkId::new("CTRDETECT", pct), &pct, |b, _| {
+            b.iter(|| CtrDetect.run_simple(&partition, &cfd, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("PATDETECTRT", pct), &pct, |b, _| {
+            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3d_tableau(c: &mut Criterion) {
+    let w = cust16();
+    let partition = w.partition(8);
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("fig3d_tableau");
+    group.sample_size(10);
+    for n_patterns in [55usize, 155, 255] {
+        let cfd = w.main_cfd_with(n_patterns);
+        group.bench_with_input(
+            BenchmarkId::new("PATDETECTRT", n_patterns),
+            &n_patterns,
+            |b, _| b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3c_datasize, bench_fig3d_tableau);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for Exp-1 (Fig. 3(a)/(b)): single-CFD detection
+//! wall time per algorithm on cust8 and xref8 at a representative site
+//! count. The simulated response-time *series* come from the
+//! `experiments` binary; these benches measure the real compute cost of
+//! running each algorithm end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcd_bench::workloads::{cust8, xref8};
+use dcd_core::{CtrDetect, Detector, PatDetectRT, PatDetectS, RunConfig};
+
+fn bench_fig3a(c: &mut Criterion) {
+    let w = cust8();
+    let cfd = w.main_cfd();
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("fig3a_cust8");
+    group.sample_size(10);
+    for n_sites in [2usize, 8] {
+        let partition = w.partition(n_sites);
+        group.bench_with_input(BenchmarkId::new("CTRDETECT", n_sites), &n_sites, |b, _| {
+            b.iter(|| CtrDetect.run_simple(&partition, &cfd, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("PATDETECTS", n_sites), &n_sites, |b, _| {
+            b.iter(|| PatDetectS.run_simple(&partition, &cfd, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("PATDETECTRT", n_sites), &n_sites, |b, _| {
+            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3b(c: &mut Criterion) {
+    let w = xref8();
+    let cfd = w.main_cfd();
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("fig3b_xref8");
+    group.sample_size(10);
+    for n_sites in [2usize, 8] {
+        let partition = w.partition(n_sites);
+        group.bench_with_input(BenchmarkId::new("CTRDETECT", n_sites), &n_sites, |b, _| {
+            b.iter(|| CtrDetect.run_simple(&partition, &cfd, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("PATDETECTRT", n_sites), &n_sites, |b, _| {
+            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3a, bench_fig3b);
+criterion_main!(benches);

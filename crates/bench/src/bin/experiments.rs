@@ -1,0 +1,45 @@
+//! Regenerates the paper's evaluation figures as text tables.
+//!
+//! ```text
+//! cargo run -p dcd-bench --release --bin experiments -- all
+//! cargo run -p dcd-bench --release --bin experiments -- fig3a fig3e
+//! DCD_SCALE=1.0 cargo run -p dcd-bench --release --bin experiments -- all
+//! ```
+
+use dcd_bench::figures::all_figures;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let figures = all_figures();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        figures.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    println!(
+        "distributed-cfd experiments (scale = {}; set DCD_SCALE=1.0 for paper scale)\n",
+        dcd_bench::workloads::scale()
+    );
+    let mut unknown = Vec::new();
+    for want in wanted {
+        match figures.iter().find(|(id, _)| *id == want) {
+            Some((_, gen)) => {
+                let started = Instant::now();
+                let fig = gen();
+                println!("{}", fig.to_table());
+                println!("  [generated in {:.1?}]\n", started.elapsed());
+            }
+            None => unknown.push(want.to_string()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown figure id(s): {} (known: {})",
+            unknown.join(", "),
+            figures.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
+}

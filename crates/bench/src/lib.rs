@@ -1,0 +1,21 @@
+//! # dcd-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation (§VI,
+//! Fig. 3(a)–3(i)) plus ablations.
+//!
+//! * [`workloads`] — scaled builders for the paper's datasets (`cust8`,
+//!   `cust16`, `xref8`, `xrefH`), their CFDs and fragmentations. Sizes
+//!   default to 1/10 of the paper's (80K instead of 800K); set
+//!   `DCD_SCALE=1.0` to run at full scale.
+//! * [`figures`] — one function per subfigure, each returning the same
+//!   series the paper plots (x values, per-algorithm y values).
+//!
+//! The `experiments` binary prints any figure as a table:
+//! `cargo run -p dcd-bench --release --bin experiments -- fig3a`.
+//! Criterion benches in `benches/` measure the real wall time of the
+//! same configurations.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod workloads;

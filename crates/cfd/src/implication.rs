@@ -1,0 +1,499 @@
+//! Implication analysis for FDs and CFDs.
+//!
+//! The vertical-partition results of the paper (§V) are phrased in terms
+//! of implication: the fragment-local CFD sets `Γi` contain every CFD
+//! *implied* by Σ whose attributes fit one fragment, and a partition is
+//! dependency preserving iff `Γ ⊨ Σ` (Proposition 7). This module
+//! provides:
+//!
+//! * [`fd_closure`] / [`fd_implies`] / [`minimal_cover`] — the classical
+//!   attribute-closure machinery for plain FDs,
+//! * [`ChaseState`] / [`chase_implies`] / [`sigma_implies`] — a two-tuple
+//!   chase deciding `Σ ⊨ φ` for CFDs.
+//!
+//! ## Completeness caveat
+//!
+//! Since a CFD violation involves at most two tuples, `Σ ⊨ φ` can be
+//! decided by chasing two symbolic tuples constrained by φ's premise.
+//! The chase is **sound** always, and **complete when all attributes have
+//! infinite domains** (Fan et al., TODS 2008 — finite domains are what
+//! make CFD implication coNP-complete). This workspace models `Int` and
+//! `Str` domains, both unbounded, so the chase is exact here.
+
+use crate::attrset::AttrSet;
+use crate::cfd::{Cfd, Fd, NormalCfd};
+use crate::pattern::PatternValue;
+use dcd_relation::{AttrId, FxHashMap, Value};
+
+// ---------------------------------------------------------------------
+// Plain FDs: closures and covers.
+// ---------------------------------------------------------------------
+
+/// The attribute closure `X⁺` of `attrs` under `fds`.
+pub fn fd_closure(attrs: &AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut closure = attrs.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if fd.lhs.iter().all(|a| closure.contains(*a)) {
+                for &a in &fd.rhs {
+                    changed |= closure.insert(a);
+                }
+            }
+        }
+    }
+    closure
+}
+
+/// `fds ⊨ fd` via attribute closure.
+pub fn fd_implies(fds: &[Fd], fd: &Fd, arity: usize) -> bool {
+    let lhs = AttrSet::from_ids(arity, fd.lhs.iter().copied());
+    let closure = fd_closure(&lhs, fds);
+    fd.rhs.iter().all(|a| closure.contains(*a))
+}
+
+/// A minimal cover of `fds`: single-attribute RHSs, no extraneous LHS
+/// attributes, no redundant FDs. Classical algorithm (Abiteboul–Hull–
+/// Vianu, ch. 8); output order is deterministic.
+pub fn minimal_cover(fds: &[Fd], arity: usize) -> Vec<Fd> {
+    // 1. Split RHSs.
+    let mut cover: Vec<Fd> = Vec::new();
+    for fd in fds {
+        for &a in &fd.rhs {
+            cover.push(Fd::new(fd.lhs.clone(), vec![a]));
+        }
+    }
+    // 2. Remove extraneous LHS attributes.
+    for i in 0..cover.len() {
+        let mut lhs = cover[i].lhs.clone();
+        let rhs = cover[i].rhs[0];
+        let mut j = 0;
+        while j < lhs.len() && lhs.len() > 1 {
+            let mut reduced = lhs.clone();
+            let removed = reduced.remove(j);
+            let red_set = AttrSet::from_ids(arity, reduced.iter().copied());
+            if fd_closure(&red_set, &cover).contains(rhs) {
+                lhs.remove(j);
+                let _ = removed;
+            } else {
+                j += 1;
+            }
+        }
+        cover[i].lhs = lhs;
+    }
+    // 3. Remove redundant FDs.
+    let mut i = 0;
+    while i < cover.len() {
+        let fd = cover.remove(i);
+        if fd_implies(&cover, &fd, arity) {
+            // redundant: stay at i (element shifted into place)
+        } else {
+            cover.insert(i, fd);
+            i += 1;
+        }
+    }
+    // 4. Deduplicate identical FDs.
+    cover.dedup_by(|a, b| a.lhs == b.lhs && a.rhs == b.rhs);
+    cover
+}
+
+// ---------------------------------------------------------------------
+// CFDs: the two-tuple chase.
+// ---------------------------------------------------------------------
+
+/// Outcome of running the chase to fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// The symbolic tuples remain consistent.
+    Consistent,
+    /// Two distinct constants were forced equal: the premise is
+    /// unsatisfiable, so any conclusion holds vacuously.
+    Contradiction,
+}
+
+/// The state of a chase over two symbolic tuples `t1`, `t2` of one
+/// schema: a union-find over the `2 × arity` cell terms plus constant
+/// terms, with at most one constant per equivalence class.
+///
+/// Exposed publicly because the vertical crate's dependency-preservation
+/// check drives fragment-restricted chase rounds itself (§V).
+#[derive(Debug, Clone)]
+pub struct ChaseState {
+    arity: usize,
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    constant: Vec<Option<Value>>, // valid at roots
+    const_ids: FxHashMap<Value, usize>,
+    contradiction: bool,
+}
+
+impl ChaseState {
+    /// The schema arity this state ranges over.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Fresh state: all `2 × arity` cells distinct and unconstrained.
+    pub fn new(arity: usize) -> Self {
+        ChaseState {
+            arity,
+            parent: (0..2 * arity).collect(),
+            rank: vec![0; 2 * arity],
+            constant: vec![None; 2 * arity],
+            const_ids: FxHashMap::default(),
+            contradiction: false,
+        }
+    }
+
+    #[inline]
+    fn cell(&self, tuple: usize, attr: AttrId) -> usize {
+        debug_assert!(tuple < 2);
+        2 * attr.index() + tuple
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn const_node(&mut self, v: &Value) -> usize {
+        if let Some(&id) = self.const_ids.get(v) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.constant.push(Some(v.clone()));
+        self.const_ids.insert(v.clone(), id);
+        id
+    }
+
+    /// Unions two terms; detects constant clashes. Returns whether the
+    /// state changed.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Union by rank; `root` becomes the representative.
+        let (root, child) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        if self.rank[root] == self.rank[child] {
+            self.rank[root] += 1;
+        }
+        self.parent[child] = root;
+        // The constant tag must live at the root.
+        let child_const = self.constant[child].take();
+        match (self.constant[root].as_ref(), child_const) {
+            (Some(c1), Some(c2))
+                if *c1 != c2 => {
+                    self.contradiction = true;
+                }
+            (None, Some(c)) => self.constant[root] = Some(c),
+            _ => {}
+        }
+        true
+    }
+
+    /// Asserts `t1[attr] = t2[attr]`.
+    pub fn assume_pair_eq(&mut self, attr: AttrId) {
+        let (a, b) = (self.cell(0, attr), self.cell(1, attr));
+        self.union(a, b);
+    }
+
+    /// Asserts `t{tuple}[attr] = v` (tuple is 0 or 1).
+    pub fn assume_const(&mut self, tuple: usize, attr: AttrId, v: &Value) {
+        let cell = self.cell(tuple, attr);
+        let cnode = self.const_node(v);
+        self.union(cell, cnode);
+    }
+
+    /// Whether `t1[attr]` and `t2[attr]` are known equal.
+    pub fn pair_equal(&mut self, attr: AttrId) -> bool {
+        let (a, b) = (self.cell(0, attr), self.cell(1, attr));
+        self.find(a) == self.find(b)
+    }
+
+    /// The constant bound to `t{tuple}[attr]`, if any.
+    pub fn const_binding(&mut self, tuple: usize, attr: AttrId) -> Option<Value> {
+        let cell = self.cell(tuple, attr);
+        let root = self.find(cell);
+        self.constant[root].clone()
+    }
+
+    /// Whether a contradiction has been derived.
+    pub fn contradictory(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Whether the cell term matches a pattern value: wildcards always
+    /// match; a constant pattern matches only a cell *bound to* that
+    /// constant (an unconstrained variable admits a counterexample, so it
+    /// does not match).
+    fn cell_matches(&mut self, tuple: usize, attr: AttrId, pat: &PatternValue) -> bool {
+        match pat {
+            PatternValue::Wild => true,
+            PatternValue::Const(c) => self.const_binding(tuple, attr).as_ref() == Some(c),
+        }
+    }
+
+    /// Runs the chase with Σ to fixpoint. Rules, for each normalized
+    /// `ψ = (X' → A', tp)`:
+    ///
+    /// * **single-tuple**: if `t[X'] ≍ tp[X']` for `t ∈ {t1, t2}` and
+    ///   `tp[A']` is a constant `c`, bind `t[A'] = c`;
+    /// * **pair**: if `t1[X'] = t2[X'] ≍ tp[X']`, unify
+    ///   `t1[A'] = t2[A']` (and bind both to `c` if `tp[A'] = c`).
+    pub fn chase(&mut self, sigma: &[NormalCfd]) -> ChaseOutcome {
+        let mut changed = true;
+        while changed && !self.contradiction {
+            changed = false;
+            for psi in sigma {
+                // Single-tuple rule.
+                if let PatternValue::Const(c) = &psi.pattern.rhs {
+                    for tuple in 0..2 {
+                        let fires = psi
+                            .lhs
+                            .iter()
+                            .zip(&psi.pattern.lhs)
+                            .all(|(&b, p)| self.cell_matches(tuple, b, p));
+                        if fires {
+                            let cell = self.cell(tuple, psi.rhs);
+                            let cnode = self.const_node(c);
+                            changed |= self.union(cell, cnode);
+                        }
+                    }
+                }
+                // Pair rule.
+                let fires = psi.lhs.iter().zip(&psi.pattern.lhs).all(|(&b, p)| {
+                    self.pair_equal(b) && self.cell_matches(0, b, p)
+                });
+                if fires {
+                    let (a0, a1) = (self.cell(0, psi.rhs), self.cell(1, psi.rhs));
+                    changed |= self.union(a0, a1);
+                    if let PatternValue::Const(c) = &psi.pattern.rhs {
+                        let cnode = self.const_node(c);
+                        changed |= self.union(a0, cnode);
+                    }
+                }
+            }
+        }
+        if self.contradiction {
+            ChaseOutcome::Contradiction
+        } else {
+            ChaseOutcome::Consistent
+        }
+    }
+}
+
+/// Decides `Σ ⊨ φ` for normalized CFDs via the two-tuple chase.
+pub fn chase_implies(sigma: &[NormalCfd], phi: &NormalCfd) -> bool {
+    let arity = phi.schema.arity();
+    let mut state = ChaseState::new(arity);
+    // Premise of φ: t1[X] = t2[X] ≍ tp[X].
+    for (&b, p) in phi.lhs.iter().zip(&phi.pattern.lhs) {
+        state.assume_pair_eq(b);
+        if let PatternValue::Const(c) = p {
+            state.assume_const(0, b, c);
+        }
+    }
+    match state.chase(sigma) {
+        ChaseOutcome::Contradiction => true,
+        ChaseOutcome::Consistent => {
+            let eq = state.pair_equal(phi.rhs);
+            match &phi.pattern.rhs {
+                PatternValue::Wild => eq,
+                PatternValue::Const(c) => {
+                    eq && state.const_binding(0, phi.rhs).as_ref() == Some(c)
+                }
+            }
+        }
+    }
+}
+
+/// Decides `Σ ⊨ φ` for general CFDs: every normalized piece of `φ` must
+/// be implied by the normalized Σ.
+pub fn sigma_implies(sigma: &[Cfd], phi: &Cfd) -> bool {
+    let normalized: Vec<NormalCfd> = sigma.iter().flat_map(Cfd::normalize).collect();
+    phi.normalize().iter().all(|piece| chase_implies(&normalized, piece))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cfd;
+    use dcd_relation::{Schema, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("a", ValueType::Int)
+            .attr("b", ValueType::Int)
+            .attr("c", ValueType::Int)
+            .attr("d", ValueType::Int)
+            .attr("city", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn fd(s: &Schema, lhs: &[&str], rhs: &[&str]) -> Fd {
+        Fd::with_names(s, lhs, rhs).unwrap()
+    }
+
+    #[test]
+    fn closure_transitivity() {
+        let s = schema();
+        let fds = vec![fd(&s, &["a"], &["b"]), fd(&s, &["b"], &["c"])];
+        let start = AttrSet::from_ids(5, [AttrId(0)]);
+        let cl = fd_closure(&start, &fds);
+        assert!(cl.contains(AttrId(1)));
+        assert!(cl.contains(AttrId(2)));
+        assert!(!cl.contains(AttrId(3)));
+    }
+
+    #[test]
+    fn fd_implication() {
+        let s = schema();
+        let fds = vec![fd(&s, &["a"], &["b"]), fd(&s, &["b"], &["c"])];
+        assert!(fd_implies(&fds, &fd(&s, &["a"], &["c"]), 5));
+        assert!(fd_implies(&fds, &fd(&s, &["a", "d"], &["c"]), 5)); // augmentation
+        assert!(!fd_implies(&fds, &fd(&s, &["c"], &["a"]), 5));
+        // Reflexivity.
+        assert!(fd_implies(&[], &fd(&s, &["a", "b"], &["a"]), 5));
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        let s = schema();
+        // a→b, b→c, a→c (redundant), ab→c (extraneous b … then redundant).
+        let fds = vec![
+            fd(&s, &["a"], &["b"]),
+            fd(&s, &["b"], &["c"]),
+            fd(&s, &["a"], &["c"]),
+            fd(&s, &["a", "b"], &["c"]),
+        ];
+        let cover = minimal_cover(&fds, 5);
+        assert_eq!(cover.len(), 2);
+        // Cover still implies everything.
+        for f in &fds {
+            assert!(fd_implies(&cover, f, 5));
+        }
+    }
+
+    #[test]
+    fn minimal_cover_splits_rhs() {
+        let s = schema();
+        let fds = vec![fd(&s, &["a"], &["b", "c"])];
+        let cover = minimal_cover(&fds, 5);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.iter().all(|f| f.rhs.len() == 1));
+    }
+
+    #[test]
+    fn chase_matches_fd_implication() {
+        let s = schema();
+        let sigma = vec![
+            parse_cfd(&s, "f1", "([a] -> [b])").unwrap(),
+            parse_cfd(&s, "f2", "([b] -> [c])").unwrap(),
+        ];
+        let phi = parse_cfd(&s, "p", "([a] -> [c])").unwrap();
+        assert!(sigma_implies(&sigma, &phi));
+        let not_phi = parse_cfd(&s, "q", "([c] -> [a])").unwrap();
+        assert!(!sigma_implies(&sigma, &not_phi));
+    }
+
+    #[test]
+    fn pattern_restriction_weakens() {
+        let s = schema();
+        // A conditional rule does NOT imply the unconditional FD…
+        let sigma = vec![parse_cfd(&s, "c", "([a=1, b] -> [c])").unwrap()];
+        let uncond = parse_cfd(&s, "u", "([a, b] -> [c])").unwrap();
+        assert!(!sigma_implies(&sigma, &uncond));
+        // …but the unconditional FD implies the conditional one.
+        let sigma2 = vec![uncond];
+        let cond = parse_cfd(&s, "c", "([a=1, b] -> [c])").unwrap();
+        assert!(sigma_implies(&sigma2, &cond));
+    }
+
+    #[test]
+    fn constant_rhs_propagation() {
+        let s = schema();
+        // a=1 → city=EDI and city=EDI … together with b → city? No:
+        // test transitivity through constants instead.
+        let sigma = vec![
+            parse_cfd(&s, "r1", "([a=1] -> [b=5])").unwrap(),
+            parse_cfd(&s, "r2", "([b=5] -> [city=EDI])").unwrap(),
+        ];
+        let phi = parse_cfd(&s, "p", "([a=1] -> [city=EDI])").unwrap();
+        assert!(sigma_implies(&sigma, &phi));
+        let not_phi = parse_cfd(&s, "q", "([a=2] -> [city=EDI])").unwrap();
+        assert!(!sigma_implies(&sigma, &not_phi));
+    }
+
+    #[test]
+    fn contradictory_premise_implies_vacuously() {
+        let s = schema();
+        // Σ forces b=5 and b=6 whenever a=1: premise a=1 is unsatisfiable.
+        let sigma = vec![
+            parse_cfd(&s, "r1", "([a=1] -> [b=5])").unwrap(),
+            parse_cfd(&s, "r2", "([a=1] -> [b=6])").unwrap(),
+        ];
+        let phi = parse_cfd(&s, "p", "([a=1] -> [d])").unwrap();
+        assert!(sigma_implies(&sigma, &phi));
+        // But with a=2 nothing fires, so d is not determined.
+        let phi2 = parse_cfd(&s, "p2", "([a=2] -> [d])").unwrap();
+        assert!(!sigma_implies(&sigma, &phi2));
+    }
+
+    #[test]
+    fn variable_does_not_match_constant_pattern() {
+        let s = schema();
+        // ([a=1] → [c]) does not imply ([b] → [c]) even though b is free.
+        let sigma = vec![parse_cfd(&s, "r", "([a=1] -> [c])").unwrap()];
+        let phi = parse_cfd(&s, "p", "([b] -> [c])").unwrap();
+        assert!(!sigma_implies(&sigma, &phi));
+    }
+
+    #[test]
+    fn trivial_and_reflexive_cfds() {
+        let s = schema();
+        let phi = parse_cfd(&s, "p", "([a, b] -> [a])").unwrap();
+        assert!(sigma_implies(&[], &phi)); // reflexivity, empty Σ
+        let phi2 = parse_cfd(&s, "p2", "([a] -> [a])").unwrap();
+        assert!(sigma_implies(&[], &phi2));
+    }
+
+    #[test]
+    fn upgrade_via_constant_lhs() {
+        let s = schema();
+        // ([a] → [b]) implies ([a=7] → [b]).
+        let sigma = vec![parse_cfd(&s, "r", "([a] -> [b])").unwrap()];
+        let phi = parse_cfd(&s, "p", "([a=7] -> [b])").unwrap();
+        assert!(sigma_implies(&sigma, &phi));
+    }
+
+    #[test]
+    fn chase_state_direct_use() {
+        let s = schema();
+        let sigma: Vec<NormalCfd> =
+            [parse_cfd(&s, "r", "([a] -> [b])").unwrap()].iter().flat_map(Cfd::normalize).collect();
+        let mut st = ChaseState::new(5);
+        st.assume_pair_eq(AttrId(0));
+        assert_eq!(st.chase(&sigma), ChaseOutcome::Consistent);
+        assert!(st.pair_equal(AttrId(1)));
+        assert!(!st.pair_equal(AttrId(2)));
+        assert!(st.const_binding(0, AttrId(1)).is_none());
+    }
+
+    #[test]
+    fn chase_state_contradiction_detection() {
+        let mut st = ChaseState::new(2);
+        st.assume_const(0, AttrId(0), &Value::Int(1));
+        st.assume_const(0, AttrId(0), &Value::Int(2));
+        assert!(st.contradictory());
+        assert_eq!(st.chase(&[]), ChaseOutcome::Contradiction);
+    }
+}

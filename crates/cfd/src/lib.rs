@@ -1,0 +1,49 @@
+//! # dcd-cfd
+//!
+//! Conditional functional dependencies (CFDs) as defined by Fan, Geerts,
+//! Jia & Kementsietsidis (TODS 2008) and used as data-quality rules by the
+//! ICDE 2010 paper this workspace reproduces.
+//!
+//! A CFD `φ = R(X → Y, Tp)` couples a standard FD `X → Y` with a *pattern
+//! tableau* `Tp`; each pattern tuple restricts the FD to the subset of
+//! tuples matching its constants and additionally pins constant values on
+//! the right-hand side. This crate provides:
+//!
+//! * [`pattern`] — pattern values, the match operator `≍`, pattern tuples
+//!   and their generality ordering,
+//! * [`cfd`] — the [`Cfd`] type, normalization to `(X → A, tp)` form
+//!   ([`NormalCfd`]), the single-RHS [`SimpleCfd`] form the detection
+//!   algorithms consume, and the constant/variable classification of
+//!   §IV-A,
+//! * [`parse`] — a small text DSL mirroring the paper's notation, e.g.
+//!   `([CC=44, zip] -> [street])`,
+//! * [`violation`] — centralized violation detection (the fixed
+//!   "SQL technique" of TODS 2008, implemented as hash aggregation):
+//!   `Vio(φ, D)` and its projected form `Vioπ`,
+//! * [`implication`] — FD closures and the two-tuple chase deciding
+//!   `Σ |= φ` (complete for infinite-domain attributes),
+//! * [`discovery`] — proposing CFDs from data (the complementary
+//!   problem the paper cites as related work \[18, 19\]),
+//! * [`attrset`] — a compact attribute bitset used throughout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attrset;
+pub mod cfd;
+pub mod discovery;
+pub mod implication;
+pub mod parse;
+pub mod pattern;
+pub mod violation;
+
+pub use attrset::AttrSet;
+pub use cfd::{Cfd, Fd, NormalCfd, SimpleCfd};
+pub use discovery::{discover, discover_cfds, DiscoveryConfig};
+pub use implication::{chase_implies, fd_closure, fd_implies, minimal_cover, sigma_implies};
+pub use parse::{parse_cfd, ParseError};
+pub use pattern::{NormalPattern, PatternTuple, PatternValue};
+pub use violation::{
+    detect, detect_among, detect_pattern_among, detect_set, detect_simple, detect_simple_strict,
+    satisfies, ViolationReport, ViolationSet,
+};

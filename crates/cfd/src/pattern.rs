@@ -1,0 +1,262 @@
+//! Pattern values, pattern tuples and the match operator `≍`.
+
+use dcd_relation::{AttrId, Atom, Conjunction, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cell of a pattern tuple: either a constant from the attribute's
+/// domain or the unnamed variable `_` (wildcard).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternValue {
+    /// A constant `a ∈ dom(A)`.
+    Const(Value),
+    /// The unnamed variable `_`, drawing values from `dom(A)`.
+    Wild,
+}
+
+impl PatternValue {
+    /// Constant shorthand.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        PatternValue::Const(v.into())
+    }
+
+    /// The match operator `≍` between a data value and a pattern value:
+    /// `v ≍ _` always holds, `v ≍ a` holds iff `v = a`.
+    #[inline]
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            PatternValue::Wild => true,
+            PatternValue::Const(c) => c == v,
+        }
+    }
+
+    /// Whether this is the wildcard.
+    pub const fn is_wild(&self) -> bool {
+        matches!(self, PatternValue::Wild)
+    }
+
+    /// The constant payload, if any.
+    pub const fn as_const(&self) -> Option<&Value> {
+        match self {
+            PatternValue::Const(v) => Some(v),
+            PatternValue::Wild => None,
+        }
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Wild => write!(f, "_"),
+            PatternValue::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Tests `t[X] ≍ tp[X]` for aligned attribute and pattern slices.
+#[inline]
+pub fn tuple_matches(t: &Tuple, attrs: &[AttrId], pats: &[PatternValue]) -> bool {
+    debug_assert_eq!(attrs.len(), pats.len());
+    attrs.iter().zip(pats).all(|(&a, p)| p.matches(t.get(a)))
+}
+
+/// Tests `key ≍ tp[X]` for a materialized group key.
+#[inline]
+pub fn values_match(key: &[Value], pats: &[PatternValue]) -> bool {
+    debug_assert_eq!(key.len(), pats.len());
+    key.iter().zip(pats).all(|(v, p)| p.matches(v))
+}
+
+/// A pattern tuple of a general CFD `(X → Y, Tp)`: LHS and RHS pattern
+/// cells, aligned with the CFD's `X` and `Y` attribute lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatternTuple {
+    /// Pattern cells for `X`, in `X` order.
+    pub lhs: Vec<PatternValue>,
+    /// Pattern cells for `Y`, in `Y` order.
+    pub rhs: Vec<PatternValue>,
+}
+
+impl PatternTuple {
+    /// Creates a pattern tuple.
+    pub fn new(lhs: Vec<PatternValue>, rhs: Vec<PatternValue>) -> Self {
+        PatternTuple { lhs, rhs }
+    }
+
+    /// Number of wildcards in the LHS — the "generality" measure used to
+    /// sort tableaux for the σ partition function (§IV-B, Lemma 6).
+    pub fn lhs_wildcards(&self) -> usize {
+        self.lhs.iter().filter(|p| p.is_wild()).count()
+    }
+}
+
+impl fmt::Display for PatternTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " ‖ ")?;
+        for (i, p) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A pattern tuple of a *normalized* CFD `(X → A, tp)`: LHS cells plus a
+/// single RHS cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NormalPattern {
+    /// Pattern cells for `X`, in `X` order.
+    pub lhs: Vec<PatternValue>,
+    /// The single RHS pattern cell for `A`.
+    pub rhs: PatternValue,
+}
+
+impl NormalPattern {
+    /// Creates a normalized pattern.
+    pub fn new(lhs: Vec<PatternValue>, rhs: PatternValue) -> Self {
+        NormalPattern { lhs, rhs }
+    }
+
+    /// Number of wildcards in the LHS (generality measure).
+    pub fn lhs_wildcards(&self) -> usize {
+        self.lhs.iter().filter(|p| p.is_wild()).count()
+    }
+
+    /// The conjunction `Fφ` of equality atoms for the constants in the
+    /// LHS (used for the §IV-A partitioning condition: a fragment with
+    /// predicate `Fi` is irrelevant to this pattern if `Fi ∧ Fφ` is
+    /// unsatisfiable).
+    pub fn lhs_condition(&self, attrs: &[AttrId]) -> Conjunction {
+        let atoms = attrs
+            .iter()
+            .zip(&self.lhs)
+            .filter_map(|(&a, p)| p.as_const().map(|c| Atom::eq(a, c.clone())))
+            .collect();
+        Conjunction::of(atoms)
+    }
+
+    /// Whether this pattern makes a *constant* CFD (`tp[A]` is a
+    /// constant) as opposed to a *variable* CFD (`tp[A] = _`), §IV-A.
+    pub fn is_constant(&self) -> bool {
+        !self.rhs.is_wild()
+    }
+}
+
+impl fmt::Display for NormalPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " ‖ {})", self.rhs)
+    }
+}
+
+/// Sorts pattern indices most-specific-first: ascending by number of LHS
+/// wildcards (the order required by Lemma 6's σ function). Ties keep the
+/// original tableau order, making the sort deterministic.
+pub fn generality_order(patterns: &[NormalPattern]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..patterns.len()).collect();
+    idx.sort_by_key(|&i| (patterns[i].lhs_wildcards(), i));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_relation::{vals, TupleId};
+
+    fn t(vs: Vec<Value>) -> Tuple {
+        Tuple::new(TupleId(0), vs)
+    }
+
+    #[test]
+    fn match_operator() {
+        let w = PatternValue::Wild;
+        let c44 = PatternValue::constant(44);
+        assert!(w.matches(&Value::Int(5)));
+        assert!(w.matches(&Value::Null));
+        assert!(c44.matches(&Value::Int(44)));
+        assert!(!c44.matches(&Value::Int(31)));
+        assert!(!c44.matches(&Value::Null));
+    }
+
+    #[test]
+    fn tuple_matching_on_attr_lists() {
+        // Paper Example: (Mayfield, EDI) ≍ (_, EDI) but ≭ (_, NYC).
+        let tup = t(vals!["Mayfield", "EDI"]);
+        let attrs = [AttrId(0), AttrId(1)];
+        let p1 = vec![PatternValue::Wild, PatternValue::constant("EDI")];
+        let p2 = vec![PatternValue::Wild, PatternValue::constant("NYC")];
+        assert!(tuple_matches(&tup, &attrs, &p1));
+        assert!(!tuple_matches(&tup, &attrs, &p2));
+    }
+
+    #[test]
+    fn values_match_mirrors_tuple_match() {
+        let key = vals![44, "EDI"];
+        let p = vec![PatternValue::constant(44), PatternValue::Wild];
+        assert!(values_match(&key, &p));
+        let p2 = vec![PatternValue::constant(31), PatternValue::Wild];
+        assert!(!values_match(&key, &p2));
+    }
+
+    #[test]
+    fn wildcard_counting_and_classification() {
+        let p = NormalPattern::new(
+            vec![PatternValue::constant(44), PatternValue::Wild],
+            PatternValue::Wild,
+        );
+        assert_eq!(p.lhs_wildcards(), 1);
+        assert!(!p.is_constant());
+        let c = NormalPattern::new(vec![PatternValue::constant(44)], PatternValue::constant("EDI"));
+        assert!(c.is_constant());
+    }
+
+    #[test]
+    fn lhs_condition_collects_constants_only() {
+        let p = NormalPattern::new(
+            vec![PatternValue::constant(44), PatternValue::Wild],
+            PatternValue::Wild,
+        );
+        let c = p.lhs_condition(&[AttrId(3), AttrId(8)]);
+        assert_eq!(c.atoms().len(), 1);
+        assert_eq!(c.atoms()[0].attr, AttrId(3));
+    }
+
+    #[test]
+    fn generality_order_most_specific_first() {
+        let w = PatternValue::Wild;
+        let c = PatternValue::constant(1);
+        let pats = vec![
+            NormalPattern::new(vec![w.clone(), w.clone()], w.clone()), // 2 wildcards
+            NormalPattern::new(vec![c.clone(), c.clone()], w.clone()), // 0
+            NormalPattern::new(vec![c.clone(), w.clone()], w.clone()), // 1
+            NormalPattern::new(vec![w.clone(), c.clone()], w.clone()), // 1 (tie → original order)
+        ];
+        assert_eq!(generality_order(&pats), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = NormalPattern::new(
+            vec![PatternValue::constant(44), PatternValue::Wild],
+            PatternValue::constant("EDI"),
+        );
+        assert_eq!(p.to_string(), "(44, _ ‖ EDI)");
+        let g = PatternTuple::new(vec![PatternValue::Wild], vec![PatternValue::Wild]);
+        assert_eq!(g.to_string(), "(_ ‖ _)");
+    }
+}

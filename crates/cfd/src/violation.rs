@@ -1,0 +1,504 @@
+//! Centralized CFD violation detection.
+//!
+//! This is the workspace's implementation of the "SQL technique" of Fan
+//! et al. (TODS 2008) that the ICDE 2010 paper invokes at every site: a
+//! fixed pair of queries per CFD — a selection catching single-tuple
+//! violations of constant patterns, and a single GROUP BY catching
+//! pair-wise violations of variable patterns. Here both are executed as
+//! one hash aggregation per CFD (grouping on `t[X]`, then testing every
+//! matching pattern against each group), which is exactly what the SQL
+//! engine would do physically.
+//!
+//! ## Two readings of `Vio` for constant patterns
+//!
+//! The paper's formal definition (§II-C) puts `t` in `Vio(φ, D)` whenever
+//! *some* partner `t'` with `t[X] = t'[X] ≍ tp[X]` has `t[Y] ≠ t'[Y]` —
+//! even when `tp[Y]` is a constant. Its Example 1 and Proposition 5,
+//! however, check constant patterns one tuple at a time (`t[Y] ≭ tp[Y]`),
+//! which is what makes constant CFDs locally checkable in horizontal
+//! fragments. The two readings flag the same *pattern* groups and are
+//! empty on exactly the same databases, but may differ on which tuples of
+//! a mixed group are flagged (Fig. 1: strict flags t1, t4, t5 for cfd4;
+//! the example flags only t2, t3).
+//!
+//! [`detect_simple`] implements the **algorithmic** reading (single-tuple
+//! checks for constant patterns) — it is what the paper's distributed
+//! algorithms compute and what Example 1 reports. [`detect_simple_strict`]
+//! implements the literal definition. Satisfaction ([`satisfies`]) is
+//! identical under both.
+
+use crate::cfd::{Cfd, SimpleCfd};
+use crate::pattern::values_match;
+use dcd_relation::{FxHashSet, Relation, Tuple, TupleId, Value};
+
+/// The violations of one CFD in one relation: the tuple ids `Vio(φ, D)`
+/// and the projected patterns `Vioπ(φ, D)` (distinct `t[X]` of violating
+/// tuples; the paper pads these with nulls to full schema width — see
+/// [`ViolationSet::viopi_relation`]).
+#[derive(Debug, Clone, Default)]
+pub struct ViolationSet {
+    /// `Vio(φ, D)`: ids of all violating tuples.
+    pub tids: FxHashSet<TupleId>,
+    /// `Vioπ(φ, D)`: distinct `t[X]` projections of violating tuples.
+    pub patterns: FxHashSet<Vec<Value>>,
+}
+
+impl ViolationSet {
+    /// Whether no violations were found.
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty() && self.patterns.is_empty()
+    }
+
+    /// Merges another violation set into this one (same CFD, different
+    /// fragments/coordinators).
+    pub fn merge(&mut self, other: ViolationSet) {
+        self.tids.extend(other.tids);
+        self.patterns.extend(other.patterns);
+    }
+
+    /// Materializes `Vioπ` in the paper's relational form: an instance of
+    /// the full schema with `t[X]` filled in and `null` everywhere else.
+    pub fn viopi_relation(&self, cfd: &SimpleCfd) -> Relation {
+        let schema = cfd.schema.clone();
+        let mut rel = Relation::with_capacity(schema.clone(), self.patterns.len());
+        let mut sorted: Vec<&Vec<Value>> = self.patterns.iter().collect();
+        sorted.sort();
+        for key in sorted {
+            let mut row = vec![Value::Null; schema.arity()];
+            for (&a, v) in cfd.lhs.iter().zip(key) {
+                row[a.index()] = v.clone();
+            }
+            rel.push(row).expect("null-padded row matches schema");
+        }
+        rel
+    }
+}
+
+/// A labelled collection of violation sets, one per CFD — the output
+/// shape of multi-CFD detection.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationReport {
+    /// Per-CFD results, labelled by CFD name.
+    pub per_cfd: Vec<(String, ViolationSet)>,
+}
+
+impl ViolationReport {
+    /// Union of all violating tuple ids: `Vio(Σ, D)`.
+    pub fn all_tids(&self) -> FxHashSet<TupleId> {
+        let mut out = FxHashSet::default();
+        for (_, v) in &self.per_cfd {
+            out.extend(v.tids.iter().copied());
+        }
+        out
+    }
+
+    /// Adds (merging by name) a per-CFD violation set.
+    pub fn absorb(&mut self, name: &str, vs: ViolationSet) {
+        if let Some((_, existing)) = self.per_cfd.iter_mut().find(|(n, _)| n == name) {
+            existing.merge(vs);
+        } else {
+            self.per_cfd.push((name.to_string(), vs));
+        }
+    }
+
+    /// Total number of violating tuples across CFDs (with multiplicity
+    /// per CFD; a tuple violating two CFDs counts twice).
+    pub fn total_violations(&self) -> usize {
+        self.per_cfd.iter().map(|(_, v)| v.tids.len()).sum()
+    }
+}
+
+/// Detects violations of a single-RHS CFD `φ = (X → A, Tp)` in `rel`,
+/// under the algorithmic reading (see module docs).
+///
+/// Cost: one pass to group matching tuples by `t[X]` (hash aggregation),
+/// then `O(groups × |Tp|)` pattern checks — the physical plan of the
+/// TODS 2008 detection queries.
+pub fn detect_simple(rel: &Relation, cfd: &SimpleCfd) -> ViolationSet {
+    detect_simple_with(rel, cfd, false)
+}
+
+/// [`detect_simple`] under the strict §II-C reading: constant patterns
+/// also flag every member of an FD-group containing two distinct RHS
+/// values.
+pub fn detect_simple_strict(rel: &Relation, cfd: &SimpleCfd) -> ViolationSet {
+    detect_simple_with(rel, cfd, true)
+}
+
+/// Detects violations of `cfd` among an explicit collection of tuple
+/// references, under the algorithmic reading. This is the entry point
+/// used by coordinator sites, which operate on tuples gathered from many
+/// fragments rather than on a stored relation.
+pub fn detect_among(tuples: &[&Tuple], cfd: &SimpleCfd) -> ViolationSet {
+    detect_among_with(tuples, cfd, false)
+}
+
+fn detect_simple_with(rel: &Relation, cfd: &SimpleCfd, strict: bool) -> ViolationSet {
+    let refs: Vec<&Tuple> = rel.iter().collect();
+    detect_among_with(&refs, cfd, strict)
+}
+
+fn detect_among_with(tuples: &[&Tuple], cfd: &SimpleCfd, strict: bool) -> ViolationSet {
+    let mut out = ViolationSet::default();
+    if cfd.tableau.is_empty() {
+        return out;
+    }
+    // Group once over tuples matching *some* pattern; per group, test
+    // every pattern the group key matches.
+    let mut groups: dcd_relation::FxHashMap<Vec<Value>, Vec<usize>> =
+        dcd_relation::FxHashMap::default();
+    for (i, t) in tuples.iter().enumerate() {
+        if cfd.tableau.iter().any(|p| crate::pattern::tuple_matches(t, &cfd.lhs, &p.lhs)) {
+            groups.entry(t.project(&cfd.lhs)).or_default().push(i);
+        }
+    }
+
+    for (key, members) in &groups {
+        let mut group_flagged = false;
+        let mut member_flags: Option<Vec<bool>> = None;
+        // Distinct-RHS count computed lazily at the first matching pattern.
+        let mut fd_conflict: Option<bool> = None;
+        for pat in &cfd.tableau {
+            if !values_match(key, &pat.lhs) {
+                continue;
+            }
+            let conflict = *fd_conflict.get_or_insert_with(|| {
+                let distinct: FxHashSet<&Value> =
+                    members.iter().map(|&i| tuples[i].get(cfd.rhs)).collect();
+                distinct.len() > 1
+            });
+            match pat.rhs.as_const() {
+                // Variable pattern: all members violate iff ≥2 distinct
+                // RHS values in the group.
+                None => group_flagged |= conflict,
+                Some(c) => {
+                    if strict && conflict {
+                        group_flagged = true;
+                    }
+                    // Single-tuple rule: t[A] ≭ c.
+                    let flags = member_flags
+                        .get_or_insert_with(|| vec![false; members.len()]);
+                    for (fi, &i) in members.iter().enumerate() {
+                        if tuples[i].get(cfd.rhs) != c {
+                            flags[fi] = true;
+                        }
+                    }
+                }
+            }
+            if group_flagged {
+                break; // every member is flagged; further patterns add nothing
+            }
+        }
+        if group_flagged {
+            out.patterns.insert(key.clone());
+            out.tids.extend(members.iter().map(|&i| tuples[i].tid));
+        } else if let Some(flags) = member_flags {
+            let mut any = false;
+            for (fi, &i) in members.iter().enumerate() {
+                if flags[fi] {
+                    out.tids.insert(tuples[i].tid);
+                    any = true;
+                }
+            }
+            if any {
+                out.patterns.insert(key.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Detects violations of a general CFD (any number of RHS attributes),
+/// unioning over its [`SimpleCfd`] decomposition.
+pub fn detect(rel: &Relation, cfd: &Cfd) -> ViolationSet {
+    let mut out = ViolationSet::default();
+    for simple in cfd.simplify() {
+        out.merge(detect_simple(rel, &simple));
+    }
+    out
+}
+
+/// Detects violations of a set Σ of CFDs: `Vio(Σ, D)` per CFD.
+pub fn detect_set(rel: &Relation, sigma: &[Cfd]) -> ViolationReport {
+    let mut report = ViolationReport::default();
+    for cfd in sigma {
+        report.per_cfd.push((cfd.name().to_string(), detect(rel, cfd)));
+    }
+    report
+}
+
+/// `D ⊨ φ`: satisfaction. Identical under the algorithmic and strict
+/// readings (a constant-pattern pair conflict always entails a
+/// single-tuple mismatch), so the faster algorithmic detector is used.
+pub fn satisfies(rel: &Relation, cfd: &Cfd) -> bool {
+    detect(rel, cfd).is_empty()
+}
+
+/// Detects violations of a single pattern `(X → A, {tp})` among an
+/// explicit set of tuples (used by coordinator sites, which receive the
+/// tuples of one σ-partition from all fragments — Lemma 6). Algorithmic
+/// reading.
+pub fn detect_pattern_among<'a>(
+    tuples: impl Iterator<Item = &'a Tuple>,
+    cfd: &SimpleCfd,
+    pattern_idx: usize,
+) -> ViolationSet {
+    let pat = &cfd.tableau[pattern_idx];
+    let mut groups: dcd_relation::FxHashMap<Vec<Value>, (Vec<TupleId>, Vec<Value>)> =
+        dcd_relation::FxHashMap::default();
+    for t in tuples {
+        if crate::pattern::tuple_matches(t, &cfd.lhs, &pat.lhs) {
+            let entry = groups.entry(t.project(&cfd.lhs)).or_default();
+            entry.0.push(t.tid);
+            entry.1.push(t.get(cfd.rhs).clone());
+        }
+    }
+    let mut out = ViolationSet::default();
+    for (key, (tids, rhs_vals)) in groups {
+        let distinct: FxHashSet<&Value> = rhs_vals.iter().collect();
+        match pat.rhs.as_const() {
+            None => {
+                if distinct.len() > 1 {
+                    out.tids.extend(tids);
+                    out.patterns.insert(key);
+                }
+            }
+            Some(c) => {
+                let mut any = false;
+                for (tid, v) in tids.iter().zip(&rhs_vals) {
+                    if v != c {
+                        out.tids.insert(*tid);
+                        any = true;
+                    }
+                }
+                if any {
+                    out.patterns.insert(key);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cfd;
+    use dcd_relation::{vals, Schema, ValueType};
+    use std::sync::Arc;
+
+    /// The EMP schema of Fig. 1(a).
+    pub(crate) fn emp_schema() -> Arc<Schema> {
+        Schema::builder("emp")
+            .attr("id", ValueType::Int)
+            .attr("name", ValueType::Str)
+            .attr("title", ValueType::Str)
+            .attr("CC", ValueType::Int)
+            .attr("AC", ValueType::Int)
+            .attr("phn", ValueType::Int)
+            .attr("street", ValueType::Str)
+            .attr("city", ValueType::Str)
+            .attr("zip", ValueType::Str)
+            .attr("salary", ValueType::Str)
+            .key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    /// The EMP relation D0 of Fig. 1(a).
+    pub(crate) fn d0() -> Relation {
+        Relation::from_rows(
+            emp_schema(),
+            vec![
+                vals![1, "Sam", "DMTS", 44, 131, 8765432, "Princess Str.", "EDI", "EH2 4HF", "95k"],
+                vals![2, "Mike", "MTS", 44, 131, 1234567, "Mayfield", "NYC", "EH4 8LE", "80k"],
+                vals![3, "Rick", "DMTS", 44, 131, 3456789, "Mayfield", "NYC", "EH4 8LE", "95k"],
+                vals![4, "Philip", "DMTS", 44, 131, 2909209, "Crichton", "EDI", "EH4 8LE", "95k"],
+                vals![5, "Adam", "VP", 44, 131, 7478626, "Mayfield", "EDI", "EH4 8LE", "200k"],
+                vals![6, "Joe", "MTS", 1, 908, 1416282, "Mtn Ave", "NYC", "07974", "110k"],
+                vals![7, "Bob", "DMTS", 1, 908, 2345678, "Mtn Ave", "MH", "07974", "150k"],
+                vals![8, "Jef", "DMTS", 31, 20, 8765432, "Muntplein", "AMS", "1012 WR", "90k"],
+                vals![9, "Steven", "MTS", 31, 20, 1425364, "Spuistraat", "AMS", "1012 WR", "75k"],
+                vals![10, "Bram", "MTS", 31, 10, 2536475, "Kruisplein", "ROT", "3012 CC", "75k"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tids(v: &ViolationSet) -> Vec<u64> {
+        let mut ids: Vec<u64> = v.tids.iter().map(|t| t.0).collect();
+        ids.sort();
+        ids
+    }
+
+    /// φ1: cfd1 + cfd2 of the paper. Violations: t2–t5 (UK zip EH4 8LE
+    /// with 3 streets) and t8, t9 (NL zip 1012 WR with 2 streets).
+    #[test]
+    fn paper_phi1_violations() {
+        let s = emp_schema();
+        let rel = d0();
+        let cfd1 = parse_cfd(&s, "cfd1", "([CC=44, zip] -> [street])").unwrap();
+        let cfd2 = parse_cfd(&s, "cfd2", "([CC=31, zip] -> [street])").unwrap();
+        let phi1 = Cfd::merge("phi1", &[&cfd1, &cfd2]).unwrap();
+        let v = detect(&rel, &phi1);
+        // Row ids are 0-based: tuples t2..t5 are rows 1..4; t8,t9 are rows 7,8.
+        assert_eq!(tids(&v), vec![1, 2, 3, 4, 7, 8]);
+        assert_eq!(v.patterns.len(), 2);
+        assert!(v.patterns.contains(&vals![44, "EH4 8LE"]));
+        assert!(v.patterns.contains(&vals![31, "1012 WR"]));
+    }
+
+    /// φ2 = cfd3 (the FD) is satisfied by D0.
+    #[test]
+    fn paper_phi2_satisfied() {
+        let s = emp_schema();
+        let rel = d0();
+        let phi2 = parse_cfd(&s, "phi2", "([CC, title] -> [salary])").unwrap();
+        assert!(satisfies(&rel, &phi2));
+    }
+
+    /// φ3 = cfd4 + cfd5 under the algorithmic reading flags exactly the
+    /// tuples Example 1 reports: t2, t3 (city ≠ EDI) and t6 (city ≠ MH).
+    #[test]
+    fn paper_phi3_violations_match_example1() {
+        let s = emp_schema();
+        let rel = d0();
+        let cfd4 = parse_cfd(&s, "cfd4", "([CC=44, AC=131] -> [city=EDI])").unwrap();
+        let cfd5 = parse_cfd(&s, "cfd5", "([CC=1, AC=908] -> [city=MH])").unwrap();
+        let phi3 = Cfd::merge("phi3", &[&cfd4, &cfd5]).unwrap();
+        let v = detect(&rel, &phi3);
+        assert_eq!(tids(&v), vec![1, 2, 5]);
+    }
+
+    /// The strict §II-C reading additionally flags the pair partners
+    /// (t1, t4, t5 via cfd4; t7 via cfd5).
+    #[test]
+    fn strict_reading_flags_pair_partners() {
+        let s = emp_schema();
+        let rel = d0();
+        let cfd4 = parse_cfd(&s, "cfd4", "([CC=44, AC=131] -> [city=EDI])").unwrap();
+        let simple = cfd4.simplify().pop().unwrap();
+        let v = detect_simple_strict(&rel, &simple);
+        assert_eq!(tids(&v), vec![0, 1, 2, 3, 4]);
+        // Emptiness agrees between readings on satisfied CFDs.
+        let phi2 = parse_cfd(&s, "phi2", "([CC, title] -> [salary])").unwrap();
+        let simple2 = phi2.simplify().pop().unwrap();
+        assert!(detect_simple_strict(&rel, &simple2).is_empty());
+        assert!(detect_simple(&rel, &simple2).is_empty());
+    }
+
+    /// End-to-end Example 1: the violations of {cfd1..cfd5} in D0 are
+    /// exactly t2–t6, t8 and t9.
+    #[test]
+    fn example1_full_union() {
+        let s = emp_schema();
+        let rel = d0();
+        let sigma = vec![
+            parse_cfd(&s, "cfd1", "([CC=44, zip] -> [street])").unwrap(),
+            parse_cfd(&s, "cfd2", "([CC=31, zip] -> [street])").unwrap(),
+            parse_cfd(&s, "cfd3", "([CC, title] -> [salary])").unwrap(),
+            parse_cfd(&s, "cfd4", "([CC=44, AC=131] -> [city=EDI])").unwrap(),
+            parse_cfd(&s, "cfd5", "([CC=1, AC=908] -> [city=MH])").unwrap(),
+        ];
+        let report = detect_set(&rel, &sigma);
+        let mut all: Vec<u64> = report.all_tids().iter().map(|t| t.0).collect();
+        all.sort();
+        // t2..t6 are rows 1..5; t8, t9 are rows 7, 8.
+        assert_eq!(all, vec![1, 2, 3, 4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn empty_relation_and_empty_tableau() {
+        let s = emp_schema();
+        let rel = Relation::new(s.clone());
+        let cfd = parse_cfd(&s, "c", "([CC, zip] -> [street])").unwrap();
+        assert!(detect(&rel, &cfd).is_empty());
+        let empty = Cfd::with_names("e", s, &["CC"], &["city"], vec![]).unwrap();
+        assert!(detect(&d0(), &empty).is_empty());
+    }
+
+    #[test]
+    fn single_tuple_violates_constant_cfd() {
+        let s = emp_schema();
+        let mut rel = Relation::new(s.clone());
+        rel.push(vals![1, "x", "MTS", 44, 131, 1, "st", "NYC", "z", "80k"]).unwrap();
+        let cfd4 = parse_cfd(&s, "cfd4", "([CC=44, AC=131] -> [city=EDI])").unwrap();
+        let v = detect(&rel, &cfd4);
+        assert_eq!(v.tids.len(), 1);
+        assert_eq!(v.patterns.len(), 1);
+    }
+
+    /// K+1 duplicate-key example of §II-C: Vio grows with K but Vioπ
+    /// stays a single pattern.
+    #[test]
+    fn viopi_is_much_smaller_than_vio() {
+        let s = emp_schema();
+        let mut rel = Relation::new(s.clone());
+        rel.push(vals![1, "x", "MTS", 44, 131, 1, "st", "EDI", "z", "80k"]).unwrap();
+        for i in 2..=6i64 {
+            rel.push(vals![i, "x", "MTS", 44, 131, 1, "st", "EDI", "z", "85k"]).unwrap();
+        }
+        let phi2 = parse_cfd(&s, "phi2", "([CC, title] -> [salary])").unwrap();
+        let v = detect(&rel, &phi2);
+        assert_eq!(v.tids.len(), 6);
+        assert_eq!(v.patterns.len(), 1);
+    }
+
+    #[test]
+    fn viopi_relation_pads_with_nulls() {
+        let s = emp_schema();
+        let rel = d0();
+        let cfd1 = parse_cfd(&s, "cfd1", "([CC=44, zip] -> [street])").unwrap();
+        let simple = cfd1.simplify().pop().unwrap();
+        let v = detect_simple(&rel, &simple);
+        let pi = v.viopi_relation(&simple);
+        assert_eq!(pi.len(), 1);
+        let t = &pi.tuples()[0];
+        let cc = s.require("CC").unwrap();
+        let name = s.require("name").unwrap();
+        assert_eq!(t.get(cc), &Value::Int(44));
+        assert!(t.get(name).is_null());
+    }
+
+    #[test]
+    fn detect_pattern_among_matches_detect_simple_per_pattern() {
+        let s = emp_schema();
+        let rel = d0();
+        let cfd1 = parse_cfd(&s, "cfd1", "([CC=44, zip] -> [street])").unwrap();
+        let simple = cfd1.simplify().pop().unwrap();
+        let via_full = detect_simple(&rel, &simple);
+        let via_among = detect_pattern_among(rel.iter(), &simple, 0);
+        assert_eq!(tids(&via_full), tids(&via_among));
+    }
+
+    /// A tuple group matched by several patterns is flagged once with all
+    /// its members.
+    #[test]
+    fn overlapping_patterns_do_not_double_flag() {
+        let s = emp_schema();
+        let rel = d0();
+        let cfd1 = parse_cfd(&s, "a", "([CC=44, zip] -> [street])").unwrap();
+        let cfdw = parse_cfd(&s, "b", "([CC, zip] -> [street])").unwrap();
+        let both = Cfd::merge("ab", &[&cfd1, &cfdw]).unwrap();
+        let narrow = detect(&rel, &cfdw);
+        let merged = detect(&rel, &both);
+        assert_eq!(tids(&narrow), tids(&merged));
+    }
+
+    #[test]
+    fn report_merges_and_counts() {
+        let s = emp_schema();
+        let rel = d0();
+        let cfd1 = parse_cfd(&s, "cfd1", "([CC=44, zip] -> [street])").unwrap();
+        let cfd4 = parse_cfd(&s, "cfd4", "([CC=44, AC=131] -> [city=EDI])").unwrap();
+        let report = detect_set(&rel, &[cfd1, cfd4]);
+        assert_eq!(report.per_cfd.len(), 2);
+        assert!(report.total_violations() >= report.all_tids().len());
+        let mut r2 = ViolationReport::default();
+        for (n, v) in report.per_cfd.clone() {
+            r2.absorb(&n, v.clone());
+            r2.absorb(&n, v); // merging the same set is a no-op on ids
+        }
+        assert_eq!(r2.all_tids(), report.all_tids());
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-validation of the two-tuple chase against brute-force
+//! implication checking.
+//!
+//! `Σ ⊨ φ` iff no two-tuple database satisfies Σ but violates φ (a CFD
+//! violation involves at most two tuples). For small schemas we can
+//! enumerate *all* two-tuple databases over a finite domain and compare
+//! with the chase. The domain must contain every constant of Σ ∪ {φ}
+//! plus enough fresh values to distinguish symbolic variables — three
+//! extra values suffice for two tuples over three attributes (each cell
+//! can take a value distinct from the constants and from the other
+//! tuple's cell).
+
+use dcd_cfd::{chase_implies, Cfd, NormalCfd, PatternTuple, PatternValue};
+use dcd_relation::{Relation, Schema, Value, ValueType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const ARITY: usize = 3;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("r")
+        .attr("a", ValueType::Int)
+        .attr("b", ValueType::Int)
+        .attr("c", ValueType::Int)
+        .build()
+        .unwrap()
+}
+
+/// A pattern cell: None = wildcard, Some(v) = constant from {0, 1}.
+type CellSpec = Option<i64>;
+
+/// A normalized CFD spec: 3 LHS cells, which attrs are in the LHS
+/// (bitmask over 3, non-empty), RHS attr index, RHS cell.
+#[derive(Debug, Clone)]
+struct CfdSpec {
+    lhs_mask: u8,
+    lhs_cells: [CellSpec; ARITY],
+    rhs_attr: usize,
+    rhs_cell: CellSpec,
+}
+
+fn arb_spec() -> impl Strategy<Value = CfdSpec> {
+    (
+        1u8..8,
+        [
+            prop::option::of(0..2i64),
+            prop::option::of(0..2i64),
+            prop::option::of(0..2i64),
+        ],
+        0usize..ARITY,
+        prop::option::of(0..2i64),
+    )
+        .prop_map(|(lhs_mask, lhs_cells, rhs_attr, rhs_cell)| CfdSpec {
+            lhs_mask,
+            lhs_cells,
+            rhs_attr,
+            rhs_cell,
+        })
+}
+
+fn build(spec: &CfdSpec) -> Cfd {
+    let s = schema();
+    let names = ["a", "b", "c"];
+    let lhs: Vec<&str> =
+        (0..ARITY).filter(|i| spec.lhs_mask & (1 << i) != 0).map(|i| names[i]).collect();
+    let lhs_pats: Vec<PatternValue> = (0..ARITY)
+        .filter(|i| spec.lhs_mask & (1 << i) != 0)
+        .map(|i| match spec.lhs_cells[i] {
+            Some(v) => PatternValue::constant(v),
+            None => PatternValue::Wild,
+        })
+        .collect();
+    let rhs_pat = match spec.rhs_cell {
+        Some(v) => PatternValue::constant(v),
+        None => PatternValue::Wild,
+    };
+    Cfd::with_names(
+        "spec",
+        s,
+        &lhs,
+        &[names[spec.rhs_attr]],
+        vec![PatternTuple::new(lhs_pats, vec![rhs_pat])],
+    )
+    .unwrap()
+}
+
+/// Brute force: does every ≤2-tuple database over the domain that
+/// satisfies Σ also satisfy φ?
+fn brute_force_implies(sigma: &[Cfd], phi: &Cfd) -> bool {
+    // Domain: the constants {0, 1} plus three fresh values.
+    let domain: Vec<i64> = vec![0, 1, 10, 11, 12];
+    let s = schema();
+    let n = domain.len();
+    let total = n.pow(ARITY as u32);
+    for t1_code in 0..total {
+        for t2_code in t1_code..total {
+            let decode = |mut code: usize| {
+                let mut vals = Vec::with_capacity(ARITY);
+                for _ in 0..ARITY {
+                    vals.push(Value::Int(domain[code % n]));
+                    code /= n;
+                }
+                vals
+            };
+            let rel =
+                Relation::from_rows(s.clone(), vec![decode(t1_code), decode(t2_code)]).unwrap();
+            if sigma.iter().all(|c| dcd_cfd::satisfies(&rel, c))
+                && !dcd_cfd::satisfies(&rel, phi)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The chase agrees with brute-force implication on random Σ of up
+    /// to three normalized CFDs.
+    #[test]
+    fn chase_matches_brute_force(
+        sigma_specs in prop::collection::vec(arb_spec(), 0..3),
+        phi_spec in arb_spec(),
+    ) {
+        let sigma: Vec<Cfd> = sigma_specs.iter().map(build).collect();
+        let phi = build(&phi_spec);
+        let normalized: Vec<NormalCfd> = sigma.iter().flat_map(Cfd::normalize).collect();
+        let phi_norm = phi.normalize().pop().unwrap();
+        let by_chase = chase_implies(&normalized, &phi_norm);
+        let by_force = brute_force_implies(&sigma, &phi);
+        prop_assert_eq!(
+            by_chase, by_force,
+            "chase {} vs brute force {} for Σ = {:?}, φ = {}",
+            by_chase, by_force, sigma.iter().map(|c| c.to_string()).collect::<Vec<_>>(), phi
+        );
+    }
+}
+
+/// Known hard cases, pinned explicitly.
+#[test]
+fn pinned_cases() {
+    let s = schema();
+    // Transitivity through a constant bridge.
+    let sigma = vec![
+        dcd_cfd::parse_cfd(&s, "r1", "([a=0] -> [b=1])").unwrap(),
+        dcd_cfd::parse_cfd(&s, "r2", "([b=1] -> [c=0])").unwrap(),
+    ];
+    let phi = dcd_cfd::parse_cfd(&s, "p", "([a=0] -> [c=0])").unwrap();
+    assert!(dcd_cfd::sigma_implies(&sigma, &phi));
+    assert!(brute_force_implies(&sigma, &phi));
+
+    // A wildcard FD does not follow from its constant restriction.
+    let sigma = vec![dcd_cfd::parse_cfd(&s, "r", "([a=0, b] -> [c])").unwrap()];
+    let phi = dcd_cfd::parse_cfd(&s, "p", "([a, b] -> [c])").unwrap();
+    assert!(!dcd_cfd::sigma_implies(&sigma, &phi));
+    assert!(!brute_force_implies(&sigma, &phi));
+}

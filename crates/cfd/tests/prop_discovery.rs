@@ -1,0 +1,49 @@
+//! Property: every rule the discoverer emits holds on the data it was
+//! mined from, for arbitrary inputs and configurations.
+
+use dcd_cfd::{detect_simple, discover, DiscoveryConfig};
+use dcd_relation::{vals, Relation, Schema, ValueType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("r")
+        .attr("a", ValueType::Int)
+        .attr("b", ValueType::Int)
+        .attr("c", ValueType::Str)
+        .attr("d", ValueType::Str)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn discovered_rules_hold_on_source(
+        rows in prop::collection::vec((0..4i64, 0..4i64, 0..3u8, 0..3u8), 0..60),
+        min_support in 1usize..8,
+        max_patterns in 1usize..8,
+        emit_constants in any::<bool>(),
+    ) {
+        let rel = Relation::from_rows(
+            schema(),
+            rows.iter()
+                .map(|&(a, b, c, d)| vals![a, b, format!("c{c}"), format!("d{d}")])
+                .collect(),
+        )
+        .unwrap();
+        let config = DiscoveryConfig { max_lhs: 2, min_support, max_patterns, emit_constants };
+        let rules = discover(&rel, &["a", "b", "c"], &["c", "d"], &config);
+        for cfd in &rules {
+            prop_assert!(cfd.tableau.len() <= max_patterns);
+            let v = detect_simple(&rel, cfd);
+            prop_assert!(
+                v.is_empty(),
+                "rule {} violated by its own source ({} tuples flagged)",
+                cfd.name,
+                v.tids.len()
+            );
+        }
+    }
+}

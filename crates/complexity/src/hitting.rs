@@ -1,0 +1,159 @@
+//! Hitting set: the source problem of Theorem 8.
+
+/// An instance of hitting set: elements `{0, …, n_elements-1}` and a
+/// collection of sets; a hitting set contains at least one element of
+/// every set.
+#[derive(Debug, Clone)]
+pub struct HittingSetInstance {
+    /// Number of elements in `X`.
+    pub n_elements: usize,
+    /// The collection `C` of sets to hit.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl HittingSetInstance {
+    /// Creates an instance, panicking on out-of-range elements.
+    pub fn new(n_elements: usize, sets: Vec<Vec<usize>>) -> Self {
+        for s in &sets {
+            for &e in s {
+                assert!(e < n_elements, "element {e} out of range {n_elements}");
+            }
+        }
+        HittingSetInstance { n_elements, sets }
+    }
+
+    /// Whether `chosen` hits every set.
+    pub fn is_hitting(&self, chosen: &[usize]) -> bool {
+        self.sets.iter().all(|s| s.iter().any(|e| chosen.contains(e)))
+    }
+
+    /// Greedy hitting set: repeatedly pick the element occurring in the
+    /// most un-hit sets (ties: smallest element).
+    pub fn greedy_hitting(&self) -> Option<Vec<usize>> {
+        let mut hit = vec![false; self.sets.len()];
+        let mut chosen = Vec::new();
+        while hit.iter().any(|&h| !h) {
+            let mut counts = vec![0usize; self.n_elements];
+            for (si, s) in self.sets.iter().enumerate() {
+                if !hit[si] {
+                    for &e in s {
+                        counts[e] += 1;
+                    }
+                }
+            }
+            let (best, &cnt) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, &c)| (c, self.n_elements - i))?;
+            if cnt == 0 {
+                return None; // an empty set can never be hit
+            }
+            chosen.push(best);
+            for (si, s) in self.sets.iter().enumerate() {
+                if s.contains(&best) {
+                    hit[si] = true;
+                }
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Exact minimum hitting set by branch and bound over elements
+    /// (`n_elements ≤ 63`).
+    pub fn exact_hitting(&self) -> Option<Vec<usize>> {
+        assert!(self.n_elements <= 63, "exact solver is for small instances");
+        if self.sets.iter().any(Vec::is_empty) {
+            return None;
+        }
+        let mut best = self.greedy_hitting();
+        let mut stack = Vec::new();
+        self.dfs(0, &mut vec![false; self.sets.len()], &mut stack, &mut best);
+        best
+    }
+
+    fn dfs(
+        &self,
+        next_set: usize,
+        hit: &mut Vec<bool>,
+        stack: &mut Vec<usize>,
+        best: &mut Option<Vec<usize>>,
+    ) {
+        // Find the first un-hit set.
+        let Some(si) = (next_set..self.sets.len()).find(|&i| !hit[i]) else {
+            if best.as_ref().is_none_or(|b| stack.len() < b.len()) {
+                *best = Some(stack.clone());
+            }
+            return;
+        };
+        if best.as_ref().is_some_and(|b| stack.len() + 1 >= b.len()) {
+            return; // even one more element cannot beat the incumbent
+        }
+        // Branch on each element of that set.
+        let candidates = self.sets[si].clone();
+        for e in candidates {
+            let flipped: Vec<usize> = (0..self.sets.len())
+                .filter(|&i| !hit[i] && self.sets[i].contains(&e))
+                .collect();
+            for &i in &flipped {
+                hit[i] = true;
+            }
+            stack.push(e);
+            self.dfs(si + 1, hit, stack, best);
+            stack.pop();
+            for &i in &flipped {
+                hit[i] = false;
+            }
+        }
+    }
+
+    /// Size of the minimum hitting set, if one exists.
+    pub fn min_hitting_size(&self) -> Option<usize> {
+        self.exact_hitting().map(|h| h.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shared_element_hits_everything() {
+        let inst =
+            HittingSetInstance::new(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        let e = inst.exact_hitting().unwrap();
+        assert_eq!(e, vec![0]);
+        assert!(inst.is_hitting(&e));
+    }
+
+    #[test]
+    fn disjoint_sets_need_one_each() {
+        let inst = HittingSetInstance::new(6, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+        assert_eq!(inst.min_hitting_size(), Some(3));
+    }
+
+    #[test]
+    fn greedy_is_a_valid_hitting_set() {
+        let inst = HittingSetInstance::new(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]],
+        );
+        let g = inst.greedy_hitting().unwrap();
+        assert!(inst.is_hitting(&g));
+        let e = inst.exact_hitting().unwrap();
+        assert!(e.len() <= g.len());
+        assert_eq!(e.len(), 2); // {1, 3}
+    }
+
+    #[test]
+    fn empty_set_is_unhittable() {
+        let inst = HittingSetInstance::new(3, vec![vec![0], vec![]]);
+        assert!(inst.exact_hitting().is_none());
+        assert!(inst.greedy_hitting().is_none());
+    }
+
+    #[test]
+    fn no_sets_means_empty_hitting_set() {
+        let inst = HittingSetInstance::new(3, vec![]);
+        assert_eq!(inst.exact_hitting().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Run configuration shared by all detection algorithms.
+
+use dcd_dist::CostModel;
+
+/// How local compute time (statistics scans, coordinator checks) enters
+/// the simulated response time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComputeModel {
+    /// Use the paper's analytic approximations (`scan ≈ c·n`,
+    /// `check ≈ c·n·log n`). Deterministic; the default.
+    Analytic,
+    /// Measure the actual wall-clock time of this library's local
+    /// detection work and scale it by the factor (e.g. `50.0` to map
+    /// native Rust hash-aggregation speed onto 2009-era MySQL+JDBC).
+    Measured {
+        /// Multiplier applied to measured wall time.
+        scale: f64,
+    },
+}
+
+/// Configuration of a detection run: environment cost model plus the
+/// compute-time mode.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Network and local-query cost parameters (§III-B).
+    pub cost: CostModel,
+    /// Analytic (default) or measured local compute.
+    pub compute: ComputeModel,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { cost: CostModel::default(), compute: ComputeModel::Analytic }
+    }
+}
+
+impl RunConfig {
+    /// A configuration with measured compute at the given scale.
+    pub fn measured(scale: f64) -> Self {
+        RunConfig { cost: CostModel::default(), compute: ComputeModel::Measured { scale } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_analytic() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.compute, ComputeModel::Analytic);
+    }
+
+    #[test]
+    fn measured_constructor() {
+        let cfg = RunConfig::measured(50.0);
+        assert_eq!(cfg.compute, ComputeModel::Measured { scale: 50.0 });
+    }
+}

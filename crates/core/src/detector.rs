@@ -1,0 +1,216 @@
+//! The three single-CFD detection algorithms of §IV-B as a common trait.
+
+use crate::config::RunConfig;
+use crate::report::Detection;
+use crate::runner::{run_single_cfd, CoordinatorStrategy};
+use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
+use dcd_dist::{HorizontalPartition, ShipmentLedger, SiteClocks};
+
+/// A detection algorithm for a single CFD over horizontally partitioned
+/// data. Implementations differ only in coordinator strategy; `run` and
+/// `run_simple` are provided.
+pub trait Detector {
+    /// The paper's name for the algorithm.
+    fn name(&self) -> &'static str;
+
+    /// The coordinator-assignment strategy this algorithm uses.
+    fn strategy(&self) -> CoordinatorStrategy;
+
+    /// Detects violations of a general CFD (each single-RHS component is
+    /// processed as one round; components share clocks and ledger).
+    fn run(&self, partition: &HorizontalPartition, cfd: &Cfd, cfg: &RunConfig) -> Detection {
+        let simples = cfd.simplify();
+        self.run_simples(partition, &simples, cfg)
+    }
+
+    /// Detects violations of one `(X → A, Tp)` CFD.
+    fn run_simple(
+        &self,
+        partition: &HorizontalPartition,
+        cfd: &SimpleCfd,
+        cfg: &RunConfig,
+    ) -> Detection {
+        self.run_simples(partition, std::slice::from_ref(cfd), cfg)
+    }
+
+    /// Detects violations of several single-RHS CFDs sequentially (the
+    /// building block `SEQDETECT` also uses).
+    fn run_simples(
+        &self,
+        partition: &HorizontalPartition,
+        cfds: &[SimpleCfd],
+        cfg: &RunConfig,
+    ) -> Detection {
+        let n = partition.n_sites();
+        let ledger = ShipmentLedger::new(n);
+        let mut clocks = SiteClocks::new(n);
+        let mut report = ViolationReport::default();
+        let mut paper_cost = 0.0;
+        for cfd in cfds {
+            let out = run_single_cfd(partition, cfd, self.strategy(), cfg, &ledger, &mut clocks);
+            for (name, vs) in out.report.per_cfd {
+                report.absorb(&name, vs);
+            }
+            paper_cost += out.paper_cost;
+        }
+        Detection {
+            algorithm: self.name().to_string(),
+            violations: report,
+            shipped_tuples: ledger.total_tuples(),
+            shipped_cells: ledger.total_cells(),
+            shipped_bytes: ledger.total_bytes(),
+            control_messages: ledger.control_messages(),
+            response_time: clocks.response_time(),
+            paper_cost,
+        }
+    }
+}
+
+/// `CTRDETECT` (§IV-B): a single coordinator site for the whole CFD —
+/// the site holding the most matching tuples — receives every relevant
+/// tuple and runs one centralized detection query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CtrDetect;
+
+impl Detector for CtrDetect {
+    fn name(&self) -> &'static str {
+        "CTRDETECT"
+    }
+    fn strategy(&self) -> CoordinatorStrategy {
+        CoordinatorStrategy::Central
+    }
+}
+
+/// `PATDETECTS` (§IV-B, Fig. 2): one coordinator per pattern tuple,
+/// chosen to minimize total data shipment (the site with the largest
+/// `lstat` for that pattern).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatDetectS;
+
+impl Detector for PatDetectS {
+    fn name(&self) -> &'static str {
+        "PATDETECTS"
+    }
+    fn strategy(&self) -> CoordinatorStrategy {
+        CoordinatorStrategy::MinShipment
+    }
+}
+
+/// `PATDETECTRT` (§IV-B): one coordinator per pattern tuple, assigned
+/// greedily to minimize the §III-B response-time estimate `cost_RS`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatDetectRT;
+
+impl Detector for PatDetectRT {
+    fn name(&self) -> &'static str {
+        "PATDETECTRT"
+    }
+    fn strategy(&self) -> CoordinatorStrategy {
+        CoordinatorStrategy::MinResponseTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_cfd::parse_cfd;
+    use dcd_relation::{vals, Relation, Schema, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("zip", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .attr("city", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn sample(n: usize) -> Relation {
+        Relation::from_rows(
+            schema(),
+            (0..n)
+                .map(|i| {
+                    vals![
+                        if i % 3 == 0 { 44 } else { 31 },
+                        format!("z{}", i % 7),
+                        format!("s{}", i % 5),
+                        "c"
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_centralized() {
+        let rel = sample(60);
+        let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
+        let global = dcd_cfd::detect(&rel, &cfd);
+        assert!(!global.tids.is_empty(), "fixture should contain violations");
+        let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
+        let cfg = RunConfig::default();
+        for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
+            let d = det.run(&partition, &cfd, &cfg);
+            assert_eq!(d.violations.all_tids(), global.tids, "{}", det.name());
+            assert_eq!(d.violations.per_cfd[0].1.patterns, global.patterns, "{}", det.name());
+        }
+    }
+
+    #[test]
+    fn pattern_algorithms_never_ship_more_than_central() {
+        // CTRDETECT ships everything not at the single coordinator;
+        // per-pattern max-shipper coordinators can only reduce that.
+        let rel = sample(90);
+        let cfd = parse_cfd(rel.schema(), "phi", "([cc=44, zip] -> [street])").unwrap();
+        let cfd2 = parse_cfd(rel.schema(), "phi", "([cc=31, zip] -> [street])").unwrap();
+        let merged = dcd_cfd::Cfd::merge("phi", &[&cfd, &cfd2]).unwrap();
+        let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let cfg = RunConfig::default();
+        let ctr = CtrDetect.run(&partition, &merged, &cfg);
+        let pats = PatDetectS.run(&partition, &merged, &cfg);
+        assert!(pats.shipped_tuples <= ctr.shipped_tuples);
+        assert_eq!(pats.violations.all_tids(), ctr.violations.all_tids());
+    }
+
+    #[test]
+    fn detection_reports_traffic_and_time() {
+        let rel = sample(30);
+        let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
+        let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let d = PatDetectRT.run(&partition, &cfd, &RunConfig::default());
+        assert_eq!(d.algorithm, "PATDETECTRT");
+        assert!(d.shipped_tuples > 0);
+        assert!(d.shipped_cells >= d.shipped_tuples * 3);
+        assert!(d.control_messages > 0);
+        assert!(d.response_time > 0.0);
+        assert!(d.paper_cost >= 0.0);
+        let s = d.summary();
+        assert_eq!(s.shipped_tuples, d.shipped_tuples);
+    }
+
+    #[test]
+    fn multi_rhs_cfd_processes_all_components() {
+        let rel = sample(30);
+        let schema = rel.schema().clone();
+        let cfd = dcd_cfd::Cfd::fd("both", schema, &["cc", "zip"], &["street", "city"]).unwrap();
+        let partition = HorizontalPartition::round_robin(&rel, 2).unwrap();
+        let d = PatDetectS.run(&partition, &cfd, &RunConfig::default());
+        assert_eq!(d.violations.per_cfd.len(), 2); // one entry per RHS attr
+    }
+
+    #[test]
+    fn single_site_partition_ships_nothing() {
+        let rel = sample(40);
+        let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
+        let partition = HorizontalPartition::round_robin(&rel, 1).unwrap();
+        let global = dcd_cfd::detect(&rel, &cfd);
+        for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
+            let d = det.run(&partition, &cfd, &RunConfig::default());
+            assert_eq!(d.shipped_tuples, 0, "{}", det.name());
+            assert_eq!(d.violations.all_tids(), global.tids);
+        }
+    }
+}

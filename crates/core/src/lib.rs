@@ -1,0 +1,72 @@
+//! # dcd-core
+//!
+//! The primary contribution of Fan, Geerts, Ma & Müller, *Detecting
+//! Inconsistencies in Distributed Data* (ICDE 2010): algorithms that find
+//! CFD violations in horizontally partitioned, distributed relations
+//! while reducing data shipment and response time.
+//!
+//! ## Single-CFD algorithms (§IV-B)
+//!
+//! * [`CtrDetect`] — one coordinator for the whole CFD, chosen as the
+//!   site with the most matching tuples (it would otherwise ship the
+//!   most);
+//! * [`PatDetectS`] — one coordinator *per pattern tuple*, chosen to
+//!   minimize total shipment;
+//! * [`PatDetectRT`] — one coordinator per pattern tuple, chosen greedily
+//!   to minimize the §III-B response-time estimate.
+//!
+//! All three ship each tuple attribute at most once, check constant CFDs
+//! locally without any shipment (Proposition 5), skip sites whose
+//! fragmentation predicate contradicts a pattern's constants (the
+//! partitioning condition, §IV-A), and partition tuples by the Lemma 6 σ
+//! function ([`sigma`]).
+//!
+//! ## Multi-CFD algorithms (§IV-C)
+//!
+//! * [`SeqDetect`] — pipelined one-CFD-at-a-time processing;
+//! * [`ClustDetect`] — clusters CFDs with containment-related LHSs and
+//!   ships each tuple once per *cluster* instead of once per CFD.
+//!
+//! ## Optimizations
+//!
+//! * [`mining`] — for wildcard-heavy CFDs (e.g. plain FDs), mines closed
+//!   frequent LHS patterns per fragment and refines the tableau so the
+//!   per-pattern algorithms regain their parallelism (§IV-B, "impact of
+//!   the presence of wildcards", evaluated in Fig. 3(e));
+//! * [`exact`] — an exhaustive minimum-shipment search for tiny
+//!   instances, the yardstick the NP-hardness results (§III) say cannot
+//!   scale, used to validate the heuristics in tests.
+//!
+//! ## §VIII future work, realized
+//!
+//! * [`hybrid`] — detection under hybrid (horizontal × vertical)
+//!   fragmentation: per-cell vertical gather followed by the standard
+//!   horizontal machinery;
+//! * [`replicated`] — replica-aware coordinator assignment that reads
+//!   fragments locally wherever a copy exists (degenerates to
+//!   `PATDETECTS` at replication factor 1; ships nothing at factor n).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod detector;
+pub mod exact;
+pub mod hybrid;
+pub mod local;
+pub mod mining;
+pub mod multi;
+pub mod replicated;
+pub mod report;
+pub mod runner;
+pub mod sigma;
+
+pub use config::{ComputeModel, RunConfig};
+pub use detector::{CtrDetect, Detector, PatDetectRT, PatDetectS};
+pub use exact::min_shipment_exhaustive;
+pub use hybrid::detect_hybrid;
+pub use mining::{mine_patterns, MiningConfig};
+pub use multi::{ClustDetect, MultiDetector, SeqDetect};
+pub use replicated::detect_replicated;
+pub use report::Detection;
+pub use runner::CoordinatorStrategy;

@@ -1,0 +1,175 @@
+//! Local validation: the two no-shipment cases of §IV-A.
+//!
+//! 1. **Constant CFDs** (Proposition 5): a constant CFD is violated by
+//!    single tuples, so each site checks its own fragment and no data
+//!    moves.
+//! 2. **Partitioning condition**: for a variable CFD pattern `tp`, let
+//!    `Fφ` be the conjunction of `B = b` for the constants in `tp[X]`.
+//!    If `Fi ∧ Fφ` is unsatisfiable, no tuple of fragment `Di` can match
+//!    `tp`, so site `Si` neither scans for nor ships tuples for that
+//!    pattern.
+
+use dcd_cfd::violation::ViolationSet;
+use dcd_cfd::{detect_among, NormalCfd, NormalPattern, SimpleCfd};
+use dcd_dist::Fragment;
+use dcd_relation::{AttrId, Predicate, Tuple};
+
+/// Checks the partitioning condition: `true` iff fragment `frag` may
+/// contain tuples matching `pattern` (i.e. we cannot refute
+/// `Fi ∧ Fφ`). Fragments without a predicate are always applicable.
+pub fn pattern_applicable(frag: &Fragment, lhs: &[AttrId], pattern: &NormalPattern) -> bool {
+    let Some(fi) = &frag.predicate else {
+        return true;
+    };
+    let fphi = Predicate::from_conjunction(pattern.lhs_condition(lhs));
+    fi.and(&fphi).is_satisfiable()
+}
+
+/// The pattern indices of `cfd` that are applicable to `frag` under the
+/// partitioning condition.
+pub fn applicable_patterns(frag: &Fragment, cfd: &SimpleCfd) -> Vec<usize> {
+    cfd.tableau
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| pattern_applicable(frag, &cfd.lhs, p))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Checks a batch of constant CFDs locally on one fragment
+/// (Proposition 5). Returns the merged violation set. Patterns whose
+/// constants contradict the fragment predicate are skipped entirely.
+pub fn check_constants_locally(frag: &Fragment, constants: &[NormalCfd]) -> ViolationSet {
+    let mut out = ViolationSet::default();
+    let refs: Vec<&Tuple> = frag.data.iter().collect();
+    for nc in constants {
+        if !pattern_applicable(frag, &nc.lhs, &nc.pattern) {
+            continue;
+        }
+        let as_simple = SimpleCfd {
+            name: nc.origin.clone(),
+            schema: nc.schema.clone(),
+            lhs: nc.lhs.clone(),
+            rhs: nc.rhs,
+            tableau: vec![nc.pattern.clone()],
+        };
+        out.merge(detect_among(&refs, &as_simple));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_cfd::parse_cfd;
+    use dcd_dist::{HorizontalPartition, SiteId};
+    use dcd_relation::{vals, Atom, Relation, Schema, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("emp")
+            .attr("id", ValueType::Int)
+            .attr("title", ValueType::Str)
+            .attr("CC", ValueType::Int)
+            .attr("AC", ValueType::Int)
+            .attr("city", ValueType::Str)
+            .key(&["id"])
+            .build()
+            .unwrap()
+    }
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            schema(),
+            vec![
+                vals![1, "MTS", 44, 131, "EDI"],
+                vals![2, "MTS", 44, 131, "NYC"],
+                vals![3, "VP", 1, 908, "MH"],
+                vals![4, "VP", 1, 908, "NYC"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn title_partition() -> HorizontalPartition {
+        let r = rel();
+        let title = r.schema().require("title").unwrap();
+        HorizontalPartition::by_predicates(
+            &r,
+            vec![
+                Predicate::atom(Atom::eq(title, "MTS")),
+                Predicate::atom(Atom::eq(title, "VP")),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitioning_condition_refutes_contradicting_patterns() {
+        let r = rel();
+        let cc = r.schema().require("CC").unwrap();
+        let p = HorizontalPartition::by_predicates(
+            &r,
+            vec![Predicate::atom(Atom::eq(cc, 44)), Predicate::atom(Atom::eq(cc, 1))],
+        )
+        .unwrap();
+        let cfd = parse_cfd(r.schema(), "c", "([CC=44, AC] -> [city])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        // Pattern pins CC=44: applicable to fragment 0 only.
+        assert_eq!(applicable_patterns(p.fragment(SiteId(0)), &simple), vec![0]);
+        assert_eq!(applicable_patterns(p.fragment(SiteId(1)), &simple), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn predicate_free_fragments_are_always_applicable() {
+        let r = rel();
+        let p = HorizontalPartition::round_robin(&r, 2).unwrap();
+        let cfd = parse_cfd(r.schema(), "c", "([CC=44, AC] -> [city])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        assert_eq!(applicable_patterns(p.fragment(SiteId(0)), &simple), vec![0]);
+    }
+
+    #[test]
+    fn constants_checked_locally_sum_to_global() {
+        let r = rel();
+        let p = title_partition();
+        let cfd = parse_cfd(r.schema(), "c4", "([CC=44, AC=131] -> [city=EDI])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        let (_, constants) = simple.split_constant();
+        assert_eq!(constants.len(), 1);
+
+        let mut merged = ViolationSet::default();
+        for f in p.fragments() {
+            merged.merge(check_constants_locally(f, &constants));
+        }
+        let global = dcd_cfd::detect_simple(&r, &simple);
+        assert_eq!(merged.tids, global.tids);
+        assert_eq!(merged.patterns, global.patterns);
+    }
+
+    #[test]
+    fn inapplicable_constants_are_skipped_without_changing_results() {
+        let r = rel();
+        let p = title_partition();
+        // CC=1 tuples all live in the VP fragment; the MTS fragment's
+        // predicate (title = MTS) does not contradict CC=1, so it is
+        // still scanned — but a fragment predicate pinning CC would skip.
+        let cc = r.schema().require("CC").unwrap();
+        let pcc = HorizontalPartition::by_predicates(
+            &r,
+            vec![Predicate::atom(Atom::eq(cc, 44)), Predicate::atom(Atom::eq(cc, 1))],
+        )
+        .unwrap();
+        let cfd = parse_cfd(r.schema(), "c5", "([CC=1, AC=908] -> [city=MH])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        let (_, constants) = simple.split_constant();
+        for part in [&p, &pcc] {
+            let mut merged = ViolationSet::default();
+            for f in part.fragments() {
+                merged.merge(check_constants_locally(f, &constants));
+            }
+            let global = dcd_cfd::detect_simple(&r, &simple);
+            assert_eq!(merged.tids, global.tids, "partition changed the result");
+        }
+    }
+}

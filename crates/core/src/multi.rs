@@ -1,0 +1,503 @@
+//! Multi-CFD detection: `SEQDETECT` and `CLUSTDETECT` (§IV-C).
+//!
+//! `SEQDETECT` runs a single-CFD algorithm once per CFD, pipelined: the
+//! per-site clocks carry over between rounds, so a site that finished its
+//! part of CFD `k` immediately starts partitioning for CFD `k+1` while
+//! slower sites still validate. The same tuple may ship several times —
+//! once per CFD that matches it.
+//!
+//! `CLUSTDETECT` first clusters CFDs whose LHS attribute sets are related
+//! by containment (`X ⊆ X'` or `X' ⊆ X`), partitions the data *once per
+//! cluster* on the tableau projected onto the common attributes
+//! `Z = X ∩ X'`, and ships each tuple at most once per cluster. Every
+//! member CFD is then validated at the coordinators. Because `Z ⊆ X` for
+//! every member, tuples agreeing on any member's LHS also agree on `Z`
+//! and therefore land at the same coordinator — the Lemma 6 argument
+//! lifted to clusters.
+
+use crate::config::RunConfig;
+use crate::local::{check_constants_locally, pattern_applicable};
+use crate::report::Detection;
+use crate::runner::{assign_coordinators, charge, run_single_cfd, CoordinatorStrategy};
+use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use dcd_cfd::violation::ViolationSet;
+use dcd_cfd::{detect_among, Cfd, NormalPattern, PatternValue, SimpleCfd, ViolationReport};
+use dcd_dist::{HorizontalPartition, ShipmentLedger, SiteClocks, SiteId};
+use dcd_relation::{AttrId, FxHashSet, Tuple};
+
+/// A detection algorithm for a *set* Σ of CFDs.
+pub trait MultiDetector {
+    /// The paper's name for the algorithm.
+    fn name(&self) -> &'static str;
+
+    /// Detects violations of all CFDs in Σ.
+    fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection;
+}
+
+/// `SEQDETECT`: pipelined sequential processing, one CFD at a time.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqDetect {
+    /// The single-CFD strategy used per round (the paper runs either
+    /// `PATDETECTS` or `PATDETECTRT`).
+    pub inner: CoordinatorStrategy,
+}
+
+impl Default for SeqDetect {
+    fn default() -> Self {
+        SeqDetect { inner: CoordinatorStrategy::MinResponseTime }
+    }
+}
+
+impl MultiDetector for SeqDetect {
+    fn name(&self) -> &'static str {
+        "SEQDETECT"
+    }
+
+    fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
+        let n = partition.n_sites();
+        let ledger = ShipmentLedger::new(n);
+        let mut clocks = SiteClocks::new(n);
+        let mut report = ViolationReport::default();
+        let mut paper_cost = 0.0;
+        for cfd in sigma {
+            for simple in cfd.simplify() {
+                let out =
+                    run_single_cfd(partition, &simple, self.inner, cfg, &ledger, &mut clocks);
+                for (name, vs) in out.report.per_cfd {
+                    report.absorb(&name, vs);
+                }
+                paper_cost += out.paper_cost;
+            }
+        }
+        finish(self.name(), report, &ledger, &clocks, paper_cost)
+    }
+}
+
+/// `CLUSTDETECT`: clusters CFDs by LHS containment and ships each tuple
+/// at most once per cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClustDetect {
+    /// Coordinator strategy for the projected-pattern assignment.
+    pub inner: CoordinatorStrategy,
+}
+
+impl Default for ClustDetect {
+    fn default() -> Self {
+        ClustDetect { inner: CoordinatorStrategy::MinResponseTime }
+    }
+}
+
+impl MultiDetector for ClustDetect {
+    fn name(&self) -> &'static str {
+        "CLUSTDETECT"
+    }
+
+    fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
+        let n = partition.n_sites();
+        let ledger = ShipmentLedger::new(n);
+        let mut clocks = SiteClocks::new(n);
+        let mut report = ViolationReport::default();
+        let mut paper_cost = 0.0;
+
+        let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
+        let clusters = cluster_by_lhs(&simples);
+        for cluster in clusters {
+            let members: Vec<&SimpleCfd> = cluster.iter().map(|&i| &simples[i]).collect();
+            let out = if members.len() == 1 {
+                run_single_cfd(partition, members[0], self.inner, cfg, &ledger, &mut clocks)
+            } else {
+                run_cluster(partition, &members, self.inner, cfg, &ledger, &mut clocks)
+            };
+            for (name, vs) in out.report.per_cfd {
+                report.absorb(&name, vs);
+            }
+            paper_cost += out.paper_cost;
+        }
+        finish(self.name(), report, &ledger, &clocks, paper_cost)
+    }
+}
+
+fn finish(
+    name: &str,
+    report: ViolationReport,
+    ledger: &ShipmentLedger,
+    clocks: &SiteClocks,
+    paper_cost: f64,
+) -> Detection {
+    Detection {
+        algorithm: name.to_string(),
+        violations: report,
+        shipped_tuples: ledger.total_tuples(),
+        shipped_cells: ledger.total_cells(),
+        shipped_bytes: ledger.total_bytes(),
+        control_messages: ledger.control_messages(),
+        response_time: clocks.response_time(),
+        paper_cost,
+    }
+}
+
+/// Greedy clustering on the LHS containment condition: a CFD joins the
+/// first cluster whose common attribute set `Z` satisfies `X ⊆ Z` or
+/// `Z ⊆ X`; `Z` shrinks to the intersection. Returns clusters as index
+/// lists into `cfds`, preserving input order.
+pub fn cluster_by_lhs(cfds: &[SimpleCfd]) -> Vec<Vec<usize>> {
+    let mut clusters: Vec<(FxHashSet<AttrId>, Vec<usize>)> = Vec::new();
+    for (i, cfd) in cfds.iter().enumerate() {
+        let lhs: FxHashSet<AttrId> = cfd.lhs.iter().copied().collect();
+        let mut placed = false;
+        for (z, members) in clusters.iter_mut() {
+            let z_sub = z.iter().all(|a| lhs.contains(a));
+            let lhs_sub = lhs.iter().all(|a| z.contains(a));
+            if z_sub || lhs_sub {
+                if lhs_sub {
+                    *z = lhs.clone();
+                }
+                members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push((lhs, vec![i]));
+        }
+    }
+    clusters.into_iter().map(|(_, members)| members).collect()
+}
+
+/// Runs one cluster of ≥2 CFDs whose LHSs form a containment family:
+/// σ-partition on the `Z`-projected tableau, one shipment per tuple, all
+/// member CFDs validated at the coordinators.
+fn run_cluster(
+    partition: &HorizontalPartition,
+    members: &[&SimpleCfd],
+    strategy: CoordinatorStrategy,
+    cfg: &RunConfig,
+    ledger: &ShipmentLedger,
+    clocks: &mut SiteClocks,
+) -> crate::runner::RoundOutput {
+    let n = partition.n_sites();
+    let mut report = ViolationReport::default();
+    for m in members {
+        report.absorb(&m.name, ViolationSet::default());
+    }
+    let mut local_secs = vec![0.0_f64; n];
+
+    // Constants per member: local checks (Proposition 5), as always.
+    let mut variable_members: Vec<SimpleCfd> = Vec::new();
+    for m in members {
+        let (var, constants) = m.split_constant();
+        if !constants.is_empty() {
+            for frag in partition.fragments() {
+                let frag_len = frag.data.len();
+                let n_consts = constants.len();
+                let (vs, secs) = charge(
+                    clocks,
+                    frag.site,
+                    cfg,
+                    || check_constants_locally(frag, &constants),
+                    |_| {
+                        cfg.cost.scan_time(frag_len)
+                            + cfg.cost.match_coeff * frag_len as f64 * n_consts as f64
+                    },
+                );
+                local_secs[frag.site.index()] += secs;
+                report.absorb(&m.name, vs);
+            }
+        }
+        if let Some(v) = var {
+            variable_members.push(v);
+        }
+    }
+    if variable_members.is_empty() {
+        let paper_cost = cfg.cost.paper_cost(&vec![vec![0; n]; n], &local_secs);
+        return crate::runner::RoundOutput { report, paper_cost };
+    }
+
+    // Common attributes Z = ∩ LHS; by the containment invariant this is
+    // the smallest member LHS. Keep that member's attribute order.
+    let z: Vec<AttrId> = {
+        let smallest = variable_members
+            .iter()
+            .min_by_key(|m| m.lhs.len())
+            .expect("non-empty member list");
+        smallest
+            .lhs
+            .iter()
+            .copied()
+            .filter(|a| variable_members.iter().all(|m| m.lhs.contains(a)))
+            .collect()
+    };
+    if z.is_empty() {
+        // Degenerate cluster; fall back to sequential rounds.
+        let mut paper_cost = 0.0;
+        for m in &variable_members {
+            let out = run_single_cfd(partition, m, strategy, cfg, ledger, clocks);
+            for (name, vs) in out.report.per_cfd {
+                report.absorb(&name, vs);
+            }
+            paper_cost += out.paper_cost;
+        }
+        return crate::runner::RoundOutput { report, paper_cost };
+    }
+
+    // Projected tableau over Z (deduplicated), as a pseudo-CFD for σ.
+    let mut seen: FxHashSet<Vec<PatternValue>> = FxHashSet::default();
+    let mut projected: Vec<NormalPattern> = Vec::new();
+    for m in &variable_members {
+        let pos: Vec<usize> = z
+            .iter()
+            .map(|a| m.lhs.iter().position(|b| b == a).expect("Z ⊆ member LHS"))
+            .collect();
+        for p in &m.tableau {
+            let proj: Vec<PatternValue> = pos.iter().map(|&i| p.lhs[i].clone()).collect();
+            if seen.insert(proj.clone()) {
+                projected.push(NormalPattern::new(proj, PatternValue::Wild));
+            }
+        }
+    }
+    let zcfd = SimpleCfd {
+        name: "cluster".to_string(),
+        schema: variable_members[0].schema.clone(),
+        lhs: z.clone(),
+        rhs: variable_members[0].rhs,
+        tableau: projected,
+    };
+    let sorted = sort_for_sigma(&zcfd);
+    let k = sorted.cfd.tableau.len();
+
+    // σ-partition per site (one scan for the whole cluster).
+    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
+    for frag in partition.fragments() {
+        let applicable: Vec<usize> = sorted
+            .cfd
+            .tableau
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| pattern_applicable(frag, &sorted.cfd.lhs, p))
+            .map(|(i, _)| i)
+            .collect();
+        if applicable.is_empty() {
+            parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 });
+            continue;
+        }
+        let frag_len = frag.data.len();
+        let (part, secs) = charge(
+            clocks,
+            frag.site,
+            cfg,
+            || sigma_partition(&frag.data, &sorted, &applicable),
+            |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
+        );
+        local_secs[frag.site.index()] += secs;
+        parts.push(part);
+    }
+
+    // Statistics exchange.
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                ledger.control(SiteId(j as u32), SiteId(i as u32), 8 * k);
+            }
+        }
+    }
+    clocks.barrier();
+
+    // Coordinators per projected pattern.
+    let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
+    let frag_sizes: Vec<usize> = partition.fragments().iter().map(|f| f.data.len()).collect();
+    let assignment = assign_coordinators(strategy, &lstat, &frag_sizes, &cfg.cost);
+
+    // Shipment: the union of the members' (X ∪ A) attributes, once per
+    // tuple for the whole cluster.
+    let mut attrs: Vec<AttrId> = Vec::new();
+    for m in &variable_members {
+        for a in m.shipped_attrs() {
+            if !attrs.contains(&a) {
+                attrs.push(a);
+            }
+        }
+    }
+    attrs.sort();
+    let mut matrix = vec![vec![0usize; n]; n];
+    let mut gathered: Vec<Vec<&Tuple>> = vec![Vec::new(); n];
+    for (l, coord) in assignment.iter().enumerate() {
+        let Some(c) = *coord else { continue };
+        for (i, frag) in partition.fragments().iter().enumerate() {
+            let block = &parts[i].blocks[l];
+            if block.is_empty() {
+                continue;
+            }
+            if i != c.index() {
+                let bytes: usize =
+                    block.iter().map(|&ti| frag.data.tuples()[ti].wire_size_of(&attrs)).sum();
+                ledger.ship(c, frag.site, block.len(), block.len() * attrs.len(), bytes);
+                matrix[c.index()][i] += block.len();
+            }
+            gathered[c.index()].extend(block.iter().map(|&ti| &frag.data.tuples()[ti]));
+        }
+    }
+    clocks.transfer(&matrix, &cfg.cost);
+
+    // Validate every member CFD at each coordinator.
+    for (c, tuples) in gathered.iter().enumerate() {
+        if tuples.is_empty() {
+            continue;
+        }
+        let site = SiteId(c as u32);
+        let n_tuples = tuples.len();
+        let analytic = cfg.cost.check_time(n_tuples) * variable_members.len() as f64;
+        let (results, secs) = charge(
+            clocks,
+            site,
+            cfg,
+            || {
+                variable_members
+                    .iter()
+                    .map(|m| (m.name.clone(), detect_among(tuples, m)))
+                    .collect::<Vec<(String, ViolationSet)>>()
+            },
+            |_| analytic,
+        );
+        local_secs[c] += secs;
+        for (name, vs) in results {
+            report.absorb(&name, vs);
+        }
+    }
+
+    let paper_cost = cfg.cost.paper_cost(&matrix, &local_secs);
+    crate::runner::RoundOutput { report, paper_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_cfd::parse_cfd;
+    use dcd_relation::{vals, Relation, Schema, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("ac", ValueType::Int)
+            .attr("zip", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .attr("city", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn sample(n: usize) -> Relation {
+        Relation::from_rows(
+            schema(),
+            (0..n)
+                .map(|i| {
+                    vals![
+                        if i % 3 == 0 { 44 } else { 31 },
+                        (i % 4) as i64,
+                        format!("z{}", i % 6),
+                        format!("s{}", i % 4),
+                        format!("c{}", i % 3)
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Overlapping pair like the paper's Exp-5: LHS(φ2) ⊂ LHS(φ1).
+    fn overlapping_sigma(s: &Arc<Schema>) -> Vec<Cfd> {
+        vec![
+            parse_cfd(s, "phi1", "([cc, zip] -> [street])").unwrap(),
+            parse_cfd(s, "phi2", "([cc] -> [city])").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn clustering_groups_containment_families() {
+        let s = schema();
+        let sigma = [parse_cfd(&s, "a", "([cc, zip] -> [street])").unwrap(),
+            parse_cfd(&s, "b", "([cc] -> [city])").unwrap(),
+            parse_cfd(&s, "c", "([ac] -> [city])").unwrap()];
+        let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
+        let clusters = cluster_by_lhs(&simples);
+        assert_eq!(clusters, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn seq_and_clust_agree_with_centralized() {
+        let rel = sample(80);
+        let s = rel.schema().clone();
+        let sigma = overlapping_sigma(&s);
+        let global = dcd_cfd::detect_set(&rel, &sigma);
+        let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
+        let cfg = RunConfig::default();
+        for det in [&SeqDetect::default() as &dyn MultiDetector, &ClustDetect::default()] {
+            let d = det.run(&partition, &sigma, &cfg);
+            assert_eq!(d.violations.all_tids(), global.all_tids(), "{}", det.name());
+            // Per-CFD sets match too.
+            for (name, vs) in &global.per_cfd {
+                let (_, got) =
+                    d.violations.per_cfd.iter().find(|(n, _)| n == name).expect("cfd present");
+                assert_eq!(&got.tids, &vs.tids, "{} / {}", det.name(), name);
+            }
+        }
+    }
+
+    #[test]
+    fn clust_ships_fewer_tuples_than_seq() {
+        let rel = sample(200);
+        let s = rel.schema().clone();
+        let sigma = overlapping_sigma(&s);
+        let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
+        let cfg = RunConfig::default();
+        let seq = SeqDetect::default().run(&partition, &sigma, &cfg);
+        let clust = ClustDetect::default().run(&partition, &sigma, &cfg);
+        assert!(
+            clust.shipped_tuples < seq.shipped_tuples,
+            "clust {} !< seq {}",
+            clust.shipped_tuples,
+            seq.shipped_tuples
+        );
+    }
+
+    #[test]
+    fn disjoint_lhs_cfds_fall_back_to_singleton_clusters() {
+        let rel = sample(60);
+        let s = rel.schema().clone();
+        let sigma = vec![
+            parse_cfd(&s, "a", "([cc, zip] -> [street])").unwrap(),
+            parse_cfd(&s, "b", "([ac] -> [city])").unwrap(),
+        ];
+        let global = dcd_cfd::detect_set(&rel, &sigma);
+        let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let d = ClustDetect::default().run(&partition, &sigma, &RunConfig::default());
+        assert_eq!(d.violations.all_tids(), global.all_tids());
+    }
+
+    #[test]
+    fn constant_patterns_inside_clusters_are_checked() {
+        let rel = sample(60);
+        let s = rel.schema().clone();
+        let sigma = vec![
+            parse_cfd(&s, "a", "([cc=44, zip] -> [street])").unwrap(),
+            parse_cfd(&s, "b", "([cc=44] -> [city=c0])").unwrap(),
+        ];
+        let global = dcd_cfd::detect_set(&rel, &sigma);
+        assert!(!global.all_tids().is_empty());
+        let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let d = ClustDetect::default().run(&partition, &sigma, &RunConfig::default());
+        assert_eq!(d.violations.all_tids(), global.all_tids());
+    }
+
+    #[test]
+    fn seq_with_min_shipment_inner() {
+        let rel = sample(60);
+        let s = rel.schema().clone();
+        let sigma = overlapping_sigma(&s);
+        let global = dcd_cfd::detect_set(&rel, &sigma);
+        let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let det = SeqDetect { inner: CoordinatorStrategy::MinShipment };
+        let d = det.run(&partition, &sigma, &RunConfig::default());
+        assert_eq!(d.violations.all_tids(), global.all_tids());
+    }
+}

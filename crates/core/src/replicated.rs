@@ -1,0 +1,290 @@
+//! Replication-aware detection (§VIII future work, realized).
+//!
+//! When fragments are replicated, a pattern's coordinator can be chosen
+//! so that many of the pattern's tuples are *already* at the coordinator
+//! via replicas — those fragments ship nothing. `REPDETECT` is
+//! `PATDETECTS` with a replica-aware coordinator rule:
+//!
+//! > for pattern `l`, pick the site `s` maximizing
+//! > `Σ { lstat[f][l] : s holds a replica of fragment f }`
+//! > (ties: smallest site id);
+//!
+//! primaries of the remaining fragments then ship their σ-blocks as
+//! usual. With replication factor 1 this degenerates to `PATDETECTS`
+//! exactly (tested); with factor `n` it ships nothing.
+
+use crate::config::RunConfig;
+use crate::local::applicable_patterns;
+use crate::report::Detection;
+use crate::runner::charge;
+use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use dcd_cfd::violation::ViolationSet;
+use dcd_cfd::{detect_pattern_among, Cfd, SimpleCfd, ViolationReport};
+use dcd_dist::{ReplicatedPartition, ShipmentLedger, SiteClocks, SiteId};
+use dcd_relation::Tuple;
+
+/// Detects violations of Σ over replicated fragments, exploiting
+/// replica placement to cut shipment.
+pub fn detect_replicated(
+    partition: &ReplicatedPartition,
+    sigma: &[Cfd],
+    cfg: &RunConfig,
+) -> Detection {
+    let n = partition.n_sites();
+    let ledger = ShipmentLedger::new(n);
+    let mut clocks = SiteClocks::new(n);
+    let mut report = ViolationReport::default();
+    let mut paper_cost = 0.0;
+
+    let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
+    for cfd in &simples {
+        let out = run_one(partition, cfd, cfg, &ledger, &mut clocks);
+        for (name, vs) in out.0.per_cfd {
+            report.absorb(&name, vs);
+        }
+        paper_cost += out.1;
+    }
+
+    Detection {
+        algorithm: "REPDETECT".to_string(),
+        violations: report,
+        shipped_tuples: ledger.total_tuples(),
+        shipped_cells: ledger.total_cells(),
+        shipped_bytes: ledger.total_bytes(),
+        control_messages: ledger.control_messages(),
+        response_time: clocks.response_time(),
+        paper_cost,
+    }
+}
+
+fn run_one(
+    partition: &ReplicatedPartition,
+    cfd: &SimpleCfd,
+    cfg: &RunConfig,
+    ledger: &ShipmentLedger,
+    clocks: &mut SiteClocks,
+) -> (ViolationReport, f64) {
+    let base = partition.base();
+    let n = base.n_sites();
+    let mut report = ViolationReport::default();
+    report.absorb(&cfd.name, ViolationSet::default());
+    let mut local_secs = vec![0.0_f64; n];
+
+    // Constants: local at primaries (replicas would find the same).
+    let (variable, constants) = cfd.split_constant();
+    if !constants.is_empty() {
+        for frag in base.fragments() {
+            let frag_len = frag.data.len();
+            let (vs, secs) = charge(
+                clocks,
+                frag.site,
+                cfg,
+                || crate::local::check_constants_locally(frag, &constants),
+                |_| {
+                    cfg.cost.scan_time(frag_len)
+                        + cfg.cost.match_coeff * frag_len as f64 * constants.len() as f64
+                },
+            );
+            local_secs[frag.site.index()] += secs;
+            report.absorb(&cfd.name, vs);
+        }
+    }
+    let Some(variable) = variable else {
+        let paper = cfg.cost.paper_cost(&vec![vec![0; n]; n], &local_secs);
+        return (report, paper);
+    };
+
+    // σ-partition primaries (statistics are placement-independent).
+    let sorted = sort_for_sigma(&variable);
+    let k = sorted.cfd.tableau.len();
+    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
+    for frag in base.fragments() {
+        let applicable = applicable_patterns(frag, &sorted.cfd);
+        if applicable.is_empty() {
+            parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 });
+            continue;
+        }
+        let frag_len = frag.data.len();
+        let (part, secs) = charge(
+            clocks,
+            frag.site,
+            cfg,
+            || sigma_partition(&frag.data, &sorted, &applicable),
+            |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
+        );
+        local_secs[frag.site.index()] += secs;
+        parts.push(part);
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                ledger.control(SiteId(j as u32), SiteId(i as u32), 8 * k);
+            }
+        }
+    }
+    clocks.barrier();
+
+    // Replica-aware coordinator per pattern: maximize locally available
+    // tuples.
+    let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
+    let mut matrix = vec![vec![0usize; n]; n];
+    let mut gathered: Vec<Vec<(usize, Vec<&Tuple>)>> = vec![Vec::new(); n];
+    let attrs = sorted.cfd.shipped_attrs();
+    #[allow(clippy::needless_range_loop)] // l indexes a column of lstat
+    for l in 0..k {
+        let total: usize = (0..n).map(|f| lstat[f][l]).sum();
+        if total == 0 {
+            continue;
+        }
+        let coord = (0..n)
+            .max_by_key(|&s| {
+                let available: usize = (0..n)
+                    .filter(|&f| partition.holds(SiteId(s as u32), f))
+                    .map(|f| lstat[f][l])
+                    .sum();
+                (available, n - s)
+            })
+            .expect("n > 0");
+        let coord_site = SiteId(coord as u32);
+        let mut tuples: Vec<&Tuple> = Vec::new();
+        for (f, frag) in base.fragments().iter().enumerate() {
+            let block = &parts[f].blocks[l];
+            if block.is_empty() {
+                continue;
+            }
+            if !partition.holds(coord_site, f) {
+                let bytes: usize =
+                    block.iter().map(|&ti| frag.data.tuples()[ti].wire_size_of(&attrs)).sum();
+                ledger.ship(coord_site, frag.site, block.len(), block.len() * attrs.len(), bytes);
+                matrix[coord][f] += block.len();
+            }
+            tuples.extend(block.iter().map(|&ti| &frag.data.tuples()[ti]));
+        }
+        gathered[coord].push((l, tuples));
+    }
+    clocks.transfer(&matrix, &cfg.cost);
+
+    for (c, jobs) in gathered.iter().enumerate() {
+        if jobs.is_empty() {
+            continue;
+        }
+        let site = SiteId(c as u32);
+        let analytic: f64 = jobs.iter().map(|(_, ts)| cfg.cost.check_time(ts.len())).sum();
+        let (vs, secs) = charge(
+            clocks,
+            site,
+            cfg,
+            || {
+                let mut vs = ViolationSet::default();
+                for (l, ts) in jobs {
+                    vs.merge(detect_pattern_among(ts.iter().copied(), &sorted.cfd, *l));
+                }
+                vs
+            },
+            |_| analytic,
+        );
+        local_secs[c] += secs;
+        report.absorb(&cfd.name, vs);
+    }
+
+    let paper = cfg.cost.paper_cost(&matrix, &local_secs);
+    (report, paper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{Detector, PatDetectS};
+    use dcd_cfd::parse_cfd;
+    use dcd_dist::HorizontalPartition;
+    use dcd_relation::{vals, Relation, Schema, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("zip", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn sample(n: usize) -> Relation {
+        Relation::from_rows(
+            schema(),
+            (0..n)
+                .map(|i| {
+                    vals![
+                        if i % 3 == 0 { 44 } else { 31 },
+                        format!("z{}", i % 7),
+                        format!("s{}", i % 4)
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn replication_factor_one_equals_patdetects() {
+        let rel = sample(80);
+        let base = HorizontalPartition::round_robin(&rel, 4).unwrap();
+        let replicated = ReplicatedPartition::chained(base.clone(), 1).unwrap();
+        let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
+        let cfg = RunConfig::default();
+        let plain = PatDetectS.run(&base, &cfd, &cfg);
+        let rep = detect_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
+        assert_eq!(rep.violations.all_tids(), plain.violations.all_tids());
+        assert_eq!(rep.shipped_tuples, plain.shipped_tuples);
+    }
+
+    #[test]
+    fn replication_reduces_shipment_monotonically() {
+        let rel = sample(120);
+        let base = HorizontalPartition::round_robin(&rel, 4).unwrap();
+        let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
+        let cfg = RunConfig::default();
+        let global = dcd_cfd::detect(&rel, &cfd);
+        let mut last = usize::MAX;
+        for r in 1..=4 {
+            let replicated = ReplicatedPartition::chained(base.clone(), r).unwrap();
+            let d = detect_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
+            assert_eq!(d.violations.all_tids(), global.tids, "r = {r}");
+            assert!(
+                d.shipped_tuples <= last,
+                "shipment must not grow with replication: r={r}, {} > {last}",
+                d.shipped_tuples
+            );
+            last = d.shipped_tuples;
+        }
+        // Full replication ships nothing.
+        assert_eq!(last, 0);
+    }
+
+    #[test]
+    fn constant_cfds_stay_local_under_replication() {
+        let rel = sample(40);
+        let base = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let replicated = ReplicatedPartition::chained(base, 2).unwrap();
+        let cfd = parse_cfd(rel.schema(), "c", "([cc=44, zip] -> [street=s0])").unwrap();
+        let d = detect_replicated(&replicated, std::slice::from_ref(&cfd), &RunConfig::default());
+        assert_eq!(d.shipped_tuples, 0);
+        let global = dcd_cfd::detect(&rel, &cfd);
+        assert_eq!(d.violations.all_tids(), global.tids);
+    }
+
+    #[test]
+    fn multi_cfd_replicated_run() {
+        let rel = sample(60);
+        let base = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let replicated = ReplicatedPartition::chained(base, 2).unwrap();
+        let sigma = vec![
+            parse_cfd(rel.schema(), "a", "([cc, zip] -> [street])").unwrap(),
+            parse_cfd(rel.schema(), "b", "([zip] -> [street])").unwrap(),
+        ];
+        let global = dcd_cfd::detect_set(&rel, &sigma);
+        let d = detect_replicated(&replicated, &sigma, &RunConfig::default());
+        assert_eq!(d.violations.all_tids(), global.all_tids());
+        assert_eq!(d.violations.per_cfd.len(), 2);
+    }
+}

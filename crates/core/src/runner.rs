@@ -1,0 +1,508 @@
+//! Shared machinery for the single-CFD detection algorithms of §IV-B.
+//!
+//! `CTRDETECT`, `PATDETECTS` and `PATDETECTRT` differ *only* in how
+//! coordinators are assigned to pattern tuples (a single global
+//! coordinator vs. per-pattern max-shipper vs. per-pattern greedy
+//! response-time). Everything else — constant-CFD local checks,
+//! partitioning-condition filtering, σ-partitioning, the statistics
+//! exchange, shipment execution, coordinator-side validation and cost
+//! accounting — is identical and lives here.
+
+use crate::config::{ComputeModel, RunConfig};
+use crate::local::{applicable_patterns, check_constants_locally};
+use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use dcd_cfd::violation::ViolationSet;
+use dcd_cfd::{detect_among, detect_pattern_among, SimpleCfd, ViolationReport};
+use dcd_dist::{CostModel, HorizontalPartition, ShipmentLedger, SiteClocks, SiteId};
+use dcd_relation::Tuple;
+use std::time::Instant;
+
+/// How coordinators are assigned to the pattern tuples of one CFD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinatorStrategy {
+    /// One coordinator for the whole CFD: the site with the most
+    /// matching tuples (`CTRDETECT`).
+    Central,
+    /// Per pattern, the site holding the most tuples for that pattern —
+    /// it would otherwise ship the most (`PATDETECTS`).
+    MinShipment,
+    /// Per pattern, greedily minimize the §III-B response-time estimate
+    /// (`PATDETECTRT`).
+    MinResponseTime,
+}
+
+/// Result of one single-CFD detection round.
+#[derive(Debug)]
+pub struct RoundOutput {
+    /// Violations found this round (constant + variable parts merged
+    /// under the CFD's name).
+    pub report: ViolationReport,
+    /// The literal §III-B formula evaluated for this round alone.
+    pub paper_cost: f64,
+}
+
+/// Runs `work` at `site`, advancing its clock by either the analytic
+/// estimate (computed from the result) or the measured wall time.
+/// Returns the result and the seconds charged.
+pub(crate) fn charge<R>(
+    clocks: &mut SiteClocks,
+    site: SiteId,
+    cfg: &RunConfig,
+    work: impl FnOnce() -> R,
+    analytic_of: impl FnOnce(&R) -> f64,
+) -> (R, f64) {
+    let start = Instant::now();
+    let r = work();
+    let secs = match cfg.compute {
+        ComputeModel::Analytic => analytic_of(&r),
+        ComputeModel::Measured { scale } => start.elapsed().as_secs_f64() * scale,
+    };
+    clocks.advance(site, secs);
+    (r, secs)
+}
+
+/// Runs one single-CFD detection round over a horizontal partition,
+/// recording traffic in `ledger` and time in `clocks` (both may carry
+/// state from earlier rounds — that is how `SEQDETECT` pipelines).
+pub fn run_single_cfd(
+    partition: &HorizontalPartition,
+    cfd: &SimpleCfd,
+    strategy: CoordinatorStrategy,
+    cfg: &RunConfig,
+    ledger: &ShipmentLedger,
+    clocks: &mut SiteClocks,
+) -> RoundOutput {
+    let n = partition.n_sites();
+    let mut report = ViolationReport::default();
+    // Consumers always get an entry for this CFD, even when clean.
+    report.absorb(&cfd.name, dcd_cfd::violation::ViolationSet::default());
+    // Local compute charged per site this round (feeds the paper formula).
+    let mut local_secs = vec![0.0_f64; n];
+
+    // ---- Phase 0: constant CFDs, checked locally (Proposition 5). ----
+    let (variable, constants) = cfd.split_constant();
+    if !constants.is_empty() {
+        for frag in partition.fragments() {
+            let frag_len = frag.data.len();
+            let n_consts = constants.len();
+            let (vs, secs) = charge(
+                clocks,
+                frag.site,
+                cfg,
+                || check_constants_locally(frag, &constants),
+                |_| {
+                    cfg.cost.scan_time(frag_len)
+                        + cfg.cost.match_coeff * frag_len as f64 * n_consts as f64
+                },
+            );
+            local_secs[frag.site.index()] += secs;
+            report.absorb(&cfd.name, vs);
+        }
+    }
+
+    let Some(variable) = variable else {
+        // Purely constant CFD: no shipment at all.
+        let paper_cost =
+            cfg.cost.paper_cost(&vec![vec![0; n]; n], &local_secs);
+        return RoundOutput { report, paper_cost };
+    };
+
+    // ---- Phase 1: σ-partition + statistics, per site in parallel. ----
+    let sorted = sort_for_sigma(&variable);
+    let k = sorted.cfd.tableau.len();
+    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
+    for frag in partition.fragments() {
+        let applicable = applicable_patterns(frag, &sorted.cfd);
+        if applicable.is_empty() {
+            // Partitioning condition: the site is irrelevant to every
+            // pattern — it does not even scan.
+            parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 });
+            continue;
+        }
+        let frag_len = frag.data.len();
+        let (part, secs) = charge(
+            clocks,
+            frag.site,
+            cfg,
+            || sigma_partition(&frag.data, &sorted, &applicable),
+            |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
+        );
+        local_secs[frag.site.index()] += secs;
+        parts.push(part);
+    }
+
+    // ---- Phase 2: statistics exchange (control traffic + barrier). ----
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                ledger.control(SiteId(j as u32), SiteId(i as u32), 8 * k);
+            }
+        }
+    }
+    clocks.barrier();
+
+    // ---- Phase 3: coordinator assignment. ----
+    let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
+    let frag_sizes: Vec<usize> = partition.fragments().iter().map(|f| f.data.len()).collect();
+    let assignment = assign_coordinators(strategy, &lstat, &frag_sizes, &cfg.cost);
+
+    // ---- Phase 4: shipment. ----
+    let attrs = sorted.cfd.shipped_attrs();
+    let mut matrix = vec![vec![0usize; n]; n];
+    // gathered[c] = (pattern, tuples) pairs to validate at site c.
+    let mut gathered: Vec<Vec<(usize, Vec<&Tuple>)>> = vec![Vec::new(); n];
+    for (l, coord) in assignment.iter().enumerate() {
+        let Some(c) = *coord else { continue };
+        let mut tuples: Vec<&Tuple> = Vec::new();
+        for (i, frag) in partition.fragments().iter().enumerate() {
+            let block = &parts[i].blocks[l];
+            if block.is_empty() {
+                continue;
+            }
+            if i != c.index() {
+                let bytes: usize =
+                    block.iter().map(|&ti| frag.data.tuples()[ti].wire_size_of(&attrs)).sum();
+                ledger.ship(c, frag.site, block.len(), block.len() * attrs.len(), bytes);
+                matrix[c.index()][i] += block.len();
+            }
+            tuples.extend(block.iter().map(|&ti| &frag.data.tuples()[ti]));
+        }
+        gathered[c.index()].push((l, tuples));
+    }
+    clocks.transfer(&matrix, &cfg.cost);
+
+    // ---- Phase 5: validation at coordinators. ----
+    for (c, jobs) in gathered.iter().enumerate() {
+        if jobs.is_empty() {
+            continue;
+        }
+        let site = SiteId(c as u32);
+        let (vs, secs) = match strategy {
+            CoordinatorStrategy::Central => {
+                // One detection query over everything gathered.
+                let all: Vec<&Tuple> =
+                    jobs.iter().flat_map(|(_, ts)| ts.iter().copied()).collect();
+                let total = all.len();
+                charge(
+                    clocks,
+                    site,
+                    cfg,
+                    || detect_among(&all, &sorted.cfd),
+                    |_| cfg.cost.check_time(total),
+                )
+            }
+            _ => {
+                // One detection query per pattern block.
+                let analytic: f64 =
+                    jobs.iter().map(|(_, ts)| cfg.cost.check_time(ts.len())).sum();
+                charge(
+                    clocks,
+                    site,
+                    cfg,
+                    || {
+                        let mut vs = ViolationSet::default();
+                        for (l, ts) in jobs {
+                            vs.merge(detect_pattern_among(
+                                ts.iter().copied(),
+                                &sorted.cfd,
+                                *l,
+                            ));
+                        }
+                        vs
+                    },
+                    |_| analytic,
+                )
+            }
+        };
+        local_secs[c] += secs;
+        report.absorb(&cfd.name, vs);
+    }
+
+    let paper_cost = cfg.cost.paper_cost(&matrix, &local_secs);
+    RoundOutput { report, paper_cost }
+}
+
+/// Assigns a coordinator to every pattern (None if no site holds any
+/// matching tuple). Implements all three strategies.
+pub(crate) fn assign_coordinators(
+    strategy: CoordinatorStrategy,
+    lstat: &[Vec<usize>],
+    frag_sizes: &[usize],
+    cost: &CostModel,
+) -> Vec<Option<SiteId>> {
+    let n = lstat.len();
+    let k = if n == 0 { 0 } else { lstat[0].len() };
+    let mut assignment: Vec<Option<SiteId>> = vec![None; k];
+    match strategy {
+        CoordinatorStrategy::Central => {
+            // argmax_i Σ_l lstat[i][l]; ties → smallest site id.
+            let totals: Vec<usize> = lstat.iter().map(|row| row.iter().sum()).collect();
+            if totals.iter().any(|&t| t > 0) {
+                let coord = (0..n).max_by_key(|&i| (totals[i], n - i)).expect("n > 0");
+                for (l, slot) in assignment.iter_mut().enumerate() {
+                    let any: usize = (0..n).map(|i| lstat[i][l]).sum();
+                    if any > 0 {
+                        *slot = Some(SiteId(coord as u32));
+                    }
+                }
+            }
+        }
+        CoordinatorStrategy::MinShipment => {
+            for (l, slot) in assignment.iter_mut().enumerate() {
+                let total: usize = (0..n).map(|i| lstat[i][l]).sum();
+                if total == 0 {
+                    continue;
+                }
+                let coord = (0..n).max_by_key(|&i| (lstat[i][l], n - i)).expect("n > 0");
+                *slot = Some(SiteId(coord as u32));
+            }
+        }
+        CoordinatorStrategy::MinResponseTime => {
+            // Greedy over patterns in tableau (generality) order: place
+            // each pattern where it increases cost_RS the least.
+            let mut sent = vec![0usize; n];
+            let mut recv = vec![0usize; n];
+            for (l, slot) in assignment.iter_mut().enumerate() {
+                let total: usize = (0..n).map(|i| lstat[i][l]).sum();
+                if total == 0 {
+                    continue;
+                }
+                let mut best: Option<(f64, usize)> = None;
+                for s in 0..n {
+                    let max_send = (0..n)
+                        .map(|i| {
+                            let extra = if i == s { 0 } else { lstat[i][l] };
+                            cost.send_time(sent[i] + extra)
+                        })
+                        .fold(0.0_f64, f64::max);
+                    let max_check = (0..n)
+                        .map(|j| {
+                            let extra = if j == s { total - lstat[s][l] } else { 0 };
+                            cost.check_time(frag_sizes[j] + recv[j] + extra)
+                        })
+                        .fold(0.0_f64, f64::max);
+                    let c = max_send + max_check;
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, s));
+                    }
+                }
+                let (_, s) = best.expect("n > 0");
+                for (i, sent_i) in sent.iter_mut().enumerate() {
+                    if i != s {
+                        *sent_i += lstat[i][l];
+                    }
+                }
+                recv[s] += total - lstat[s][l];
+                *slot = Some(SiteId(s as u32));
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_cfd::parse_cfd;
+    use dcd_relation::{vals, Relation, Schema, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("zip", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn cost0() -> CostModel {
+        CostModel {
+            transfer_rate: 1.0,
+            packet_tuples: 1.0,
+            scan_coeff: 0.0,
+            check_coeff: 0.0,
+            match_coeff: 0.0,
+        }
+    }
+
+    #[test]
+    fn central_picks_max_total_with_smallest_tie() {
+        // lstat[i][l]: site 0 has 3 total, site 1 has 3 total → pick S1.
+        let lstat = vec![vec![2, 1], vec![1, 2]];
+        let a = assign_coordinators(CoordinatorStrategy::Central, &lstat, &[10, 10], &cost0());
+        assert_eq!(a, vec![Some(SiteId(0)), Some(SiteId(0))]);
+    }
+
+    #[test]
+    fn central_skips_empty_patterns() {
+        let lstat = vec![vec![2, 0], vec![1, 0]];
+        let a = assign_coordinators(CoordinatorStrategy::Central, &lstat, &[10, 10], &cost0());
+        assert_eq!(a, vec![Some(SiteId(0)), None]);
+    }
+
+    #[test]
+    fn min_shipment_is_per_pattern_argmax() {
+        // Example 6 of the paper: S2 holds 3 tuples with cc=44, S1 and
+        // S3 one each; S1 holds 2 with cc=31, S2 one, S3 none.
+        let lstat = vec![
+            vec![1, 2], // S1
+            vec![3, 1], // S2
+            vec![1, 0], // S3
+        ];
+        let a =
+            assign_coordinators(CoordinatorStrategy::MinShipment, &lstat, &[4; 3], &cost0());
+        assert_eq!(a, vec![Some(SiteId(1)), Some(SiteId(0))]);
+    }
+
+    #[test]
+    fn min_response_time_balances_receivers() {
+        // One huge pattern at site 0 and an equally huge one at site 1;
+        // a third small pattern should not pile onto the busiest checker.
+        let cost = CostModel { check_coeff: 1.0, ..cost0() };
+        let lstat = vec![vec![100, 0, 4], vec![0, 100, 4], vec![0, 0, 0]];
+        let a = assign_coordinators(
+            CoordinatorStrategy::MinResponseTime,
+            &lstat,
+            &[100, 100, 0],
+            &cost,
+        );
+        assert_eq!(a[0], Some(SiteId(0)));
+        assert_eq!(a[1], Some(SiteId(1)));
+        // Pattern 2's 8 tuples go to the idle site 2 (shipping 8 beats
+        // inflating a 100-tuple check).
+        assert_eq!(a[2], Some(SiteId(2)));
+    }
+
+    #[test]
+    fn round_finds_all_violations_single_site_baseline() {
+        let s = schema();
+        let rel = Relation::from_rows(
+            s.clone(),
+            vec![
+                vals![44, "z1", "a"],
+                vals![44, "z1", "b"],
+                vals![31, "z2", "c"],
+                vals![31, "z2", "d"],
+                vals![31, "z3", "e"],
+            ],
+        )
+        .unwrap();
+        let global = {
+            let cfd = parse_cfd(&s, "phi", "([cc, zip] -> [street])").unwrap();
+            dcd_cfd::detect(&rel, &cfd)
+        };
+        let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let cfd = parse_cfd(&s, "phi", "([cc, zip] -> [street])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        for strategy in [
+            CoordinatorStrategy::Central,
+            CoordinatorStrategy::MinShipment,
+            CoordinatorStrategy::MinResponseTime,
+        ] {
+            let ledger = ShipmentLedger::new(3);
+            let mut clocks = SiteClocks::new(3);
+            let out = run_single_cfd(
+                &partition,
+                &simple,
+                strategy,
+                &RunConfig::default(),
+                &ledger,
+                &mut clocks,
+            );
+            let (_, vs) = &out.report.per_cfd[0];
+            assert_eq!(vs.tids, global.tids, "{strategy:?}");
+            assert_eq!(vs.patterns, global.patterns, "{strategy:?}");
+            assert!(out.paper_cost >= 0.0);
+            assert!(clocks.response_time() > 0.0);
+        }
+    }
+
+    #[test]
+    fn each_tuple_shipped_at_most_once() {
+        let s = schema();
+        // All tuples match; 2 sites; whatever the strategy, shipment
+        // must not exceed the tuples held off-coordinator.
+        let rel = Relation::from_rows(
+            s.clone(),
+            (0..20).map(|i| vals![44, format!("z{}", i % 4), format!("s{i}")]).collect(),
+        )
+        .unwrap();
+        let partition = HorizontalPartition::round_robin(&rel, 2).unwrap();
+        let cfd = parse_cfd(&s, "phi", "([cc=44, zip] -> [street])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        for strategy in [
+            CoordinatorStrategy::Central,
+            CoordinatorStrategy::MinShipment,
+            CoordinatorStrategy::MinResponseTime,
+        ] {
+            let ledger = ShipmentLedger::new(2);
+            let mut clocks = SiteClocks::new(2);
+            run_single_cfd(
+                &partition,
+                &simple,
+                strategy,
+                &RunConfig::default(),
+                &ledger,
+                &mut clocks,
+            );
+            assert!(
+                ledger.total_tuples() <= rel.len(),
+                "{strategy:?} shipped {} > {}",
+                ledger.total_tuples(),
+                rel.len()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_cfd_ships_nothing() {
+        let s = schema();
+        let rel = Relation::from_rows(
+            s.clone(),
+            vec![vals![44, "z1", "a"], vals![44, "z2", "b"], vals![31, "z1", "c"]],
+        )
+        .unwrap();
+        let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let cfd = parse_cfd(&s, "c", "([cc=44, zip] -> [street=a])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        let ledger = ShipmentLedger::new(3);
+        let mut clocks = SiteClocks::new(3);
+        let out = run_single_cfd(
+            &partition,
+            &simple,
+            CoordinatorStrategy::MinShipment,
+            &RunConfig::default(),
+            &ledger,
+            &mut clocks,
+        );
+        assert_eq!(ledger.total_tuples(), 0);
+        // Tuple 1 (44, z2, b) violates street=a.
+        let (_, vs) = &out.report.per_cfd[0];
+        assert_eq!(vs.tids.len(), 1);
+    }
+
+    #[test]
+    fn measured_mode_produces_positive_time() {
+        let s = schema();
+        let rel = Relation::from_rows(
+            s.clone(),
+            (0..100).map(|i| vals![44, format!("z{}", i % 10), format!("s{i}")]).collect(),
+        )
+        .unwrap();
+        let partition = HorizontalPartition::round_robin(&rel, 2).unwrap();
+        let cfd = parse_cfd(&s, "phi", "([cc, zip] -> [street])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        let ledger = ShipmentLedger::new(2);
+        let mut clocks = SiteClocks::new(2);
+        run_single_cfd(
+            &partition,
+            &simple,
+            CoordinatorStrategy::MinShipment,
+            &RunConfig::measured(1.0),
+            &ledger,
+            &mut clocks,
+        );
+        assert!(clocks.response_time() > 0.0);
+    }
+}

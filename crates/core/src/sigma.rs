@@ -1,0 +1,225 @@
+//! The σ partition function of Lemma 6.
+//!
+//! Given a variable CFD `φ = (X → A, Tp)` with `Tp` sorted
+//! most-specific-first (fewer LHS wildcards first), σ maps each tuple to
+//! the *first* pattern it matches. Because σ(t) depends only on `t[X]`,
+//! tuples agreeing on `X` land in the same block, so
+//! `Vioπ(φ, D) = ⋃_j Vioπ((X→A, {t_p^j}), ⋃_i H_i^j)` — each block can be
+//! validated at its own coordinator (Lemma 6). This module computes the
+//! per-fragment blocks `H_i^j` and the `lstat[i, j]` statistics.
+
+use dcd_cfd::pattern::tuple_matches;
+use dcd_cfd::{NormalPattern, SimpleCfd};
+use dcd_relation::Relation;
+
+/// A [`SimpleCfd`] with its tableau re-sorted most-specific-first, as
+/// required by σ. Construct via [`sort_for_sigma`].
+#[derive(Debug, Clone)]
+pub struct SortedCfd {
+    /// The CFD with permuted tableau.
+    pub cfd: SimpleCfd,
+    /// `original[k]` = index in the input tableau of sorted pattern `k`.
+    pub original: Vec<usize>,
+}
+
+/// Sorts the tableau of `cfd` by generality (ascending LHS wildcard
+/// count, ties in input order).
+pub fn sort_for_sigma(cfd: &SimpleCfd) -> SortedCfd {
+    let order = dcd_cfd::pattern::generality_order(&cfd.tableau);
+    let tableau: Vec<NormalPattern> = order.iter().map(|&i| cfd.tableau[i].clone()).collect();
+    SortedCfd {
+        cfd: SimpleCfd {
+            name: cfd.name.clone(),
+            schema: cfd.schema.clone(),
+            lhs: cfd.lhs.clone(),
+            rhs: cfd.rhs,
+            tableau,
+        },
+        original: order,
+    }
+}
+
+/// The σ-partition of one fragment: `blocks[j]` holds the indices (into
+/// `fragment.tuples()`) of the tuples with `σ(t) = j`; `comparisons` is
+/// the number of pattern-match operations performed (it feeds the
+/// response-time model — scanning a longer tableau costs more).
+#[derive(Debug, Clone)]
+pub struct SigmaPartition {
+    /// Tuple indices per sorted-pattern index.
+    pub blocks: Vec<Vec<usize>>,
+    /// Pattern-match comparisons performed.
+    pub comparisons: usize,
+}
+
+impl SigmaPartition {
+    /// `lstat[i, l]` of Fig. 2: block sizes.
+    pub fn lstat(&self) -> Vec<usize> {
+        self.blocks.iter().map(Vec::len).collect()
+    }
+
+    /// Total matching tuples (`cnt(Di[Tp[X]])` of CTRDETECT step 1).
+    pub fn total_matching(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+}
+
+/// Computes σ over one fragment, restricted to `applicable` pattern
+/// indices (the partitioning condition guarantees the skipped patterns
+/// cannot match any tuple of this fragment). `applicable` must be sorted
+/// ascending; pass `0..k` when no fragment predicate is available.
+pub fn sigma_partition(
+    fragment: &Relation,
+    sorted: &SortedCfd,
+    applicable: &[usize],
+) -> SigmaPartition {
+    let k = sorted.cfd.tableau.len();
+    let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut comparisons = 0usize;
+    for (ti, t) in fragment.iter().enumerate() {
+        for &pi in applicable {
+            comparisons += 1;
+            if tuple_matches(t, &sorted.cfd.lhs, &sorted.cfd.tableau[pi].lhs) {
+                blocks[pi].push(ti);
+                break;
+            }
+        }
+    }
+    SigmaPartition { blocks, comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_cfd::parse_cfd;
+    use dcd_cfd::Cfd;
+    use dcd_relation::{vals, Schema, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("zip", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn phi1(s: &Arc<Schema>) -> SimpleCfd {
+        let a = parse_cfd(s, "a", "([cc=44, zip] -> [street])").unwrap();
+        let b = parse_cfd(s, "b", "([cc=31, zip] -> [street])").unwrap();
+        let w = parse_cfd(s, "w", "([cc, zip] -> [street])").unwrap();
+        // Deliberately put the most general pattern first to exercise
+        // the sort.
+        Cfd::merge("phi", &[&w, &a, &b]).unwrap().simplify().pop().unwrap()
+    }
+
+    #[test]
+    fn sort_puts_specific_patterns_first() {
+        let s = schema();
+        let sorted = sort_for_sigma(&phi1(&s));
+        assert_eq!(sorted.original, vec![1, 2, 0]);
+        assert_eq!(sorted.cfd.tableau[2].lhs_wildcards(), 2);
+    }
+
+    #[test]
+    fn sigma_assigns_first_match_and_partitions() {
+        let s = schema();
+        let rel = Relation::from_rows(
+            s.clone(),
+            vec![
+                vals![44, "z1", "a"], // matches (44,_) first
+                vals![31, "z1", "b"], // matches (31,_)
+                vals![1, "z2", "c"],  // only the wildcard pattern
+                vals![44, "z3", "d"],
+            ],
+        )
+        .unwrap();
+        let sorted = sort_for_sigma(&phi1(&s));
+        let part = sigma_partition(&rel, &sorted, &[0, 1, 2]);
+        assert_eq!(part.blocks[0], vec![0, 3]); // cc=44
+        assert_eq!(part.blocks[1], vec![1]); // cc=31
+        assert_eq!(part.blocks[2], vec![2]); // wildcard catch-all
+        assert_eq!(part.lstat(), vec![2, 1, 1]);
+        assert_eq!(part.total_matching(), 4);
+        // Every tuple is in exactly one block (σ is a function).
+        let total: usize = part.blocks.iter().map(Vec::len).sum();
+        assert_eq!(total, rel.len());
+    }
+
+    #[test]
+    fn tuples_matching_nothing_are_dropped() {
+        let s = schema();
+        let rel = Relation::from_rows(s.clone(), vec![vals![99, "z", "x"]]).unwrap();
+        let cfd = parse_cfd(&s, "c", "([cc=44, zip] -> [street])").unwrap();
+        let sorted = sort_for_sigma(&cfd.simplify().pop().unwrap());
+        let part = sigma_partition(&rel, &sorted, &[0]);
+        assert_eq!(part.total_matching(), 0);
+    }
+
+    #[test]
+    fn applicable_filter_skips_patterns() {
+        let s = schema();
+        let rel = Relation::from_rows(
+            s.clone(),
+            vec![vals![44, "z1", "a"], vals![31, "z2", "b"]],
+        )
+        .unwrap();
+        let sorted = sort_for_sigma(&phi1(&s));
+        // Pretend patterns 0 (cc=44) is inapplicable at this site.
+        let part = sigma_partition(&rel, &sorted, &[1, 2]);
+        assert!(part.blocks[0].is_empty());
+        // Tuple 0 falls through to the wildcard pattern instead: σ must
+        // stay within applicable patterns.
+        assert_eq!(part.blocks[2], vec![0]);
+        assert_eq!(part.blocks[1], vec![1]);
+    }
+
+    /// Lemma 6, checked directly: per-block detection over the blocks of
+    /// all fragments equals whole-relation detection.
+    #[test]
+    fn lemma6_blockwise_equals_global() {
+        let s = schema();
+        let rel = Relation::from_rows(
+            s.clone(),
+            vec![
+                vals![44, "z1", "a"],
+                vals![44, "z1", "b"], // conflict with previous
+                vals![31, "z2", "c"],
+                vals![31, "z2", "c"], // no conflict
+                vals![7, "z3", "d"],
+                vals![7, "z3", "e"], // conflict under wildcard pattern
+            ],
+        )
+        .unwrap();
+        let simple = phi1(&s);
+        let sorted = sort_for_sigma(&simple);
+        let part = sigma_partition(&rel, &sorted, &[0, 1, 2]);
+        let mut merged = dcd_cfd::violation::ViolationSet::default();
+        for (pi, block) in part.blocks.iter().enumerate() {
+            let tuples: Vec<&dcd_relation::Tuple> =
+                block.iter().map(|&i| &rel.tuples()[i]).collect();
+            merged.merge(dcd_cfd::detect_pattern_among(
+                tuples.into_iter(),
+                &sorted.cfd,
+                pi,
+            ));
+        }
+        let global = dcd_cfd::detect_simple(&rel, &simple);
+        assert_eq!(merged.tids, global.tids);
+        assert_eq!(merged.patterns, global.patterns);
+    }
+
+    #[test]
+    fn comparisons_grow_with_tableau_position() {
+        let s = schema();
+        let rel = Relation::from_rows(
+            s.clone(),
+            vec![vals![1, "z", "x"]; 10].into_iter().collect(),
+        )
+        .unwrap();
+        let sorted = sort_for_sigma(&phi1(&s));
+        let part = sigma_partition(&rel, &sorted, &[0, 1, 2]);
+        // Each tuple scans 3 patterns before matching the wildcard.
+        assert_eq!(part.comparisons, 30);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by all relational operations.
+
+use std::fmt;
+
+/// Errors raised by schema construction and relational operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// An attribute name was referenced that does not exist in the schema.
+    UnknownAttribute {
+        /// The missing attribute name.
+        name: String,
+        /// The schema (relation) name the lookup ran against.
+        schema: String,
+    },
+    /// Two attributes with the same name were declared in one schema.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// A tuple had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of attributes the schema defines.
+        expected: usize,
+        /// Number of values the tuple carried.
+        got: usize,
+    },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute whose type was violated.
+        attr: String,
+        /// Declared type, as a human-readable string.
+        expected: &'static str,
+        /// Offending value, rendered for the message.
+        got: String,
+    },
+    /// Two relations were combined whose schemas are incompatible.
+    SchemaMismatch {
+        /// Explanation of the incompatibility.
+        detail: String,
+    },
+    /// A schema declared a key over attributes that do not exist.
+    InvalidKey {
+        /// Explanation of the invalid key declaration.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownAttribute { name, schema } => {
+                write!(f, "unknown attribute `{name}` in schema `{schema}`")
+            }
+            RelationError::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute `{name}`")
+            }
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} attributes, tuple has {got}")
+            }
+            RelationError::TypeMismatch { attr, expected, got } => {
+                write!(f, "type mismatch on `{attr}`: expected {expected}, got {got}")
+            }
+            RelationError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            RelationError::InvalidKey { detail } => write!(f, "invalid key: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::UnknownAttribute { name: "zip".into(), schema: "emp".into() };
+        assert!(e.to_string().contains("zip"));
+        assert!(e.to_string().contains("emp"));
+
+        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+
+        let e = RelationError::TypeMismatch {
+            attr: "cc".into(),
+            expected: "Int",
+            got: "Str(\"x\")".into(),
+        };
+        assert!(e.to_string().contains("cc"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let e = RelationError::DuplicateAttribute { name: "a".into() };
+        takes_err(&e);
+    }
+}

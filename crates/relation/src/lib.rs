@@ -1,0 +1,76 @@
+//! # dcd-relation
+//!
+//! A minimal, self-contained, in-memory relational engine. It is the
+//! substrate on which the rest of the `distributed-cfd` workspace is built:
+//! the ICDE 2010 paper runs its per-site detection logic on a local DBMS
+//! (MySQL in the authors' testbed); this crate plays that role here.
+//!
+//! The engine provides exactly what CFD violation detection needs:
+//!
+//! * [`Value`] — a dynamically typed cell value (`Null` / `Int` / `Str`),
+//! * [`Schema`] / [`Attribute`] — named, typed attributes with key metadata,
+//! * [`Tuple`] / [`Relation`] — row storage with stable tuple identifiers,
+//! * [`Predicate`] — selection predicates in disjunctive normal form with a
+//!   sound satisfiability test (used for the paper's "partitioning
+//!   condition" optimization, §IV-A),
+//! * [`ops`] — physical operators: selection, projection, grouping,
+//!   key-based joins and semijoins,
+//! * [`fxhash`] — a fast, non-cryptographic hasher for hot group-by paths.
+//!
+//! The design intentionally avoids query planning: CFD detection on a
+//! centralized database compiles to a fixed pair of scans/aggregations
+//! (Fan et al., TODS 2008), so a handful of physical operators suffices.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcd_relation::{Schema, ValueType, Relation, Value, vals};
+//!
+//! let schema = Schema::builder("emp")
+//!     .attr("id", ValueType::Int)
+//!     .attr("name", ValueType::Str)
+//!     .key(&["id"])
+//!     .build()
+//!     .unwrap();
+//! let mut rel = Relation::new(schema.clone());
+//! rel.push(vals![1, "Sam"]).unwrap();
+//! rel.push(vals![2, "Mike"]).unwrap();
+//! assert_eq!(rel.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fxhash;
+pub mod ops;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::RelationError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use predicate::{Atom, CmpOp, Conjunction, Predicate};
+pub use relation::Relation;
+pub use schema::{AttrId, Attribute, Schema, SchemaBuilder, ValueType};
+pub use tuple::{Tuple, TupleId};
+pub use value::Value;
+
+/// Builds a `Vec<Value>` from a comma-separated list of literals.
+///
+/// Anything implementing `Into<Value>` is accepted; use `Value::Null` for
+/// SQL NULL.
+///
+/// ```
+/// use dcd_relation::{vals, Value};
+/// let row = vals![1, "abc", Value::Null];
+/// assert_eq!(row.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! vals {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::Value::from($v)),*]
+    };
+}

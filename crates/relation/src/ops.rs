@@ -1,0 +1,365 @@
+//! Physical operators over [`Relation`]s.
+//!
+//! CFD detection needs only a handful of operators (the centralized
+//! technique of Fan et al., TODS 2008 compiles to selections, projections
+//! and a single GROUP BY; vertical-partition detection adds key joins).
+//! All hash-based operators use the Fx hasher from [`crate::fxhash`].
+
+use crate::error::RelationError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::predicate::Predicate;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// `σ_P(D)`: tuples of `rel` satisfying `pred`, ids preserved.
+pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
+    let mut out = Relation::new(rel.schema().clone());
+    for t in rel.iter() {
+        if pred.eval(t) {
+            // Tuples validated on the way in; re-push preserves the id.
+            out.push_tuple(t.clone()).expect("selected tuple matches schema");
+        }
+    }
+    out
+}
+
+/// `π_X(D)` as a new relation named `name`, preserving tuple ids and
+/// duplicates (bag projection).
+pub fn project(
+    rel: &Relation,
+    name: &str,
+    attrs: &[AttrId],
+) -> Result<Relation, RelationError> {
+    let schema = rel.schema().project(name, attrs)?;
+    let mut out = Relation::with_capacity(schema, rel.len());
+    for t in rel.iter() {
+        out.push_tuple(Tuple::new(t.tid, t.project(attrs)))?;
+    }
+    Ok(out)
+}
+
+/// Distinct rows of `π_X(D)` as value vectors (set projection).
+pub fn project_distinct(rel: &Relation, attrs: &[AttrId]) -> Vec<Vec<Value>> {
+    let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+    let mut out = Vec::new();
+    for t in rel.iter() {
+        let key = t.project(attrs);
+        if seen.insert(key.clone()) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// Groups tuple indices of `rel` by their projection on `attrs`
+/// (the GROUP BY at the heart of CFD violation detection).
+///
+/// Returns a map from group key `t[X]` to the positions (indices into
+/// `rel.tuples()`) of the tuples in that group.
+pub fn group_by(rel: &Relation, attrs: &[AttrId]) -> FxHashMap<Vec<Value>, Vec<usize>> {
+    group_by_filtered(rel, attrs, |_| true)
+}
+
+/// [`group_by`] restricted to tuples accepted by `filter`.
+pub fn group_by_filtered(
+    rel: &Relation,
+    attrs: &[AttrId],
+    filter: impl Fn(&Tuple) -> bool,
+) -> FxHashMap<Vec<Value>, Vec<usize>> {
+    let mut groups: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    for (i, t) in rel.iter().enumerate() {
+        if filter(t) {
+            groups.entry(t.project(attrs)).or_default().push(i);
+        }
+    }
+    groups
+}
+
+/// Sorts tuples by their projection on `attrs` (ascending, stable),
+/// returning a new relation. Used only by small/reporting paths.
+pub fn sort_by(rel: &Relation, attrs: &[AttrId]) -> Relation {
+    let mut tuples = rel.tuples().to_vec();
+    tuples.sort_by_key(|a| a.project(attrs));
+    Relation::from_tuples(rel.schema().clone(), tuples).expect("sorted tuples match schema")
+}
+
+/// Equi-join of two relations on attribute lists of equal length,
+/// producing `name` with the left schema followed by the right schema
+/// minus its join attributes. Tuple ids are taken from the left input.
+///
+/// This is the reconstruction join `D = ⋈ D_i` for vertical partitions
+/// (§II-B): vertical fragments join on `key(R)`.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_on: &[AttrId],
+    right_on: &[AttrId],
+    name: &str,
+) -> Result<Relation, RelationError> {
+    if left_on.len() != right_on.len() {
+        return Err(RelationError::SchemaMismatch {
+            detail: format!(
+                "join key arity mismatch: {} vs {}",
+                left_on.len(),
+                right_on.len()
+            ),
+        });
+    }
+    // Output schema: all of left, then right minus join attrs.
+    let right_keep: Vec<AttrId> =
+        right.schema().attr_ids().filter(|a| !right_on.contains(a)).collect();
+    let mut b = Schema::builder(name);
+    for a in left.schema().attrs() {
+        b = b.attr(&a.name, a.ty);
+    }
+    for &a in &right_keep {
+        let attr = right.schema().attr(a);
+        b = b.attr(&attr.name, attr.ty);
+    }
+    let key_names: Vec<String> =
+        left.schema().key().iter().map(|&k| left.schema().attr_name(k).to_string()).collect();
+    if !key_names.is_empty() {
+        let refs: Vec<&str> = key_names.iter().map(String::as_str).collect();
+        b = b.key(&refs);
+    }
+    let schema = b.build()?;
+
+    // Build side: the smaller input.
+    let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    for (i, t) in right.iter().enumerate() {
+        index.entry(t.project(right_on)).or_default().push(i);
+    }
+    let mut out = Relation::with_capacity(schema, left.len());
+    for lt in left.iter() {
+        let key = lt.project(left_on);
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                let rt = &right.tuples()[ri];
+                let mut vals = Vec::with_capacity(lt.arity() + right_keep.len());
+                vals.extend_from_slice(lt.values());
+                for &a in &right_keep {
+                    vals.push(rt.get(a).clone());
+                }
+                out.push_tuple(Tuple::new(lt.tid, vals))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Left semijoin: tuples of `left` that have at least one join partner in
+/// `right` on the given attribute lists. Ids preserved.
+///
+/// This is the shipment-reduction primitive for vertical-partition
+/// detection (§VII points at semijoins — ref. \[25\] — for the vertical case).
+pub fn semijoin(
+    left: &Relation,
+    right: &Relation,
+    left_on: &[AttrId],
+    right_on: &[AttrId],
+) -> Result<Relation, RelationError> {
+    if left_on.len() != right_on.len() {
+        return Err(RelationError::SchemaMismatch {
+            detail: format!(
+                "semijoin key arity mismatch: {} vs {}",
+                left_on.len(),
+                right_on.len()
+            ),
+        });
+    }
+    let mut keys: FxHashSet<Vec<Value>> = FxHashSet::default();
+    for t in right.iter() {
+        keys.insert(t.project(right_on));
+    }
+    let mut out = Relation::new(left.schema().clone());
+    for t in left.iter() {
+        if keys.contains(&t.project(left_on)) {
+            out.push_tuple(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Unions relations sharing one schema into a single relation
+/// (fragment reassembly `D = ⋃ D_i` for horizontal partitions).
+/// Duplicate tuple ids are kept as-is; horizontal fragments are disjoint
+/// by definition so ids never collide in intended use.
+pub fn union_all(schema: Arc<Schema>, parts: &[&Relation]) -> Result<Relation, RelationError> {
+    let total = parts.iter().map(|r| r.len()).sum();
+    let mut out = Relation::with_capacity(schema.clone(), total);
+    for part in parts {
+        if part.schema().as_ref() != schema.as_ref() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "fragment schema `{}` differs from target `{}`",
+                    part.schema().name(),
+                    schema.name()
+                ),
+            });
+        }
+        for t in part.iter() {
+            out.push_tuple(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Returns the tuple ids of `rel` as a set (test helper used throughout
+/// the workspace to compare violation sets).
+pub fn tid_set(rel: &Relation) -> FxHashSet<TupleId> {
+    rel.iter().map(|t| t.tid).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Atom, CmpOp};
+    use crate::schema::ValueType;
+    use crate::vals;
+
+    fn emp() -> Relation {
+        let schema = Schema::builder("emp")
+            .attr("id", ValueType::Int)
+            .attr("title", ValueType::Str)
+            .attr("cc", ValueType::Int)
+            .key(&["id"])
+            .build()
+            .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vals![1, "MTS", 44],
+                vals![2, "DMTS", 44],
+                vals![3, "MTS", 31],
+                vals![4, "VP", 1],
+                vals![5, "MTS", 44],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_preserves_ids() {
+        let r = emp();
+        let title = r.schema().require("title").unwrap();
+        let sel = select(&r, &Predicate::atom(Atom::eq(title, "MTS")));
+        assert_eq!(sel.len(), 3);
+        let ids: Vec<u64> = sel.iter().map(|t| t.tid.0).collect();
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn project_bag_and_distinct() {
+        let r = emp();
+        let cc = r.schema().require("cc").unwrap();
+        let p = project(&r, "emp_cc", &[cc]).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.schema().arity(), 1);
+        let d = project_distinct(&r, &[cc]);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn group_by_partitions_rel() {
+        let r = emp();
+        let title = r.schema().require("title").unwrap();
+        let groups = group_by(&r, &[title]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[&vals!["MTS"]].len(), 3);
+        assert_eq!(groups[&vals!["VP"]].len(), 1);
+        // Every tuple is in exactly one group.
+        let total: usize = groups.values().map(Vec::len).sum();
+        assert_eq!(total, r.len());
+    }
+
+    #[test]
+    fn group_by_filtered_excludes() {
+        let r = emp();
+        let title = r.schema().require("title").unwrap();
+        let cc = r.schema().require("cc").unwrap();
+        let groups = group_by_filtered(&r, &[title], |t| t.get(cc) == &Value::Int(44));
+        let total: usize = groups.values().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn sort_by_orders_rows() {
+        let r = emp();
+        let title = r.schema().require("title").unwrap();
+        let s = sort_by(&r, &[title]);
+        let titles: Vec<String> =
+            s.iter().map(|t| t.get(title).as_str().unwrap().to_string()).collect();
+        let mut expect = titles.clone();
+        expect.sort();
+        assert_eq!(titles, expect);
+    }
+
+    #[test]
+    fn hash_join_reconstructs_vertical_split() {
+        let r = emp();
+        let id = r.schema().require("id").unwrap();
+        let title = r.schema().require("title").unwrap();
+        let cc = r.schema().require("cc").unwrap();
+        let left = project(&r, "v1", &[id, title]).unwrap();
+        let right = project(&r, "v2", &[id, cc]).unwrap();
+        let lid = left.schema().require("id").unwrap();
+        let rid = right.schema().require("id").unwrap();
+        let joined = hash_join(&left, &right, &[lid], &[rid], "emp_re").unwrap();
+        assert_eq!(joined.len(), r.len());
+        assert_eq!(joined.schema().arity(), 3);
+        // Every reconstructed row matches the original (modulo column order).
+        let jid = joined.schema().require("id").unwrap();
+        let jtitle = joined.schema().require("title").unwrap();
+        let jcc = joined.schema().require("cc").unwrap();
+        for t in joined.iter() {
+            let orig = r.find(t.tid).unwrap();
+            assert_eq!(t.get(jid), orig.get(id));
+            assert_eq!(t.get(jtitle), orig.get(title));
+            assert_eq!(t.get(jcc), orig.get(cc));
+        }
+    }
+
+    #[test]
+    fn hash_join_key_arity_mismatch_errors() {
+        let r = emp();
+        let id = r.schema().require("id").unwrap();
+        let err = hash_join(&r, &r, &[id], &[], "x").unwrap_err();
+        assert!(matches!(err, RelationError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn semijoin_filters_left() {
+        let r = emp();
+        let cc = r.schema().require("cc").unwrap();
+        let title = r.schema().require("title").unwrap();
+        let right = select(&r, &Predicate::atom(Atom::new(cc, CmpOp::Eq, 44)));
+        let out = semijoin(&r, &right, &[title], &[title]).unwrap();
+        // Titles present among cc=44 tuples: MTS, DMTS → 4 tuples survive.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn union_all_reassembles_fragments() {
+        let r = emp();
+        let title = r.schema().require("title").unwrap();
+        let f1 = select(&r, &Predicate::atom(Atom::eq(title, "MTS")));
+        let f2 = select(&r, &Predicate::atom(Atom::eq(title, "DMTS")));
+        let f3 = select(&r, &Predicate::atom(Atom::eq(title, "VP")));
+        let u = union_all(r.schema().clone(), &[&f1, &f2, &f3]).unwrap();
+        assert_eq!(u.len(), r.len());
+        assert_eq!(tid_set(&u), tid_set(&r));
+    }
+
+    #[test]
+    fn union_all_rejects_mismatched_schema() {
+        let r = emp();
+        let other = Relation::new(
+            Schema::builder("other").attr("x", ValueType::Int).build().unwrap(),
+        );
+        let err = union_all(r.schema().clone(), &[&other]).unwrap_err();
+        assert!(matches!(err, RelationError::SchemaMismatch { .. }));
+    }
+}

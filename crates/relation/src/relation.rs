@@ -1,0 +1,215 @@
+//! In-memory relations: a schema plus a bag of tuples.
+
+use crate::error::RelationError;
+use crate::schema::{AttrId, Schema, ValueType};
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An instance `D` of a relation schema `R`.
+///
+/// Tuples keep their [`TupleId`]s across fragmentation, projection and
+/// shipment; pushing fresh rows assigns ids from an internal counter.
+/// Relations are *bags* structurally, but detection semantics treat tuples
+/// with equal ids as the same tuple.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+    next_tid: u64,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Relation { schema, tuples: Vec::new(), next_tid: 0 }
+    }
+
+    /// Creates an empty relation with room for `cap` tuples.
+    pub fn with_capacity(schema: Arc<Schema>, cap: usize) -> Self {
+        Relation { schema, tuples: Vec::with_capacity(cap), next_tid: 0 }
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a fresh row, assigning it the next tuple id. Values are
+    /// validated against the schema (arity and types; `Null` is allowed
+    /// for any type).
+    pub fn push(&mut self, values: Vec<Value>) -> Result<TupleId, RelationError> {
+        self.validate(&values)?;
+        let tid = TupleId(self.next_tid);
+        self.next_tid += 1;
+        self.tuples.push(Tuple::new(tid, values));
+        Ok(tid)
+    }
+
+    /// Appends an existing tuple *preserving its id* (used when building
+    /// fragments of an already-identified relation, and when receiving
+    /// shipped tuples). The internal id counter is advanced past it.
+    pub fn push_tuple(&mut self, tuple: Tuple) -> Result<(), RelationError> {
+        self.validate(tuple.values())?;
+        self.next_tid = self.next_tid.max(tuple.tid.0 + 1);
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// All tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterates over the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Looks up a tuple by id with a linear scan (test/debug helper; the
+    /// hot paths never need id lookup).
+    pub fn find(&self, tid: TupleId) -> Option<&Tuple> {
+        self.tuples.iter().find(|t| t.tid == tid)
+    }
+
+    /// Builds a relation from pre-identified tuples (fragment
+    /// construction / reassembly).
+    pub fn from_tuples(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Self, RelationError> {
+        let mut rel = Relation::new(schema);
+        rel.tuples.reserve(tuples.len());
+        for t in tuples {
+            rel.push_tuple(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// Builds a relation from literal rows, assigning fresh ids in order.
+    pub fn from_rows(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> Result<Self, RelationError> {
+        let mut rel = Relation::with_capacity(schema, rows.len());
+        for row in rows {
+            rel.push(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Total approximate wire size of all tuples (network accounting).
+    pub fn wire_size(&self) -> usize {
+        self.tuples.iter().map(Tuple::wire_size).sum()
+    }
+
+    fn validate(&self, values: &[Value]) -> Result<(), RelationError> {
+        if values.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            let attr = self.schema.attr(AttrId(i as u16));
+            let ok = matches!(
+                (attr.ty, v),
+                (_, Value::Null) | (ValueType::Int, Value::Int(_)) | (ValueType::Str, Value::Str(_))
+            );
+            if !ok {
+                return Err(RelationError::TypeMismatch {
+                    attr: attr.name.clone(),
+                    expected: attr.ty.name(),
+                    got: format!("{v:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.tuples.len())?;
+        for t in self.tuples.iter().take(20) {
+            writeln!(f, "  {t}")?;
+        }
+        if self.tuples.len() > 20 {
+            writeln!(f, "  … {} more", self.tuples.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vals;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("a", ValueType::Int)
+            .attr("b", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut r = Relation::new(schema());
+        assert_eq!(r.push(vals![1, "x"]).unwrap(), TupleId(0));
+        assert_eq!(r.push(vals![2, "y"]).unwrap(), TupleId(1));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn arity_validation() {
+        let mut r = Relation::new(schema());
+        let err = r.push(vals![1]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn type_validation_allows_null() {
+        let mut r = Relation::new(schema());
+        r.push(vals![Value::Null, Value::Null]).unwrap();
+        let err = r.push(vals!["oops", "x"]).unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn push_tuple_preserves_and_advances_ids() {
+        let mut r = Relation::new(schema());
+        r.push_tuple(Tuple::new(TupleId(10), vals![1, "x"])).unwrap();
+        // Fresh pushes continue after the max seen id.
+        assert_eq!(r.push(vals![2, "y"]).unwrap(), TupleId(11));
+        assert!(r.find(TupleId(10)).is_some());
+        assert!(r.find(TupleId(99)).is_none());
+    }
+
+    #[test]
+    fn from_rows_and_from_tuples() {
+        let r = Relation::from_rows(schema(), vec![vals![1, "a"], vals![2, "b"]]).unwrap();
+        assert_eq!(r.len(), 2);
+        let r2 = Relation::from_tuples(schema(), r.tuples().to_vec()).unwrap();
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r2.tuples()[0].tid, TupleId(0));
+    }
+
+    #[test]
+    fn display_truncates() {
+        let mut r = Relation::new(schema());
+        for i in 0..25 {
+            r.push(vals![i, "v"]).unwrap();
+        }
+        let s = r.to_string();
+        assert!(s.contains("25 tuples"));
+        assert!(s.contains("… 5 more"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the relational substrate: predicate
+//! evaluation vs. satisfiability soundness, and the algebraic laws of
+//! the physical operators.
+
+use dcd_relation::ops;
+use dcd_relation::{
+    vals, Atom, CmpOp, Conjunction, Predicate, Relation, Schema, Tuple, TupleId, Value, ValueType,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("r")
+        .attr("a", ValueType::Int)
+        .attr("b", ValueType::Int)
+        .attr("c", ValueType::Str)
+        .key(&[])
+        .build()
+        .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, u8)>> {
+    prop::collection::vec((-3..4i64, -3..4i64, 0..4u8), 0..40)
+}
+
+fn build(rows: &[(i64, i64, u8)]) -> Relation {
+    Relation::from_rows(
+        schema(),
+        rows.iter().map(|&(a, b, c)| vals![a, b, format!("s{c}")]).collect(),
+    )
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum AtomSpec {
+    IntCmp(u8, CmpOp, i64), // attr 0/1
+    StrEq(u8, bool),        // value index, negated?
+}
+
+fn arb_atom() -> impl Strategy<Value = AtomSpec> {
+    prop_oneof![
+        (0..2u8, arb_op(), -3..4i64).prop_map(|(a, op, v)| AtomSpec::IntCmp(a, op, v)),
+        (0..4u8, any::<bool>()).prop_map(|(v, neg)| AtomSpec::StrEq(v, neg)),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn build_conj(specs: &[AtomSpec]) -> Conjunction {
+    let mut c = Conjunction::always();
+    for spec in specs {
+        let atom = match spec {
+            AtomSpec::IntCmp(a, op, v) => {
+                Atom::new(dcd_relation::AttrId(*a as u16), *op, *v)
+            }
+            AtomSpec::StrEq(v, neg) => Atom::new(
+                dcd_relation::AttrId(2),
+                if *neg { CmpOp::Ne } else { CmpOp::Eq },
+                format!("s{v}"),
+            ),
+        };
+        c = c.and(atom);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Satisfiability soundness: when the solver says "unsatisfiable",
+    /// genuinely no tuple over the sampled domain satisfies the formula.
+    /// (The converse is allowed to fail — the solver is conservative.)
+    #[test]
+    fn unsat_means_no_satisfying_tuple(
+        specs in prop::collection::vec(arb_atom(), 0..6),
+        rows in arb_rows(),
+    ) {
+        let c = build_conj(&specs);
+        if !c.is_satisfiable() {
+            let rel = build(&rows);
+            for t in rel.iter() {
+                prop_assert!(!c.eval(t), "unsat formula satisfied by {t}");
+            }
+        }
+    }
+
+    /// Conjunction evaluation is the conjunction of atom evaluations.
+    #[test]
+    fn conjunction_is_pointwise_and(
+        specs in prop::collection::vec(arb_atom(), 0..5),
+        row in (-3..4i64, -3..4i64, 0..4u8),
+    ) {
+        let c = build_conj(&specs);
+        let t = Tuple::new(TupleId(0), vals![row.0, row.1, format!("s{}", row.2)]);
+        let expect = c.atoms().iter().all(|a| a.eval(&t));
+        prop_assert_eq!(c.eval(&t), expect);
+    }
+
+    /// DNF laws: `eval(p ∨ q) = eval(p) ∨ eval(q)` and
+    /// `eval(p ∧ q) = eval(p) ∧ eval(q)`.
+    #[test]
+    fn dnf_combinators_are_boolean(
+        sp in prop::collection::vec(arb_atom(), 0..3),
+        sq in prop::collection::vec(arb_atom(), 0..3),
+        row in (-3..4i64, -3..4i64, 0..4u8),
+    ) {
+        let p = Predicate::from_conjunction(build_conj(&sp));
+        let q = Predicate::from_conjunction(build_conj(&sq));
+        let t = Tuple::new(TupleId(0), vals![row.0, row.1, format!("s{}", row.2)]);
+        prop_assert_eq!(p.clone().or(q.clone()).eval(&t), p.eval(&t) || q.eval(&t));
+        prop_assert_eq!(p.and(&q).eval(&t), p.eval(&t) && q.eval(&t));
+    }
+
+    /// Selection returns exactly the satisfying tuples, ids preserved.
+    #[test]
+    fn select_is_a_filter(
+        specs in prop::collection::vec(arb_atom(), 0..4),
+        rows in arb_rows(),
+    ) {
+        let rel = build(&rows);
+        let p = Predicate::from_conjunction(build_conj(&specs));
+        let sel = ops::select(&rel, &p);
+        let expect: Vec<TupleId> =
+            rel.iter().filter(|t| p.eval(t)).map(|t| t.tid).collect();
+        let got: Vec<TupleId> = sel.iter().map(|t| t.tid).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Grouping partitions the relation: blocks are disjoint and cover
+    /// every tuple, and members agree on the grouped attributes.
+    #[test]
+    fn group_by_partitions(rows in arb_rows()) {
+        let rel = build(&rows);
+        let attrs = [dcd_relation::AttrId(0), dcd_relation::AttrId(2)];
+        let groups = ops::group_by(&rel, &attrs);
+        let total: usize = groups.values().map(Vec::len).sum();
+        prop_assert_eq!(total, rel.len());
+        for (key, members) in &groups {
+            for &i in members {
+                prop_assert_eq!(&rel.tuples()[i].project(&attrs), key);
+            }
+        }
+    }
+
+    /// Vertical split + key join restores the original relation.
+    #[test]
+    fn project_join_round_trip(rows in arb_rows()) {
+        // Need a key: re-build with an id column.
+        let s = Schema::builder("k")
+            .attr("id", ValueType::Int)
+            .attr("a", ValueType::Int)
+            .attr("c", ValueType::Str)
+            .key(&["id"])
+            .build()
+            .unwrap();
+        let rel = Relation::from_rows(
+            s.clone(),
+            rows.iter()
+                .enumerate()
+                .map(|(i, &(a, _, c))| vals![i, a, format!("s{c}")])
+                .collect(),
+        )
+        .unwrap();
+        let id = s.require("id").unwrap();
+        let a = s.require("a").unwrap();
+        let c = s.require("c").unwrap();
+        let left = ops::project(&rel, "l", &[id, a]).unwrap();
+        let right = ops::project(&rel, "r", &[id, c]).unwrap();
+        let joined = ops::hash_join(
+            &left,
+            &right,
+            &[left.schema().require("id").unwrap()],
+            &[right.schema().require("id").unwrap()],
+            "j",
+        )
+        .unwrap();
+        prop_assert_eq!(joined.len(), rel.len());
+        for t in joined.iter() {
+            let orig = rel.iter().find(|o| o.get(id) == t.get(dcd_relation::AttrId(0))).unwrap();
+            prop_assert_eq!(t.get(dcd_relation::AttrId(1)), orig.get(a));
+            prop_assert_eq!(t.get(dcd_relation::AttrId(2)), orig.get(c));
+        }
+    }
+
+    /// Semijoin ⊆ left input and equals the join-partnered subset.
+    #[test]
+    fn semijoin_is_join_support(rows in arb_rows(), rows2 in arb_rows()) {
+        let left = build(&rows);
+        let right = build(&rows2);
+        let on = [dcd_relation::AttrId(0)];
+        let semi = ops::semijoin(&left, &right, &on, &on).unwrap();
+        let right_keys: std::collections::HashSet<Vec<Value>> =
+            right.iter().map(|t| t.project(&on)).collect();
+        let expect: Vec<TupleId> = left
+            .iter()
+            .filter(|t| right_keys.contains(&t.project(&on)))
+            .map(|t| t.tid)
+            .collect();
+        let got: Vec<TupleId> = semi.iter().map(|t| t.tid).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,375 @@
+//! Violation detection in vertically partitioned data.
+//!
+//! A CFD whose attributes fit one fragment is checked there with zero
+//! shipment. Otherwise data must move (§V; the paper defers detailed
+//! algorithms to a later report and points at semijoin-style reductions
+//! \[25\] — §VII). We implement the natural coordinator strategy:
+//!
+//! 1. pick as coordinator the fragment holding the most of the CFD's
+//!    attributes (fewest columns move),
+//! 2. every other fragment owning needed attributes ships
+//!    `π_{key ∪ needed}(Di)` to the coordinator,
+//! 3. the coordinator joins on `key(R)` and runs centralized detection.
+//!
+//! With [`ShipMode::Filtered`], step 2 first applies the CFD's constant
+//! patterns *locally*: a fragment owning pattern-constant attributes
+//! ships only rows that could match some pattern — the semijoin-style
+//! reduction, often cutting traffic dramatically.
+
+use dcd_cfd::{Cfd, PatternValue, ViolationReport};
+use dcd_dist::{CostModel, ShipmentLedger, SiteClocks, SiteId, VerticalPartition};
+use dcd_relation::ops::hash_join;
+use dcd_relation::{AttrId, Relation, RelationError};
+
+/// Shipment strategy for cross-fragment CFDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipMode {
+    /// Ship whole projected columns.
+    Full,
+    /// Apply the CFD's pattern constants locally before shipping
+    /// (rows that match no pattern on the locally visible attributes
+    /// cannot participate in a violation).
+    Filtered,
+}
+
+/// Result of a vertical detection run.
+#[derive(Debug)]
+pub struct VerticalDetection {
+    /// Per-CFD violations.
+    pub violations: ViolationReport,
+    /// Total rows shipped.
+    pub shipped_tuples: usize,
+    /// Total cells shipped.
+    pub shipped_cells: usize,
+    /// Simulated response time (seconds).
+    pub response_time: f64,
+    /// CFDs checked without any shipment.
+    pub locally_checked: usize,
+}
+
+/// Detects violations of Σ in a vertical partition, shipping projected
+/// columns to per-CFD coordinators where necessary.
+pub fn detect_vertical(
+    partition: &VerticalPartition,
+    sigma: &[Cfd],
+    mode: ShipMode,
+    cost: &CostModel,
+) -> Result<VerticalDetection, RelationError> {
+    let n = partition.n_sites();
+    let ledger = ShipmentLedger::new(n);
+    let mut clocks = SiteClocks::new(n);
+    let mut report = ViolationReport::default();
+    let mut locally_checked = 0usize;
+
+    for cfd in sigma {
+        let needed: Vec<AttrId> = {
+            let set = cfd.attrs();
+            set.iter().collect()
+        };
+        // Locally checkable: all attributes in one fragment.
+        if let Some(host) =
+            partition.fragments().iter().position(|f| f.covers(&needed))
+        {
+            let frag = &partition.fragments()[host];
+            let local_cfd = rebase_cfd(cfd, &frag.data, &frag.attrs)?;
+            let vs = dcd_cfd::detect(&frag.data, &local_cfd);
+            clocks.advance(SiteId(host as u32), cost.check_time(frag.data.len()));
+            report.absorb(cfd.name(), vs);
+            locally_checked += 1;
+            continue;
+        }
+
+        // Coordinator: fragment covering the most needed attributes.
+        let coord = (0..n)
+            .max_by_key(|&i| {
+                let f = &partition.fragments()[i];
+                (needed.iter().filter(|a| f.attrs.contains(a)).count(), n - i)
+            })
+            .expect("non-empty partition");
+        let coord_site = SiteId(coord as u32);
+
+        // Gather: the coordinator's own columns plus shipped projections.
+        let mut acc: Relation = restrict_to_needed(partition, coord, &needed, cfd, mode)?;
+        let mut acc_attrs: Vec<AttrId> = partition.fragments()[coord]
+            .attrs
+            .iter()
+            .copied()
+            .filter(|a| {
+                needed.contains(a) || partition.schema().key().contains(a)
+            })
+            .collect();
+        let mut matrix = vec![vec![0usize; n]; n];
+        for (i, frag) in partition.fragments().iter().enumerate() {
+            if i == coord {
+                continue;
+            }
+            let useful: Vec<AttrId> = frag
+                .attrs
+                .iter()
+                .copied()
+                .filter(|a| needed.contains(a) && !acc_attrs.contains(a))
+                .collect();
+            if useful.is_empty() {
+                continue;
+            }
+            let shipped = restrict_to_needed(partition, i, &needed, cfd, mode)?;
+            clocks.advance(frag.site, cost.scan_time(frag.data.len()));
+            let bytes = shipped.wire_size();
+            ledger.ship(
+                coord_site,
+                frag.site,
+                shipped.len(),
+                shipped.len() * shipped.schema().arity(),
+                bytes,
+            );
+            matrix[coord][i] += shipped.len();
+            // Join onto the accumulated relation by key.
+            let key_left: Vec<AttrId> = key_positions(&acc, partition)?;
+            let key_right: Vec<AttrId> = key_positions(&shipped, partition)?;
+            acc = hash_join(&acc, &shipped, &key_left, &key_right, "gather")?;
+            acc_attrs.extend(useful);
+        }
+        clocks.transfer(&matrix, cost);
+        // Coordinator joins + checks.
+        let local_cfd = rebase_cfd_by_names(cfd, &acc)?;
+        let vs = dcd_cfd::detect(&acc, &local_cfd);
+        clocks.advance(coord_site, cost.check_time(acc.len()));
+        report.absorb(cfd.name(), vs);
+    }
+
+    Ok(VerticalDetection {
+        violations: report,
+        shipped_tuples: ledger.total_tuples(),
+        shipped_cells: ledger.total_cells(),
+        response_time: clocks.response_time(),
+        locally_checked,
+    })
+}
+
+/// Projects fragment `idx` onto its needed attributes (plus key) and, in
+/// filtered mode, drops rows that cannot match any pattern of `cfd`
+/// judging by the locally visible constants.
+fn restrict_to_needed(
+    partition: &VerticalPartition,
+    idx: usize,
+    needed: &[AttrId],
+    cfd: &Cfd,
+    mode: ShipMode,
+) -> Result<Relation, RelationError> {
+    let frag = &partition.fragments()[idx];
+    let keep_orig: Vec<AttrId> = frag
+        .attrs
+        .iter()
+        .copied()
+        .filter(|a| needed.contains(a) || partition.schema().key().contains(a))
+        .collect();
+    let keep_local: Vec<AttrId> = keep_orig
+        .iter()
+        .map(|&a| frag.local_attr(a).expect("attr is in fragment"))
+        .collect();
+    let mut rel = dcd_relation::ops::project(
+        &frag.data,
+        &format!("{}_ship", frag.data.schema().name()),
+        &keep_local,
+    )?;
+    if mode == ShipMode::Filtered {
+        // Keep rows that could match ≥1 pattern on locally visible
+        // constant positions.
+        let schema = rel.schema().clone();
+        let visible: Vec<(usize, AttrId)> = cfd
+            .lhs()
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, &a)| {
+                let name = partition.schema().attr_name(a);
+                schema.attr_id(name).map(|local| (pi, local))
+            })
+            .collect();
+        if !visible.is_empty() {
+            let tuples: Vec<_> = rel
+                .tuples()
+                .iter()
+                .filter(|t| {
+                    cfd.tableau().iter().any(|tp| {
+                        visible.iter().all(|&(pi, local)| match &tp.lhs[pi] {
+                            PatternValue::Wild => true,
+                            PatternValue::Const(c) => t.get(local) == c,
+                        })
+                    })
+                })
+                .cloned()
+                .collect();
+            rel = Relation::from_tuples(schema, tuples)?;
+        }
+    }
+    Ok(rel)
+}
+
+/// Positions of the original key attributes inside a derived relation.
+fn key_positions(
+    rel: &Relation,
+    partition: &VerticalPartition,
+) -> Result<Vec<AttrId>, RelationError> {
+    partition
+        .schema()
+        .key()
+        .iter()
+        .map(|&k| rel.schema().require(partition.schema().attr_name(k)))
+        .collect()
+}
+
+/// Re-expresses a CFD over a fragment/gathered schema by matching
+/// attribute names (ids differ between the original schema and
+/// projections).
+fn rebase_cfd(cfd: &Cfd, local: &Relation, _frag_attrs: &[AttrId]) -> Result<Cfd, RelationError> {
+    rebase_cfd_by_names(cfd, local)
+}
+
+fn rebase_cfd_by_names(cfd: &Cfd, local: &Relation) -> Result<Cfd, RelationError> {
+    let orig = cfd.schema();
+    let names = |ids: &[AttrId]| -> Result<Vec<&str>, RelationError> {
+        ids.iter()
+            .map(|&a| {
+                let name = orig.attr_name(a);
+                local.schema().require(name)?;
+                Ok(name)
+            })
+            .collect()
+    };
+    let lhs = names(cfd.lhs())?;
+    let rhs = names(cfd.rhs())?;
+    Cfd::with_names(cfd.name(), local.schema().clone(), &lhs, &rhs, cfd.tableau().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_cfd::parse_cfd;
+    use dcd_relation::{vals, Schema, ValueType};
+
+    fn emp() -> Relation {
+        let schema = Schema::builder("emp")
+            .attr("id", ValueType::Int)
+            .attr("title", ValueType::Str)
+            .attr("CC", ValueType::Int)
+            .attr("zip", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .attr("salary", ValueType::Str)
+            .key(&["id"])
+            .build()
+            .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vals![1, "MTS", 44, "z1", "a", "80k"],
+                vals![2, "MTS", 44, "z1", "b", "80k"], // street conflict with t1
+                vals![3, "VP", 44, "z2", "c", "200k"],
+                vals![4, "MTS", 44, "z2", "c", "90k"], // salary conflict with t1/t2
+                vals![5, "MTS", 31, "z9", "d", "75k"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn partition(rel: &Relation) -> VerticalPartition {
+        VerticalPartition::by_attribute_groups(
+            rel,
+            &[&["title", "zip", "street"], &["CC"], &["salary"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cross_fragment_cfd_matches_centralized() {
+        let rel = emp();
+        let p = partition(&rel);
+        let cfd = parse_cfd(rel.schema(), "phi1", "([CC=44, zip] -> [street])").unwrap();
+        let global = dcd_cfd::detect(&rel, &cfd);
+        assert!(!global.tids.is_empty());
+        for mode in [ShipMode::Full, ShipMode::Filtered] {
+            let out =
+                detect_vertical(&p, std::slice::from_ref(&cfd), mode, &CostModel::default())
+                    .unwrap();
+            let (_, vs) = &out.violations.per_cfd[0];
+            assert_eq!(vs.tids, global.tids, "{mode:?}");
+            assert!(out.shipped_tuples > 0, "{mode:?} must ship");
+            assert_eq!(out.locally_checked, 0);
+        }
+    }
+
+    #[test]
+    fn local_cfd_ships_nothing() {
+        let rel = emp();
+        let p = partition(&rel);
+        // zip → street lives entirely in fragment 0.
+        let cfd = parse_cfd(rel.schema(), "local", "([zip] -> [street])").unwrap();
+        let global = dcd_cfd::detect(&rel, &cfd);
+        let out =
+            detect_vertical(&p, std::slice::from_ref(&cfd), ShipMode::Full, &CostModel::default())
+                .unwrap();
+        assert_eq!(out.shipped_tuples, 0);
+        assert_eq!(out.locally_checked, 1);
+        let (_, vs) = &out.violations.per_cfd[0];
+        assert_eq!(vs.tids, global.tids);
+    }
+
+    #[test]
+    fn filtered_mode_ships_less_with_selective_patterns() {
+        let rel = emp();
+        let p = partition(&rel);
+        // CC=31 matches one tuple only; the CC fragment can pre-filter.
+        let cfd = parse_cfd(rel.schema(), "phi", "([CC=31, zip] -> [street])").unwrap();
+        let full =
+            detect_vertical(&p, std::slice::from_ref(&cfd), ShipMode::Full, &CostModel::default())
+                .unwrap();
+        let filt = detect_vertical(
+            &p,
+            std::slice::from_ref(&cfd),
+            ShipMode::Filtered,
+            &CostModel::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            full.violations.all_tids(),
+            filt.violations.all_tids(),
+            "filtering must not change results"
+        );
+        assert!(
+            filt.shipped_tuples < full.shipped_tuples,
+            "filtered {} !< full {}",
+            filt.shipped_tuples,
+            full.shipped_tuples
+        );
+    }
+
+    #[test]
+    fn three_fragment_gather() {
+        let rel = emp();
+        let p = partition(&rel);
+        // CC, title → salary touches all three fragments.
+        let cfd = parse_cfd(rel.schema(), "phi2", "([CC, title] -> [salary])").unwrap();
+        let global = dcd_cfd::detect(&rel, &cfd);
+        assert!(!global.tids.is_empty());
+        let out =
+            detect_vertical(&p, std::slice::from_ref(&cfd), ShipMode::Full, &CostModel::default())
+                .unwrap();
+        let (_, vs) = &out.violations.per_cfd[0];
+        assert_eq!(vs.tids, global.tids);
+        assert!(out.response_time > 0.0);
+    }
+
+    #[test]
+    fn multiple_cfds_mixed_local_and_remote() {
+        let rel = emp();
+        let p = partition(&rel);
+        let sigma = vec![
+            parse_cfd(rel.schema(), "local", "([zip] -> [street])").unwrap(),
+            parse_cfd(rel.schema(), "remote", "([CC, title] -> [salary])").unwrap(),
+        ];
+        let global = dcd_cfd::detect_set(&rel, &sigma);
+        let out =
+            detect_vertical(&p, &sigma, ShipMode::Filtered, &CostModel::default()).unwrap();
+        assert_eq!(out.locally_checked, 1);
+        assert_eq!(out.violations.all_tids(), global.all_tids());
+    }
+}

@@ -1,0 +1,73 @@
+//! The full data-quality workflow: discover CFDs from a trusted sample,
+//! then run distributed detection with them on fresh (dirty) data.
+//!
+//! The paper assumes Σ is given and cites discovery as complementary
+//! related work ([18], [19]); this example closes the loop with the
+//! `dcd-cfd::discovery` module.
+//!
+//! ```text
+//! cargo run --release --example rule_discovery
+//! ```
+
+use distributed_cfd::cfd::{discover_cfds, DiscoveryConfig};
+use distributed_cfd::datagen::cust::CustConfig;
+use distributed_cfd::datagen::inject_errors;
+use distributed_cfd::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A trusted, curated sample (clean by construction).
+    let sample_config = CustConfig { n_tuples: 5_000, seed: 11, ..CustConfig::default() };
+    let sample = sample_config.generate();
+    println!("trusted sample: {} tuples", sample.len());
+
+    // Discover rules over the address/pricing attributes.
+    let rules = discover_cfds(
+        &sample,
+        &["CC", "AC", "zip", "item_title"],
+        &["street", "city", "item_price"],
+        &DiscoveryConfig { max_lhs: 2, min_support: 25, max_patterns: 16, emit_constants: false },
+    );
+    println!("\ndiscovered {} rules:", rules.len());
+    for cfd in rules.iter().take(8) {
+        println!("  {cfd}");
+    }
+    if rules.len() > 8 {
+        println!("  … {} more", rules.len() - 8);
+    }
+    assert!(!rules.is_empty());
+
+    // Fresh production data, same process, with real errors.
+    let prod_config = CustConfig { n_tuples: 30_000, seed: 99, ..CustConfig::default() };
+    let clean = prod_config.generate();
+    let (dirty, n_err) = inject_errors(&clean, "street", 0.01, 5);
+    println!("\nproduction data: {} tuples, {} corrupted streets", dirty.len(), n_err);
+
+    // Distributed detection with the discovered Σ.
+    let partition = HorizontalPartition::round_robin(&dirty, 6)?;
+    let d = ClustDetect::default().run(&partition, &rules, &RunConfig::default());
+    println!(
+        "\nCLUSTDETECT over 6 sites: {} violating tuples across {} rules, \
+         {} tuples shipped, {:.3}s simulated",
+        d.violations.all_tids().len(),
+        d.violations.per_cfd.len(),
+        d.shipped_tuples,
+        d.response_time
+    );
+
+    // The street corruptions are caught by the street rules.
+    let street_hits: usize = d
+        .violations
+        .per_cfd
+        .iter()
+        .filter(|(name, _)| name.contains("street"))
+        .map(|(_, v)| v.tids.len())
+        .sum();
+    println!("violations attributed to street rules: {street_hits}");
+    assert!(street_hits > 0, "injected street errors must be caught");
+
+    // Sanity: distributed equals centralized.
+    let baseline = detect_set(&dirty, &rules);
+    assert_eq!(d.violations.all_tids(), baseline.all_tids());
+    println!("\ndistributed result equals centralized detection ✓");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! # distributed-cfd
+//!
+//! A Rust reproduction of **Fan, Geerts, Ma & Müller, "Detecting
+//! Inconsistencies in Distributed Data" (ICDE 2010)**: detecting
+//! violations of conditional functional dependencies (CFDs) in relations
+//! that are fragmented — horizontally or vertically — and distributed
+//! across sites, while minimizing data shipment or response time.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`relation`] — the in-memory relational engine substrate,
+//! * [`cfd`] — CFDs: pattern tableaux, centralized detection, implication,
+//! * [`dist`] — fragmentation, the shipment ledger and the cost model,
+//! * [`core`] — the paper's detection algorithms (`CTRDETECT`,
+//!   `PATDETECTS`, `PATDETECTRT`, `SEQDETECT`, `CLUSTDETECT`, mining),
+//! * [`vertical`] — dependency preservation and minimum refinement,
+//! * [`complexity`] — executable NP-hardness artifacts,
+//! * [`datagen`] — the CUST / XREF workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distributed_cfd::prelude::*;
+//!
+//! // The EMP relation of the paper's Fig. 1(a), as a workload would
+//! // build it: schema, rows, a CFD, a fragmentation — then detection.
+//! let schema = Schema::builder("emp")
+//!     .attr("id", ValueType::Int)
+//!     .attr("CC", ValueType::Int)
+//!     .attr("zip", ValueType::Str)
+//!     .attr("street", ValueType::Str)
+//!     .key(&["id"])
+//!     .build()?;
+//! let rel = Relation::from_rows(schema.clone(), vec![
+//!     vals![1, 44, "EH4 8LE", "Mayfield"],
+//!     vals![2, 44, "EH4 8LE", "Crichton"],  // violates cfd1 with t1
+//!     vals![3, 31, "1012 WR", "Muntplein"],
+//! ])?;
+//! let cfd = parse_cfd(&schema, "cfd1", "([CC=44, zip] -> [street])")?;
+//!
+//! // Distribute over three sites and detect with PATDETECTS.
+//! let partition = HorizontalPartition::round_robin(&rel, 3)?;
+//! let detection = PatDetectS.run(&partition, &cfd, &RunConfig::default());
+//! assert_eq!(detection.violations.all_tids().len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dcd_cfd as cfd;
+pub use dcd_complexity as complexity;
+pub use dcd_core as core;
+pub use dcd_datagen as datagen;
+pub use dcd_dist as dist;
+pub use dcd_relation as relation;
+pub use dcd_vertical as vertical;
+
+/// One-stop imports for the common API surface.
+pub mod prelude {
+    pub use dcd_cfd::{
+        detect, detect_set, detect_simple, discover, discover_cfds, parse_cfd, satisfies, Cfd,
+        DiscoveryConfig, NormalPattern, PatternTuple, PatternValue, SimpleCfd, ViolationReport,
+        ViolationSet,
+    };
+    pub use dcd_core::{
+        detect_hybrid, detect_replicated, mine_patterns, ClustDetect, CoordinatorStrategy,
+        CtrDetect, Detection, Detector, MiningConfig, MultiDetector, PatDetectRT, PatDetectS,
+        RunConfig, SeqDetect,
+    };
+    pub use dcd_dist::{
+        CostModel, Fragment, HorizontalPartition, HybridPartition, ReplicatedPartition,
+        ShipmentLedger, SiteClocks, SiteId, VFragment, VerticalPartition,
+    };
+    pub use dcd_relation::{
+        vals, Atom, CmpOp, Conjunction, Predicate, Relation, Schema, Tuple, TupleId, Value,
+        ValueType,
+    };
+    pub use dcd_vertical::{
+        detect_vertical, is_preserved, refine_exact, refine_greedy, ShipMode,
+    };
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the §VIII extensions: hybrid-fragmentation
+//! detection and replication-aware detection are equivalent to
+//! centralized detection on random inputs, and replication never
+//! increases traffic.
+
+use distributed_cfd::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("r")
+        .attr("id", ValueType::Int)
+        .attr("a", ValueType::Int)
+        .attr("b", ValueType::Int)
+        .attr("c", ValueType::Str)
+        .attr("d", ValueType::Str)
+        .key(&["id"])
+        .build()
+        .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, u8, u8)>> {
+    prop::collection::vec((0..4i64, 0..4i64, 0..3u8, 0..3u8), 1..50)
+}
+
+fn build(rows: &[(i64, i64, u8, u8)]) -> Relation {
+    Relation::from_rows(
+        schema(),
+        rows.iter()
+            .enumerate()
+            .map(|(i, &(a, b, c, d))| vals![i, a, b, format!("c{c}"), format!("d{d}")])
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn arb_cfd_pick() -> impl Strategy<Value = usize> {
+    0usize..4
+}
+
+fn pick_cfd(s: &Arc<Schema>, which: usize) -> Cfd {
+    match which {
+        0 => parse_cfd(s, "f", "([a, b] -> [c])").unwrap(),
+        1 => parse_cfd(s, "f", "([a=1, b] -> [d])").unwrap(),
+        2 => parse_cfd(s, "f", "([c] -> [d])").unwrap(),
+        _ => parse_cfd(s, "f", "([a=2, c] -> [d=d0])").unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hybrid detection ≡ centralized on random data / CFD / shape.
+    #[test]
+    fn hybrid_equals_centralized(
+        rows in arb_rows(),
+        which in arb_cfd_pick(),
+        n_cells in 1usize..4,
+        split_point in 1usize..4,
+    ) {
+        let rel = build(&rows);
+        let s = schema();
+        let cfd = pick_cfd(&s, which);
+        let global = detect(&rel, &cfd);
+        let names = ["a", "b", "c", "d"];
+        let left: Vec<&str> = names[..split_point].to_vec();
+        let right: Vec<&str> = names[split_point..].to_vec();
+        let horizontal = HorizontalPartition::round_robin(&rel, n_cells).unwrap();
+        let hybrid = HybridPartition::new(&horizontal, &[&left, &right]).unwrap();
+        let d = detect_hybrid(
+            &hybrid,
+            std::slice::from_ref(&cfd),
+            CoordinatorStrategy::MinShipment,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(&d.violations.all_tids(), &global.tids);
+    }
+
+    /// Replicated detection ≡ centralized, and shipment is antitone in
+    /// the replication factor.
+    #[test]
+    fn replication_equals_centralized_and_saves(
+        rows in arb_rows(),
+        which in arb_cfd_pick(),
+        n_sites in 2usize..5,
+    ) {
+        let rel = build(&rows);
+        let s = schema();
+        let cfd = pick_cfd(&s, which);
+        let global = detect(&rel, &cfd);
+        let base = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
+        let mut last = usize::MAX;
+        for r in 1..=n_sites {
+            let replicated = ReplicatedPartition::chained(base.clone(), r).unwrap();
+            let d = detect_replicated(
+                &replicated,
+                std::slice::from_ref(&cfd),
+                &RunConfig::default(),
+            );
+            prop_assert_eq!(&d.violations.all_tids(), &global.tids, "r = {}", r);
+            prop_assert!(d.shipped_tuples <= last, "r = {}", r);
+            last = d.shipped_tuples;
+        }
+        prop_assert_eq!(last, 0, "full replication must ship nothing");
+    }
+
+    /// Hybrid reassembly invariant: the partition always restores the
+    /// original relation.
+    #[test]
+    fn hybrid_reassembles(rows in arb_rows(), n_cells in 1usize..4) {
+        let rel = build(&rows);
+        let horizontal = HorizontalPartition::round_robin(&rel, n_cells).unwrap();
+        let hybrid =
+            HybridPartition::new(&horizontal, &[&["a", "b"], &["c", "d"]]).unwrap();
+        let back = hybrid.reassemble().unwrap();
+        prop_assert_eq!(back.len(), rel.len());
+        let id = rel.schema().require("id").unwrap();
+        for t in back.iter() {
+            let orig = rel.iter().find(|o| o.get(id) == t.get(id)).unwrap();
+            prop_assert_eq!(t.values(), orig.values());
+        }
+    }
+}
