@@ -16,17 +16,13 @@ fn bench_centralized(c: &mut Criterion) {
     let mut group = c.benchmark_group("centralized");
     group.sample_size(10);
     group.throughput(Throughput::Elements(cust.relation.len() as u64));
-    group.bench_with_input(
-        BenchmarkId::new("cust8", cust.relation.len()),
-        &(),
-        |b, ()| b.iter(|| detect_simple(&cust.relation, &cust_cfd)),
-    );
+    group.bench_with_input(BenchmarkId::new("cust8", cust.relation.len()), &(), |b, ()| {
+        b.iter(|| detect_simple(&cust.relation, &cust_cfd))
+    });
     group.throughput(Throughput::Elements(xref.relation.len() as u64));
-    group.bench_with_input(
-        BenchmarkId::new("xref8", xref.relation.len()),
-        &(),
-        |b, ()| b.iter(|| detect_simple(&xref.relation, &xref_cfd)),
-    );
+    group.bench_with_input(BenchmarkId::new("xref8", xref.relation.len()), &(), |b, ()| {
+        b.iter(|| detect_simple(&xref.relation, &xref_cfd))
+    });
     group.finish();
 }
 

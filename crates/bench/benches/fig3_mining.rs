@@ -17,12 +17,8 @@ fn bench_fig3e_mining(c: &mut Criterion) {
         b.iter(|| PatDetectS.run_simple(&partition, &fd, &cfg))
     });
     for theta in [0.05f64, 0.3, 0.8] {
-        let outcome = mine_patterns(
-            &partition,
-            &fd,
-            &MiningConfig { theta, max_width: 2 },
-            &cfg.cost,
-        );
+        let outcome =
+            mine_patterns(&partition, &fd, &MiningConfig { theta, max_width: 2 }, &cfg.cost);
         group.bench_with_input(
             BenchmarkId::new("PATDETECTS_mined", format!("theta_{theta}")),
             &theta,

@@ -34,11 +34,9 @@ fn bench_fig3d_tableau(c: &mut Criterion) {
     group.sample_size(10);
     for n_patterns in [55usize, 155, 255] {
         let cfd = w.main_cfd_with(n_patterns);
-        group.bench_with_input(
-            BenchmarkId::new("PATDETECTRT", n_patterns),
-            &n_patterns,
-            |b, _| b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg)),
-        );
+        group.bench_with_input(BenchmarkId::new("PATDETECTRT", n_patterns), &n_patterns, |b, _| {
+            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+        });
     }
     group.finish();
 }

@@ -116,8 +116,7 @@ pub fn fig3c() -> FigureResult {
     for step in 1..=10 {
         let fraction = step as f64 / 10.0;
         let prefix = w.prefix(fraction);
-        let partition =
-            HorizontalPartition::round_robin(&prefix, 8).expect("round robin");
+        let partition = HorizontalPartition::round_robin(&prefix, 8).expect("round robin");
         let x = (prefix.len() as f64) / 1000.0;
         ctr.push((x, CtrDetect.run_simple(&partition, &cfd, &cfg()).response_time));
         patrt.push((x, PatDetectRT.run_simple(&partition, &cfd, &cfg()).response_time));
@@ -170,12 +169,8 @@ pub fn fig3e() -> FigureResult {
     let mut mined = Vec::new();
     let thetas = [0.01, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     for &theta in &thetas {
-        let outcome = mine_patterns(
-            &partition,
-            &fd,
-            &MiningConfig { theta, max_width: 2 },
-            &cfg().cost,
-        );
+        let outcome =
+            mine_patterns(&partition, &fd, &MiningConfig { theta, max_width: 2 }, &cfg().cost);
         let run = PatDetectS.run_simple(&partition, &outcome.cfd, &cfg());
         plain.push((theta, baseline));
         mined.push((theta, run.shipped_tuples as f64));

@@ -2,8 +2,8 @@
 
 use dcd_cfd::{Cfd, SimpleCfd};
 use dcd_datagen::cust::{cust_main_cfd, cust_overlapping_pair, CustConfig};
-use dcd_datagen::xref::{xref_main_cfd, xref_mining_fd, xref_second_cfd, XrefConfig};
 use dcd_datagen::inject_errors;
+use dcd_datagen::xref::{xref_main_cfd, xref_mining_fd, xref_second_cfd, XrefConfig};
 use dcd_dist::HorizontalPartition;
 use dcd_relation::Relation;
 
@@ -134,7 +134,6 @@ impl XrefWorkload {
 
     /// The xrefH fragmentation: 7 fragments by reference type.
     pub fn partition_by_info_type(&self) -> HorizontalPartition {
-        HorizontalPartition::by_attribute(&self.relation, "info_type", 7)
-            .expect("info_type exists")
+        HorizontalPartition::by_attribute(&self.relation, "info_type", 7).expect("info_type exists")
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::attrset::AttrSet;
 use crate::pattern::{NormalPattern, PatternTuple, PatternValue};
-use dcd_relation::{RelationError, Schema};
 use dcd_relation::AttrId;
+use dcd_relation::{RelationError, Schema};
 use std::fmt;
 use std::sync::Arc;
 
@@ -77,10 +77,8 @@ impl Cfd {
     ) -> Result<Self, RelationError> {
         let l = schema.require_all(lhs)?;
         let r = schema.require_all(rhs)?;
-        let tp = PatternTuple::new(
-            vec![PatternValue::Wild; l.len()],
-            vec![PatternValue::Wild; r.len()],
-        );
+        let tp =
+            PatternTuple::new(vec![PatternValue::Wild; l.len()], vec![PatternValue::Wild; r.len()]);
         Cfd::new(name, schema, l, r, vec![tp])
     }
 
@@ -374,11 +372,7 @@ impl Fd {
     }
 
     /// Creates an FD resolving names against a schema.
-    pub fn with_names(
-        schema: &Schema,
-        lhs: &[&str],
-        rhs: &[&str],
-    ) -> Result<Self, RelationError> {
+    pub fn with_names(schema: &Schema, lhs: &[&str], rhs: &[&str]) -> Result<Self, RelationError> {
         Ok(Fd { lhs: schema.require_all(lhs)?, rhs: schema.require_all(rhs)? })
     }
 

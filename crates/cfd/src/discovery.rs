@@ -80,9 +80,7 @@ fn subsets_up_to(ids: &[AttrId], k: usize) -> Vec<Vec<AttrId>> {
     let n = ids.len();
     for mask in 1u64..(1 << n) {
         if (mask.count_ones() as usize) <= k {
-            out.push(
-                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| ids[i]).collect(),
-            );
+            out.push((0..n).filter(|i| mask & (1 << i) != 0).map(|i| ids[i]).collect());
         }
     }
     out.sort_by_key(Vec::len);
@@ -244,9 +242,7 @@ mod tests {
         let rel = Relation::from_rows(
             schema(),
             (0..40i64)
-                .map(|i| {
-                    vals![i % 3, format!("z{}", i % 4), format!("s{}-{}", i % 3, i % 4), "c"]
-                })
+                .map(|i| vals![i % 3, format!("z{}", i % 4), format!("s{}-{}", i % 3, i % 4), "c"])
                 .collect(),
         )
         .unwrap();
@@ -276,8 +272,7 @@ mod tests {
             .iter()
             .find(|c| c.lhs.len() == 2 && c.tableau.iter().any(|p| !p.lhs[0].is_wild()))
             .expect("conditional CFD found");
-        let pins: Vec<&Value> =
-            cond.tableau.iter().filter_map(|p| p.lhs[0].as_const()).collect();
+        let pins: Vec<&Value> = cond.tableau.iter().filter_map(|p| p.lhs[0].as_const()).collect();
         assert!(pins.contains(&&Value::Int(44)));
         assert!(!pins.contains(&&Value::Int(1)));
     }
@@ -303,10 +298,7 @@ mod tests {
         let rel = conditional_data();
         let cfg = DiscoveryConfig { min_support: 5, emit_constants: true, ..Default::default() };
         let found = discover(&rel, &["cc", "zip"], &["street"], &cfg);
-        let has_constant = found
-            .iter()
-            .flat_map(|c| &c.tableau)
-            .any(|p| p.is_constant());
+        let has_constant = found.iter().flat_map(|c| &c.tableau).any(|p| p.is_constant());
         assert!(has_constant, "constant CFDs requested but none emitted");
         let none_without = discover(
             &rel,
@@ -374,8 +366,7 @@ mod tests {
             })
             .collect();
         let dirty = Relation::from_tuples(dirty.schema().clone(), fixed).unwrap();
-        let hits: usize =
-            rules.iter().map(|c| detect_simple(&dirty, c).tids.len()).sum();
+        let hits: usize = rules.iter().map(|c| detect_simple(&dirty, c).tids.len()).sum();
         assert!(hits > 0, "corruption must be caught by some discovered rule");
     }
 }

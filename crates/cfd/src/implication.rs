@@ -188,10 +188,9 @@ impl ChaseState {
         // The constant tag must live at the root.
         let child_const = self.constant[child].take();
         match (self.constant[root].as_ref(), child_const) {
-            (Some(c1), Some(c2))
-                if *c1 != c2 => {
-                    self.contradiction = true;
-                }
+            (Some(c1), Some(c2)) if *c1 != c2 => {
+                self.contradiction = true;
+            }
             (None, Some(c)) => self.constant[root] = Some(c),
             _ => {}
         }
@@ -268,9 +267,11 @@ impl ChaseState {
                     }
                 }
                 // Pair rule.
-                let fires = psi.lhs.iter().zip(&psi.pattern.lhs).all(|(&b, p)| {
-                    self.pair_equal(b) && self.cell_matches(0, b, p)
-                });
+                let fires = psi
+                    .lhs
+                    .iter()
+                    .zip(&psi.pattern.lhs)
+                    .all(|(&b, p)| self.pair_equal(b) && self.cell_matches(0, b, p));
                 if fires {
                     let (a0, a1) = (self.cell(0, psi.rhs), self.cell(1, psi.rhs));
                     changed |= self.union(a0, a1);
@@ -306,9 +307,7 @@ pub fn chase_implies(sigma: &[NormalCfd], phi: &NormalCfd) -> bool {
             let eq = state.pair_equal(phi.rhs);
             match &phi.pattern.rhs {
                 PatternValue::Wild => eq,
-                PatternValue::Const(c) => {
-                    eq && state.const_binding(0, phi.rhs).as_ref() == Some(c)
-                }
+                PatternValue::Const(c) => eq && state.const_binding(0, phi.rhs).as_ref() == Some(c),
             }
         }
     }

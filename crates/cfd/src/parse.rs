@@ -206,11 +206,7 @@ fn to_pattern_value(
 /// let cfd = parse_cfd(&schema, "cfd4", "([CC=44, AC=131] -> [city=EDI])").unwrap();
 /// assert_eq!(cfd.tableau().len(), 1);
 /// ```
-pub fn parse_cfd(
-    schema: &Arc<Schema>,
-    name: &str,
-    spec: &str,
-) -> Result<Cfd, ParseError> {
+pub fn parse_cfd(schema: &Arc<Schema>, name: &str, spec: &str) -> Result<Cfd, ParseError> {
     let mut lx = Lexer::new(spec);
     lx.eat(b'(', "`(`")?;
     let lhs_items = parse_items(&mut lx)?;
@@ -230,9 +226,13 @@ pub fn parse_cfd(
         rhs_names.push(it.attr.as_str());
         rhs_pats.push(to_pattern_value(schema, &it.attr, it.literal.as_deref())?);
     }
-    Cfd::with_names(name, schema.clone(), &lhs_names, &rhs_names, vec![PatternTuple::new(
-        lhs_pats, rhs_pats,
-    )])
+    Cfd::with_names(
+        name,
+        schema.clone(),
+        &lhs_names,
+        &rhs_names,
+        vec![PatternTuple::new(lhs_pats, rhs_pats)],
+    )
     .map_err(|e| match e {
         dcd_relation::RelationError::UnknownAttribute { name, .. } => {
             ParseError::UnknownAttribute { name }

@@ -1,6 +1,6 @@
 //! Pattern values, pattern tuples and the match operator `≍`.
 
-use dcd_relation::{AttrId, Atom, Conjunction, Tuple, Value};
+use dcd_relation::{Atom, AttrId, Conjunction, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

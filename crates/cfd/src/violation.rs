@@ -176,8 +176,7 @@ fn detect_among_with(tuples: &[&Tuple], cfd: &SimpleCfd, strict: bool) -> Violat
                         group_flagged = true;
                     }
                     // Single-tuple rule: t[A] ≭ c.
-                    let flags = member_flags
-                        .get_or_insert_with(|| vec![false; members.len()]);
+                    let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
                     for (fi, &i) in members.iter().enumerate() {
                         if tuples[i].get(cfd.rhs) != c {
                             flags[fi] = true;

@@ -42,11 +42,7 @@ struct CfdSpec {
 fn arb_spec() -> impl Strategy<Value = CfdSpec> {
     (
         1u8..8,
-        [
-            prop::option::of(0..2i64),
-            prop::option::of(0..2i64),
-            prop::option::of(0..2i64),
-        ],
+        [prop::option::of(0..2i64), prop::option::of(0..2i64), prop::option::of(0..2i64)],
         0usize..ARITY,
         prop::option::of(0..2i64),
     )
@@ -104,9 +100,7 @@ fn brute_force_implies(sigma: &[Cfd], phi: &Cfd) -> bool {
             };
             let rel =
                 Relation::from_rows(s.clone(), vec![decode(t1_code), decode(t2_code)]).unwrap();
-            if sigma.iter().all(|c| dcd_cfd::satisfies(&rel, c))
-                && !dcd_cfd::satisfies(&rel, phi)
-            {
+            if sigma.iter().all(|c| dcd_cfd::satisfies(&rel, c)) && !dcd_cfd::satisfies(&rel, phi) {
                 return false;
             }
         }

@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`: the harness surface this
+//! workspace's benches use, measuring plain wall-clock time and printing
+//! mean / min / max per benchmark instead of criterion's statistical
+//! analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (best-effort without
+/// `unsafe`: reads the value through a volatile-ish identity chain).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness handle passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup { name, sample_size: self.sample_size, throughput: None, _parent: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.to_string(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the throughput basis for the following benchmarks; the
+    /// report line then includes an elements- or bytes-per-second rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        run_benchmark(&name, sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark: a function name plus an optional
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.name, p),
+            (false, None) => f.write_str(&self.name),
+            (true, Some(p)) => f.write_str(p),
+            (true, None) => f.write_str("?"),
+        }
+    }
+}
+
+/// Throughput basis for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of samples, one call per
+    /// sample (plus one untimed warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.iters_per_sample {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size), iters_per_sample: sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("   {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("   {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!(
+        "  {name:<48} mean {mean:>10.3?}   min {min:>10.3?}   max {max:>10.3?}   ({} samples){rate}",
+        b.samples.len()
+    );
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

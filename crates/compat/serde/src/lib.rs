@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derive macros.
+//!
+//! `use serde::{Serialize, Deserialize}` imports both the traits (type
+//! namespace) and the derive macros (macro namespace), exactly like the
+//! real crate. The derives expand to nothing — nothing in this workspace
+//! serializes yet — so the traits carry no methods.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace annotates types with serde derives for forward
+//! compatibility, but nothing actually serializes; in hermetic builds the
+//! derives expand to nothing. `#[serde(...)]` helper attributes are
+//! declared so field-level annotations like `#[serde(skip)]` parse.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,10 +41,8 @@ impl HittingSetInstance {
                     }
                 }
             }
-            let (best, &cnt) = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|(i, &c)| (c, self.n_elements - i))?;
+            let (best, &cnt) =
+                counts.iter().enumerate().max_by_key(|(i, &c)| (c, self.n_elements - i))?;
             if cnt == 0 {
                 return None; // an empty set can never be hit
             }
@@ -91,9 +89,8 @@ impl HittingSetInstance {
         // Branch on each element of that set.
         let candidates = self.sets[si].clone();
         for e in candidates {
-            let flipped: Vec<usize> = (0..self.sets.len())
-                .filter(|&i| !hit[i] && self.sets[i].contains(&e))
-                .collect();
+            let flipped: Vec<usize> =
+                (0..self.sets.len()).filter(|&i| !hit[i] && self.sets[i].contains(&e)).collect();
             for &i in &flipped {
                 hit[i] = true;
             }
@@ -118,8 +115,7 @@ mod tests {
 
     #[test]
     fn single_shared_element_hits_everything() {
-        let inst =
-            HittingSetInstance::new(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        let inst = HittingSetInstance::new(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
         let e = inst.exact_hitting().unwrap();
         assert_eq!(e, vec![0]);
         assert!(inst.is_hitting(&e));
@@ -133,10 +129,7 @@ mod tests {
 
     #[test]
     fn greedy_is_a_valid_hitting_set() {
-        let inst = HittingSetInstance::new(
-            5,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]],
-        );
+        let inst = HittingSetInstance::new(5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
         let g = inst.greedy_hitting().unwrap();
         assert!(inst.is_hitting(&g));
         let e = inst.exact_hitting().unwrap();

@@ -96,14 +96,17 @@ pub fn mhd_reduction(msc: &SetCoverInstance) -> MhdInstance {
         let mut sorted = subset.clone();
         sorted.sort_unstable();
         let mut data = Relation::new(schema.clone());
-        push(&mut data, vec![
-            elem(sorted[0]),
-            elem(sorted[1]),
-            elem(sorted[2]),
-            Value::str("d"),
-            Value::str("b"),
-            Value::Int(i as i64 + 1),
-        ]);
+        push(
+            &mut data,
+            vec![
+                elem(sorted[0]),
+                elem(sorted[1]),
+                elem(sorted[2]),
+                Value::str("d"),
+                Value::str("b"),
+                Value::Int(i as i64 + 1),
+            ],
+        );
         fragments.push(Fragment { site: SiteId(i as u32), predicate: None, data });
     }
     // V: three forms × m elements × 2m Bu-values, B = b'.
@@ -116,22 +119,28 @@ pub fn mhd_reduction(msc: &SetCoverInstance) -> MhdInstance {
             for form in 0..3 {
                 let mut row = [c.clone(), c.clone(), c.clone()];
                 row[form] = elem(x);
-                push(&mut v, vec![
-                    row[0].clone(),
-                    row[1].clone(),
-                    row[2].clone(),
-                    bu_val.clone(),
-                    Value::str("bp"),
-                    Value::Int(0),
-                ]);
-                push(&mut u, vec![
-                    row[0].clone(),
-                    row[1].clone(),
-                    row[2].clone(),
-                    bu_val.clone(),
-                    Value::str("b"),
-                    Value::Int(n as i64 + 1),
-                ]);
+                push(
+                    &mut v,
+                    vec![
+                        row[0].clone(),
+                        row[1].clone(),
+                        row[2].clone(),
+                        bu_val.clone(),
+                        Value::str("bp"),
+                        Value::Int(0),
+                    ],
+                );
+                push(
+                    &mut u,
+                    vec![
+                        row[0].clone(),
+                        row[1].clone(),
+                        row[2].clone(),
+                        bu_val.clone(),
+                        Value::str("b"),
+                        Value::Int(n as i64 + 1),
+                    ],
+                );
             }
         }
     }
@@ -200,16 +209,11 @@ impl MhdInstance {
     /// Whether Σ can be checked locally after shipping `extra_at_v` to
     /// the `V` site (the §III-A condition on `Vioπ`).
     pub fn checked_locally_after(&self, extra_at_v: &[Tuple]) -> bool {
-        let simples: Vec<SimpleCfd> =
-            self.sigma.iter().flat_map(Cfd::simplify).collect();
+        let simples: Vec<SimpleCfd> = self.sigma.iter().flat_map(Cfd::simplify).collect();
         for cfd in &simples {
             // Global Vioπ.
-            let all: Vec<&Tuple> = self
-                .partition
-                .fragments()
-                .iter()
-                .flat_map(|f| f.data.iter())
-                .collect();
+            let all: Vec<&Tuple> =
+                self.partition.fragments().iter().flat_map(|f| f.data.iter()).collect();
             let global = detect_among(&all, cfd).patterns;
             // Union of local Vioπ after shipment.
             let mut local = ViolationSet::default();
@@ -338,10 +342,7 @@ mod tests {
 
     fn small_msc() -> SetCoverInstance {
         // X = {0..5}; exact cover {0,1,2} + {3,4,5} of size 2.
-        SetCoverInstance::new(
-            6,
-            vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 3, 5], vec![0, 2, 4]],
-        )
+        SetCoverInstance::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 3, 5], vec![0, 2, 4]])
     }
 
     #[test]
@@ -376,10 +377,8 @@ mod tests {
         let msc = small_msc();
         let inst = mhd_reduction(&msc);
         let cover = msc.exact_cover().unwrap();
-        let only_subsets: Vec<Tuple> = cover
-            .iter()
-            .map(|&i| inst.partition.fragments()[i].data.tuples()[0].clone())
-            .collect();
+        let only_subsets: Vec<Tuple> =
+            cover.iter().map(|&i| inst.partition.fragments()[i].data.tuples()[0].clone()).collect();
         assert!(!inst.checked_locally_after(&only_subsets));
     }
 
@@ -443,8 +442,7 @@ mod tests {
         let k = hs.min_hitting_size().unwrap();
         let mut best = usize::MAX;
         for mask in 0u32..(1 << hs.n_elements) {
-            let chosen: Vec<usize> =
-                (0..hs.n_elements).filter(|&x| mask & (1 << x) != 0).collect();
+            let chosen: Vec<usize> = (0..hs.n_elements).filter(|&x| mask & (1 << x) != 0).collect();
             if chosen.len() >= best {
                 continue;
             }
@@ -491,11 +489,8 @@ mod tests {
         // suffices.
         use dcd_cfd::{fd_closure, AttrSet, Fd};
         let arity = inst.schema.arity();
-        let fds: Vec<Fd> = inst
-            .sigma
-            .iter()
-            .map(|c| Fd::new(c.lhs().to_vec(), c.rhs().to_vec()))
-            .collect();
+        let fds: Vec<Fd> =
+            inst.sigma.iter().map(|c| Fd::new(c.lhs().to_vec(), c.rhs().to_vec())).collect();
         for fd in &fds {
             let mut z = AttrSet::from_ids(arity, fd.lhs.iter().copied());
             let mut changed = true;

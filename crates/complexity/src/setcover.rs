@@ -66,11 +66,8 @@ impl SetCoverInstance {
     pub fn exact_cover(&self) -> Option<Vec<usize>> {
         assert!(self.universe <= 63, "exact solver is for small instances");
         let full: u64 = if self.universe == 0 { 0 } else { (1u64 << self.universe) - 1 };
-        let masks: Vec<u64> = self
-            .subsets
-            .iter()
-            .map(|s| s.iter().fold(0u64, |m, &e| m | (1 << e)))
-            .collect();
+        let masks: Vec<u64> =
+            self.subsets.iter().map(|s| s.iter().fold(0u64, |m, &e| m | (1 << e))).collect();
         let mut best: Option<Vec<usize>> = self.greedy_cover();
         let mut stack: Vec<usize> = Vec::new();
         fn dfs(

@@ -34,8 +34,7 @@ pub fn min_shipment_exhaustive(
 ) -> Option<usize> {
     let n = partition.n_sites();
     // Variable parts only; constants never need shipment (Prop. 5).
-    let variable: Vec<SimpleCfd> =
-        sigma.iter().filter_map(|c| c.split_constant().0).collect();
+    let variable: Vec<SimpleCfd> = sigma.iter().filter_map(|c| c.split_constant().0).collect();
     if variable.is_empty() {
         return Some(0);
     }
@@ -51,9 +50,7 @@ pub fn min_shipment_exhaustive(
     for (i, frag) in partition.fragments().iter().enumerate() {
         for t in frag.data.iter() {
             let matches = variable.iter().any(|c| {
-                c.tableau
-                    .iter()
-                    .any(|p| dcd_cfd::pattern::tuple_matches(t, &c.lhs, &p.lhs))
+                c.tableau.iter().any(|p| dcd_cfd::pattern::tuple_matches(t, &c.lhs, &p.lhs))
             });
             if matches {
                 relevant.push((i, t));
@@ -99,9 +96,7 @@ pub fn min_shipment_exhaustive(
             let mut union: FxHashSet<Vec<Value>> = FxHashSet::default();
             for (i, frag) in partition.fragments().iter().enumerate() {
                 let mut local: Vec<&Tuple> = frag.data.iter().collect();
-                local.extend(
-                    shipments.iter().filter(|(d, _)| *d == i).map(|(_, t)| *t),
-                );
+                local.extend(shipments.iter().filter(|(d, _)| *d == i).map(|(_, t)| *t));
                 union.extend(detect_among(&local, cfd).patterns);
             }
             if union != global[ci] {
@@ -172,11 +167,8 @@ mod tests {
 
     #[test]
     fn one_when_a_single_pair_is_split() {
-        let rel = Relation::from_rows(
-            schema(),
-            vec![vals![44, "z1", "a"], vals![44, "z1", "b"]],
-        )
-        .unwrap();
+        let rel = Relation::from_rows(schema(), vec![vals![44, "z1", "a"], vals![44, "z1", "b"]])
+            .unwrap();
         let partition = HorizontalPartition::round_robin(&rel, 2).unwrap();
         let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
         let simple = cfd.simplify().pop().unwrap();
@@ -186,11 +178,8 @@ mod tests {
 
     #[test]
     fn constant_cfds_cost_nothing() {
-        let rel = Relation::from_rows(
-            schema(),
-            vec![vals![44, "z1", "a"], vals![44, "z2", "b"]],
-        )
-        .unwrap();
+        let rel = Relation::from_rows(schema(), vec![vals![44, "z1", "a"], vals![44, "z2", "b"]])
+            .unwrap();
         let partition = HorizontalPartition::round_robin(&rel, 2).unwrap();
         let cfd = parse_cfd(rel.schema(), "c", "([cc=44, zip] -> [street=a])").unwrap();
         let simple = cfd.simplify().pop().unwrap();

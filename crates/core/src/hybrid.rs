@@ -19,9 +19,7 @@ use crate::config::RunConfig;
 use crate::report::Detection;
 use crate::runner::{run_single_cfd, CoordinatorStrategy};
 use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
-use dcd_dist::{
-    Fragment, HorizontalPartition, HybridPartition, ShipmentLedger, SiteClocks,
-};
+use dcd_dist::{Fragment, HorizontalPartition, HybridPartition, ShipmentLedger, SiteClocks};
 use dcd_relation::ops::hash_join;
 use dcd_relation::{AttrId, Relation, RelationError, Tuple, Value};
 
@@ -41,21 +39,19 @@ pub fn detect_hybrid(
     let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
     for cfd in &simples {
         // ---- Phase 1: vertical gather inside each cell. ----
-        let mut fragments: Vec<Fragment> =
-            (0..n).map(|_| Fragment {
+        let mut fragments: Vec<Fragment> = (0..n)
+            .map(|_| Fragment {
                 site: dcd_dist::SiteId(0),
                 predicate: None,
                 data: Relation::new(partition.schema().clone()),
-            }).collect();
+            })
+            .collect();
         for (ci, cell) in partition.cells().iter().enumerate() {
             let (coord_vfrag, projection) =
                 gather_cell(partition, ci, cfd, cfg, &ledger, &mut clocks)?;
             let site = partition.site_of(ci, coord_vfrag);
-            fragments[site.index()] = Fragment {
-                site,
-                predicate: cell.predicate.clone(),
-                data: projection,
-            };
+            fragments[site.index()] =
+                Fragment { site, predicate: cell.predicate.clone(), data: projection };
         }
         for (i, f) in fragments.iter_mut().enumerate() {
             f.site = dcd_dist::SiteId(i as u32);

@@ -96,10 +96,7 @@ mod tests {
         let title = r.schema().require("title").unwrap();
         HorizontalPartition::by_predicates(
             &r,
-            vec![
-                Predicate::atom(Atom::eq(title, "MTS")),
-                Predicate::atom(Atom::eq(title, "VP")),
-            ],
+            vec![Predicate::atom(Atom::eq(title, "MTS")), Predicate::atom(Atom::eq(title, "VP"))],
         )
         .unwrap()
     }

@@ -60,8 +60,7 @@ pub fn mine_patterns(
     cost: &CostModel,
 ) -> MiningOutcome {
     let m = cfd.lhs.len();
-    let variable: Vec<&NormalPattern> =
-        cfd.tableau.iter().filter(|p| !p.is_constant()).collect();
+    let variable: Vec<&NormalPattern> = cfd.tableau.iter().filter(|p| !p.is_constant()).collect();
     let mut per_site_secs = vec![0.0; partition.n_sites()];
 
     // Enumerate attribute subsets (bitmasks) of bounded width, by
@@ -84,8 +83,7 @@ pub fn mine_patterns(
             let attrs: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
             let mut map: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
             for t in frag.data.iter() {
-                let key: Vec<Value> =
-                    attrs.iter().map(|&i| t.get(cfd.lhs[i]).clone()).collect();
+                let key: Vec<Value> = attrs.iter().map(|&i| t.get(cfd.lhs[i]).clone()).collect();
                 *map.entry(key).or_insert(0) += 1;
             }
             map.retain(|_, c| *c >= threshold);
@@ -148,9 +146,7 @@ pub fn mine_patterns(
     // Deterministic order: most constants first, then lexicographic debug
     // form (pattern values have no natural order; the debug form is
     // stable).
-    sorted_mined.sort_by_key(|p| {
-        (p.iter().filter(|v| v.is_wild()).count(), format!("{p:?}"))
-    });
+    sorted_mined.sort_by_key(|p| (p.iter().filter(|v| v.is_wild()).count(), format!("{p:?}")));
     let added = sorted_mined.len();
     for lhs in sorted_mined {
         tableau.push(NormalPattern::new(lhs, PatternValue::Wild));
@@ -217,11 +213,7 @@ mod tests {
         );
         // cc=44 holds for 80% of each fragment → mined.
         assert!(out.added >= 1, "expected at least the cc=44 pattern");
-        assert!(out
-            .cfd
-            .tableau
-            .iter()
-            .any(|p| p.lhs[0] == PatternValue::Const(Value::Int(44))));
+        assert!(out.cfd.tableau.iter().any(|p| p.lhs[0] == PatternValue::Const(Value::Int(44))));
         // The original wildcard pattern is retained (catch-all).
         assert!(out.cfd.tableau.iter().any(|p| p.lhs_wildcards() == 2));
         assert!(out.per_site_secs.iter().all(|&s| s > 0.0));
@@ -312,9 +304,11 @@ mod tests {
             &MiningConfig { theta: 0.4, max_width: 2 },
             &CostModel::default(),
         );
-        let has_cc7_alone = out.cfd.tableau.iter().any(|p| {
-            p.lhs[0] == PatternValue::Const(Value::Int(7)) && p.lhs[1].is_wild()
-        });
+        let has_cc7_alone = out
+            .cfd
+            .tableau
+            .iter()
+            .any(|p| p.lhs[0] == PatternValue::Const(Value::Int(7)) && p.lhs[1].is_wild());
         let has_pair = out.cfd.tableau.iter().any(|p| {
             p.lhs[0] == PatternValue::Const(Value::Int(7))
                 && p.lhs[1] == PatternValue::Const(Value::str("only7"))
@@ -339,8 +333,7 @@ mod tests {
             &MiningConfig { theta: 0.05, max_width: 2 },
             &CostModel::default(),
         );
-        let refined =
-            PatDetectS.run_simple(&partition, &out.cfd, &crate::RunConfig::default());
+        let refined = PatDetectS.run_simple(&partition, &out.cfd, &crate::RunConfig::default());
         assert_eq!(
             plain.violations.all_tids(),
             refined.violations.all_tids(),

@@ -61,8 +61,7 @@ impl MultiDetector for SeqDetect {
         let mut paper_cost = 0.0;
         for cfd in sigma {
             for simple in cfd.simplify() {
-                let out =
-                    run_single_cfd(partition, &simple, self.inner, cfg, &ledger, &mut clocks);
+                let out = run_single_cfd(partition, &simple, self.inner, cfg, &ledger, &mut clocks);
                 for (name, vs) in out.report.per_cfd {
                     report.absorb(&name, vs);
                 }
@@ -216,10 +215,8 @@ fn run_cluster(
     // Common attributes Z = ∩ LHS; by the containment invariant this is
     // the smallest member LHS. Keep that member's attribute order.
     let z: Vec<AttrId> = {
-        let smallest = variable_members
-            .iter()
-            .min_by_key(|m| m.lhs.len())
-            .expect("non-empty member list");
+        let smallest =
+            variable_members.iter().min_by_key(|m| m.lhs.len()).expect("non-empty member list");
         smallest
             .lhs
             .iter()
@@ -244,10 +241,8 @@ fn run_cluster(
     let mut seen: FxHashSet<Vec<PatternValue>> = FxHashSet::default();
     let mut projected: Vec<NormalPattern> = Vec::new();
     for m in &variable_members {
-        let pos: Vec<usize> = z
-            .iter()
-            .map(|a| m.lhs.iter().position(|b| b == a).expect("Z ⊆ member LHS"))
-            .collect();
+        let pos: Vec<usize> =
+            z.iter().map(|a| m.lhs.iter().position(|b| b == a).expect("Z ⊆ member LHS")).collect();
         for p in &m.tableau {
             let proj: Vec<PatternValue> = pos.iter().map(|&i| p.lhs[i].clone()).collect();
             if seen.insert(proj.clone()) {
@@ -415,9 +410,11 @@ mod tests {
     #[test]
     fn clustering_groups_containment_families() {
         let s = schema();
-        let sigma = [parse_cfd(&s, "a", "([cc, zip] -> [street])").unwrap(),
+        let sigma = [
+            parse_cfd(&s, "a", "([cc, zip] -> [street])").unwrap(),
             parse_cfd(&s, "b", "([cc] -> [city])").unwrap(),
-            parse_cfd(&s, "c", "([ac] -> [city])").unwrap()];
+            parse_cfd(&s, "c", "([ac] -> [city])").unwrap(),
+        ];
         let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
         let clusters = cluster_by_lhs(&simples);
         assert_eq!(clusters, vec![vec![0, 1], vec![2]]);

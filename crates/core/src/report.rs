@@ -32,12 +32,7 @@ impl Detection {
         DetectionSummary {
             algorithm: self.algorithm.clone(),
             violating_tuples: self.violations.all_tids().len(),
-            violating_patterns: self
-                .violations
-                .per_cfd
-                .iter()
-                .map(|(_, v)| v.patterns.len())
-                .sum(),
+            violating_patterns: self.violations.per_cfd.iter().map(|(_, v)| v.patterns.len()).sum(),
             shipped_tuples: self.shipped_tuples,
             shipped_cells: self.shipped_cells,
             response_time: self.response_time,

@@ -102,8 +102,7 @@ pub fn run_single_cfd(
 
     let Some(variable) = variable else {
         // Purely constant CFD: no shipment at all.
-        let paper_cost =
-            cfg.cost.paper_cost(&vec![vec![0; n]; n], &local_secs);
+        let paper_cost = cfg.cost.paper_cost(&vec![vec![0; n]; n], &local_secs);
         return RoundOutput { report, paper_cost };
     };
 
@@ -180,8 +179,7 @@ pub fn run_single_cfd(
         let (vs, secs) = match strategy {
             CoordinatorStrategy::Central => {
                 // One detection query over everything gathered.
-                let all: Vec<&Tuple> =
-                    jobs.iter().flat_map(|(_, ts)| ts.iter().copied()).collect();
+                let all: Vec<&Tuple> = jobs.iter().flat_map(|(_, ts)| ts.iter().copied()).collect();
                 let total = all.len();
                 charge(
                     clocks,
@@ -193,8 +191,7 @@ pub fn run_single_cfd(
             }
             _ => {
                 // One detection query per pattern block.
-                let analytic: f64 =
-                    jobs.iter().map(|(_, ts)| cfg.cost.check_time(ts.len())).sum();
+                let analytic: f64 = jobs.iter().map(|(_, ts)| cfg.cost.check_time(ts.len())).sum();
                 charge(
                     clocks,
                     site,
@@ -202,11 +199,7 @@ pub fn run_single_cfd(
                     || {
                         let mut vs = ViolationSet::default();
                         for (l, ts) in jobs {
-                            vs.merge(detect_pattern_among(
-                                ts.iter().copied(),
-                                &sorted.cfd,
-                                *l,
-                            ));
+                            vs.merge(detect_pattern_among(ts.iter().copied(), &sorted.cfd, *l));
                         }
                         vs
                     },
@@ -350,8 +343,7 @@ mod tests {
             vec![3, 1], // S2
             vec![1, 0], // S3
         ];
-        let a =
-            assign_coordinators(CoordinatorStrategy::MinShipment, &lstat, &[4; 3], &cost0());
+        let a = assign_coordinators(CoordinatorStrategy::MinShipment, &lstat, &[4; 3], &cost0());
         assert_eq!(a, vec![Some(SiteId(1)), Some(SiteId(0))]);
     }
 

@@ -159,11 +159,8 @@ mod tests {
     #[test]
     fn applicable_filter_skips_patterns() {
         let s = schema();
-        let rel = Relation::from_rows(
-            s.clone(),
-            vec![vals![44, "z1", "a"], vals![31, "z2", "b"]],
-        )
-        .unwrap();
+        let rel = Relation::from_rows(s.clone(), vec![vals![44, "z1", "a"], vals![31, "z2", "b"]])
+            .unwrap();
         let sorted = sort_for_sigma(&phi1(&s));
         // Pretend patterns 0 (cc=44) is inapplicable at this site.
         let part = sigma_partition(&rel, &sorted, &[1, 2]);
@@ -198,11 +195,7 @@ mod tests {
         for (pi, block) in part.blocks.iter().enumerate() {
             let tuples: Vec<&dcd_relation::Tuple> =
                 block.iter().map(|&i| &rel.tuples()[i]).collect();
-            merged.merge(dcd_cfd::detect_pattern_among(
-                tuples.into_iter(),
-                &sorted.cfd,
-                pi,
-            ));
+            merged.merge(dcd_cfd::detect_pattern_among(tuples.into_iter(), &sorted.cfd, pi));
         }
         let global = dcd_cfd::detect_simple(&rel, &simple);
         assert_eq!(merged.tids, global.tids);
@@ -212,11 +205,9 @@ mod tests {
     #[test]
     fn comparisons_grow_with_tableau_position() {
         let s = schema();
-        let rel = Relation::from_rows(
-            s.clone(),
-            vec![vals![1, "z", "x"]; 10].into_iter().collect(),
-        )
-        .unwrap();
+        let rel =
+            Relation::from_rows(s.clone(), vec![vals![1, "z", "x"]; 10].into_iter().collect())
+                .unwrap();
         let sorted = sort_for_sigma(&phi1(&s));
         let part = sigma_partition(&rel, &sorted, &[0, 1, 2]);
         // Each tuple scans 3 patterns before matching the wildcard.

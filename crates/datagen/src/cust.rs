@@ -135,13 +135,8 @@ pub fn cust_cfds(schema: &Arc<Schema>) -> Vec<Cfd> {
         ],
     )
     .expect("static CFD");
-    let phi2 = Cfd::fd(
-        "cust_title_price",
-        schema.clone(),
-        &["CC", "item_title"],
-        &["item_price"],
-    )
-    .expect("static CFD");
+    let phi2 = Cfd::fd("cust_title_price", schema.clone(), &["CC", "item_title"], &["item_price"])
+        .expect("static CFD");
     let phi3 = Cfd::with_names(
         "cust_ac_city",
         schema.clone(),
@@ -168,10 +163,7 @@ pub fn cust_cfds(schema: &Arc<Schema>) -> Vec<Cfd> {
 /// (CC, AC) pool deterministically.
 pub fn cust_main_cfd(schema: &Arc<Schema>, config: &CustConfig, n_patterns: usize) -> SimpleCfd {
     let max = COUNTRY_CODES.len() * config.acs_per_country;
-    assert!(
-        n_patterns <= max,
-        "at most {max} distinct (CC, AC) pairs exist under this config"
-    );
+    assert!(n_patterns <= max, "at most {max} distinct (CC, AC) pairs exist under this config");
     let lhs = schema.require_all(&["CC", "AC", "zip"]).expect("attrs exist");
     let rhs = schema.require("street").expect("attr exists");
     let tableau = (0..n_patterns)
@@ -179,11 +171,7 @@ pub fn cust_main_cfd(schema: &Arc<Schema>, config: &CustConfig, n_patterns: usiz
             let cc = COUNTRY_CODES[k % COUNTRY_CODES.len()];
             let ac = 100 + (k / COUNTRY_CODES.len()) as i64;
             NormalPattern::new(
-                vec![
-                    PatternValue::constant(cc),
-                    PatternValue::constant(ac),
-                    PatternValue::Wild,
-                ],
+                vec![PatternValue::constant(cc), PatternValue::constant(ac), PatternValue::Wild],
                 PatternValue::Wild,
             )
         })
@@ -210,14 +198,9 @@ pub fn cust_overlapping_pair(
             )
         })
         .collect();
-    let second = Cfd::with_names(
-        "cust_ac_city_var",
-        schema.clone(),
-        &["CC", "AC"],
-        &["city"],
-        lhs_sub,
-    )
-    .expect("static CFD");
+    let second =
+        Cfd::with_names("cust_ac_city_var", schema.clone(), &["CC", "AC"], &["city"], lhs_sub)
+            .expect("static CFD");
     vec![main, second]
 }
 
@@ -277,9 +260,9 @@ mod tests {
         let matching = rel
             .iter()
             .filter(|t| {
-                cfd.tableau.iter().any(|p| {
-                    p.lhs[0].matches(t.get(cc)) && p.lhs[1].matches(t.get(ac))
-                })
+                cfd.tableau
+                    .iter()
+                    .any(|p| p.lhs[0].matches(t.get(cc)) && p.lhs[1].matches(t.get(ac)))
             })
             .count();
         assert!(

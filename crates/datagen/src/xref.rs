@@ -27,8 +27,15 @@ pub const OBJECT_TYPES: [&str; 3] = ["Gene", "Transcript", "Translation"];
 
 /// Reference/info types (also the xrefH fragmentation attribute: the
 /// paper distributes xrefH "based on the type of the references").
-pub const INFO_TYPES: [&str; 7] =
-    ["DIRECT", "SEQUENCE_MATCH", "DEPENDENT", "PROJECTION", "COORDINATE_OVERLAP", "CHECKSUM", "NONE"];
+pub const INFO_TYPES: [&str; 7] = [
+    "DIRECT",
+    "SEQUENCE_MATCH",
+    "DEPENDENT",
+    "PROJECTION",
+    "COORDINATE_OVERLAP",
+    "CHECKSUM",
+    "NONE",
+];
 
 /// Configuration of the XREF generator.
 #[derive(Debug, Clone)]

@@ -90,10 +90,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let z = Zipf::new(8, 0.9);
-        let a: Vec<usize> =
-            (0..32).map(|_| z.sample(&mut StdRng::seed_from_u64(1))).collect();
-        let b: Vec<usize> =
-            (0..32).map(|_| z.sample(&mut StdRng::seed_from_u64(1))).collect();
+        let a: Vec<usize> = (0..32).map(|_| z.sample(&mut StdRng::seed_from_u64(1))).collect();
+        let b: Vec<usize> = (0..32).map(|_| z.sample(&mut StdRng::seed_from_u64(1))).collect();
         assert_eq!(a, b);
     }
 }

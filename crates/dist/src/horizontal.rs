@@ -1,0 +1,365 @@
+//! Horizontal fragmentation: `Di = σ_Fi(D)` (§II-B of the paper).
+
+use crate::site::SiteId;
+use dcd_relation::fxhash::FxBuildHasher;
+use dcd_relation::{Predicate, Relation, RelationError, Schema, TupleId};
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::Arc;
+
+/// One horizontal fragment `Di` at site `Si`.
+///
+/// The optional [`Predicate`] is the fragmentation condition `Fi`; when
+/// present it enables the paper's *partitioning condition* optimization
+/// (§IV-A): a site whose `Fi` contradicts a pattern's constants is
+/// skipped without scanning.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The site holding this fragment.
+    pub site: SiteId,
+    /// The fragmentation predicate `Fi`, if the partition has one.
+    pub predicate: Option<Predicate>,
+    /// The fragment's tuples (tuple ids are those of the original `D`).
+    pub data: Relation,
+}
+
+/// A horizontal partition `(D1, …, Dn)` of one relation across `n`
+/// sites. Fragment `i` lives at site `i`.
+#[derive(Debug, Clone)]
+pub struct HorizontalPartition {
+    schema: Arc<Schema>,
+    fragments: Vec<Fragment>,
+}
+
+impl HorizontalPartition {
+    /// Builds a partition from explicit fragments. Fragment `i` must be
+    /// sited at `SiteId(i)` and share the partition schema.
+    pub fn from_fragments(
+        schema: Arc<Schema>,
+        fragments: Vec<Fragment>,
+    ) -> Result<Self, RelationError> {
+        if fragments.is_empty() {
+            return Err(RelationError::InvalidPartition {
+                detail: "a horizontal partition needs at least one fragment".into(),
+            });
+        }
+        for (i, frag) in fragments.iter().enumerate() {
+            if frag.site.index() != i {
+                return Err(RelationError::InvalidPartition {
+                    detail: format!(
+                        "fragment {i} is sited at {} — sites must be sequential",
+                        frag.site
+                    ),
+                });
+            }
+            if frag.data.schema().as_ref() != schema.as_ref() {
+                return Err(RelationError::SchemaMismatch {
+                    detail: format!(
+                        "fragment {i} has schema `{}`, partition has `{}`",
+                        frag.data.schema().name(),
+                        schema.name()
+                    ),
+                });
+            }
+        }
+        Ok(HorizontalPartition { schema, fragments })
+    }
+
+    /// Distributes tuples over `n` sites round-robin (tuple `i` goes to
+    /// site `i mod n`) — the paper's "uniform distribution" setup.
+    pub fn round_robin(rel: &Relation, n: usize) -> Result<Self, RelationError> {
+        if n == 0 {
+            return Err(RelationError::InvalidPartition {
+                detail: "cannot partition over zero sites".into(),
+            });
+        }
+        let schema = rel.schema().clone();
+        let mut data: Vec<Relation> =
+            (0..n).map(|_| Relation::with_capacity(schema.clone(), rel.len() / n + 1)).collect();
+        for (i, t) in rel.iter().enumerate() {
+            data[i % n].push_tuple(t.clone())?;
+        }
+        Self::from_fragments(
+            schema,
+            data.into_iter()
+                .enumerate()
+                .map(|(i, d)| Fragment { site: SiteId(i as u32), predicate: None, data: d })
+                .collect(),
+        )
+    }
+
+    /// Distributes tuples over `n` sites by hashing the value of one
+    /// attribute, so tuples agreeing on `attr` are co-located (the
+    /// xrefH "fragmented by reference type" setup of §VI).
+    pub fn by_attribute(rel: &Relation, attr: &str, n: usize) -> Result<Self, RelationError> {
+        if n == 0 {
+            return Err(RelationError::InvalidPartition {
+                detail: "cannot partition over zero sites".into(),
+            });
+        }
+        let a = rel.schema().require(attr)?;
+        let schema = rel.schema().clone();
+        let hasher = FxBuildHasher::default();
+        let mut data: Vec<Relation> = (0..n).map(|_| Relation::new(schema.clone())).collect();
+        for t in rel.iter() {
+            let mut h = hasher.build_hasher();
+            t.get(a).hash(&mut h);
+            data[(h.finish() % n as u64) as usize].push_tuple(t.clone())?;
+        }
+        Self::from_fragments(
+            schema,
+            data.into_iter()
+                .enumerate()
+                .map(|(i, d)| Fragment { site: SiteId(i as u32), predicate: None, data: d })
+                .collect(),
+        )
+    }
+
+    /// Distributes tuples by selection predicates: tuple → first
+    /// matching `Fi` (`Di = σ_Fi(D)`; Fig. 1(b)'s partition by title).
+    /// Errs if some tuple satisfies no predicate — the partition would
+    /// be lossy.
+    pub fn by_predicates(
+        rel: &Relation,
+        predicates: Vec<Predicate>,
+    ) -> Result<Self, RelationError> {
+        if predicates.is_empty() {
+            return Err(RelationError::InvalidPartition {
+                detail: "cannot partition over zero predicates".into(),
+            });
+        }
+        let schema = rel.schema().clone();
+        let mut data: Vec<Relation> =
+            (0..predicates.len()).map(|_| Relation::new(schema.clone())).collect();
+        for t in rel.iter() {
+            match predicates.iter().position(|p| p.eval(t)) {
+                Some(i) => data[i].push_tuple(t.clone())?,
+                None => {
+                    return Err(RelationError::InvalidPartition {
+                        detail: format!("tuple {} satisfies no fragmentation predicate", t.tid),
+                    })
+                }
+            }
+        }
+        Self::from_fragments(
+            schema,
+            data.into_iter()
+                .zip(predicates)
+                .enumerate()
+                .map(|(i, (d, p))| Fragment { site: SiteId(i as u32), predicate: Some(p), data: d })
+                .collect(),
+        )
+    }
+
+    /// The shared schema `R`.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of sites `n`.
+    pub fn n_sites(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// All fragments, in site order.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// The fragment at one site.
+    pub fn fragment(&self, site: SiteId) -> &Fragment {
+        &self.fragments[site.index()]
+    }
+
+    /// Total number of tuples across all fragments.
+    pub fn total_tuples(&self) -> usize {
+        self.fragments.iter().map(|f| f.data.len()).sum()
+    }
+
+    /// Checks the §II-B invariants: sequential sites, one shared schema,
+    /// pairwise-disjoint tuple ids, and (when predicates are present)
+    /// every tuple satisfying its own fragment's predicate.
+    pub fn validate(&self) -> Result<(), RelationError> {
+        let mut seen: HashSet<TupleId> = HashSet::with_capacity(self.total_tuples());
+        for (i, frag) in self.fragments.iter().enumerate() {
+            if frag.site.index() != i {
+                return Err(RelationError::InvalidPartition {
+                    detail: format!("fragment {i} sited at {}", frag.site),
+                });
+            }
+            for t in frag.data.iter() {
+                if !seen.insert(t.tid) {
+                    return Err(RelationError::InvalidPartition {
+                        detail: format!("tuple {} appears in two fragments", t.tid),
+                    });
+                }
+                if let Some(p) = &frag.predicate {
+                    if !p.eval(t) {
+                        return Err(RelationError::InvalidPartition {
+                            detail: format!(
+                                "tuple {} violates its fragment predicate at {}",
+                                t.tid, frag.site
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reassembles the original relation (fragment order; tuple ids are
+    /// preserved, so detection results on the reassembly are comparable
+    /// with distributed ones).
+    pub fn reassemble(&self) -> Result<Relation, RelationError> {
+        let mut out = Relation::with_capacity(self.schema.clone(), self.total_tuples());
+        for frag in &self.fragments {
+            for t in frag.data.iter() {
+                out.push_tuple(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_relation::{vals, Atom, Schema, ValueType};
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("name", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(n: usize) -> Relation {
+        Relation::from_rows(
+            schema(),
+            (0..n).map(|i| vals![(i % 3) as i64, format!("n{i}")]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let r = rel(7);
+        let p = HorizontalPartition::round_robin(&r, 3).unwrap();
+        assert_eq!(p.n_sites(), 3);
+        assert_eq!(p.fragment(SiteId(0)).data.len(), 3); // tuples 0, 3, 6
+        assert_eq!(p.fragment(SiteId(1)).data.len(), 2);
+        assert_eq!(p.fragment(SiteId(2)).data.len(), 2);
+        assert_eq!(p.fragment(SiteId(0)).data.tuples()[1].tid.0, 3);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn round_robin_rejects_zero_sites() {
+        assert!(HorizontalPartition::round_robin(&rel(3), 0).is_err());
+    }
+
+    #[test]
+    fn by_attribute_colocates_equal_values() {
+        let r = rel(30);
+        let p = HorizontalPartition::by_attribute(&r, "cc", 2).unwrap();
+        let cc = r.schema().require("cc").unwrap();
+        // Every site's multiset of cc values must be internally
+        // consistent: a value appears at exactly one site.
+        let mut site_of_value = std::collections::HashMap::new();
+        for f in p.fragments() {
+            for t in f.data.iter() {
+                let prev = site_of_value.insert(t.get(cc).clone(), f.site);
+                if let Some(prev) = prev {
+                    assert_eq!(prev, f.site, "value split across sites");
+                }
+            }
+        }
+        assert_eq!(p.total_tuples(), 30);
+        assert!(HorizontalPartition::by_attribute(&r, "nope", 2).is_err());
+    }
+
+    #[test]
+    fn by_predicates_records_conditions_and_rejects_gaps() {
+        let r = rel(9);
+        let cc = r.schema().require("cc").unwrap();
+        let p = HorizontalPartition::by_predicates(
+            &r,
+            vec![
+                Predicate::atom(Atom::eq(cc, 0)),
+                Predicate::atom(Atom::eq(cc, 1)),
+                Predicate::atom(Atom::eq(cc, 2)),
+            ],
+        )
+        .unwrap();
+        p.validate().unwrap();
+        assert!(p.fragments().iter().all(|f| f.predicate.is_some()));
+        // Dropping one predicate leaves cc=2 tuples homeless.
+        let err = HorizontalPartition::by_predicates(
+            &r,
+            vec![Predicate::atom(Atom::eq(cc, 0)), Predicate::atom(Atom::eq(cc, 1))],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_fragments_validates_sites_and_schema() {
+        let r = rel(4);
+        let other = Schema::builder("other").attr("x", ValueType::Int).build().unwrap();
+        let bad_schema = HorizontalPartition::from_fragments(
+            r.schema().clone(),
+            vec![Fragment { site: SiteId(0), predicate: None, data: Relation::new(other) }],
+        );
+        assert!(bad_schema.is_err());
+        let bad_site = HorizontalPartition::from_fragments(
+            r.schema().clone(),
+            vec![Fragment {
+                site: SiteId(1),
+                predicate: None,
+                data: Relation::new(r.schema().clone()),
+            }],
+        );
+        assert!(bad_site.is_err());
+    }
+
+    #[test]
+    fn reassemble_round_trips_tuple_multiset() {
+        let r = rel(11);
+        let p = HorizontalPartition::round_robin(&r, 4).unwrap();
+        let back = p.reassemble().unwrap();
+        assert_eq!(back.len(), r.len());
+        let mut orig: Vec<_> = r.tuples().to_vec();
+        let mut got: Vec<_> = back.tuples().to_vec();
+        orig.sort_by_key(|t| t.tid);
+        got.sort_by_key(|t| t.tid);
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn validate_catches_duplicated_tuples() {
+        let r = rel(2);
+        let mut d0 = Relation::new(r.schema().clone());
+        d0.push_tuple(r.tuples()[0].clone()).unwrap();
+        let mut d1 = Relation::new(r.schema().clone());
+        d1.push_tuple(r.tuples()[0].clone()).unwrap(); // same tid again
+        let p = HorizontalPartition::from_fragments(
+            r.schema().clone(),
+            vec![
+                Fragment { site: SiteId(0), predicate: None, data: d0 },
+                Fragment { site: SiteId(1), predicate: None, data: d1 },
+            ],
+        )
+        .unwrap();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn empty_fragments_are_fine() {
+        let r = rel(2);
+        let p = HorizontalPartition::round_robin(&r, 5).unwrap();
+        assert_eq!(p.n_sites(), 5);
+        assert_eq!(p.fragment(SiteId(4)).data.len(), 0);
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,45 @@
+//! # dcd-dist
+//!
+//! The distribution layer of the ICDE 2010 paper: fragmented relations,
+//! data-shipment accounting and the response-time cost model that every
+//! detection algorithm in this workspace is measured against.
+//!
+//! Section 2 of the paper defines a distributed database as a relation
+//! `D` fragmented into `(D1, …, Dn)` placed at sites `S1 … Sn` —
+//! horizontally (`Di = σ_Fi(D)`, [`HorizontalPartition`], [`Fragment`]),
+//! vertically (`Di = π_{key ∪ Xi}(D)`, [`VerticalPartition`],
+//! [`VFragment`]), or both at once ([`HybridPartition`]); §VIII's
+//! replication discussion is realized by [`ReplicatedPartition`].
+//! Sections 3–4 then cost a detection run two ways, and this crate holds
+//! both meters: the [`ShipmentLedger`] counts every tuple, cell, byte
+//! and control message moved between sites (the minimum-data-shipment
+//! objective of §III-A, Theorems 1–4), while [`SiteClocks`] simulates
+//! per-site wall clocks — local scans and checks advance one site's
+//! clock, transfers make receivers wait for senders, statistics
+//! exchanges are barriers — so that *response time* is the maximum over
+//! per-site clocks, matching the parallel-cost model of §III-B.
+//! [`CostModel`] supplies the analytic constants (`scan ≈ c·n`,
+//! `check ≈ c·n·log n`, packetized transfer) and the literal §III-B
+//! two-phase formula ([`CostModel::paper_cost`]): the maximum shipping
+//! time plus the maximum local-work time over all sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clocks;
+pub mod cost;
+pub mod horizontal;
+pub mod hybrid;
+pub mod ledger;
+pub mod replicated;
+pub mod site;
+pub mod vertical;
+
+pub use clocks::SiteClocks;
+pub use cost::CostModel;
+pub use horizontal::{Fragment, HorizontalPartition};
+pub use hybrid::{HybridCell, HybridPartition};
+pub use ledger::ShipmentLedger;
+pub use replicated::ReplicatedPartition;
+pub use site::SiteId;
+pub use vertical::{VFragment, VerticalPartition};

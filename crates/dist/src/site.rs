@@ -1,0 +1,42 @@
+//! Site identifiers.
+
+use std::fmt;
+
+/// Identifier of a site `Si` (0-based; the paper's `S1 … Sn`).
+///
+/// Sites double as indices into per-site vectors (fragments, clocks,
+/// ledger rows), hence [`SiteId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The site as an index into per-site vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_display() {
+        assert_eq!(SiteId(3).index(), 3);
+        // Display is 1-based like the paper's S1…Sn; the id stays 0-based.
+        assert_eq!(SiteId(0).to_string(), "S1");
+    }
+
+    #[test]
+    fn ordering_follows_ids() {
+        assert!(SiteId(0) < SiteId(1));
+        assert_eq!(SiteId(2), SiteId(2));
+    }
+}

@@ -1,0 +1,237 @@
+//! Vertical fragmentation: `Di = π_{key ∪ Xi}(D)` (§II-B, §V).
+
+use crate::site::SiteId;
+use dcd_relation::{AttrId, Relation, RelationError, Schema, Tuple};
+use std::sync::Arc;
+
+/// One vertical fragment: a projection of the relation onto the key plus
+/// a group of attributes, placed at one site.
+#[derive(Debug, Clone)]
+pub struct VFragment {
+    /// The site holding this fragment.
+    pub site: SiteId,
+    /// The fragment's attributes as ids of the *original* schema, key
+    /// attributes first. `data`'s own schema lists them in this order.
+    pub attrs: Vec<AttrId>,
+    /// The projected tuples (tuple ids preserved, enabling key-free
+    /// reassembly and cross-fragment joins).
+    pub data: Relation,
+}
+
+impl VFragment {
+    /// Whether every attribute in `needed` lives in this fragment.
+    pub fn covers(&self, needed: &[AttrId]) -> bool {
+        needed.iter().all(|a| self.attrs.contains(a))
+    }
+
+    /// The position of an original-schema attribute inside this
+    /// fragment's own schema, if present.
+    pub fn local_attr(&self, orig: AttrId) -> Option<AttrId> {
+        self.attrs.iter().position(|&a| a == orig).map(|i| AttrId(i as u16))
+    }
+}
+
+/// A vertical partition of one relation: each fragment holds the key
+/// plus one attribute group; together (with the key) they cover the
+/// schema, so the relation is losslessly reassemblable by tuple id.
+#[derive(Debug, Clone)]
+pub struct VerticalPartition {
+    schema: Arc<Schema>,
+    fragments: Vec<VFragment>,
+}
+
+impl VerticalPartition {
+    /// Builds a vertical partition from named attribute groups. The
+    /// schema's key is added to every group automatically; every non-key
+    /// attribute must appear in at least one group (else reassembly
+    /// would lose columns), and the schema must declare a key (vertical
+    /// fragments join on it).
+    pub fn by_attribute_groups(rel: &Relation, groups: &[&[&str]]) -> Result<Self, RelationError> {
+        let schema = rel.schema();
+        let id_groups: Vec<Vec<AttrId>> =
+            groups.iter().map(|names| schema.require_all(names)).collect::<Result<_, _>>()?;
+        Self::from_attr_groups(rel, &id_groups)
+    }
+
+    /// Builds a vertical partition from attribute-id groups (key added
+    /// to each automatically; see [`Self::by_attribute_groups`]).
+    pub fn from_attr_groups(rel: &Relation, groups: &[Vec<AttrId>]) -> Result<Self, RelationError> {
+        let schema = rel.schema().clone();
+        if groups.is_empty() {
+            return Err(RelationError::InvalidPartition {
+                detail: "cannot partition over zero attribute groups".into(),
+            });
+        }
+        if schema.key().is_empty() {
+            return Err(RelationError::InvalidKey {
+                detail: format!(
+                    "vertical fragmentation of `{}` requires a declared key",
+                    schema.name()
+                ),
+            });
+        }
+        // Coverage: key ∪ groups must span the schema.
+        for a in schema.attr_ids() {
+            let covered = schema.key().contains(&a) || groups.iter().any(|g| g.contains(&a));
+            if !covered {
+                return Err(RelationError::InvalidPartition {
+                    detail: format!(
+                        "attribute `{}` belongs to no vertical group",
+                        schema.attr_name(a)
+                    ),
+                });
+            }
+        }
+        let mut fragments = Vec::with_capacity(groups.len());
+        for (i, group) in groups.iter().enumerate() {
+            // Key first, then the group's own attributes in given order.
+            let mut attrs: Vec<AttrId> = schema.key().to_vec();
+            for &a in group {
+                if !attrs.contains(&a) {
+                    attrs.push(a);
+                }
+            }
+            let frag_schema = schema.project(format!("{}_v{}", schema.name(), i + 1), &attrs)?;
+            let mut data = Relation::with_capacity(frag_schema, rel.len());
+            for t in rel.iter() {
+                data.push_tuple(Tuple::new(t.tid, t.project(&attrs)))?;
+            }
+            fragments.push(VFragment { site: SiteId(i as u32), attrs, data });
+        }
+        Ok(VerticalPartition { schema, fragments })
+    }
+
+    /// The original (unfragmented) schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of sites (= fragments).
+    pub fn n_sites(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// All fragments, in site order.
+    pub fn fragments(&self) -> &[VFragment] {
+        &self.fragments
+    }
+
+    /// The attribute groups (key included) — the shape the dependency
+    /// preservation and refinement machinery of `dcd-vertical` consumes.
+    pub fn attr_groups(&self) -> Vec<Vec<AttrId>> {
+        self.fragments.iter().map(|f| f.attrs.clone()).collect()
+    }
+
+    /// Reassembles the original relation by tuple id (every fragment
+    /// holds every tuple's projection, so fragment 0 fixes the order).
+    pub fn reassemble(&self) -> Result<Relation, RelationError> {
+        use dcd_relation::Value;
+        let arity = self.schema.arity();
+        let first = &self.fragments[0];
+        let mut out = Relation::with_capacity(self.schema.clone(), first.data.len());
+        for (row_idx, t0) in first.data.iter().enumerate() {
+            let mut row = vec![Value::Null; arity];
+            for frag in &self.fragments {
+                // Fragments preserve row order, but look up by tid to be
+                // robust against reordered fragment data.
+                let t = if frag.data.tuples().get(row_idx).map(|t| t.tid) == Some(t0.tid) {
+                    &frag.data.tuples()[row_idx]
+                } else {
+                    frag.data.find(t0.tid).ok_or_else(|| RelationError::SchemaMismatch {
+                        detail: format!("tuple {} missing from {}", t0.tid, frag.site),
+                    })?
+                };
+                for (local, &orig) in frag.attrs.iter().enumerate() {
+                    row[orig.index()] = t.get(AttrId(local as u16)).clone();
+                }
+            }
+            out.push_tuple(Tuple::new(t0.tid, row))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcd_relation::{vals, ValueType};
+
+    fn rel() -> Relation {
+        let schema = Schema::builder("emp")
+            .attr("id", ValueType::Int)
+            .attr("a", ValueType::Int)
+            .attr("b", ValueType::Str)
+            .attr("c", ValueType::Str)
+            .key(&["id"])
+            .build()
+            .unwrap();
+        Relation::from_rows(
+            schema,
+            (0..6).map(|i| vals![i, i % 2, format!("b{i}"), format!("c{}", i % 3)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_get_the_key_and_project_in_order() {
+        let r = rel();
+        let p = VerticalPartition::by_attribute_groups(&r, &[&["a", "b"], &["c"]]).unwrap();
+        assert_eq!(p.n_sites(), 2);
+        let f0 = &p.fragments()[0];
+        assert_eq!(f0.data.schema().arity(), 3); // id + a + b
+        assert_eq!(f0.data.schema().attr_name(AttrId(0)), "id");
+        assert!(f0.covers(&[r.schema().require("a").unwrap()]));
+        assert!(!f0.covers(&[r.schema().require("c").unwrap()]));
+        // local_attr maps original ids into the projection.
+        let b = r.schema().require("b").unwrap();
+        assert_eq!(f0.local_attr(b), Some(AttrId(2)));
+        assert_eq!(f0.local_attr(r.schema().require("c").unwrap()), None);
+        // Tuple ids are preserved.
+        assert_eq!(f0.data.tuples()[3].tid.0, 3);
+    }
+
+    #[test]
+    fn missing_coverage_and_missing_key_are_rejected() {
+        let r = rel();
+        assert!(VerticalPartition::by_attribute_groups(&r, &[&["a"]]).is_err());
+        assert!(matches!(
+            VerticalPartition::from_attr_groups(&r, &[]),
+            Err(dcd_relation::RelationError::InvalidPartition { .. })
+        ));
+        let keyless = Schema::builder("k").attr("x", ValueType::Int).build().unwrap();
+        let kr = Relation::from_rows(keyless, vec![vals![1]]).unwrap();
+        assert!(VerticalPartition::by_attribute_groups(&kr, &[&["x"]]).is_err());
+        assert!(VerticalPartition::by_attribute_groups(&r, &[&["nope"]]).is_err());
+    }
+
+    #[test]
+    fn attr_groups_include_key() {
+        let r = rel();
+        let p = VerticalPartition::by_attribute_groups(&r, &[&["a"], &["b", "c"]]).unwrap();
+        let id = r.schema().require("id").unwrap();
+        for g in p.attr_groups() {
+            assert!(g.contains(&id));
+        }
+    }
+
+    #[test]
+    fn reassemble_restores_rows_and_ids() {
+        let r = rel();
+        let p = VerticalPartition::by_attribute_groups(&r, &[&["b"], &["a", "c"]]).unwrap();
+        let back = p.reassemble().unwrap();
+        assert_eq!(back.len(), r.len());
+        for (orig, got) in r.iter().zip(back.iter()) {
+            assert_eq!(orig.tid, got.tid);
+            assert_eq!(orig.values(), got.values());
+        }
+    }
+
+    #[test]
+    fn overlapping_groups_are_allowed() {
+        let r = rel();
+        let p = VerticalPartition::by_attribute_groups(&r, &[&["a", "b"], &["b", "c"]]).unwrap();
+        assert_eq!(p.fragments()[1].data.schema().arity(), 3);
+        let back = p.reassemble().unwrap();
+        assert_eq!(back.tuples(), r.tuples());
+    }
+}

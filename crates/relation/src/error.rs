@@ -43,6 +43,12 @@ pub enum RelationError {
         /// Explanation of the invalid key declaration.
         detail: String,
     },
+    /// A fragmentation or replication layout was structurally invalid
+    /// (zero sites, lossy predicate cover, out-of-range factor, …).
+    InvalidPartition {
+        /// Explanation of the invalid layout.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -62,6 +68,9 @@ impl fmt::Display for RelationError {
             }
             RelationError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
             RelationError::InvalidKey { detail } => write!(f, "invalid key: {detail}"),
+            RelationError::InvalidPartition { detail } => {
+                write!(f, "invalid partition: {detail}")
+            }
         }
     }
 }

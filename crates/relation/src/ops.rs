@@ -28,11 +28,7 @@ pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
 
 /// `π_X(D)` as a new relation named `name`, preserving tuple ids and
 /// duplicates (bag projection).
-pub fn project(
-    rel: &Relation,
-    name: &str,
-    attrs: &[AttrId],
-) -> Result<Relation, RelationError> {
+pub fn project(rel: &Relation, name: &str, attrs: &[AttrId]) -> Result<Relation, RelationError> {
     let schema = rel.schema().project(name, attrs)?;
     let mut out = Relation::with_capacity(schema, rel.len());
     for t in rel.iter() {
@@ -101,11 +97,7 @@ pub fn hash_join(
 ) -> Result<Relation, RelationError> {
     if left_on.len() != right_on.len() {
         return Err(RelationError::SchemaMismatch {
-            detail: format!(
-                "join key arity mismatch: {} vs {}",
-                left_on.len(),
-                right_on.len()
-            ),
+            detail: format!("join key arity mismatch: {} vs {}", left_on.len(), right_on.len()),
         });
     }
     // Output schema: all of left, then right minus join attrs.
@@ -163,11 +155,7 @@ pub fn semijoin(
 ) -> Result<Relation, RelationError> {
     if left_on.len() != right_on.len() {
         return Err(RelationError::SchemaMismatch {
-            detail: format!(
-                "semijoin key arity mismatch: {} vs {}",
-                left_on.len(),
-                right_on.len()
-            ),
+            detail: format!("semijoin key arity mismatch: {} vs {}", left_on.len(), right_on.len()),
         });
     }
     let mut keys: FxHashSet<Vec<Value>> = FxHashSet::default();
@@ -356,9 +344,8 @@ mod tests {
     #[test]
     fn union_all_rejects_mismatched_schema() {
         let r = emp();
-        let other = Relation::new(
-            Schema::builder("other").attr("x", ValueType::Int).build().unwrap(),
-        );
+        let other =
+            Relation::new(Schema::builder("other").attr("x", ValueType::Int).build().unwrap());
         let err = union_all(r.schema().clone(), &[&other]).unwrap_err();
         assert!(matches!(err, RelationError::SchemaMismatch { .. }));
     }

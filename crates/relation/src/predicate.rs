@@ -430,9 +430,10 @@ mod tests {
 
     #[test]
     fn display_round_trip_strings() {
-        let p = Predicate::from_conjunction(
-            Conjunction::of(vec![Atom::eq(A, 44), Atom::new(B, CmpOp::Ne, "VP")]),
-        );
+        let p = Predicate::from_conjunction(Conjunction::of(vec![
+            Atom::eq(A, 44),
+            Atom::new(B, CmpOp::Ne, "VP"),
+        ]));
         let s = p.to_string();
         assert!(s.contains("#0 = 44"));
         assert!(s.contains("#1 != VP"));

@@ -119,7 +119,9 @@ impl Relation {
             let attr = self.schema.attr(AttrId(i as u16));
             let ok = matches!(
                 (attr.ty, v),
-                (_, Value::Null) | (ValueType::Int, Value::Int(_)) | (ValueType::Str, Value::Str(_))
+                (_, Value::Null)
+                    | (ValueType::Int, Value::Int(_))
+                    | (ValueType::Str, Value::Str(_))
             );
             if !ok {
                 return Err(RelationError::TypeMismatch {
@@ -152,11 +154,7 @@ mod tests {
     use crate::vals;
 
     fn schema() -> Arc<Schema> {
-        Schema::builder("r")
-            .attr("a", ValueType::Int)
-            .attr("b", ValueType::Str)
-            .build()
-            .unwrap()
+        Schema::builder("r").attr("a", ValueType::Int).attr("b", ValueType::Str).build().unwrap()
     }
 
     #[test]

@@ -143,7 +143,11 @@ impl Schema {
     /// Builds a derived schema containing only `keep` (in the given
     /// order), named `name`. The key is retained iff all key attributes
     /// are kept. Used for vertical fragmentation and projections.
-    pub fn project(&self, name: impl Into<String>, keep: &[AttrId]) -> Result<Arc<Schema>, RelationError> {
+    pub fn project(
+        &self,
+        name: impl Into<String>,
+        keep: &[AttrId],
+    ) -> Result<Arc<Schema>, RelationError> {
         let mut b = Schema::builder(name);
         for &id in keep {
             if id.index() >= self.attrs.len() {
@@ -155,12 +159,8 @@ impl Schema {
             let a = self.attr(id);
             b = b.attr(&a.name, a.ty);
         }
-        let key_names: Vec<&str> = self
-            .key
-            .iter()
-            .filter(|k| keep.contains(k))
-            .map(|&k| self.attr_name(k))
-            .collect();
+        let key_names: Vec<&str> =
+            self.key.iter().filter(|k| keep.contains(k)).map(|&k| self.attr_name(k)).collect();
         if key_names.len() == self.key.len() && !key_names.is_empty() {
             b = b.key(&key_names);
         }

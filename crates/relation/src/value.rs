@@ -14,8 +14,7 @@ use std::sync::Arc;
 /// `Null` is used by `Vioπ` (the X-projected violation view of §II-C of
 /// the paper) for the attributes outside `X`, and compares equal only to
 /// itself — adequate for detection, which never joins on nulls.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Value {
     /// SQL NULL / "no value".
     #[default]
@@ -77,7 +76,6 @@ impl Value {
         }
     }
 }
-
 
 impl From<i64> for Value {
     fn from(i: i64) -> Self {
@@ -178,7 +176,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stratified() {
-        let mut vs = vec![Value::str("b"), Value::Int(10), Value::Null, Value::Int(-1), Value::str("a")];
+        let mut vs =
+            vec![Value::str("b"), Value::Int(10), Value::Null, Value::Int(-1), Value::str("a")];
         vs.sort();
         assert_eq!(
             vs,

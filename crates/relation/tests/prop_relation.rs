@@ -59,9 +59,7 @@ fn build_conj(specs: &[AtomSpec]) -> Conjunction {
     let mut c = Conjunction::always();
     for spec in specs {
         let atom = match spec {
-            AtomSpec::IntCmp(a, op, v) => {
-                Atom::new(dcd_relation::AttrId(*a as u16), *op, *v)
-            }
+            AtomSpec::IntCmp(a, op, v) => Atom::new(dcd_relation::AttrId(*a as u16), *op, *v),
             AtomSpec::StrEq(v, neg) => Atom::new(
                 dcd_relation::AttrId(2),
                 if *neg { CmpOp::Ne } else { CmpOp::Eq },

@@ -67,9 +67,7 @@ pub fn detect_vertical(
             set.iter().collect()
         };
         // Locally checkable: all attributes in one fragment.
-        if let Some(host) =
-            partition.fragments().iter().position(|f| f.covers(&needed))
-        {
+        if let Some(host) = partition.fragments().iter().position(|f| f.covers(&needed)) {
             let frag = &partition.fragments()[host];
             let local_cfd = rebase_cfd(cfd, &frag.data, &frag.attrs)?;
             let vs = dcd_cfd::detect(&frag.data, &local_cfd);
@@ -94,9 +92,7 @@ pub fn detect_vertical(
             .attrs
             .iter()
             .copied()
-            .filter(|a| {
-                needed.contains(a) || partition.schema().key().contains(a)
-            })
+            .filter(|a| needed.contains(a) || partition.schema().key().contains(a))
             .collect();
         let mut matrix = vec![vec![0usize; n]; n];
         for (i, frag) in partition.fragments().iter().enumerate() {
@@ -163,10 +159,8 @@ fn restrict_to_needed(
         .copied()
         .filter(|a| needed.contains(a) || partition.schema().key().contains(a))
         .collect();
-    let keep_local: Vec<AttrId> = keep_orig
-        .iter()
-        .map(|&a| frag.local_attr(a).expect("attr is in fragment"))
-        .collect();
+    let keep_local: Vec<AttrId> =
+        keep_orig.iter().map(|&a| frag.local_attr(a).expect("attr is in fragment")).collect();
     let mut rel = dcd_relation::ops::project(
         &frag.data,
         &format!("{}_ship", frag.data.schema().name()),
@@ -287,9 +281,8 @@ mod tests {
         let global = dcd_cfd::detect(&rel, &cfd);
         assert!(!global.tids.is_empty());
         for mode in [ShipMode::Full, ShipMode::Filtered] {
-            let out =
-                detect_vertical(&p, std::slice::from_ref(&cfd), mode, &CostModel::default())
-                    .unwrap();
+            let out = detect_vertical(&p, std::slice::from_ref(&cfd), mode, &CostModel::default())
+                .unwrap();
             let (_, vs) = &out.violations.per_cfd[0];
             assert_eq!(vs.tids, global.tids, "{mode:?}");
             assert!(out.shipped_tuples > 0, "{mode:?} must ship");
@@ -367,8 +360,7 @@ mod tests {
             parse_cfd(rel.schema(), "remote", "([CC, title] -> [salary])").unwrap(),
         ];
         let global = dcd_cfd::detect_set(&rel, &sigma);
-        let out =
-            detect_vertical(&p, &sigma, ShipMode::Filtered, &CostModel::default()).unwrap();
+        let out = detect_vertical(&p, &sigma, ShipMode::Filtered, &CostModel::default()).unwrap();
         assert_eq!(out.locally_checked, 1);
         assert_eq!(out.violations.all_tids(), global.all_tids());
     }

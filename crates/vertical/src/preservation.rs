@@ -130,9 +130,7 @@ pub fn gamma_implies(
     // Conclusion: t1[A] = t2[A] ≍ tp[A].
     let cell = &know[phi.rhs.index()];
     match &phi.pattern.rhs {
-        PatternValue::Wild => {
-            cell.eq || (cell.c1.is_some() && cell.c1 == cell.c2)
-        }
+        PatternValue::Wild => cell.eq || (cell.c1.is_some() && cell.c1 == cell.c2),
         PatternValue::Const(c) => {
             let both = cell.c1.as_ref() == Some(c) && cell.c2.as_ref() == Some(c);
             both

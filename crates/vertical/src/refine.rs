@@ -50,11 +50,7 @@ impl Augmentation {
 /// All candidate (fragment, attribute) pairs: attributes a CFD of Σ
 /// mentions that the fragment lacks. Pairs outside this set can never
 /// help preservation.
-fn candidate_pairs(
-    arity: usize,
-    groups: &[Vec<AttrId>],
-    sigma: &[Cfd],
-) -> Vec<(usize, AttrId)> {
+fn candidate_pairs(arity: usize, groups: &[Vec<AttrId>], sigma: &[Cfd]) -> Vec<(usize, AttrId)> {
     let mut mentioned = dcd_cfd::AttrSet::empty(arity);
     for cfd in sigma {
         mentioned.union_with(&cfd.attrs());
@@ -151,10 +147,8 @@ pub fn refine_greedy(arity: usize, groups: &[Vec<AttrId>], sigma: &[Cfd]) -> Aug
         let mut best: Option<(usize, usize, Vec<AttrId>)> = None; // (cost, frag, attrs)
         for phi in &bad {
             for (i, g) in current.iter().enumerate() {
-                let missing: Vec<AttrId> = attrs_of(phi)
-                    .into_iter()
-                    .filter(|a| !g.contains(a))
-                    .collect();
+                let missing: Vec<AttrId> =
+                    attrs_of(phi).into_iter().filter(|a| !g.contains(a)).collect();
                 let cost = missing.len();
                 if cost == 0 {
                     continue; // covered syntactically yet still unpreserved
@@ -165,8 +159,7 @@ pub fn refine_greedy(arity: usize, groups: &[Vec<AttrId>], sigma: &[Cfd]) -> Aug
                 }
             }
         }
-        let (_, frag, attrs) =
-            best.expect("unpreserved CFD must be missing attributes somewhere");
+        let (_, frag, attrs) = best.expect("unpreserved CFD must be missing attributes somewhere");
         for a in attrs {
             current[frag].push(a);
             aug.adds[frag].push(a);
@@ -297,8 +290,7 @@ mod tests {
             parse_cfd(&s, "f2", "([b] -> [c])").unwrap(),
         ];
         // Fragments {a}, {b}, {c}: both FDs span fragments.
-        let groups =
-            vec![vec![AttrId(0)], vec![AttrId(1)], vec![AttrId(2)]];
+        let groups = vec![vec![AttrId(0)], vec![AttrId(1)], vec![AttrId(2)]];
         let exact = refine_exact(s.arity(), &groups, &sigma, 2).unwrap();
         assert_eq!(exact.size(), 2);
         let greedy = refine_greedy(s.arity(), &groups, &sigma);

@@ -93,12 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let mut ids: Vec<u64> = total.all_tids().iter().map(|t| t.0 + 1).collect();
         ids.sort();
-        println!(
-            "  {:<12} shipped {:>2} tuples, found t{:?}",
-            det.name(),
-            shipped,
-            ids
-        );
+        println!("  {:<12} shipped {:>2} tuples, found t{:?}", det.name(), shipped, ids);
         assert_eq!(total.all_tids(), report.all_tids(), "distributed == centralized");
     }
     println!("\nAll algorithms agree with centralized detection.");

@@ -75,7 +75,5 @@ pub mod prelude {
         vals, Atom, CmpOp, Conjunction, Predicate, Relation, Schema, Tuple, TupleId, Value,
         ValueType,
     };
-    pub use dcd_vertical::{
-        detect_vertical, is_preserved, refine_exact, refine_greedy, ShipMode,
-    };
+    pub use dcd_vertical::{detect_vertical, is_preserved, refine_exact, refine_greedy, ShipMode};
 }

@@ -4,7 +4,9 @@
 //! Beeri–Honeyman check), and the Theorem 1 instances checked against
 //! the exhaustive minimum-shipment search of `dcd-core`.
 
-use distributed_cfd::complexity::{mhd_reduction, mrp_reduction, HittingSetInstance, SetCoverInstance};
+use distributed_cfd::complexity::{
+    mhd_reduction, mrp_reduction, HittingSetInstance, SetCoverInstance,
+};
 use distributed_cfd::prelude::*;
 use distributed_cfd::vertical::is_preserved;
 
@@ -53,10 +55,8 @@ fn mhd_reduction_checked_against_detection_machinery() {
     // validate the reduction against full detection instead: shipping
     // the prescribed cover-based set M makes the per-site union of Vioπ
     // equal the global one for all four FDs — using the real detectors.
-    let msc = SetCoverInstance::new(
-        6,
-        vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 3, 5], vec![0, 2, 4]],
-    );
+    let msc =
+        SetCoverInstance::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 3, 5], vec![0, 2, 4]]);
     let inst = mhd_reduction(&msc);
     let cover = msc.exact_cover().unwrap();
     let shipment = inst.shipment_for_cover(&cover);
@@ -72,10 +72,8 @@ fn mhd_reduction_checked_against_detection_machinery() {
 
 #[test]
 fn greedy_cover_drives_a_valid_but_larger_shipment() {
-    let msc = SetCoverInstance::new(
-        6,
-        vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 3, 5], vec![0, 2, 4]],
-    );
+    let msc =
+        SetCoverInstance::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 3, 5], vec![0, 2, 4]]);
     let inst = mhd_reduction(&msc);
     let greedy = msc.greedy_cover().unwrap();
     let shipment = inst.shipment_for_cover(&greedy);
@@ -88,11 +86,8 @@ fn greedy_cover_drives_a_valid_but_larger_shipment() {
 fn exhaustive_min_shipment_on_a_micro_mhd_like_instance() {
     // The Theorem 1 *shape* at micro scale: two single-tuple "subset"
     // fragments and a "universe" fragment with conflicting B values.
-    let schema = Schema::builder("r")
-        .attr("a", ValueType::Str)
-        .attr("b", ValueType::Str)
-        .build()
-        .unwrap();
+    let schema =
+        Schema::builder("r").attr("a", ValueType::Str).attr("b", ValueType::Str).build().unwrap();
     let rel = Relation::from_rows(
         schema.clone(),
         vec![
@@ -116,10 +111,8 @@ fn exhaustive_min_shipment_on_a_micro_mhd_like_instance() {
     let simple = fd.simplify().pop().unwrap();
     // Both conflicts span sites: at least 2 shipments; exactly 2 suffice
     // (ship each subset tuple to the universe site).
-    let opt = distributed_cfd::core::min_shipment_exhaustive(
-        &partition,
-        std::slice::from_ref(&simple),
-    )
-    .unwrap();
+    let opt =
+        distributed_cfd::core::min_shipment_exhaustive(&partition, std::slice::from_ref(&simple))
+            .unwrap();
     assert_eq!(opt, 2);
 }

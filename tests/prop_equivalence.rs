@@ -25,9 +25,7 @@ fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, u8, u8)>> {
 fn build_relation(rows: &[(i64, i64, u8, u8)]) -> Relation {
     Relation::from_rows(
         schema(),
-        rows.iter()
-            .map(|&(a, b, c, d)| vals![a, b, format!("c{c}"), format!("d{d}")])
-            .collect(),
+        rows.iter().map(|&(a, b, c, d)| vals![a, b, format!("c{c}"), format!("d{d}")]).collect(),
     )
     .unwrap()
 }
@@ -38,11 +36,7 @@ fn arb_cfd() -> impl Strategy<Value = Vec<(Option<i64>, Option<i64>, Option<u8>)
     // Each element is one pattern row: constants or None (wildcard) per
     // LHS attribute.
     prop::collection::vec(
-        (
-            prop::option::of(0..4i64),
-            prop::option::of(0..4i64),
-            prop::option::of(0..3u8),
-        ),
+        (prop::option::of(0..4i64), prop::option::of(0..4i64), prop::option::of(0..3u8)),
         1..5,
     )
 }

@@ -43,8 +43,7 @@ fn arb_split() -> impl Strategy<Value = Vec<bool>> {
 fn groups_from_split(rel: &Relation, split: &[bool]) -> Option<VerticalPartition> {
     let names = ["a", "b", "c", "d"];
     let left: Vec<&str> = names.iter().zip(split).filter(|(_, &s)| s).map(|(n, _)| *n).collect();
-    let right: Vec<&str> =
-        names.iter().zip(split).filter(|(_, &s)| !s).map(|(n, _)| *n).collect();
+    let right: Vec<&str> = names.iter().zip(split).filter(|(_, &s)| !s).map(|(n, _)| *n).collect();
     if left.is_empty() || right.is_empty() {
         return None;
     }
