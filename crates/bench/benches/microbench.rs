@@ -1,0 +1,155 @@
+//! Microbenchmarks for the dictionary-encoded columnar hot loops:
+//! `group_by` and `sigma_partition` over the Fig. 3 scaling workload
+//! (`cust16`, the Exp-2/3 data), comparing the live columnar path
+//! against the seed's row-oriented reference implementations (value
+//! hashing / symbolic pattern matching), which are reproduced here
+//! verbatim as the baseline.
+//!
+//! Set `DCD_BENCH_JSON=<path>` to additionally record the results as a
+//! `BENCH_*.json` perf-trajectory entry.
+
+use criterion::black_box;
+use dcd_cfd::pattern::tuple_matches;
+use dcd_core::sigma::{sigma_partition, sort_for_sigma, SigmaPartition, SortedCfd};
+use dcd_relation::ops::group_by;
+use dcd_relation::{AttrId, FxHashMap, Relation, Value};
+use std::time::{Duration, Instant};
+
+/// The seed's `group_by`: hash owned value projections, one `Vec<Value>`
+/// allocation per tuple.
+fn row_group_by(rel: &Relation, attrs: &[AttrId]) -> FxHashMap<Vec<Value>, Vec<usize>> {
+    let mut groups: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    for (i, t) in rel.iter().enumerate() {
+        groups.entry(t.project(attrs)).or_default().push(i);
+    }
+    groups
+}
+
+/// The seed's `sigma_partition`: symbolic `tuple_matches` per tuple per
+/// pattern, re-walking enum cells every time.
+fn row_sigma_partition(
+    fragment: &Relation,
+    sorted: &SortedCfd,
+    applicable: &[usize],
+) -> SigmaPartition {
+    let k = sorted.cfd.tableau.len();
+    let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut comparisons = 0usize;
+    for (ti, t) in fragment.iter().enumerate() {
+        for &pi in applicable {
+            comparisons += 1;
+            if tuple_matches(t, &sorted.cfd.lhs, &sorted.cfd.tableau[pi].lhs) {
+                blocks[pi].push(ti);
+                break;
+            }
+        }
+    }
+    SigmaPartition { blocks, comparisons }
+}
+
+/// Median wall time of `samples` runs (one untimed warm-up).
+fn median_time<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
+    black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+struct Comparison {
+    name: &'static str,
+    baseline: Duration,
+    columnar: Duration,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.baseline.as_secs_f64() / self.columnar.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+fn main() {
+    let samples: usize =
+        std::env::var("DCD_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let w = dcd_bench::workloads::cust16();
+    let rel = &w.relation;
+    let cfd = w.main_cfd();
+    let sorted = sort_for_sigma(&cfd);
+    let applicable: Vec<usize> = (0..sorted.cfd.tableau.len()).collect();
+
+    println!(
+        "microbench: cust16 fig3-scaling workload — {} tuples, {} LHS attrs, {} patterns, {} samples",
+        rel.len(),
+        cfd.lhs.len(),
+        cfd.tableau.len(),
+        samples,
+    );
+
+    let comparisons = vec![
+        Comparison {
+            name: "group_by",
+            baseline: median_time(samples, || row_group_by(rel, &cfd.lhs)),
+            columnar: median_time(samples, || group_by(rel, &cfd.lhs)),
+        },
+        Comparison {
+            name: "sigma_partition",
+            baseline: median_time(samples, || row_sigma_partition(rel, &sorted, &applicable)),
+            columnar: median_time(samples, || sigma_partition(rel, &sorted, &applicable)),
+        },
+    ];
+
+    for c in &comparisons {
+        println!(
+            "  {:<18} row {:>10.3?}   columnar {:>10.3?}   speedup {:>5.2}x",
+            c.name,
+            c.baseline,
+            c.columnar,
+            c.speedup()
+        );
+    }
+
+    if let Ok(path) = std::env::var("DCD_BENCH_JSON") {
+        let entries: Vec<String> = comparisons
+            .iter()
+            .map(|c| {
+                format!(
+                    concat!(
+                        "    {{\"name\": \"{}\", \"baseline_row_ms\": {:.3}, ",
+                        "\"columnar_ms\": {:.3}, \"speedup\": {:.2}}}"
+                    ),
+                    c.name,
+                    c.baseline.as_secs_f64() * 1e3,
+                    c.columnar.as_secs_f64() * 1e3,
+                    c.speedup()
+                )
+            })
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"columnar_microbench\",\n",
+                "  \"workload\": \"cust16 (fig3 scaling), DCD_SCALE={}\",\n",
+                "  \"tuples\": {},\n",
+                "  \"lhs_attrs\": {},\n",
+                "  \"patterns\": {},\n",
+                "  \"samples\": {},\n",
+                "  \"baseline\": \"seed row-oriented group_by / sigma_partition (PR 2)\",\n",
+                "  \"results\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            dcd_bench::workloads::scale(),
+            rel.len(),
+            cfd.lhs.len(),
+            cfd.tableau.len(),
+            samples,
+            entries.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write DCD_BENCH_JSON");
+        println!("  wrote {path}");
+    }
+}

@@ -1,6 +1,14 @@
 //! Pattern values, pattern tuples and the match operator `≍`.
+//!
+//! Patterns exist in two forms: the symbolic [`PatternValue`] cells used
+//! for parsing, display and implication reasoning, and the
+//! [`CompiledPattern`] form used by the detection hot loops — pattern
+//! constants resolved *once* against a relation's dictionaries into `u32`
+//! codes (wildcard = [`WILDCARD_CODE`]), after which the match operator
+//! `≍` is a per-attribute integer compare over the relation's code
+//! columns.
 
-use dcd_relation::{Atom, AttrId, Conjunction, Tuple, Value};
+use dcd_relation::{Atom, AttrId, Conjunction, Relation, Tuple, Value, NO_CODE, WILDCARD_CODE};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -164,6 +172,73 @@ impl fmt::Display for NormalPattern {
     }
 }
 
+/// A [`NormalPattern`] compiled against one relation's dictionaries: one
+/// code per LHS cell plus the RHS code. Compilation costs one dictionary
+/// lookup per constant; matching a tuple afterwards is pure `u32`
+/// comparison over the relation's code columns.
+///
+/// Sentinels: [`WILDCARD_CODE`] marks a wildcard cell (matches every
+/// code); [`NO_CODE`] marks a constant the dictionary has never seen —
+/// such a cell matches *no* tuple of the relation, so a pattern with a
+/// `NO_CODE` LHS cell is infeasible there ([`CompiledPattern::feasible`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    /// LHS cell codes, aligned with the CFD's `X` attribute list.
+    pub lhs: Vec<u32>,
+    /// RHS cell code (`WILDCARD_CODE` for variable patterns, `NO_CODE`
+    /// for a constant absent from the relation — then *every* tuple's
+    /// RHS differs from it).
+    pub rhs: u32,
+    /// Whether any tuple of the compiled-against relation can match the
+    /// LHS (false iff some LHS constant is absent from its dictionary).
+    pub feasible: bool,
+}
+
+impl CompiledPattern {
+    /// Compiles `pattern` against `rel`'s dictionaries. `lhs`/`rhs` name
+    /// the CFD's attribute lists in `rel`'s schema.
+    pub fn compile(pattern: &NormalPattern, rel: &Relation, lhs: &[AttrId], rhs: AttrId) -> Self {
+        debug_assert_eq!(lhs.len(), pattern.lhs.len());
+        let cell = |attr: AttrId, p: &PatternValue| match p {
+            PatternValue::Wild => WILDCARD_CODE,
+            PatternValue::Const(c) => rel.dictionary(attr).code_of(c).unwrap_or(NO_CODE),
+        };
+        let lhs_codes: Vec<u32> = lhs.iter().zip(&pattern.lhs).map(|(&a, p)| cell(a, p)).collect();
+        let feasible = lhs_codes.iter().all(|&c| c != NO_CODE);
+        CompiledPattern { lhs: lhs_codes, rhs: cell(rhs, &pattern.rhs), feasible }
+    }
+
+    /// `t[X] ≍ tp[X]` for row `i` of the code columns the pattern was
+    /// compiled against (`cols[j]` = codes of LHS attribute `j`).
+    #[inline]
+    pub fn matches_row(&self, cols: &[&[u32]], i: usize) -> bool {
+        self.lhs.iter().zip(cols).all(|(&pc, col)| pc == WILDCARD_CODE || pc == col[i])
+    }
+
+    /// `key ≍ tp[X]` for a materialized group key of codes.
+    #[inline]
+    pub fn matches_codes(&self, key: &[u32]) -> bool {
+        debug_assert_eq!(self.lhs.len(), key.len());
+        self.lhs.iter().zip(key).all(|(&pc, &kc)| pc == WILDCARD_CODE || pc == kc)
+    }
+
+    /// Whether this compiled pattern's RHS is the wildcard.
+    #[inline]
+    pub fn rhs_is_wild(&self) -> bool {
+        self.rhs == WILDCARD_CODE
+    }
+}
+
+/// Compiles a whole tableau against one relation (order preserved).
+pub fn compile_tableau(
+    tableau: &[NormalPattern],
+    rel: &Relation,
+    lhs: &[AttrId],
+    rhs: AttrId,
+) -> Vec<CompiledPattern> {
+    tableau.iter().map(|p| CompiledPattern::compile(p, rel, lhs, rhs)).collect()
+}
+
 /// Sorts pattern indices most-specific-first: ascending by number of LHS
 /// wildcards (the order required by Lemma 6's σ function). Ties keep the
 /// original tableau order, making the sort deterministic.
@@ -247,6 +322,52 @@ mod tests {
             NormalPattern::new(vec![w.clone(), c.clone()], w.clone()), // 1 (tie → original order)
         ];
         assert_eq!(generality_order(&pats), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn compiled_pattern_matches_like_symbolic() {
+        use dcd_relation::{vals, Schema, ValueType};
+        let schema = Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("city", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .build()
+            .unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            vec![vals![44, "EDI", "a"], vals![31, "NYC", "b"], vals![44, "NYC", "c"]],
+        )
+        .unwrap();
+        let lhs = [AttrId(0), AttrId(1)];
+        let rhs = AttrId(2);
+        let pat = NormalPattern::new(
+            vec![PatternValue::constant(44), PatternValue::Wild],
+            PatternValue::Wild,
+        );
+        let compiled = CompiledPattern::compile(&pat, &rel, &lhs, rhs);
+        assert!(compiled.feasible);
+        assert!(compiled.rhs_is_wild());
+        let cols = rel.code_slices(&lhs);
+        for (i, t) in rel.iter().enumerate() {
+            assert_eq!(compiled.matches_row(&cols, i), tuple_matches(t, &lhs, &pat.lhs), "row {i}");
+        }
+        // A constant the relation never saw → infeasible.
+        let missing = NormalPattern::new(
+            vec![PatternValue::constant(999), PatternValue::Wild],
+            PatternValue::Wild,
+        );
+        let compiled = CompiledPattern::compile(&missing, &rel, &lhs, rhs);
+        assert!(!compiled.feasible);
+        for i in 0..rel.len() {
+            assert!(!compiled.matches_row(&cols, i), "NO_CODE must match nothing");
+        }
+        // A missing RHS constant stays representable (every tuple differs).
+        let rhs_missing =
+            NormalPattern::new(vec![PatternValue::Wild; 2], PatternValue::constant("nope"));
+        let compiled = CompiledPattern::compile(&rhs_missing, &rel, &lhs, rhs);
+        assert!(compiled.feasible);
+        assert_eq!(compiled.rhs, dcd_relation::NO_CODE);
+        assert!(rel.column(rhs).codes().iter().all(|&c| c != compiled.rhs));
     }
 
     #[test]

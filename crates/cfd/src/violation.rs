@@ -28,8 +28,10 @@
 //! identical under both.
 
 use crate::cfd::{Cfd, SimpleCfd};
-use crate::pattern::values_match;
-use dcd_relation::{FxHashSet, Relation, Tuple, TupleId, Value};
+use crate::pattern::{compile_tableau, values_match};
+use dcd_relation::ops::CodeKey;
+use dcd_relation::{FxHashMap, FxHashSet, Relation, Tuple, TupleId, Value};
+use std::sync::Arc;
 
 /// The violations of one CFD in one relation: the tuple ids `Vio(φ, D)`
 /// and the projected patterns `Vioπ(φ, D)` (distinct `t[X]` of violating
@@ -76,10 +78,14 @@ impl ViolationSet {
 
 /// A labelled collection of violation sets, one per CFD — the output
 /// shape of multi-CFD detection.
+///
+/// Labels are interned `Arc<str>`s: detection runs absorb per-fragment
+/// results once per CFD per round, and re-allocating a `String` key each
+/// time showed up in the multi-CFD profiles.
 #[derive(Debug, Clone, Default)]
 pub struct ViolationReport {
     /// Per-CFD results, labelled by CFD name.
-    pub per_cfd: Vec<(String, ViolationSet)>,
+    pub per_cfd: Vec<(Arc<str>, ViolationSet)>,
 }
 
 impl ViolationReport {
@@ -92,12 +98,14 @@ impl ViolationReport {
         out
     }
 
-    /// Adds (merging by name) a per-CFD violation set.
+    /// Adds (merging by name) a per-CFD violation set. The name is
+    /// interned on first sight; later absorbs for the same CFD allocate
+    /// nothing.
     pub fn absorb(&mut self, name: &str, vs: ViolationSet) {
-        if let Some((_, existing)) = self.per_cfd.iter_mut().find(|(n, _)| n == name) {
+        if let Some((_, existing)) = self.per_cfd.iter_mut().find(|(n, _)| n.as_ref() == name) {
             existing.merge(vs);
         } else {
-            self.per_cfd.push((name.to_string(), vs));
+            self.per_cfd.push((Arc::from(name), vs));
         }
     }
 
@@ -133,9 +141,88 @@ pub fn detect_among(tuples: &[&Tuple], cfd: &SimpleCfd) -> ViolationSet {
     detect_among_with(tuples, cfd, false)
 }
 
+/// The columnar detection path: the whole algorithm runs on dictionary
+/// codes. Patterns compile once against `rel`'s dictionaries; the group
+/// keys are packed code keys; the distinct-RHS test counts distinct `u32`
+/// codes (the dictionary is a bijection, so code equality *is* value
+/// equality); only violating group keys are ever decoded back to values.
+/// Semantically identical to [`detect_among_with`] over all of `rel`'s
+/// tuples — pinned by the workspace equivalence property tests.
 fn detect_simple_with(rel: &Relation, cfd: &SimpleCfd, strict: bool) -> ViolationSet {
-    let refs: Vec<&Tuple> = rel.iter().collect();
-    detect_among_with(&refs, cfd, strict)
+    let mut out = ViolationSet::default();
+    if cfd.tableau.is_empty() {
+        return out;
+    }
+    let compiled = compile_tableau(&cfd.tableau, rel, &cfd.lhs, cfd.rhs);
+    if compiled.iter().all(|p| !p.feasible) {
+        // Every pattern names a constant the relation never saw.
+        return out;
+    }
+    let lhs_cols = rel.code_slices(&cfd.lhs);
+    let rhs_col = rel.column(cfd.rhs).codes();
+    // Group once over rows matching *some* pattern; per group, test
+    // every pattern the group key matches.
+    let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
+    for i in 0..rel.len() {
+        if compiled.iter().any(|p| p.feasible && p.matches_row(&lhs_cols, i)) {
+            groups.entry(CodeKey::of_row(&lhs_cols, i)).or_default().push(i);
+        }
+    }
+
+    let width = cfd.lhs.len();
+    let tuples = rel.tuples();
+    for (key, members) in &groups {
+        let key_codes = key.codes(width);
+        let mut group_flagged = false;
+        let mut member_flags: Option<Vec<bool>> = None;
+        // Distinct-RHS count computed lazily at the first matching pattern.
+        let mut fd_conflict: Option<bool> = None;
+        for pat in &compiled {
+            if !pat.matches_codes(&key_codes) {
+                continue;
+            }
+            let conflict = *fd_conflict.get_or_insert_with(|| {
+                let distinct: FxHashSet<u32> = members.iter().map(|&i| rhs_col[i]).collect();
+                distinct.len() > 1
+            });
+            if pat.rhs_is_wild() {
+                // Variable pattern: all members violate iff ≥2 distinct
+                // RHS values in the group.
+                group_flagged |= conflict;
+            } else {
+                if strict && conflict {
+                    group_flagged = true;
+                }
+                // Single-tuple rule: t[A] ≭ c (a NO_CODE RHS constant
+                // differs from every tuple by construction).
+                let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
+                for (fi, &i) in members.iter().enumerate() {
+                    if rhs_col[i] != pat.rhs {
+                        flags[fi] = true;
+                    }
+                }
+            }
+            if group_flagged {
+                break; // every member is flagged; further patterns add nothing
+            }
+        }
+        if group_flagged {
+            out.patterns.insert(rel.decode_projection(&cfd.lhs, &key_codes));
+            out.tids.extend(members.iter().map(|&i| tuples[i].tid));
+        } else if let Some(flags) = member_flags {
+            let mut any = false;
+            for (fi, &i) in members.iter().enumerate() {
+                if flags[fi] {
+                    out.tids.insert(tuples[i].tid);
+                    any = true;
+                }
+            }
+            if any {
+                out.patterns.insert(rel.decode_projection(&cfd.lhs, &key_codes));
+            }
+        }
+    }
+    out
 }
 
 fn detect_among_with(tuples: &[&Tuple], cfd: &SimpleCfd, strict: bool) -> ViolationSet {
@@ -221,7 +308,7 @@ pub fn detect(rel: &Relation, cfd: &Cfd) -> ViolationSet {
 pub fn detect_set(rel: &Relation, sigma: &[Cfd]) -> ViolationReport {
     let mut report = ViolationReport::default();
     for cfd in sigma {
-        report.per_cfd.push((cfd.name().to_string(), detect(rel, cfd)));
+        report.per_cfd.push((Arc::from(cfd.name()), detect(rel, cfd)));
     }
     report
 }

@@ -10,9 +10,9 @@
 //!    pattern.
 
 use dcd_cfd::violation::ViolationSet;
-use dcd_cfd::{detect_among, NormalCfd, NormalPattern, SimpleCfd};
+use dcd_cfd::{detect_simple, NormalCfd, NormalPattern, SimpleCfd};
 use dcd_dist::Fragment;
-use dcd_relation::{AttrId, Predicate, Tuple};
+use dcd_relation::{AttrId, Predicate};
 
 /// Checks the partitioning condition: `true` iff fragment `frag` may
 /// contain tuples matching `pattern` (i.e. we cannot refute
@@ -38,10 +38,13 @@ pub fn applicable_patterns(frag: &Fragment, cfd: &SimpleCfd) -> Vec<usize> {
 
 /// Checks a batch of constant CFDs locally on one fragment
 /// (Proposition 5). Returns the merged violation set. Patterns whose
-/// constants contradict the fragment predicate are skipped entirely.
+/// constants contradict the fragment predicate are skipped entirely;
+/// the rest run on the fragment's code columns (the columnar
+/// [`detect_simple`] path — fragments share the parent relation's
+/// dictionaries, so the pattern constants compile to the same codes at
+/// every site).
 pub fn check_constants_locally(frag: &Fragment, constants: &[NormalCfd]) -> ViolationSet {
     let mut out = ViolationSet::default();
-    let refs: Vec<&Tuple> = frag.data.iter().collect();
     for nc in constants {
         if !pattern_applicable(frag, &nc.lhs, &nc.pattern) {
             continue;
@@ -53,7 +56,7 @@ pub fn check_constants_locally(frag: &Fragment, constants: &[NormalCfd]) -> Viol
             rhs: nc.rhs,
             tableau: vec![nc.pattern.clone()],
         };
-        out.merge(detect_among(&refs, &as_simple));
+        out.merge(detect_simple(&frag.data, &as_simple));
     }
     out
 }

@@ -8,9 +8,10 @@
 //! validated at its own coordinator (Lemma 6). This module computes the
 //! per-fragment blocks `H_i^j` and the `lstat[i, j]` statistics.
 
-use dcd_cfd::pattern::tuple_matches;
+use dcd_cfd::pattern::compile_tableau;
 use dcd_cfd::{NormalPattern, SimpleCfd};
-use dcd_relation::Relation;
+use dcd_relation::ops::CodeKey;
+use dcd_relation::{FxHashMap, Relation};
 
 /// A [`SimpleCfd`] with its tableau re-sorted most-specific-first, as
 /// required by σ. Construct via [`sort_for_sigma`].
@@ -67,6 +68,16 @@ impl SigmaPartition {
 /// indices (the partitioning condition guarantees the skipped patterns
 /// cannot match any tuple of this fragment). `applicable` must be sorted
 /// ascending; pass `0..k` when no fragment predicate is available.
+///
+/// The tableau is compiled against the fragment's dictionaries once
+/// (one lookup per pattern constant), after which everything runs on the
+/// fragment's `u32` code columns. Because `σ(t)` depends only on `t[X]`,
+/// the tableau scan runs once per *distinct* LHS code key (grouped via a
+/// packed-key hash — see `dcd_relation::ops::CodeKey`), and every row is
+/// then assigned by a single group-id lookup. Tuples agreeing on `X`
+/// scan exactly the same patterns, so `comparisons` (one unit per
+/// pattern tried per tuple, feeding the response-time model) and the
+/// per-block index order are bit-identical to the naive per-tuple scan.
 pub fn sigma_partition(
     fragment: &Relation,
     sorted: &SortedCfd,
@@ -74,14 +85,47 @@ pub fn sigma_partition(
 ) -> SigmaPartition {
     let k = sorted.cfd.tableau.len();
     let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); k];
-    let mut comparisons = 0usize;
-    for (ti, t) in fragment.iter().enumerate() {
-        for &pi in applicable {
-            comparisons += 1;
-            if tuple_matches(t, &sorted.cfd.lhs, &sorted.cfd.tableau[pi].lhs) {
-                blocks[pi].push(ti);
-                break;
+    let compiled = compile_tableau(&sorted.cfd.tableau, fragment, &sorted.cfd.lhs, sorted.cfd.rhs);
+    let lhs_cols = fragment.code_slices(&sorted.cfd.lhs);
+
+    // Pass 1: dense group ids per distinct LHS key, one representative
+    // row per group.
+    let mut group_of: FxHashMap<CodeKey, u32> = FxHashMap::default();
+    let mut row_group: Vec<u32> = Vec::with_capacity(fragment.len());
+    let mut reps: Vec<usize> = Vec::new();
+    for ti in 0..fragment.len() {
+        let next = reps.len() as u32;
+        let gid = *group_of.entry(CodeKey::of_row(&lhs_cols, ti)).or_insert_with(|| {
+            reps.push(ti);
+            next
+        });
+        row_group.push(gid);
+    }
+
+    // Pass 2: σ per distinct key — the first applicable pattern the
+    // representative matches, plus how many patterns it tried.
+    let assigned: Vec<(Option<usize>, usize)> = reps
+        .iter()
+        .map(|&ri| {
+            let mut tries = 0usize;
+            for &pi in applicable {
+                tries += 1;
+                if compiled[pi].matches_row(&lhs_cols, ri) {
+                    return (Some(pi), tries);
+                }
             }
+            (None, tries)
+        })
+        .collect();
+
+    // Pass 3: assign rows in order (preserving per-block index order)
+    // and accumulate the per-tuple comparison count.
+    let mut comparisons = 0usize;
+    for (ti, &gid) in row_group.iter().enumerate() {
+        let (pat, tries) = assigned[gid as usize];
+        comparisons += tries;
+        if let Some(pi) = pat {
+            blocks[pi].push(ti);
         }
     }
     SigmaPartition { blocks, comparisons }

@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn senders_without_traffic_do_not_move() {
         let mut clocks = SiteClocks::new(2);
-        clocks.transfer(&vec![vec![0, 0], vec![0, 0]], &unit_cost());
+        clocks.transfer(&[vec![0, 0], vec![0, 0]], &unit_cost());
         assert_eq!(clocks.response_time(), 0.0);
     }
 

@@ -4,7 +4,7 @@ use crate::site::SiteId;
 use dcd_relation::fxhash::FxBuildHasher;
 use dcd_relation::{Predicate, Relation, RelationError, Schema, TupleId};
 use std::collections::HashSet;
-use std::hash::{BuildHasher, Hash, Hasher};
+use std::hash::BuildHasher;
 use std::sync::Arc;
 
 /// One horizontal fragment `Di` at site `Si`.
@@ -74,8 +74,10 @@ impl HorizontalPartition {
             });
         }
         let schema = rel.schema().clone();
+        // Fragments share the parent's dictionaries: codes stay
+        // comparable across sites and nothing is re-encoded.
         let mut data: Vec<Relation> =
-            (0..n).map(|_| Relation::with_capacity(schema.clone(), rel.len() / n + 1)).collect();
+            (0..n).map(|_| rel.with_capacity_like(rel.len() / n + 1)).collect();
         for (i, t) in rel.iter().enumerate() {
             data[i % n].push_tuple(t.clone())?;
         }
@@ -100,11 +102,9 @@ impl HorizontalPartition {
         let a = rel.schema().require(attr)?;
         let schema = rel.schema().clone();
         let hasher = FxBuildHasher::default();
-        let mut data: Vec<Relation> = (0..n).map(|_| Relation::new(schema.clone())).collect();
+        let mut data: Vec<Relation> = (0..n).map(|_| rel.empty_like()).collect();
         for t in rel.iter() {
-            let mut h = hasher.build_hasher();
-            t.get(a).hash(&mut h);
-            data[(h.finish() % n as u64) as usize].push_tuple(t.clone())?;
+            data[(hasher.hash_one(t.get(a)) % n as u64) as usize].push_tuple(t.clone())?;
         }
         Self::from_fragments(
             schema,
@@ -129,8 +129,7 @@ impl HorizontalPartition {
             });
         }
         let schema = rel.schema().clone();
-        let mut data: Vec<Relation> =
-            (0..predicates.len()).map(|_| Relation::new(schema.clone())).collect();
+        let mut data: Vec<Relation> = (0..predicates.len()).map(|_| rel.empty_like()).collect();
         for t in rel.iter() {
             match predicates.iter().position(|p| p.eval(t)) {
                 Some(i) => data[i].push_tuple(t.clone())?,
@@ -212,7 +211,9 @@ impl HorizontalPartition {
     /// preserved, so detection results on the reassembly are comparable
     /// with distributed ones).
     pub fn reassemble(&self) -> Result<Relation, RelationError> {
-        let mut out = Relation::with_capacity(self.schema.clone(), self.total_tuples());
+        // Fragments built by this module share one dictionary set; the
+        // reassembly extends it rather than re-interning every value.
+        let mut out = self.fragments[0].data.with_capacity_like(self.total_tuples());
         for frag in &self.fragments {
             for t in frag.data.iter() {
                 out.push_tuple(t.clone())?;

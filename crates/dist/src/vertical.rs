@@ -92,7 +92,11 @@ impl VerticalPartition {
                 }
             }
             let frag_schema = schema.project(format!("{}_v{}", schema.name(), i + 1), &attrs)?;
-            let mut data = Relation::with_capacity(frag_schema, rel.len());
+            // Share the parent's dictionaries for the projected columns,
+            // so codes stay comparable across vertical fragments (the
+            // reconstruction join compares key codes directly).
+            let mut data =
+                Relation::with_dictionaries(frag_schema, rel.dictionaries_of(&attrs), rel.len())?;
             for t in rel.iter() {
                 data.push_tuple(Tuple::new(t.tid, t.project(&attrs)))?;
             }
@@ -128,7 +132,23 @@ impl VerticalPartition {
         use dcd_relation::Value;
         let arity = self.schema.arity();
         let first = &self.fragments[0];
-        let mut out = Relation::with_capacity(self.schema.clone(), first.data.len());
+        // Every original attribute lives in some fragment (coverage is
+        // validated at construction); reuse that fragment's dictionary so
+        // the reassembly re-interns nothing.
+        let dicts = self
+            .schema
+            .attr_ids()
+            .map(|a| {
+                let frag = self
+                    .fragments
+                    .iter()
+                    .find(|f| f.attrs.contains(&a))
+                    .expect("coverage validated at construction");
+                let local = frag.local_attr(a).expect("attr is in the fragment");
+                frag.data.dictionary(local).clone()
+            })
+            .collect();
+        let mut out = Relation::with_dictionaries(self.schema.clone(), dicts, first.data.len())?;
         for (row_idx, t0) in first.data.iter().enumerate() {
             let mut row = vec![Value::Null; arity];
             for frag in &self.fragments {

@@ -9,7 +9,11 @@
 //!
 //! * [`Value`] — a dynamically typed cell value (`Null` / `Int` / `Str`),
 //! * [`Schema`] / [`Attribute`] — named, typed attributes with key metadata,
-//! * [`Tuple`] / [`Relation`] — row storage with stable tuple identifiers,
+//! * [`Tuple`] / [`Relation`] — dictionary-encoded columnar storage with
+//!   stable tuple identifiers and a row-view API on top,
+//! * [`Dictionary`] / [`Column`] — the per-attribute interning store that
+//!   turns value hashing/comparison into dense `u32` code arithmetic
+//!   (see [`store`]),
 //! * [`Predicate`] — selection predicates in disjunctive normal form with a
 //!   sound satisfiability test (used for the paper's "partitioning
 //!   condition" optimization, §IV-A),
@@ -47,6 +51,7 @@ pub mod ops;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
+pub mod store;
 pub mod tuple;
 pub mod value;
 
@@ -55,6 +60,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use predicate::{Atom, CmpOp, Conjunction, Predicate};
 pub use relation::Relation;
 pub use schema::{AttrId, Attribute, Schema, SchemaBuilder, ValueType};
+pub use store::{Column, Dictionary, NO_CODE, WILDCARD_CODE};
 pub use tuple::{Tuple, TupleId};
 pub use value::Value;
 

@@ -3,20 +3,94 @@
 //! CFD detection needs only a handful of operators (the centralized
 //! technique of Fan et al., TODS 2008 compiles to selections, projections
 //! and a single GROUP BY; vertical-partition detection adds key joins).
-//! All hash-based operators use the Fx hasher from [`crate::fxhash`].
+//! All hash-based operators use the Fx hasher from [`crate::fxhash`] and
+//! key on dictionary *codes* rather than owned values: a group key over
+//! `k` attributes is `k` dense `u32`s (packed into one `u64` when
+//! `k ≤ 2`), so the hot loops never hash or clone string payloads — see
+//! [`crate::store`].
 
 use crate::error::RelationError;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::predicate::Predicate;
 use crate::relation::Relation;
 use crate::schema::{AttrId, Schema};
+use crate::store::NO_CODE;
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
 use std::sync::Arc;
 
-/// `σ_P(D)`: tuples of `rel` satisfying `pred`, ids preserved.
+/// A group/join key over code columns: at most two codes packed into one
+/// `u64`, three or four into a `u128`, wider keys as boxed code vectors.
+/// Hashing and equality are pure integer work for every LHS width the
+/// paper's workloads use (≤ 4 attributes), with no per-row allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CodeKey {
+    /// ≤ 2 codes in one word (`hi << 32 | lo`; zero attributes → 0).
+    Packed(u64),
+    /// 3–4 codes in one wide word, first attribute in the top lane.
+    Packed128(u128),
+    /// 5+ codes, in attribute order.
+    Wide(Box<[u32]>),
+}
+
+impl CodeKey {
+    /// The key of row `i` over the given code slices (delegates to
+    /// [`CodeKey::of_codes`], which owns the packing layout).
+    #[inline]
+    pub fn of_row(cols: &[&[u32]], i: usize) -> CodeKey {
+        if cols.len() <= 4 {
+            let mut buf = [0u32; 4];
+            for (slot, col) in buf.iter_mut().zip(cols) {
+                *slot = col[i];
+            }
+            CodeKey::of_codes(&buf[..cols.len()])
+        } else {
+            CodeKey::Wide(cols.iter().map(|c| c[i]).collect())
+        }
+    }
+
+    /// The key of a materialized code vector. This is the single place
+    /// that defines the packing layout; every key construction
+    /// ([`CodeKey::of_row`], join probes) goes through it, so index and
+    /// probe keys can never diverge.
+    #[inline]
+    pub fn of_codes(codes: &[u32]) -> CodeKey {
+        match *codes {
+            [] => CodeKey::Packed(0),
+            [a] => CodeKey::Packed(u64::from(a)),
+            [a, b] => CodeKey::Packed((u64::from(a) << 32) | u64::from(b)),
+            [a, b, c] => {
+                CodeKey::Packed128((u128::from(a) << 64) | (u128::from(b) << 32) | u128::from(c))
+            }
+            [a, b, c, d] => CodeKey::Packed128(
+                (u128::from(a) << 96)
+                    | (u128::from(b) << 64)
+                    | (u128::from(c) << 32)
+                    | u128::from(d),
+            ),
+            _ => CodeKey::Wide(codes.into()),
+        }
+    }
+
+    /// Recovers the per-attribute codes (`width` = number of attributes
+    /// the key was built over).
+    pub fn codes(&self, width: usize) -> Vec<u32> {
+        match self {
+            CodeKey::Packed(_) if width == 0 => Vec::new(),
+            CodeKey::Packed(p) if width == 1 => vec![*p as u32],
+            CodeKey::Packed(p) => vec![(*p >> 32) as u32, *p as u32],
+            CodeKey::Packed128(p) => {
+                (0..width).map(|j| (*p >> (32 * (width - 1 - j))) as u32).collect()
+            }
+            CodeKey::Wide(codes) => codes.to_vec(),
+        }
+    }
+}
+
+/// `σ_P(D)`: tuples of `rel` satisfying `pred`, ids preserved. The output
+/// shares `rel`'s dictionaries.
 pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
-    let mut out = Relation::new(rel.schema().clone());
+    let mut out = rel.empty_like();
     for t in rel.iter() {
         if pred.eval(t) {
             // Tuples validated on the way in; re-push preserves the id.
@@ -27,24 +101,28 @@ pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
 }
 
 /// `π_X(D)` as a new relation named `name`, preserving tuple ids and
-/// duplicates (bag projection).
+/// duplicates (bag projection). The output's columns share `rel`'s
+/// dictionaries for the kept attributes.
 pub fn project(rel: &Relation, name: &str, attrs: &[AttrId]) -> Result<Relation, RelationError> {
     let schema = rel.schema().project(name, attrs)?;
-    let mut out = Relation::with_capacity(schema, rel.len());
+    let mut out = Relation::with_dictionaries(schema, rel.dictionaries_of(attrs), rel.len())?;
     for t in rel.iter() {
         out.push_tuple(Tuple::new(t.tid, t.project(attrs)))?;
     }
     Ok(out)
 }
 
-/// Distinct rows of `π_X(D)` as value vectors (set projection).
+/// Distinct rows of `π_X(D)` as value vectors (set projection), in
+/// first-seen order. Deduplication runs on code keys; each distinct key
+/// is decoded once.
 pub fn project_distinct(rel: &Relation, attrs: &[AttrId]) -> Vec<Vec<Value>> {
-    let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+    let cols = rel.code_slices(attrs);
+    let mut seen: FxHashSet<CodeKey> = FxHashSet::default();
     let mut out = Vec::new();
-    for t in rel.iter() {
-        let key = t.project(attrs);
+    for i in 0..rel.len() {
+        let key = CodeKey::of_row(&cols, i);
         if seen.insert(key.clone()) {
-            out.push(key);
+            out.push(rel.decode_projection(attrs, &key.codes(attrs.len())));
         }
     }
     out
@@ -65,21 +143,100 @@ pub fn group_by_filtered(
     attrs: &[AttrId],
     filter: impl Fn(&Tuple) -> bool,
 ) -> FxHashMap<Vec<Value>, Vec<usize>> {
-    let mut groups: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    group_codes_filtered(rel, attrs, filter)
+        .into_iter()
+        .map(|(key, rows)| (rel.decode_projection(attrs, &key.codes(attrs.len())), rows))
+        .collect()
+}
+
+/// The integer core of [`group_by`]: groups row indices by their *code*
+/// projection on `attrs`, touching no values. Callers that only need to
+/// compare or count groups never pay for decoding; [`group_by`] decodes
+/// each key exactly once.
+pub fn group_codes(rel: &Relation, attrs: &[AttrId]) -> FxHashMap<CodeKey, Vec<usize>> {
+    group_codes_filtered(rel, attrs, |_| true)
+}
+
+/// [`group_codes`] restricted to tuples accepted by `filter`.
+pub fn group_codes_filtered(
+    rel: &Relation,
+    attrs: &[AttrId],
+    filter: impl Fn(&Tuple) -> bool,
+) -> FxHashMap<CodeKey, Vec<usize>> {
+    let cols = rel.code_slices(attrs);
+    let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
     for (i, t) in rel.iter().enumerate() {
         if filter(t) {
-            groups.entry(t.project(attrs)).or_default().push(i);
+            groups.entry(CodeKey::of_row(&cols, i)).or_default().push(i);
         }
     }
     groups
 }
 
 /// Sorts tuples by their projection on `attrs` (ascending, stable),
-/// returning a new relation. Used only by small/reporting paths.
+/// returning a new relation. Sorting compares precomputed integer rank
+/// keys (one rank lookup per tuple per attribute, computed once — see
+/// [`crate::store::Dictionary::rank_map`]) instead of projecting values
+/// inside the comparator. Used only by small/reporting paths.
 pub fn sort_by(rel: &Relation, attrs: &[AttrId]) -> Relation {
-    let mut tuples = rel.tuples().to_vec();
-    tuples.sort_by_key(|a| a.project(attrs));
-    Relation::from_tuples(rel.schema().clone(), tuples).expect("sorted tuples match schema")
+    let ranks: Vec<Vec<u32>> = attrs.iter().map(|&a| rel.dictionary(a).rank_map()).collect();
+    let cols = rel.code_slices(attrs);
+    let mut idx: Vec<usize> = (0..rel.len()).collect();
+    idx.sort_by_cached_key(|&i| {
+        cols.iter().zip(&ranks).map(|(c, r)| r[c[i] as usize]).collect::<Vec<u32>>()
+    });
+    let mut out = rel.with_capacity_like(rel.len());
+    for i in idx {
+        out.push_tuple(rel.tuples()[i].clone()).expect("sorted tuples match schema");
+    }
+    out
+}
+
+/// Per-attribute code translation from `left`'s dictionary into
+/// `right`'s: `None` when the two columns share one dictionary (codes are
+/// directly comparable — the fragment fast path), otherwise a table
+/// mapping each left code to the right code of the same value, or
+/// [`NO_CODE`] when `right` never saw that value.
+fn code_translation(left: &Relation, l: AttrId, right: &Relation, r: AttrId) -> Option<Vec<u32>> {
+    let ld = left.dictionary(l);
+    let rd = right.dictionary(r);
+    if Arc::ptr_eq(ld, rd) {
+        return None;
+    }
+    Some(ld.snapshot().iter().map(|v| rd.code_of(v).unwrap_or(NO_CODE)).collect())
+}
+
+/// The key of `left` row `i` expressed in `right`'s code space, or `None`
+/// if some cell's value does not exist on the right (no partner possible).
+#[inline]
+fn translated_key(cols: &[&[u32]], trans: &[Option<Vec<u32>>], i: usize) -> Option<CodeKey> {
+    let translated = |j: usize| -> u32 {
+        let code = cols[j][i];
+        match &trans[j] {
+            None => code,
+            Some(map) => map.get(code as usize).copied().unwrap_or(NO_CODE),
+        }
+    };
+    if cols.len() <= 4 {
+        let mut buf = [0u32; 4];
+        for (j, slot) in buf.iter_mut().enumerate().take(cols.len()) {
+            *slot = translated(j);
+            if *slot == NO_CODE {
+                return None;
+            }
+        }
+        Some(CodeKey::of_codes(&buf[..cols.len()]))
+    } else {
+        let mut wide = Vec::with_capacity(cols.len());
+        for j in 0..cols.len() {
+            let c = translated(j);
+            if c == NO_CODE {
+                return None;
+            }
+            wide.push(c);
+        }
+        Some(CodeKey::Wide(wide.into_boxed_slice()))
+    }
 }
 
 /// Equi-join of two relations on attribute lists of equal length,
@@ -87,7 +244,9 @@ pub fn sort_by(rel: &Relation, attrs: &[AttrId]) -> Relation {
 /// minus its join attributes. Tuple ids are taken from the left input.
 ///
 /// This is the reconstruction join `D = ⋈ D_i` for vertical partitions
-/// (§II-B): vertical fragments join on `key(R)`.
+/// (§II-B): vertical fragments join on `key(R)`. Probe keys are left
+/// codes translated into the right dictionary's code space (the identity
+/// when the inputs share dictionaries, as fragments of one relation do).
 pub fn hash_join(
     left: &Relation,
     right: &Relation,
@@ -119,14 +278,18 @@ pub fn hash_join(
     }
     let schema = b.build()?;
 
-    // Build side: the smaller input.
-    let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-    for (i, t) in right.iter().enumerate() {
-        index.entry(t.project(right_on)).or_default().push(i);
+    // Build over the right input's own codes; probe with translated keys.
+    let rcols = right.code_slices(right_on);
+    let mut index: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
+    for i in 0..right.len() {
+        index.entry(CodeKey::of_row(&rcols, i)).or_default().push(i);
     }
+    let trans: Vec<Option<Vec<u32>>> =
+        left_on.iter().zip(right_on).map(|(&l, &r)| code_translation(left, l, right, r)).collect();
+    let lcols = left.code_slices(left_on);
     let mut out = Relation::with_capacity(schema, left.len());
-    for lt in left.iter() {
-        let key = lt.project(left_on);
+    for (li, lt) in left.iter().enumerate() {
+        let Some(key) = translated_key(&lcols, &trans, li) else { continue };
         if let Some(matches) = index.get(&key) {
             for &ri in matches {
                 let rt = &right.tuples()[ri];
@@ -158,13 +321,18 @@ pub fn semijoin(
             detail: format!("semijoin key arity mismatch: {} vs {}", left_on.len(), right_on.len()),
         });
     }
-    let mut keys: FxHashSet<Vec<Value>> = FxHashSet::default();
-    for t in right.iter() {
-        keys.insert(t.project(right_on));
+    let rcols = right.code_slices(right_on);
+    let mut keys: FxHashSet<CodeKey> = FxHashSet::default();
+    for i in 0..right.len() {
+        keys.insert(CodeKey::of_row(&rcols, i));
     }
-    let mut out = Relation::new(left.schema().clone());
-    for t in left.iter() {
-        if keys.contains(&t.project(left_on)) {
+    let trans: Vec<Option<Vec<u32>>> =
+        left_on.iter().zip(right_on).map(|(&l, &r)| code_translation(left, l, right, r)).collect();
+    let lcols = left.code_slices(left_on);
+    let mut out = left.empty_like();
+    for (li, t) in left.iter().enumerate() {
+        let contained = translated_key(&lcols, &trans, li).is_some_and(|key| keys.contains(&key));
+        if contained {
             out.push_tuple(t.clone())?;
         }
     }
@@ -174,10 +342,17 @@ pub fn semijoin(
 /// Unions relations sharing one schema into a single relation
 /// (fragment reassembly `D = ⋃ D_i` for horizontal partitions).
 /// Duplicate tuple ids are kept as-is; horizontal fragments are disjoint
-/// by definition so ids never collide in intended use.
+/// by definition so ids never collide in intended use. The output shares
+/// the first part's dictionaries (for fragments of one parent these are
+/// the parent's, so the union re-encodes nothing).
 pub fn union_all(schema: Arc<Schema>, parts: &[&Relation]) -> Result<Relation, RelationError> {
     let total = parts.iter().map(|r| r.len()).sum();
-    let mut out = Relation::with_capacity(schema.clone(), total);
+    let mut out = match parts.first() {
+        Some(first) if first.schema().as_ref() == schema.as_ref() => {
+            first.with_capacity_like(total)
+        }
+        _ => Relation::with_capacity(schema.clone(), total),
+    };
     for part in parts {
         if part.schema().as_ref() != schema.as_ref() {
             return Err(RelationError::SchemaMismatch {
@@ -237,6 +412,8 @@ mod tests {
         assert_eq!(sel.len(), 3);
         let ids: Vec<u64> = sel.iter().map(|t| t.tid.0).collect();
         assert_eq!(ids, vec![0, 2, 4]);
+        // Selection shares the input's dictionaries.
+        assert!(Arc::ptr_eq(sel.dictionary(title), r.dictionary(title)));
     }
 
     #[test]
@@ -246,8 +423,12 @@ mod tests {
         let p = project(&r, "emp_cc", &[cc]).unwrap();
         assert_eq!(p.len(), 5);
         assert_eq!(p.schema().arity(), 1);
+        // The projected column shares the parent's dictionary.
+        assert!(Arc::ptr_eq(p.dictionary(AttrId(0)), r.dictionary(cc)));
         let d = project_distinct(&r, &[cc]);
         assert_eq!(d.len(), 3);
+        // First-seen order.
+        assert_eq!(d, vec![vals![44], vals![31], vals![1]]);
     }
 
     #[test]
@@ -261,6 +442,33 @@ mod tests {
         // Every tuple is in exactly one group.
         let total: usize = groups.values().map(Vec::len).sum();
         assert_eq!(total, r.len());
+    }
+
+    #[test]
+    fn group_codes_matches_group_by() {
+        let r = emp();
+        let title = r.schema().require("title").unwrap();
+        let cc = r.schema().require("cc").unwrap();
+        for attrs in [vec![title], vec![title, cc], vec![]] {
+            let by_value = group_by(&r, &attrs);
+            let by_code = group_codes(&r, &attrs);
+            assert_eq!(by_value.len(), by_code.len());
+            for (key, rows) in by_code {
+                let decoded = r.decode_projection(&attrs, &key.codes(attrs.len()));
+                assert_eq!(by_value[&decoded], rows);
+            }
+        }
+    }
+
+    #[test]
+    fn code_key_round_trips_widths() {
+        let cols_data: Vec<Vec<u32>> = vec![vec![7], vec![9], vec![11], vec![13]];
+        for width in 0..=4usize {
+            let cols: Vec<&[u32]> = cols_data[..width].iter().map(Vec::as_slice).collect();
+            let key = CodeKey::of_row(&cols, 0);
+            let expect: Vec<u32> = cols.iter().map(|c| c[0]).collect();
+            assert_eq!(key.codes(width), expect, "width {width}");
+        }
     }
 
     #[test]
@@ -286,6 +494,17 @@ mod tests {
     }
 
     #[test]
+    fn sort_by_is_stable_and_matches_value_order() {
+        let r = emp();
+        let cc = r.schema().require("cc").unwrap();
+        let s = sort_by(&r, &[cc]);
+        // Values ascend; ties keep insertion order (stable sort).
+        let pairs: Vec<(i64, u64)> =
+            s.iter().map(|t| (t.get(cc).as_int().unwrap(), t.tid.0)).collect();
+        assert_eq!(pairs, vec![(1, 3), (31, 2), (44, 0), (44, 1), (44, 4)]);
+    }
+
+    #[test]
     fn hash_join_reconstructs_vertical_split() {
         let r = emp();
         let id = r.schema().require("id").unwrap();
@@ -308,6 +527,27 @@ mod tests {
             assert_eq!(t.get(jtitle), orig.get(title));
             assert_eq!(t.get(jcc), orig.get(cc));
         }
+    }
+
+    #[test]
+    fn hash_join_across_unrelated_dictionaries() {
+        // Inputs built independently (no shared dictionaries) must still
+        // join correctly via code translation.
+        let ls = Schema::builder("l").attr("k", ValueType::Str).build().unwrap();
+        let rs = Schema::builder("r")
+            .attr("k", ValueType::Str)
+            .attr("v", ValueType::Int)
+            .build()
+            .unwrap();
+        let left = Relation::from_rows(ls, vec![vals!["a"], vals!["b"], vals!["zzz"]]).unwrap();
+        let right =
+            Relation::from_rows(rs, vec![vals!["b", 2], vals!["a", 1], vals!["c", 3]]).unwrap();
+        let lk = left.schema().require("k").unwrap();
+        let rk = right.schema().require("k").unwrap();
+        let joined = hash_join(&left, &right, &[lk], &[rk], "j").unwrap();
+        assert_eq!(joined.len(), 2, "`zzz` has no partner");
+        let semi = semijoin(&left, &right, &[lk], &[rk]).unwrap();
+        assert_eq!(semi.len(), 2);
     }
 
     #[test]
@@ -339,6 +579,8 @@ mod tests {
         let u = union_all(r.schema().clone(), &[&f1, &f2, &f3]).unwrap();
         assert_eq!(u.len(), r.len());
         assert_eq!(tid_set(&u), tid_set(&r));
+        // The union shares the fragments' (= parent's) dictionaries.
+        assert!(Arc::ptr_eq(u.dictionary(title), r.dictionary(title)));
     }
 
     #[test]

@@ -2,12 +2,26 @@
 
 use crate::error::RelationError;
 use crate::schema::{AttrId, Schema, ValueType};
+use crate::store::{Column, Dictionary};
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
 
 /// An instance `D` of a relation schema `R`.
+///
+/// Storage is dictionary-encoded and columnar: one [`Column`] of `u32`
+/// codes per attribute, each backed by a shareable [`Dictionary`] (see
+/// [`crate::store`]). The row vector of [`Tuple`]s is the *row view* kept
+/// in sync with the columns, so the row API (`tuples`, `iter`, `get`,
+/// `project`) keeps working unchanged while the hot operators
+/// ([`crate::ops`], σ-partitioning, compiled pattern matching) read the
+/// code columns directly. Rows appended with [`Relation::push`] store the
+/// dictionaries' canonical `Arc<str>` payloads, so duplicate strings are
+/// stored once; [`Relation::push_tuple`] keeps the given tuple's own
+/// (cheaply `Arc`-cloned) values, which already share the canonical
+/// payloads whenever the tuple came from a relation over the same
+/// dictionaries — the fragment and shipment paths.
 ///
 /// Tuples keep their [`TupleId`]s across fragmentation, projection and
 /// shipment; pushing fresh rows assigns ids from an internal counter.
@@ -17,18 +31,69 @@ use std::sync::Arc;
 pub struct Relation {
     schema: Arc<Schema>,
     tuples: Vec<Tuple>,
+    columns: Vec<Column>,
     next_tid: u64,
 }
 
 impl Relation {
-    /// Creates an empty relation over `schema`.
+    /// Creates an empty relation over `schema`, with fresh dictionaries.
     pub fn new(schema: Arc<Schema>) -> Self {
-        Relation { schema, tuples: Vec::new(), next_tid: 0 }
+        let columns = (0..schema.arity()).map(|_| Column::new()).collect();
+        Relation { schema, tuples: Vec::new(), columns, next_tid: 0 }
     }
 
     /// Creates an empty relation with room for `cap` tuples.
     pub fn with_capacity(schema: Arc<Schema>, cap: usize) -> Self {
-        Relation { schema, tuples: Vec::with_capacity(cap), next_tid: 0 }
+        let columns = (0..schema.arity())
+            .map(|_| Column::sharing_with_capacity(Arc::new(Dictionary::new()), cap))
+            .collect();
+        Relation { schema, tuples: Vec::with_capacity(cap), columns, next_tid: 0 }
+    }
+
+    /// Creates an empty relation whose columns share the given
+    /// dictionaries (one per attribute, in schema order). This is the
+    /// fragment constructor: fragments built over a parent relation's
+    /// dictionaries keep their codes comparable with the parent and with
+    /// each other, so nothing is re-encoded when tuples move between them.
+    pub fn with_dictionaries(
+        schema: Arc<Schema>,
+        dicts: Vec<Arc<Dictionary>>,
+        cap: usize,
+    ) -> Result<Self, RelationError> {
+        if dicts.len() != schema.arity() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "{} dictionaries for arity-{} schema `{}`",
+                    dicts.len(),
+                    schema.arity(),
+                    schema.name()
+                ),
+            });
+        }
+        let columns = dicts.into_iter().map(|d| Column::sharing_with_capacity(d, cap)).collect();
+        Ok(Relation { schema, tuples: Vec::with_capacity(cap), columns, next_tid: 0 })
+    }
+
+    /// Creates an empty relation with this relation's schema *and*
+    /// dictionaries — the natural start of a same-schema fragment,
+    /// selection result, or reassembly target.
+    pub fn empty_like(&self) -> Self {
+        self.with_capacity_like(0)
+    }
+
+    /// [`Self::empty_like`] with room for `cap` tuples.
+    pub fn with_capacity_like(&self, cap: usize) -> Self {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column::sharing_with_capacity(c.dict().clone(), cap))
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            tuples: Vec::with_capacity(cap),
+            columns,
+            next_tid: 0,
+        }
     }
 
     /// The schema of this relation.
@@ -53,23 +118,76 @@ impl Relation {
         self.validate(&values)?;
         let tid = TupleId(self.next_tid);
         self.next_tid += 1;
-        self.tuples.push(Tuple::new(tid, values));
+        // Encode every cell; the row view stores the dictionaries'
+        // canonical values so duplicate payloads share one allocation.
+        let canonical: Vec<Value> =
+            values.iter().zip(&mut self.columns).map(|(v, col)| col.push(v)).collect();
+        self.tuples.push(Tuple::new(tid, canonical));
         Ok(tid)
     }
 
     /// Appends an existing tuple *preserving its id* (used when building
     /// fragments of an already-identified relation, and when receiving
     /// shipped tuples). The internal id counter is advanced past it.
+    /// The tuple's values are encoded but kept as-is in the row view
+    /// (they are already canonical when the tuple came from a relation
+    /// sharing these dictionaries; rebuilding them here would cost an
+    /// allocation per tuple on the fragment hot path for nothing).
     pub fn push_tuple(&mut self, tuple: Tuple) -> Result<(), RelationError> {
         self.validate(tuple.values())?;
         self.next_tid = self.next_tid.max(tuple.tid.0 + 1);
+        for (v, col) in tuple.values().iter().zip(&mut self.columns) {
+            col.push(v);
+        }
         self.tuples.push(tuple);
         Ok(())
     }
 
-    /// All tuples, in insertion order.
+    /// All tuples, in insertion order (the row view of the columnar
+    /// store).
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples
+    }
+
+    /// All dictionary-encoded columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The dictionary-encoded column of one attribute.
+    #[inline]
+    pub fn column(&self, attr: AttrId) -> &Column {
+        &self.columns[attr.index()]
+    }
+
+    /// The dictionary of one attribute's column.
+    #[inline]
+    pub fn dictionary(&self, attr: AttrId) -> &Arc<Dictionary> {
+        self.columns[attr.index()].dict()
+    }
+
+    /// The dictionaries of the given attributes, cloned `Arc`s in the
+    /// given order (what fragment constructors pass to
+    /// [`Relation::with_dictionaries`]).
+    pub fn dictionaries_of(&self, attrs: &[AttrId]) -> Vec<Arc<Dictionary>> {
+        attrs.iter().map(|&a| self.columns[a.index()].dict().clone()).collect()
+    }
+
+    /// The code slices of the given attributes, in order — the inputs of
+    /// every code-keyed hot loop (group-by, σ-partitioning, join keys).
+    pub fn code_slices(&self, attrs: &[AttrId]) -> Vec<&[u32]> {
+        attrs.iter().map(|&a| self.columns[a.index()].codes()).collect()
+    }
+
+    /// Decodes a code vector produced over `attrs` back into values
+    /// (e.g. a group key) — one dictionary read per attribute, not per
+    /// tuple.
+    pub fn decode_projection(&self, attrs: &[AttrId], codes: &[u32]) -> Vec<Value> {
+        attrs
+            .iter()
+            .zip(codes)
+            .map(|(&a, &code)| self.columns[a.index()].dict().value(code))
+            .collect()
     }
 
     /// Iterates over the tuples.

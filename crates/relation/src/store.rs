@@ -1,0 +1,302 @@
+//! Dictionary-encoded columnar storage.
+//!
+//! Every [`Relation`](crate::Relation) keeps, alongside its row vector, one
+//! [`Column`] per attribute: a dense array of `u32` *codes*, each code
+//! naming a distinct [`Value`] in the column's [`Dictionary`]. The hot
+//! detection loops (GROUP BY on `t[X]`, σ-partitioning, pattern matching,
+//! join keys) then run on integer codes instead of hashing and comparing
+//! owned values:
+//!
+//! * two cells of one column are equal iff their codes are equal — the
+//!   dictionary is a bijection between codes and distinct values;
+//! * a pattern constant compiles to *one* dictionary lookup per relation
+//!   (see `dcd_cfd::CompiledPattern`), after which the match operator `≍`
+//!   is a `u32` compare;
+//! * a group key over `k` attributes is a `[u32; k]` (packed into a single
+//!   `u64` when `k ≤ 2`), so the group-by hash touches no string payloads.
+//!
+//! Dictionaries are shared across fragments of one relation (`Arc`): a
+//! fragment constructor re-encodes nothing, and codes remain comparable
+//! between the parent and every fragment. Interning is append-only behind
+//! an `RwLock`; the per-tuple hot paths never take the lock — they read
+//! plain `&[u32]` code slices and only touch the dictionary to decode one
+//! value per *group* (or per pattern constant), not per tuple.
+
+use crate::fxhash::FxHashMap;
+use crate::value::Value;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// Sentinel code meaning "matches any value" in compiled pattern cells.
+/// Never assigned to a real value.
+pub const WILDCARD_CODE: u32 = u32::MAX;
+
+/// Sentinel code meaning "this value is not in the dictionary" (e.g. a
+/// pattern constant that no tuple carries, or a join key with no partner).
+/// Never assigned to a real value, and never equal to any stored code.
+pub const NO_CODE: u32 = u32::MAX - 1;
+
+/// Codes at or above this bound are reserved for the sentinels above.
+const CODE_LIMIT: u32 = u32::MAX - 2;
+
+#[derive(Debug, Default)]
+struct DictInner {
+    /// `values[code]` is the canonical value for `code`.
+    values: Vec<Value>,
+    /// Inverse map, value → code.
+    codes: FxHashMap<Value, u32>,
+}
+
+/// An append-only interning dictionary for one attribute: each distinct
+/// [`Value`] maps to a dense `u32` code in first-seen order.
+///
+/// Shared via `Arc` between a relation and all of its fragments, so codes
+/// are comparable across them. All methods take `&self`; interning is
+/// synchronized internally.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    inner: RwLock<DictInner>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("dictionary lock poisoned").values.len()
+    }
+
+    /// Whether no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Interns `v`, returning its code and the canonical stored value
+    /// (so callers can share the canonical `Arc<str>` payload instead of
+    /// keeping their own copy).
+    pub fn intern(&self, v: &Value) -> (u32, Value) {
+        if let Some(hit) = self.lookup(v) {
+            return hit;
+        }
+        let mut inner = self.inner.write().expect("dictionary lock poisoned");
+        // Re-check: another writer may have interned between the locks.
+        if let Some(&code) = inner.codes.get(v) {
+            return (code, inner.values[code as usize].clone());
+        }
+        let code = inner.values.len() as u32;
+        assert!(code < CODE_LIMIT, "dictionary exhausted the u32 code space");
+        inner.values.push(v.clone());
+        inner.codes.insert(v.clone(), code);
+        (code, v.clone())
+    }
+
+    fn lookup(&self, v: &Value) -> Option<(u32, Value)> {
+        let inner = self.inner.read().expect("dictionary lock poisoned");
+        inner.codes.get(v).map(|&code| (code, inner.values[code as usize].clone()))
+    }
+
+    /// The code of `v`, if it has been interned ([`NO_CODE`]-free lookup
+    /// used when compiling pattern constants and translating join keys).
+    pub fn code_of(&self, v: &Value) -> Option<u32> {
+        self.inner.read().expect("dictionary lock poisoned").codes.get(v).copied()
+    }
+
+    /// The canonical value of `code` (O(1) clone — see [`Value`]).
+    ///
+    /// Panics if `code` was never assigned (codes must come from this
+    /// dictionary or a relation sharing it).
+    pub fn value(&self, code: u32) -> Value {
+        self.inner.read().expect("dictionary lock poisoned").values[code as usize].clone()
+    }
+
+    /// Maps every current code to its rank under the [`Value`] total
+    /// order: `rank[code_of(v)] < rank[code_of(w)]` iff `v < w`. Sorting
+    /// rows by rank keys is therefore identical to sorting by values,
+    /// while comparing only integers.
+    pub fn rank_map(&self) -> Vec<u32> {
+        let inner = self.inner.read().expect("dictionary lock poisoned");
+        let mut order: Vec<u32> = (0..inner.values.len() as u32).collect();
+        order.sort_by(|&a, &b| inner.values[a as usize].cmp(&inner.values[b as usize]));
+        let mut rank = vec![0u32; order.len()];
+        for (r, &code) in order.iter().enumerate() {
+            rank[code as usize] = r as u32;
+        }
+        rank
+    }
+
+    /// A point-in-time copy of the code → value table (test/debug helper).
+    pub fn snapshot(&self) -> Vec<Value> {
+        self.inner.read().expect("dictionary lock poisoned").values.clone()
+    }
+}
+
+impl Clone for Dictionary {
+    /// Deep copy: the clone interns independently from the original.
+    /// (Fragments that must share codes clone the `Arc`, not the
+    /// dictionary.)
+    fn clone(&self) -> Self {
+        let inner = self.inner.read().expect("dictionary lock poisoned");
+        Dictionary {
+            inner: RwLock::new(DictInner {
+                values: inner.values.clone(),
+                codes: inner.codes.clone(),
+            }),
+        }
+    }
+}
+
+/// One dictionary-encoded column of a relation: a shared [`Dictionary`]
+/// plus a dense array of codes, one per row in insertion order.
+#[derive(Debug, Clone)]
+pub struct Column {
+    dict: Arc<Dictionary>,
+    codes: Vec<u32>,
+}
+
+impl Column {
+    /// Creates an empty column over a fresh dictionary.
+    pub fn new() -> Self {
+        Column { dict: Arc::new(Dictionary::new()), codes: Vec::new() }
+    }
+
+    /// Creates an empty column sharing `dict` (fragment construction:
+    /// codes stay comparable with every other column over `dict`).
+    pub fn sharing(dict: Arc<Dictionary>) -> Self {
+        Column { dict, codes: Vec::new() }
+    }
+
+    /// Creates an empty column sharing `dict`, with room for `cap` rows.
+    pub fn sharing_with_capacity(dict: Arc<Dictionary>, cap: usize) -> Self {
+        Column { dict, codes: Vec::with_capacity(cap) }
+    }
+
+    /// The column's dictionary.
+    pub fn dict(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
+    /// The code array, one entry per row.
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Appends a value, interning it; returns the canonical value so the
+    /// caller's row store can share the dictionary's allocation.
+    pub fn push(&mut self, v: &Value) -> Value {
+        let (code, canonical) = self.dict.intern(v);
+        self.codes.push(code);
+        canonical
+    }
+
+    /// Reserves room for `extra` more rows.
+    pub fn reserve(&mut self, extra: usize) {
+        self.codes.reserve(extra);
+    }
+
+    /// Decodes the value at `row`.
+    pub fn decode(&self, row: usize) -> Value {
+        self.dict.value(self.codes[row])
+    }
+}
+
+impl Default for Column {
+    fn default() -> Self {
+        Column::new()
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Column[{} rows, {} distinct]", self.codes.len(), self.dict.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let d = Dictionary::new();
+        let (a, _) = d.intern(&Value::str("x"));
+        let (b, _) = d.intern(&Value::Int(7));
+        let (a2, _) = d.intern(&Value::str("x"));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a, a2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.code_of(&Value::Int(7)), Some(1));
+        assert_eq!(d.code_of(&Value::Null), None);
+        assert_eq!(d.value(0), Value::str("x"));
+    }
+
+    #[test]
+    fn canonical_value_shares_allocation() {
+        let d = Dictionary::new();
+        let (_, first) = d.intern(&Value::str("hello"));
+        let (_, second) = d.intern(&Value::str(String::from("hello")));
+        if let (Value::Str(a), Value::Str(b)) = (&first, &second) {
+            assert!(Arc::ptr_eq(a, b), "intern should return the canonical payload");
+        } else {
+            panic!("expected strings");
+        }
+    }
+
+    #[test]
+    fn rank_map_orders_like_values() {
+        let d = Dictionary::new();
+        // Insert out of Value order on purpose.
+        d.intern(&Value::str("b"));
+        d.intern(&Value::Int(10));
+        d.intern(&Value::Null);
+        d.intern(&Value::str("a"));
+        let rank = d.rank_map();
+        // Null < Int(10) < "a" < "b".
+        assert_eq!(rank, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn column_round_trips_values() {
+        let mut c = Column::new();
+        c.push(&Value::Int(1));
+        c.push(&Value::str("v"));
+        c.push(&Value::Int(1));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.codes(), &[0, 1, 0]);
+        assert_eq!(c.decode(1), Value::str("v"));
+        assert_eq!(c.to_string(), "Column[3 rows, 2 distinct]");
+    }
+
+    #[test]
+    fn sharing_columns_agree_on_codes() {
+        let mut a = Column::new();
+        a.push(&Value::str("x"));
+        a.push(&Value::str("y"));
+        let mut b = Column::sharing(a.dict().clone());
+        b.push(&Value::str("y"));
+        assert_eq!(b.codes(), &[1], "shared dictionary must reuse the parent's codes");
+    }
+
+    #[test]
+    fn sentinels_are_disjoint_from_codes() {
+        assert_ne!(WILDCARD_CODE, NO_CODE);
+        let d = Dictionary::new();
+        let (code, _) = d.intern(&Value::Int(0));
+        // NO_CODE < WILDCARD_CODE, so this bounds the code below both.
+        assert!(code < NO_CODE);
+    }
+}

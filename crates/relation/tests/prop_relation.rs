@@ -189,6 +189,89 @@ proptest! {
         }
     }
 
+    /// Columnar encode → decode is the identity: every cell's code
+    /// decodes back to the value stored in the row view, per-column code
+    /// equality coincides with value equality, and a relation rebuilt
+    /// from the decoded cells is cell-for-cell identical.
+    #[test]
+    fn columnar_round_trip_is_identity(rows in arb_rows()) {
+        let rel = build(&rows);
+        for (ai, col) in rel.columns().iter().enumerate() {
+            prop_assert_eq!(col.len(), rel.len());
+            let attr = dcd_relation::AttrId(ai as u16);
+            for (i, t) in rel.iter().enumerate() {
+                prop_assert_eq!(&col.decode(i), t.get(attr));
+            }
+            // Bijection: equal codes ⟺ equal values.
+            for i in 0..rel.len() {
+                for j in (i + 1)..rel.len() {
+                    prop_assert_eq!(
+                        col.codes()[i] == col.codes()[j],
+                        rel.tuples()[i].get(attr) == rel.tuples()[j].get(attr),
+                        "code/value equality must coincide"
+                    );
+                }
+            }
+        }
+        // Rebuild from decoded cells → identical relation.
+        let decoded: Vec<Vec<Value>> = (0..rel.len())
+            .map(|i| rel.columns().iter().map(|c| c.decode(i)).collect())
+            .collect();
+        let rebuilt = Relation::from_rows(schema(), decoded).unwrap();
+        prop_assert_eq!(rebuilt.len(), rel.len());
+        for (a, b) in rel.iter().zip(rebuilt.iter()) {
+            prop_assert_eq!(a.values(), b.values());
+        }
+        for (ca, cb) in rel.columns().iter().zip(rebuilt.columns()) {
+            prop_assert_eq!(ca.codes(), cb.codes(), "insertion order fixes the codes");
+        }
+    }
+
+    /// The code-keyed group-by agrees with a naive value-keyed grouping,
+    /// and so does the code-keyed distinct projection.
+    #[test]
+    fn code_grouping_equals_value_grouping(rows in arb_rows()) {
+        let rel = build(&rows);
+        for attrs in [
+            vec![],
+            vec![dcd_relation::AttrId(0)],
+            vec![dcd_relation::AttrId(2), dcd_relation::AttrId(0)],
+            vec![dcd_relation::AttrId(0), dcd_relation::AttrId(1), dcd_relation::AttrId(2)],
+        ] {
+            let groups = ops::group_by(&rel, &attrs);
+            let mut naive: std::collections::HashMap<Vec<Value>, Vec<usize>> =
+                std::collections::HashMap::new();
+            for (i, t) in rel.iter().enumerate() {
+                naive.entry(t.project(&attrs)).or_default().push(i);
+            }
+            prop_assert_eq!(groups.len(), naive.len());
+            for (key, members) in &naive {
+                prop_assert_eq!(&groups[key], members, "attrs {:?}", attrs);
+            }
+            // Distinct projection: same set, first-seen order.
+            let distinct = ops::project_distinct(&rel, &attrs);
+            let mut seen = std::collections::HashSet::new();
+            let naive_distinct: Vec<Vec<Value>> = rel
+                .iter()
+                .map(|t| t.project(&attrs))
+                .filter(|k| seen.insert(k.clone()))
+                .collect();
+            prop_assert_eq!(distinct, naive_distinct);
+        }
+    }
+
+    /// Rank-key sorting equals sorting by projected values (and is
+    /// stable).
+    #[test]
+    fn sort_by_matches_value_sort(rows in arb_rows()) {
+        let rel = build(&rows);
+        let attrs = [dcd_relation::AttrId(2), dcd_relation::AttrId(0)];
+        let sorted = ops::sort_by(&rel, &attrs);
+        let mut expect: Vec<Tuple> = rel.tuples().to_vec();
+        expect.sort_by_key(|t| t.project(&attrs));
+        prop_assert_eq!(sorted.tuples(), expect.as_slice());
+    }
+
     /// Semijoin ⊆ left input and equals the join-partnered subset.
     #[test]
     fn semijoin_is_join_support(rows in arb_rows(), rows2 in arb_rows()) {
