@@ -1,9 +1,16 @@
-//! Microbenchmarks for the dictionary-encoded columnar hot loops:
-//! `group_by` and `sigma_partition` over the Fig. 3 scaling workload
-//! (`cust16`, the Exp-2/3 data), comparing the live columnar path
-//! against the seed's row-oriented reference implementations (value
-//! hashing / symbolic pattern matching), which are reproduced here
-//! verbatim as the baseline.
+//! Microbenchmarks for the hot loops over the Fig. 3 scaling workload
+//! (`cust16`, the Exp-2/3 data):
+//!
+//! * `group_by` and `sigma_partition` — the dictionary-encoded columnar
+//!   paths against the seed's row-oriented reference implementations
+//!   (value hashing / symbolic pattern matching), reproduced here
+//!   verbatim as the baseline (PR 2);
+//! * `parallel_sites` — a full `PATDETECTRT` detection round over 8
+//!   sites with the scoped thread pool at `DCD_THREADS`-style width 8
+//!   against the sequential pool (width 1). On a single-core container
+//!   the two are expected to tie (the pool cannot conjure cores); the
+//!   row exists to measure the speedup wherever cores are available and
+//!   to pin that the parallel path carries no pathological overhead.
 //!
 //! Set `DCD_BENCH_JSON=<path>` to additionally record the results as a
 //! `BENCH_*.json` perf-trajectory entry.
@@ -11,6 +18,7 @@
 use criterion::black_box;
 use dcd_cfd::pattern::tuple_matches;
 use dcd_core::sigma::{sigma_partition, sort_for_sigma, SigmaPartition, SortedCfd};
+use dcd_core::{Detector, PatDetectRT, RunConfig};
 use dcd_relation::ops::group_by;
 use dcd_relation::{AttrId, FxHashMap, Relation, Value};
 use std::time::{Duration, Instant};
@@ -63,13 +71,15 @@ fn median_time<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
 
 struct Comparison {
     name: &'static str,
+    baseline_label: &'static str,
+    live_label: &'static str,
     baseline: Duration,
-    columnar: Duration,
+    live: Duration,
 }
 
 impl Comparison {
     fn speedup(&self) -> f64 {
-        self.baseline.as_secs_f64() / self.columnar.as_secs_f64().max(f64::EPSILON)
+        self.baseline.as_secs_f64() / self.live.as_secs_f64().max(f64::EPSILON)
     }
 }
 
@@ -81,34 +91,54 @@ fn main() {
     let cfd = w.main_cfd();
     let sorted = sort_for_sigma(&cfd);
     let applicable: Vec<usize> = (0..sorted.cfd.tableau.len()).collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!(
-        "microbench: cust16 fig3-scaling workload — {} tuples, {} LHS attrs, {} patterns, {} samples",
+        "microbench: cust16 fig3-scaling workload — {} tuples, {} LHS attrs, {} patterns, {} samples, {} cores",
         rel.len(),
         cfd.lhs.len(),
         cfd.tableau.len(),
         samples,
+        cores,
     );
 
+    let partition = w.partition(8);
+    let sequential = RunConfig::default().with_threads(1);
+    let pooled = RunConfig::default().with_threads(8);
     let comparisons = vec![
         Comparison {
             name: "group_by",
+            baseline_label: "row",
+            live_label: "columnar",
             baseline: median_time(samples, || row_group_by(rel, &cfd.lhs)),
-            columnar: median_time(samples, || group_by(rel, &cfd.lhs)),
+            live: median_time(samples, || group_by(rel, &cfd.lhs)),
         },
         Comparison {
             name: "sigma_partition",
+            baseline_label: "row",
+            live_label: "columnar",
             baseline: median_time(samples, || row_sigma_partition(rel, &sorted, &applicable)),
-            columnar: median_time(samples, || sigma_partition(rel, &sorted, &applicable)),
+            live: median_time(samples, || sigma_partition(rel, &sorted, &applicable)),
+        },
+        Comparison {
+            name: "parallel_sites",
+            baseline_label: "threads=1",
+            live_label: "threads=8",
+            baseline: median_time(samples, || {
+                PatDetectRT.run_simple(&partition, &cfd, &sequential)
+            }),
+            live: median_time(samples, || PatDetectRT.run_simple(&partition, &cfd, &pooled)),
         },
     ];
 
     for c in &comparisons {
         println!(
-            "  {:<18} row {:>10.3?}   columnar {:>10.3?}   speedup {:>5.2}x",
+            "  {:<18} {} {:>10.3?}   {} {:>10.3?}   speedup {:>5.2}x",
             c.name,
+            c.baseline_label,
             c.baseline,
-            c.columnar,
+            c.live_label,
+            c.live,
             c.speedup()
         );
     }
@@ -119,12 +149,15 @@ fn main() {
             .map(|c| {
                 format!(
                     concat!(
-                        "    {{\"name\": \"{}\", \"baseline_row_ms\": {:.3}, ",
-                        "\"columnar_ms\": {:.3}, \"speedup\": {:.2}}}"
+                        "    {{\"name\": \"{}\", \"baseline\": \"{}\", ",
+                        "\"baseline_ms\": {:.3}, \"live\": \"{}\", ",
+                        "\"live_ms\": {:.3}, \"speedup\": {:.2}}}"
                     ),
                     c.name,
+                    c.baseline_label,
                     c.baseline.as_secs_f64() * 1e3,
-                    c.columnar.as_secs_f64() * 1e3,
+                    c.live_label,
+                    c.live.as_secs_f64() * 1e3,
                     c.speedup()
                 )
             })
@@ -132,13 +165,15 @@ fn main() {
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"bench\": \"columnar_microbench\",\n",
+                "  \"bench\": \"dcd_microbench\",\n",
                 "  \"workload\": \"cust16 (fig3 scaling), DCD_SCALE={}\",\n",
                 "  \"tuples\": {},\n",
                 "  \"lhs_attrs\": {},\n",
                 "  \"patterns\": {},\n",
                 "  \"samples\": {},\n",
-                "  \"baseline\": \"seed row-oriented group_by / sigma_partition (PR 2)\",\n",
+                "  \"cores\": {},\n",
+                "  \"sites\": 8,\n",
+                "  \"note\": \"{}\",\n",
                 "  \"results\": [\n{}\n  ]\n",
                 "}}\n"
             ),
@@ -147,6 +182,13 @@ fn main() {
             cfd.lhs.len(),
             cfd.tableau.len(),
             samples,
+            cores,
+            if cores > 1 {
+                "parallel_sites compares the scoped pool at width 8 against width 1"
+            } else {
+                "single-core host: parallel_sites can only measure pool overhead \
+                 (speedup ~1.0 expected); outputs are bit-identical at every width"
+            },
             entries.join(",\n")
         );
         std::fs::write(&path, json).expect("write DCD_BENCH_JSON");

@@ -26,18 +26,42 @@ pub struct RunConfig {
     pub cost: CostModel,
     /// Analytic (default) or measured local compute.
     pub compute: ComputeModel,
+    /// OS threads for the "per site in parallel" phases (constant-CFD
+    /// local checks, σ-partitioning, coordinator validation). `1` runs
+    /// them sequentially on the caller's thread. Every output —
+    /// violation reports, ledger totals, paper cost, per-site clocks —
+    /// is bit-identical for every value; only wall-clock changes.
+    /// Defaults to `DCD_THREADS` or the machine's parallelism
+    /// ([`dcd_dist::pool::default_threads`]).
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { cost: CostModel::default(), compute: ComputeModel::Analytic }
+        RunConfig {
+            cost: CostModel::default(),
+            compute: ComputeModel::Analytic,
+            threads: dcd_dist::pool::default_threads(),
+        }
     }
 }
 
 impl RunConfig {
     /// A configuration with measured compute at the given scale.
+    ///
+    /// Measured mode stays deterministic in *accounting structure* on a
+    /// pool, but the measured seconds themselves reflect real
+    /// contention: with more pool threads than cores, concurrent tasks
+    /// time-share and each measures longer. Compare measured runs at
+    /// `threads = 1` (or pin the pool below the core count).
     pub fn measured(scale: f64) -> Self {
-        RunConfig { cost: CostModel::default(), compute: ComputeModel::Measured { scale } }
+        RunConfig { compute: ComputeModel::Measured { scale }, ..RunConfig::default() }
+    }
+
+    /// This configuration with an explicit pool width (floored at 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -49,11 +73,18 @@ mod tests {
     fn default_is_analytic() {
         let cfg = RunConfig::default();
         assert_eq!(cfg.compute, ComputeModel::Analytic);
+        assert!(cfg.threads >= 1);
     }
 
     #[test]
     fn measured_constructor() {
         let cfg = RunConfig::measured(50.0);
         assert_eq!(cfg.compute, ComputeModel::Measured { scale: 50.0 });
+    }
+
+    #[test]
+    fn with_threads_floors_at_one() {
+        assert_eq!(RunConfig::default().with_threads(8).threads, 8);
+        assert_eq!(RunConfig::default().with_threads(0).threads, 1);
     }
 }

@@ -43,11 +43,11 @@ pub trait Detector {
     ) -> Detection {
         let n = partition.n_sites();
         let ledger = ShipmentLedger::new(n);
-        let mut clocks = SiteClocks::new(n);
+        let clocks = SiteClocks::new(n);
         let mut report = ViolationReport::default();
         let mut paper_cost = 0.0;
         for cfd in cfds {
-            let out = run_single_cfd(partition, cfd, self.strategy(), cfg, &ledger, &mut clocks);
+            let out = run_single_cfd(partition, cfd, self.strategy(), cfg, &ledger, &clocks);
             for (name, vs) in out.report.per_cfd {
                 report.absorb(&name, vs);
             }
@@ -61,6 +61,7 @@ pub trait Detector {
             shipped_bytes: ledger.total_bytes(),
             control_messages: ledger.control_messages(),
             response_time: clocks.response_time(),
+            site_clocks: clocks.snapshot(),
             paper_cost,
         }
     }

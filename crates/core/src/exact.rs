@@ -63,56 +63,74 @@ pub fn min_shipment_exhaustive(
         return None;
     }
 
-    // Enumerate assignments in base `options`; prune by cost.
-    let mut best: Option<usize> = None;
+    // Enumerate assignments in base `options`; prune by cost within a
+    // range. The search space splits into contiguous chunks evaluated
+    // on the scoped pool (this is the "analogous loop" of the brute
+    // force: chunks are independent, and `min` over chunk optima is the
+    // global optimum for any pool width).
     let total = options.pow(k as u32);
-    let mut code = 0u64;
-    while code < total {
-        let mut c = code;
-        let mut cost = 0usize;
-        let mut shipments: Vec<(usize, &Tuple)> = Vec::new(); // (dest, tuple)
-        for &(home, t) in &relevant {
-            let mask = (c % options) as usize;
-            c /= options;
-            let mut dest_rank = 0;
-            for site in 0..n {
-                if site == home {
-                    continue;
+    let eval_range = |mut code: u64, end: u64| -> Option<usize> {
+        let mut best: Option<usize> = None;
+        while code < end {
+            let mut c = code;
+            let mut cost = 0usize;
+            let mut shipments: Vec<(usize, &Tuple)> = Vec::new(); // (dest, tuple)
+            for &(home, t) in &relevant {
+                let mask = (c % options) as usize;
+                c /= options;
+                let mut dest_rank = 0;
+                for site in 0..n {
+                    if site == home {
+                        continue;
+                    }
+                    if mask & (1 << dest_rank) != 0 {
+                        shipments.push((site, t));
+                        cost += 1;
+                    }
+                    dest_rank += 1;
                 }
-                if mask & (1 << dest_rank) != 0 {
-                    shipments.push((site, t));
-                    cost += 1;
-                }
-                dest_rank += 1;
             }
-        }
-        if best.is_some_and(|b| cost >= b) {
+            if best.is_some_and(|b| cost >= b) {
+                code += 1;
+                continue;
+            }
+            // Build D'_i and test local checkability.
+            let mut ok = true;
+            'cfds: for (ci, cfd) in variable.iter().enumerate() {
+                let mut union: FxHashSet<Vec<Value>> = FxHashSet::default();
+                for (i, frag) in partition.fragments().iter().enumerate() {
+                    let mut local: Vec<&Tuple> = frag.data.iter().collect();
+                    local.extend(shipments.iter().filter(|(d, _)| *d == i).map(|(_, t)| *t));
+                    union.extend(detect_among(&local, cfd).patterns);
+                }
+                if union != global[ci] {
+                    ok = false;
+                    break 'cfds;
+                }
+            }
+            if ok {
+                best = Some(cost);
+                if cost == 0 {
+                    break;
+                }
+            }
             code += 1;
-            continue;
         }
-        // Build D'_i and test local checkability.
-        let mut ok = true;
-        'cfds: for (ci, cfd) in variable.iter().enumerate() {
-            let mut union: FxHashSet<Vec<Value>> = FxHashSet::default();
-            for (i, frag) in partition.fragments().iter().enumerate() {
-                let mut local: Vec<&Tuple> = frag.data.iter().collect();
-                local.extend(shipments.iter().filter(|(d, _)| *d == i).map(|(_, t)| *t));
-                union.extend(detect_among(&local, cfd).patterns);
-            }
-            if union != global[ci] {
-                ok = false;
-                break 'cfds;
-            }
-        }
-        if ok {
-            best = Some(cost);
-            if cost == 0 {
-                break;
-            }
-        }
-        code += 1;
+        best
+    };
+
+    let threads = dcd_dist::pool::default_threads();
+    if threads <= 1 || total < 4096 {
+        return eval_range(0, total);
     }
-    best
+    let chunk = total.div_ceil(threads as u64);
+    dcd_dist::pool::scoped_map(threads, threads, |i| {
+        let start = i as u64 * chunk;
+        eval_range(start, (start + chunk).min(total))
+    })
+    .into_iter()
+    .flatten()
+    .min()
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use crate::config::RunConfig;
 use crate::report::Detection;
 use crate::runner::{run_single_cfd, CoordinatorStrategy};
 use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
+use dcd_dist::pool::scoped_map;
 use dcd_dist::{Fragment, HorizontalPartition, HybridPartition, ShipmentLedger, SiteClocks};
 use dcd_relation::ops::hash_join;
 use dcd_relation::{AttrId, Relation, RelationError, Tuple, Value};
@@ -32,13 +33,16 @@ pub fn detect_hybrid(
 ) -> Result<Detection, RelationError> {
     let n = partition.n_sites();
     let ledger = ShipmentLedger::new(n);
-    let mut clocks = SiteClocks::new(n);
+    let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
 
     let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
     for cfd in &simples {
-        // ---- Phase 1: vertical gather inside each cell. ----
+        // ---- Phase 1: vertical gather inside each cell, cells in
+        // parallel (each cell touches only its own sites' clocks —
+        // `site_of` is injective across cells — so the merge in cell
+        // order is deterministic). ----
         let mut fragments: Vec<Fragment> = (0..n)
             .map(|_| Fragment {
                 site: dcd_dist::SiteId(0),
@@ -46,10 +50,13 @@ pub fn detect_hybrid(
                 data: Relation::new(partition.schema().clone()),
             })
             .collect();
-        for (ci, cell) in partition.cells().iter().enumerate() {
-            let (coord_vfrag, projection) =
-                gather_cell(partition, ci, cfd, cfg, &ledger, &mut clocks)?;
+        let gathered = scoped_map(cfg.threads, partition.cells().len(), |ci| {
+            gather_cell(partition, ci, cfd, cfg, &ledger, &clocks)
+        });
+        for (ci, outcome) in gathered.into_iter().enumerate() {
+            let (coord_vfrag, projection) = outcome?;
             let site = partition.site_of(ci, coord_vfrag);
+            let cell = &partition.cells()[ci];
             fragments[site.index()] =
                 Fragment { site, predicate: cell.predicate.clone(), data: projection };
         }
@@ -60,7 +67,7 @@ pub fn detect_hybrid(
             HorizontalPartition::from_fragments(partition.schema().clone(), fragments)?;
 
         // ---- Phase 2: standard horizontal detection across cells. ----
-        let out = run_single_cfd(&synthesized, cfd, strategy, cfg, &ledger, &mut clocks);
+        let out = run_single_cfd(&synthesized, cfd, strategy, cfg, &ledger, &clocks);
         for (name, vs) in out.report.per_cfd {
             report.absorb(&name, vs);
         }
@@ -75,6 +82,7 @@ pub fn detect_hybrid(
         shipped_bytes: ledger.total_bytes(),
         control_messages: ledger.control_messages(),
         response_time: clocks.response_time(),
+        site_clocks: clocks.snapshot(),
         paper_cost,
     })
 }
@@ -89,7 +97,7 @@ fn gather_cell(
     cfd: &SimpleCfd,
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
-    clocks: &mut SiteClocks,
+    clocks: &SiteClocks,
 ) -> Result<(usize, Relation), RelationError> {
     let cell = &partition.cells()[cell_idx];
     let vertical = &cell.vertical;

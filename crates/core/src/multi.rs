@@ -16,12 +16,15 @@
 //! lifted to clusters.
 
 use crate::config::RunConfig;
-use crate::local::{check_constants_locally, pattern_applicable};
+use crate::local::{applicable_patterns, check_constants_locally};
 use crate::report::Detection;
-use crate::runner::{assign_coordinators, charge, run_single_cfd, CoordinatorStrategy};
+use crate::runner::{
+    assign_coordinators, charge, exchange_statistics, run_single_cfd, CoordinatorStrategy,
+};
 use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
 use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{detect_among, Cfd, NormalPattern, PatternValue, SimpleCfd, ViolationReport};
+use dcd_dist::pool::scoped_map;
 use dcd_dist::{HorizontalPartition, ShipmentLedger, SiteClocks, SiteId};
 use dcd_relation::{AttrId, FxHashSet, Tuple};
 
@@ -56,12 +59,12 @@ impl MultiDetector for SeqDetect {
     fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
         let n = partition.n_sites();
         let ledger = ShipmentLedger::new(n);
-        let mut clocks = SiteClocks::new(n);
+        let clocks = SiteClocks::new(n);
         let mut report = ViolationReport::default();
         let mut paper_cost = 0.0;
         for cfd in sigma {
             for simple in cfd.simplify() {
-                let out = run_single_cfd(partition, &simple, self.inner, cfg, &ledger, &mut clocks);
+                let out = run_single_cfd(partition, &simple, self.inner, cfg, &ledger, &clocks);
                 for (name, vs) in out.report.per_cfd {
                     report.absorb(&name, vs);
                 }
@@ -94,7 +97,7 @@ impl MultiDetector for ClustDetect {
     fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
         let n = partition.n_sites();
         let ledger = ShipmentLedger::new(n);
-        let mut clocks = SiteClocks::new(n);
+        let clocks = SiteClocks::new(n);
         let mut report = ViolationReport::default();
         let mut paper_cost = 0.0;
 
@@ -103,9 +106,9 @@ impl MultiDetector for ClustDetect {
         for cluster in clusters {
             let members: Vec<&SimpleCfd> = cluster.iter().map(|&i| &simples[i]).collect();
             let out = if members.len() == 1 {
-                run_single_cfd(partition, members[0], self.inner, cfg, &ledger, &mut clocks)
+                run_single_cfd(partition, members[0], self.inner, cfg, &ledger, &clocks)
             } else {
-                run_cluster(partition, &members, self.inner, cfg, &ledger, &mut clocks)
+                run_cluster(partition, &members, self.inner, cfg, &ledger, &clocks)
             };
             for (name, vs) in out.report.per_cfd {
                 report.absorb(&name, vs);
@@ -131,6 +134,7 @@ fn finish(
         shipped_bytes: ledger.total_bytes(),
         control_messages: ledger.control_messages(),
         response_time: clocks.response_time(),
+        site_clocks: clocks.snapshot(),
         paper_cost,
     }
 }
@@ -172,7 +176,7 @@ fn run_cluster(
     strategy: CoordinatorStrategy,
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
-    clocks: &mut SiteClocks,
+    clocks: &SiteClocks,
 ) -> crate::runner::RoundOutput {
     let n = partition.n_sites();
     let mut report = ViolationReport::default();
@@ -182,14 +186,18 @@ fn run_cluster(
     let mut local_secs = vec![0.0_f64; n];
 
     // Constants per member: local checks (Proposition 5), as always.
+    // The member loop stays sequential (a site recurs across members,
+    // and each clock must see one fixed addition order); the
+    // per-fragment inner loop fans out across the pool.
     let mut variable_members: Vec<SimpleCfd> = Vec::new();
     for m in members {
         let (var, constants) = m.split_constant();
         if !constants.is_empty() {
-            for frag in partition.fragments() {
+            let checked = scoped_map(cfg.threads, n, |i| {
+                let frag = &partition.fragments()[i];
                 let frag_len = frag.data.len();
                 let n_consts = constants.len();
-                let (vs, secs) = charge(
+                charge(
                     clocks,
                     frag.site,
                     cfg,
@@ -198,8 +206,10 @@ fn run_cluster(
                         cfg.cost.scan_time(frag_len)
                             + cfg.cost.match_coeff * frag_len as f64 * n_consts as f64
                     },
-                );
-                local_secs[frag.site.index()] += secs;
+                )
+            });
+            for (i, (vs, secs)) in checked.into_iter().enumerate() {
+                local_secs[i] += secs;
                 report.absorb(&m.name, vs);
             }
         }
@@ -260,42 +270,38 @@ fn run_cluster(
     let sorted = sort_for_sigma(&zcfd);
     let k = sorted.cfd.tableau.len();
 
-    // σ-partition per site (one scan for the whole cluster).
-    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for frag in partition.fragments() {
-        let applicable: Vec<usize> = sorted
-            .cfd
-            .tableau
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| pattern_applicable(frag, &sorted.cfd.lhs, p))
-            .map(|(i, _)| i)
-            .collect();
-        if applicable.is_empty() {
-            parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 });
-            continue;
+    // σ-partition per site (one scan for the whole cluster), in
+    // parallel; the partitioning condition doubles as the Phase-2
+    // participation rule, exactly as in `run_single_cfd`.
+    let applicable: Vec<Vec<usize>> =
+        partition.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
+    let scanned = scoped_map(cfg.threads, n, |i| {
+        if applicable[i].is_empty() {
+            return None;
         }
+        let frag = &partition.fragments()[i];
         let frag_len = frag.data.len();
-        let (part, secs) = charge(
+        Some(charge(
             clocks,
             frag.site,
             cfg,
-            || sigma_partition(&frag.data, &sorted, &applicable),
+            || sigma_partition(&frag.data, &sorted, &applicable[i]),
             |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
-        );
-        local_secs[frag.site.index()] += secs;
-        parts.push(part);
-    }
-
-    // Statistics exchange.
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                ledger.control(SiteId(j as u32), SiteId(i as u32), 8 * k);
+        ))
+    });
+    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
+    for (i, scan) in scanned.into_iter().enumerate() {
+        match scan {
+            Some((part, secs)) => {
+                local_secs[i] += secs;
+                parts.push(part);
             }
+            None => parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 }),
         }
     }
-    clocks.barrier();
+
+    // Statistics exchange, among participating sites only.
+    exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
 
     // Coordinators per projected pattern.
     let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
@@ -333,15 +339,15 @@ fn run_cluster(
     }
     clocks.transfer(&matrix, &cfg.cost);
 
-    // Validate every member CFD at each coordinator.
-    for (c, tuples) in gathered.iter().enumerate() {
+    // Validate every member CFD at each coordinator, in parallel.
+    let validated = scoped_map(cfg.threads, n, |c| {
+        let tuples = &gathered[c];
         if tuples.is_empty() {
-            continue;
+            return None;
         }
         let site = SiteId(c as u32);
-        let n_tuples = tuples.len();
-        let analytic = cfg.cost.check_time(n_tuples) * variable_members.len() as f64;
-        let (results, secs) = charge(
+        let analytic = cfg.cost.check_time(tuples.len()) * variable_members.len() as f64;
+        Some(charge(
             clocks,
             site,
             cfg,
@@ -352,10 +358,14 @@ fn run_cluster(
                     .collect::<Vec<(String, ViolationSet)>>()
             },
             |_| analytic,
-        );
-        local_secs[c] += secs;
-        for (name, vs) in results {
-            report.absorb(&name, vs);
+        ))
+    });
+    for (c, outcome) in validated.into_iter().enumerate() {
+        if let Some((results, secs)) = outcome {
+            local_secs[c] += secs;
+            for (name, vs) in results {
+                report.absorb(&name, vs);
+            }
         }
     }
 

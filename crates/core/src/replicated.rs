@@ -16,10 +16,11 @@
 use crate::config::RunConfig;
 use crate::local::applicable_patterns;
 use crate::report::Detection;
-use crate::runner::charge;
+use crate::runner::{charge, exchange_statistics};
 use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
 use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{detect_pattern_among, Cfd, SimpleCfd, ViolationReport};
+use dcd_dist::pool::scoped_map;
 use dcd_dist::{ReplicatedPartition, ShipmentLedger, SiteClocks, SiteId};
 use dcd_relation::Tuple;
 
@@ -32,13 +33,13 @@ pub fn detect_replicated(
 ) -> Detection {
     let n = partition.n_sites();
     let ledger = ShipmentLedger::new(n);
-    let mut clocks = SiteClocks::new(n);
+    let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
 
     let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
     for cfd in &simples {
-        let out = run_one(partition, cfd, cfg, &ledger, &mut clocks);
+        let out = run_one(partition, cfd, cfg, &ledger, &clocks);
         for (name, vs) in out.0.per_cfd {
             report.absorb(&name, vs);
         }
@@ -53,6 +54,7 @@ pub fn detect_replicated(
         shipped_bytes: ledger.total_bytes(),
         control_messages: ledger.control_messages(),
         response_time: clocks.response_time(),
+        site_clocks: clocks.snapshot(),
         paper_cost,
     }
 }
@@ -62,7 +64,7 @@ fn run_one(
     cfd: &SimpleCfd,
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
-    clocks: &mut SiteClocks,
+    clocks: &SiteClocks,
 ) -> (ViolationReport, f64) {
     let base = partition.base();
     let n = base.n_sites();
@@ -70,12 +72,14 @@ fn run_one(
     report.absorb(&cfd.name, ViolationSet::default());
     let mut local_secs = vec![0.0_f64; n];
 
-    // Constants: local at primaries (replicas would find the same).
+    // Constants: local at primaries (replicas would find the same),
+    // checked in parallel across sites.
     let (variable, constants) = cfd.split_constant();
     if !constants.is_empty() {
-        for frag in base.fragments() {
+        let checked = scoped_map(cfg.threads, n, |i| {
+            let frag = &base.fragments()[i];
             let frag_len = frag.data.len();
-            let (vs, secs) = charge(
+            charge(
                 clocks,
                 frag.site,
                 cfg,
@@ -84,8 +88,10 @@ fn run_one(
                     cfg.cost.scan_time(frag_len)
                         + cfg.cost.match_coeff * frag_len as f64 * constants.len() as f64
                 },
-            );
-            local_secs[frag.site.index()] += secs;
+            )
+        });
+        for (i, (vs, secs)) in checked.into_iter().enumerate() {
+            local_secs[i] += secs;
             report.absorb(&cfd.name, vs);
         }
     }
@@ -94,35 +100,37 @@ fn run_one(
         return (report, paper);
     };
 
-    // σ-partition primaries (statistics are placement-independent).
+    // σ-partition primaries (statistics are placement-independent), in
+    // parallel; applicability doubles as exchange participation.
     let sorted = sort_for_sigma(&variable);
     let k = sorted.cfd.tableau.len();
-    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for frag in base.fragments() {
-        let applicable = applicable_patterns(frag, &sorted.cfd);
-        if applicable.is_empty() {
-            parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 });
-            continue;
+    let applicable: Vec<Vec<usize>> =
+        base.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
+    let scanned = scoped_map(cfg.threads, n, |i| {
+        if applicable[i].is_empty() {
+            return None;
         }
+        let frag = &base.fragments()[i];
         let frag_len = frag.data.len();
-        let (part, secs) = charge(
+        Some(charge(
             clocks,
             frag.site,
             cfg,
-            || sigma_partition(&frag.data, &sorted, &applicable),
+            || sigma_partition(&frag.data, &sorted, &applicable[i]),
             |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
-        );
-        local_secs[frag.site.index()] += secs;
-        parts.push(part);
-    }
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                ledger.control(SiteId(j as u32), SiteId(i as u32), 8 * k);
+        ))
+    });
+    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
+    for (i, scan) in scanned.into_iter().enumerate() {
+        match scan {
+            Some((part, secs)) => {
+                local_secs[i] += secs;
+                parts.push(part);
             }
+            None => parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 }),
         }
     }
-    clocks.barrier();
+    exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
 
     // Replica-aware coordinator per pattern: maximize locally available
     // tuples.
@@ -164,13 +172,14 @@ fn run_one(
     }
     clocks.transfer(&matrix, &cfg.cost);
 
-    for (c, jobs) in gathered.iter().enumerate() {
+    let validated = scoped_map(cfg.threads, n, |c| {
+        let jobs = &gathered[c];
         if jobs.is_empty() {
-            continue;
+            return None;
         }
         let site = SiteId(c as u32);
         let analytic: f64 = jobs.iter().map(|(_, ts)| cfg.cost.check_time(ts.len())).sum();
-        let (vs, secs) = charge(
+        Some(charge(
             clocks,
             site,
             cfg,
@@ -182,9 +191,13 @@ fn run_one(
                 vs
             },
             |_| analytic,
-        );
-        local_secs[c] += secs;
-        report.absorb(&cfd.name, vs);
+        ))
+    });
+    for (c, outcome) in validated.into_iter().enumerate() {
+        if let Some((vs, secs)) = outcome {
+            local_secs[c] += secs;
+            report.absorb(&cfd.name, vs);
+        }
     }
 
     let paper = cfg.cost.paper_cost(&matrix, &local_secs);

@@ -21,6 +21,10 @@ pub struct Detection {
     pub control_messages: usize,
     /// Simulated response time under the per-site clock model (seconds).
     pub response_time: f64,
+    /// Final per-site clock values, in site order (`response_time` is
+    /// their maximum). Bit-identical for every pool size — the
+    /// determinism suite compares runs clock by clock.
+    pub site_clocks: Vec<f64>,
     /// Response time under the literal §III-B two-phase formula, summed
     /// over detection rounds (seconds). Always ≥ `response_time`.
     pub paper_cost: f64,
@@ -84,6 +88,7 @@ mod tests {
             shipped_bytes: 100,
             control_messages: 4,
             response_time: 1.5,
+            site_clocks: vec![1.5, 0.5],
             paper_cost: 2.0,
         };
         let s = d.summary();

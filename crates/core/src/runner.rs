@@ -13,6 +13,7 @@ use crate::local::{applicable_patterns, check_constants_locally};
 use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
 use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{detect_among, detect_pattern_among, SimpleCfd, ViolationReport};
+use dcd_dist::pool::scoped_map;
 use dcd_dist::{CostModel, HorizontalPartition, ShipmentLedger, SiteClocks, SiteId};
 use dcd_relation::Tuple;
 use std::time::Instant;
@@ -43,9 +44,13 @@ pub struct RoundOutput {
 
 /// Runs `work` at `site`, advancing its clock by either the analytic
 /// estimate (computed from the result) or the measured wall time.
-/// Returns the result and the seconds charged.
+/// Returns the result and the seconds charged. Callable from pool
+/// threads — `SiteClocks` advances atomically; the per-site phases
+/// charge each site from exactly one task, so clock values stay
+/// bit-identical across pool sizes (in Measured mode the *structure*
+/// is identical, but oversubscribed cores inflate the measured secs).
 pub(crate) fn charge<R>(
-    clocks: &mut SiteClocks,
+    clocks: &SiteClocks,
     site: SiteId,
     cfg: &RunConfig,
     work: impl FnOnce() -> R,
@@ -61,16 +66,55 @@ pub(crate) fn charge<R>(
     (r, secs)
 }
 
+/// The §IV-B statistics exchange, with the participation rules shared
+/// by every detection round: sites whose fragmentation predicate
+/// refutes every pattern (`applicable[i]` empty) are excluded from the
+/// exchange, and with fewer than two participants the exchange — its
+/// `8·k`-byte messages, their send time, and the barrier — is skipped
+/// entirely. Each participant is charged [`CostModel::control_time`]
+/// for its outgoing control packets before the barrier, and the barrier
+/// spans *participants only*: an excluded site keeps its own clock and
+/// pipelines straight into the next round instead of idling through an
+/// exchange it takes no part in.
+pub(crate) fn exchange_statistics(
+    applicable: &[Vec<usize>],
+    k: usize,
+    n: usize,
+    cfg: &RunConfig,
+    ledger: &ShipmentLedger,
+    clocks: &SiteClocks,
+) {
+    let participants: Vec<usize> = (0..n).filter(|&i| !applicable[i].is_empty()).collect();
+    if participants.len() < 2 {
+        return;
+    }
+    for &i in &participants {
+        for &j in &participants {
+            if i != j {
+                ledger.control(SiteId(j as u32), SiteId(i as u32), 8 * k);
+            }
+        }
+        clocks.advance(SiteId(i as u32), cfg.cost.control_time(participants.len() - 1));
+    }
+    let latest = participants.iter().map(|&i| clocks.now(SiteId(i as u32))).fold(0.0, f64::max);
+    for &i in &participants {
+        clocks.wait_until(SiteId(i as u32), latest);
+    }
+}
+
 /// Runs one single-CFD detection round over a horizontal partition,
 /// recording traffic in `ledger` and time in `clocks` (both may carry
-/// state from earlier rounds — that is how `SEQDETECT` pipelines).
+/// state from earlier rounds — that is how `SEQDETECT` pipelines). The
+/// per-fragment phases run on `cfg.threads` scoped OS threads; results
+/// are merged in site order, so every output is bit-identical to a
+/// sequential run.
 pub fn run_single_cfd(
     partition: &HorizontalPartition,
     cfd: &SimpleCfd,
     strategy: CoordinatorStrategy,
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
-    clocks: &mut SiteClocks,
+    clocks: &SiteClocks,
 ) -> RoundOutput {
     let n = partition.n_sites();
     let mut report = ViolationReport::default();
@@ -82,10 +126,11 @@ pub fn run_single_cfd(
     // ---- Phase 0: constant CFDs, checked locally (Proposition 5). ----
     let (variable, constants) = cfd.split_constant();
     if !constants.is_empty() {
-        for frag in partition.fragments() {
+        let checked = scoped_map(cfg.threads, n, |i| {
+            let frag = &partition.fragments()[i];
             let frag_len = frag.data.len();
             let n_consts = constants.len();
-            let (vs, secs) = charge(
+            charge(
                 clocks,
                 frag.site,
                 cfg,
@@ -94,8 +139,10 @@ pub fn run_single_cfd(
                     cfg.cost.scan_time(frag_len)
                         + cfg.cost.match_coeff * frag_len as f64 * n_consts as f64
                 },
-            );
-            local_secs[frag.site.index()] += secs;
+            )
+        });
+        for (i, (vs, secs)) in checked.into_iter().enumerate() {
+            local_secs[i] += secs;
             report.absorb(&cfd.name, vs);
         }
     }
@@ -109,36 +156,44 @@ pub fn run_single_cfd(
     // ---- Phase 1: σ-partition + statistics, per site in parallel. ----
     let sorted = sort_for_sigma(&variable);
     let k = sorted.cfd.tableau.len();
-    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for frag in partition.fragments() {
-        let applicable = applicable_patterns(frag, &sorted.cfd);
-        if applicable.is_empty() {
+    // The partitioning condition, per site, up front: it decides both
+    // who scans here and who participates in the Phase-2 exchange.
+    let applicable: Vec<Vec<usize>> =
+        partition.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
+    let scanned = scoped_map(cfg.threads, n, |i| {
+        if applicable[i].is_empty() {
             // Partitioning condition: the site is irrelevant to every
             // pattern — it does not even scan.
-            parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 });
-            continue;
+            return None;
         }
+        let frag = &partition.fragments()[i];
         let frag_len = frag.data.len();
-        let (part, secs) = charge(
+        Some(charge(
             clocks,
             frag.site,
             cfg,
-            || sigma_partition(&frag.data, &sorted, &applicable),
+            || sigma_partition(&frag.data, &sorted, &applicable[i]),
             |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
-        );
-        local_secs[frag.site.index()] += secs;
-        parts.push(part);
-    }
-
-    // ---- Phase 2: statistics exchange (control traffic + barrier). ----
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                ledger.control(SiteId(j as u32), SiteId(i as u32), 8 * k);
+        ))
+    });
+    let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
+    for (i, scan) in scanned.into_iter().enumerate() {
+        match scan {
+            Some((part, secs)) => {
+                local_secs[i] += secs;
+                parts.push(part);
             }
+            None => parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 }),
         }
     }
-    clocks.barrier();
+
+    // ---- Phase 2: statistics exchange (control traffic + barrier),
+    // among participating sites only. Sites the partitioning condition
+    // excluded never scanned and owe nobody their (empty) counts; when
+    // fewer than two sites hold an applicable pattern there is nothing
+    // to exchange and the whole phase — messages and barrier — is
+    // skipped, preserving `SEQDETECT`'s pipelining across such rounds.
+    exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
 
     // ---- Phase 3: coordinator assignment. ----
     let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
@@ -170,13 +225,14 @@ pub fn run_single_cfd(
     }
     clocks.transfer(&matrix, &cfg.cost);
 
-    // ---- Phase 5: validation at coordinators. ----
-    for (c, jobs) in gathered.iter().enumerate() {
+    // ---- Phase 5: validation at coordinators, in parallel. ----
+    let validated = scoped_map(cfg.threads, n, |c| {
+        let jobs = &gathered[c];
         if jobs.is_empty() {
-            continue;
+            return None;
         }
         let site = SiteId(c as u32);
-        let (vs, secs) = match strategy {
+        Some(match strategy {
             CoordinatorStrategy::Central => {
                 // One detection query over everything gathered.
                 let all: Vec<&Tuple> = jobs.iter().flat_map(|(_, ts)| ts.iter().copied()).collect();
@@ -206,9 +262,13 @@ pub fn run_single_cfd(
                     |_| analytic,
                 )
             }
-        };
-        local_secs[c] += secs;
-        report.absorb(&cfd.name, vs);
+        })
+    });
+    for (c, outcome) in validated.into_iter().enumerate() {
+        if let Some((vs, secs)) = outcome {
+            local_secs[c] += secs;
+            report.absorb(&cfd.name, vs);
+        }
     }
 
     let paper_cost = cfg.cost.paper_cost(&matrix, &local_secs);
@@ -393,14 +453,14 @@ mod tests {
             CoordinatorStrategy::MinResponseTime,
         ] {
             let ledger = ShipmentLedger::new(3);
-            let mut clocks = SiteClocks::new(3);
+            let clocks = SiteClocks::new(3);
             let out = run_single_cfd(
                 &partition,
                 &simple,
                 strategy,
                 &RunConfig::default(),
                 &ledger,
-                &mut clocks,
+                &clocks,
             );
             let (_, vs) = &out.report.per_cfd[0];
             assert_eq!(vs.tids, global.tids, "{strategy:?}");
@@ -429,15 +489,8 @@ mod tests {
             CoordinatorStrategy::MinResponseTime,
         ] {
             let ledger = ShipmentLedger::new(2);
-            let mut clocks = SiteClocks::new(2);
-            run_single_cfd(
-                &partition,
-                &simple,
-                strategy,
-                &RunConfig::default(),
-                &ledger,
-                &mut clocks,
-            );
+            let clocks = SiteClocks::new(2);
+            run_single_cfd(&partition, &simple, strategy, &RunConfig::default(), &ledger, &clocks);
             assert!(
                 ledger.total_tuples() <= rel.len(),
                 "{strategy:?} shipped {} > {}",
@@ -459,14 +512,14 @@ mod tests {
         let cfd = parse_cfd(&s, "c", "([cc=44, zip] -> [street=a])").unwrap();
         let simple = cfd.simplify().pop().unwrap();
         let ledger = ShipmentLedger::new(3);
-        let mut clocks = SiteClocks::new(3);
+        let clocks = SiteClocks::new(3);
         let out = run_single_cfd(
             &partition,
             &simple,
             CoordinatorStrategy::MinShipment,
             &RunConfig::default(),
             &ledger,
-            &mut clocks,
+            &clocks,
         );
         assert_eq!(ledger.total_tuples(), 0);
         // Tuple 1 (44, z2, b) violates street=a.
@@ -486,14 +539,14 @@ mod tests {
         let cfd = parse_cfd(&s, "phi", "([cc, zip] -> [street])").unwrap();
         let simple = cfd.simplify().pop().unwrap();
         let ledger = ShipmentLedger::new(2);
-        let mut clocks = SiteClocks::new(2);
+        let clocks = SiteClocks::new(2);
         run_single_cfd(
             &partition,
             &simple,
             CoordinatorStrategy::MinShipment,
             &RunConfig::measured(1.0),
             &ledger,
-            &mut clocks,
+            &clocks,
         );
         assert!(clocks.response_time() > 0.0);
     }

@@ -7,20 +7,42 @@
 //! The run's *response time* is then the maximum over per-site clocks
 //! ([`SiteClocks::response_time`]): sites work in parallel, so the
 //! slowest chain of dependent work determines the elapsed time.
+//!
+//! Clocks are stored as atomics (f64 bits in `AtomicU64`), so the
+//! per-fragment phases can charge sites from pool threads through a
+//! shared `&SiteClocks` (the type is `Sync`, like `ShipmentLedger`).
+//! Determinism contract: within one parallel phase each site's clock is
+//! advanced only by the task that owns that site, and phases are
+//! separated by the pool's join — so every clock sees the same sequence
+//! of f64 additions regardless of pool size, and the final values are
+//! bit-identical to a sequential run. [`SiteClocks::barrier`] and
+//! [`SiteClocks::transfer`] are whole-vector synchronization steps and
+//! must be called from the coordinating thread between phases, never
+//! from inside one.
 
 use crate::cost::CostModel;
 use crate::site::SiteId;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The per-site clock vector of one simulated detection run.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SiteClocks {
-    clocks: Vec<f64>,
+    /// f64 seconds, stored as bits so advancing is lock-free.
+    clocks: Vec<AtomicU64>,
+}
+
+impl Clone for SiteClocks {
+    fn clone(&self) -> Self {
+        SiteClocks {
+            clocks: self.clocks.iter().map(|c| AtomicU64::new(c.load(Ordering::Acquire))).collect(),
+        }
+    }
 }
 
 impl SiteClocks {
     /// All clocks at zero.
     pub fn new(n: usize) -> Self {
-        SiteClocks { clocks: vec![0.0; n] }
+        SiteClocks { clocks: (0..n).map(|_| AtomicU64::new(0.0_f64.to_bits())).collect() }
     }
 
     /// Number of sites.
@@ -30,39 +52,61 @@ impl SiteClocks {
 
     /// The current time at one site.
     pub fn now(&self, site: SiteId) -> f64 {
-        self.clocks[site.index()]
+        f64::from_bits(self.clocks[site.index()].load(Ordering::Acquire))
     }
 
-    /// Charges `secs` of local work to one site.
-    pub fn advance(&mut self, site: SiteId, secs: f64) {
+    /// Charges `secs` of local work to one site. Callable from pool
+    /// threads; see the module docs for the single-writer-per-phase
+    /// determinism contract.
+    pub fn advance(&self, site: SiteId, secs: f64) {
         debug_assert!(secs >= 0.0, "cannot advance a clock backwards");
-        self.clocks[site.index()] += secs;
+        let clock = &self.clocks[site.index()];
+        let mut current = clock.load(Ordering::Acquire);
+        loop {
+            let updated = (f64::from_bits(current) + secs).to_bits();
+            match clock.compare_exchange_weak(current, updated, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
     }
 
     /// Makes a site wait (at least) until an absolute time — the
     /// receiving half of a point-to-point transfer.
-    pub fn wait_until(&mut self, site: SiteId, time: f64) {
-        let c = &mut self.clocks[site.index()];
-        if *c < time {
-            *c = time;
+    pub fn wait_until(&self, site: SiteId, time: f64) {
+        let clock = &self.clocks[site.index()];
+        let mut current = clock.load(Ordering::Acquire);
+        while f64::from_bits(current) < time {
+            match clock.compare_exchange_weak(
+                current,
+                time.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
         }
     }
 
-    /// Synchronizes all sites to the latest clock (the all-to-all
-    /// statistics exchange of §IV-B is a barrier: nobody proceeds to
-    /// coordinator assignment before everyone's counts arrived).
-    pub fn barrier(&mut self) {
-        let max = self.response_time();
-        for c in &mut self.clocks {
-            *c = max;
+    /// Synchronizes all sites to the latest clock (the statistics
+    /// exchange of §IV-B is a barrier: nobody proceeds to coordinator
+    /// assignment before every participant's counts arrived). A
+    /// between-phases step — not for pool threads.
+    pub fn barrier(&self) {
+        let max = self.response_time().to_bits();
+        for clock in &self.clocks {
+            clock.store(max, Ordering::Release);
         }
     }
 
     /// Executes a bulk transfer round. `matrix[to][from]` is the number
     /// of tuples shipped from `from` to `to`. Each sender serializes its
     /// outgoing tuples ([`CostModel::send_time`] of its total); each
-    /// receiver then waits for every site it receives from.
-    pub fn transfer(&mut self, matrix: &[Vec<usize>], cost: &CostModel) {
+    /// receiver then waits for every site it receives from. A
+    /// between-phases step — not for pool threads.
+    pub fn transfer(&self, matrix: &[Vec<usize>], cost: &CostModel) {
         let n = self.clocks.len();
         debug_assert_eq!(matrix.len(), n);
         debug_assert!(
@@ -73,22 +117,23 @@ impl SiteClocks {
         // Send completion times, from pre-transfer clocks.
         let done: Vec<f64> = (0..n)
             .map(|i| {
+                let now = self.now(SiteId(i as u32));
                 if sent[i] > 0 {
-                    self.clocks[i] + cost.send_time(sent[i])
+                    now + cost.send_time(sent[i])
                 } else {
-                    self.clocks[i]
+                    now
                 }
             })
             .collect();
         for i in 0..n {
             if sent[i] > 0 {
-                self.clocks[i] = done[i];
+                self.clocks[i].store(done[i].to_bits(), Ordering::Release);
             }
         }
         for (to, row) in matrix.iter().enumerate() {
             for (from, &tuples) in row.iter().enumerate() {
-                if tuples > 0 && self.clocks[to] < done[from] {
-                    self.clocks[to] = done[from];
+                if tuples > 0 {
+                    self.wait_until(SiteId(to as u32), done[from]);
                 }
             }
         }
@@ -96,7 +141,14 @@ impl SiteClocks {
 
     /// The simulated response time so far: the maximum per-site clock.
     pub fn response_time(&self) -> f64 {
-        self.clocks.iter().copied().fold(0.0, f64::max)
+        self.clocks.iter().map(|c| f64::from_bits(c.load(Ordering::Acquire))).fold(0.0, f64::max)
+    }
+
+    /// A point-in-time copy of every site's clock, in site order (what
+    /// detection reports carry so pool-size determinism can be checked
+    /// clock by clock).
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.clocks.iter().map(|c| f64::from_bits(c.load(Ordering::Acquire))).collect()
     }
 }
 
@@ -116,7 +168,7 @@ mod tests {
 
     #[test]
     fn response_time_is_max_per_site_clock_after_barrier() {
-        let mut clocks = SiteClocks::new(3);
+        let clocks = SiteClocks::new(3);
         clocks.advance(SiteId(0), 1.0);
         clocks.advance(SiteId(1), 4.0);
         clocks.advance(SiteId(2), 2.5);
@@ -134,7 +186,7 @@ mod tests {
 
     #[test]
     fn receivers_wait_for_the_slowest_sender() {
-        let mut clocks = SiteClocks::new(3);
+        let clocks = SiteClocks::new(3);
         clocks.advance(SiteId(0), 1.0); // fast sender
         clocks.advance(SiteId(1), 5.0); // slow sender
                                         // Both ship 2 tuples to site 2 (1 tuple/sec).
@@ -147,14 +199,14 @@ mod tests {
 
     #[test]
     fn senders_without_traffic_do_not_move() {
-        let mut clocks = SiteClocks::new(2);
+        let clocks = SiteClocks::new(2);
         clocks.transfer(&[vec![0, 0], vec![0, 0]], &unit_cost());
         assert_eq!(clocks.response_time(), 0.0);
     }
 
     #[test]
     fn wait_until_never_rewinds() {
-        let mut clocks = SiteClocks::new(1);
+        let clocks = SiteClocks::new(1);
         clocks.advance(SiteId(0), 3.0);
         clocks.wait_until(SiteId(0), 1.0);
         assert_eq!(clocks.now(SiteId(0)), 3.0);
@@ -165,11 +217,64 @@ mod tests {
     #[test]
     fn a_sender_serializes_its_outgoing_batches() {
         // Site 0 ships to both others; its send time covers the total.
-        let mut clocks = SiteClocks::new(3);
+        let clocks = SiteClocks::new(3);
         let matrix = vec![vec![0, 0, 0], vec![3, 0, 0], vec![4, 0, 0]];
         clocks.transfer(&matrix, &unit_cost());
         assert_eq!(clocks.now(SiteId(0)), 7.0);
         assert_eq!(clocks.now(SiteId(1)), 7.0);
         assert_eq!(clocks.now(SiteId(2)), 7.0);
+    }
+
+    /// The statistics exchange is not free: each participant pays
+    /// [`CostModel::control_time`] for its outgoing control packets
+    /// *before* the barrier, so control traffic shows up in response
+    /// time. Pins the charging pattern the detection runners use.
+    #[test]
+    fn statistics_exchange_control_packets_cost_time() {
+        let cost = CostModel { transfer_rate: 10.0, ..unit_cost() };
+        let clocks = SiteClocks::new(3);
+        clocks.advance(SiteId(0), 1.0);
+        clocks.advance(SiteId(1), 4.0);
+        clocks.advance(SiteId(2), 2.5);
+        // All three participate: each sends 2 control packets (0.1 s
+        // each) before the barrier.
+        for s in 0..3 {
+            clocks.advance(SiteId(s), cost.control_time(2));
+        }
+        clocks.barrier();
+        // The slowest participant (site 1, at 4.0) also paid for its
+        // own packets, so the barrier lands at 4.2 — not 4.0.
+        for s in 0..3 {
+            assert_eq!(clocks.now(SiteId(s)), 4.2, "control send time precedes the barrier");
+        }
+        assert_eq!(clocks.response_time(), 4.2);
+    }
+
+    /// Clocks accept concurrent charging from scoped pool threads (one
+    /// site per task — the phases' single-writer discipline), and the
+    /// result equals the sequential sum.
+    #[test]
+    fn concurrent_single_writer_advances_are_exact() {
+        let clocks = SiteClocks::new(8);
+        crate::pool::scoped_map(8, 8, |i| {
+            for _ in 0..1000 {
+                clocks.advance(SiteId(i as u32), 0.001);
+            }
+        });
+        let expect = (0..1000).fold(0.0_f64, |acc, _| acc + 0.001);
+        for s in 0..8 {
+            assert_eq!(clocks.now(SiteId(s)).to_bits(), expect.to_bits(), "site {s}");
+        }
+    }
+
+    #[test]
+    fn clone_copies_current_values() {
+        let clocks = SiteClocks::new(2);
+        clocks.advance(SiteId(0), 2.0);
+        let copy = clocks.clone();
+        clocks.advance(SiteId(0), 1.0);
+        assert_eq!(copy.now(SiteId(0)), 2.0);
+        assert_eq!(clocks.now(SiteId(0)), 3.0);
+        assert_eq!(copy.snapshot(), vec![2.0, 0.0]);
     }
 }

@@ -62,6 +62,14 @@ impl CostModel {
         (n as f64 / self.packet_tuples).ceil() / self.transfer_rate
     }
 
+    /// Time for one site to send `msgs` control messages (the §IV-B
+    /// statistics exchange). Each control message — a vector of lstat
+    /// counts, a few bytes — rides its own network packet, so the send
+    /// time is one packet slot per message.
+    pub fn control_time(&self, msgs: usize) -> f64 {
+        msgs as f64 / self.transfer_rate
+    }
+
     /// The literal §III-B two-phase formula for one round:
     /// `max_i t_ship(S_i) + max_j t_local(S_j)`, with `matrix[to][from]`
     /// giving the tuples shipped between sites and `local_secs[j]` the
@@ -108,6 +116,14 @@ mod tests {
         assert_eq!(c.send_time(1), 0.1); // one packet
         assert_eq!(c.send_time(64), 0.1); // still one packet
         assert_eq!(c.send_time(65), 0.2); // two packets
+    }
+
+    #[test]
+    fn control_time_is_one_packet_per_message() {
+        let c = CostModel { packet_tuples: 64.0, transfer_rate: 10.0, ..unit() };
+        assert_eq!(c.control_time(0), 0.0);
+        assert_eq!(c.control_time(1), 0.1);
+        assert_eq!(c.control_time(7), 0.7);
     }
 
     #[test]

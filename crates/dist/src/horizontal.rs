@@ -75,11 +75,17 @@ impl HorizontalPartition {
         }
         let schema = rel.schema().clone();
         // Fragments share the parent's dictionaries: codes stay
-        // comparable across sites and nothing is re-encoded.
+        // comparable across sites and nothing is re-encoded. Tuples are
+        // bucketed first so each fragment ingests one bulk batch.
+        let mut buckets: Vec<Vec<_>> =
+            (0..n).map(|_| Vec::with_capacity(rel.len() / n + 1)).collect();
+        for (i, t) in rel.iter().enumerate() {
+            buckets[i % n].push(t.clone());
+        }
         let mut data: Vec<Relation> =
             (0..n).map(|_| rel.with_capacity_like(rel.len() / n + 1)).collect();
-        for (i, t) in rel.iter().enumerate() {
-            data[i % n].push_tuple(t.clone())?;
+        for (d, bucket) in data.iter_mut().zip(buckets) {
+            d.extend_tuples(bucket)?;
         }
         Self::from_fragments(
             schema,
@@ -102,9 +108,13 @@ impl HorizontalPartition {
         let a = rel.schema().require(attr)?;
         let schema = rel.schema().clone();
         let hasher = FxBuildHasher::default();
-        let mut data: Vec<Relation> = (0..n).map(|_| rel.empty_like()).collect();
+        let mut buckets: Vec<Vec<_>> = (0..n).map(|_| Vec::new()).collect();
         for t in rel.iter() {
-            data[(hasher.hash_one(t.get(a)) % n as u64) as usize].push_tuple(t.clone())?;
+            buckets[(hasher.hash_one(t.get(a)) % n as u64) as usize].push(t.clone());
+        }
+        let mut data: Vec<Relation> = (0..n).map(|_| rel.empty_like()).collect();
+        for (d, bucket) in data.iter_mut().zip(buckets) {
+            d.extend_tuples(bucket)?;
         }
         Self::from_fragments(
             schema,
@@ -129,16 +139,20 @@ impl HorizontalPartition {
             });
         }
         let schema = rel.schema().clone();
-        let mut data: Vec<Relation> = (0..predicates.len()).map(|_| rel.empty_like()).collect();
+        let mut buckets: Vec<Vec<_>> = (0..predicates.len()).map(|_| Vec::new()).collect();
         for t in rel.iter() {
             match predicates.iter().position(|p| p.eval(t)) {
-                Some(i) => data[i].push_tuple(t.clone())?,
+                Some(i) => buckets[i].push(t.clone()),
                 None => {
                     return Err(RelationError::InvalidPartition {
                         detail: format!("tuple {} satisfies no fragmentation predicate", t.tid),
                     })
                 }
             }
+        }
+        let mut data: Vec<Relation> = (0..predicates.len()).map(|_| rel.empty_like()).collect();
+        for (d, bucket) in data.iter_mut().zip(buckets) {
+            d.extend_tuples(bucket)?;
         }
         Self::from_fragments(
             schema,
@@ -215,9 +229,7 @@ impl HorizontalPartition {
         // reassembly extends it rather than re-interning every value.
         let mut out = self.fragments[0].data.with_capacity_like(self.total_tuples());
         for frag in &self.fragments {
-            for t in frag.data.iter() {
-                out.push_tuple(t.clone())?;
-            }
+            out.extend_tuples(frag.data.tuples().to_vec())?;
         }
         Ok(out)
     }

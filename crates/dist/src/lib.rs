@@ -31,6 +31,7 @@ pub mod cost;
 pub mod horizontal;
 pub mod hybrid;
 pub mod ledger;
+pub mod pool;
 pub mod replicated;
 pub mod site;
 pub mod vertical;

@@ -1,6 +1,7 @@
 //! In-memory relations: a schema plus a bag of tuples.
 
 use crate::error::RelationError;
+use crate::fxhash::FxHashMap;
 use crate::schema::{AttrId, Schema, ValueType};
 use crate::store::{Column, Dictionary};
 use crate::tuple::{Tuple, TupleId};
@@ -143,6 +144,64 @@ impl Relation {
         Ok(())
     }
 
+    /// Bulk [`Relation::push`]: appends `rows` in order, assigning
+    /// sequential ids. All rows are validated before anything is
+    /// appended, so an error leaves the relation unchanged. Interning
+    /// runs through one memo per column ([`Column::push_cached`]), so
+    /// each distinct value per column pays for one dictionary access
+    /// per batch instead of one per row.
+    pub fn extend_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<(), RelationError> {
+        for row in &rows {
+            self.validate(row)?;
+        }
+        self.tuples.reserve(rows.len());
+        for col in &mut self.columns {
+            col.reserve(rows.len());
+        }
+        let mut memos: Vec<FxHashMap<Value, (u32, Value)>> =
+            (0..self.columns.len()).map(|_| FxHashMap::default()).collect();
+        for row in rows {
+            let tid = TupleId(self.next_tid);
+            self.next_tid += 1;
+            let canonical: Vec<Value> = row
+                .iter()
+                .zip(&mut self.columns)
+                .zip(&mut memos)
+                .map(|((v, col), memo)| col.push_cached(v, memo))
+                .collect();
+            self.tuples.push(Tuple::new(tid, canonical));
+        }
+        Ok(())
+    }
+
+    /// Bulk [`Relation::push_tuple`]: appends pre-identified tuples in
+    /// order through the same per-column memos as
+    /// [`Relation::extend_rows`]. All tuples are validated before
+    /// anything is appended; ids are preserved and the internal counter
+    /// advances past the largest one seen. The fragment-construction
+    /// and reassembly hot path.
+    pub fn extend_tuples(&mut self, tuples: Vec<Tuple>) -> Result<(), RelationError> {
+        for t in &tuples {
+            self.validate(t.values())?;
+        }
+        self.tuples.reserve(tuples.len());
+        for col in &mut self.columns {
+            col.reserve(tuples.len());
+        }
+        let mut memos: Vec<FxHashMap<Value, (u32, Value)>> =
+            (0..self.columns.len()).map(|_| FxHashMap::default()).collect();
+        for t in tuples {
+            self.next_tid = self.next_tid.max(t.tid.0 + 1);
+            for ((v, col), memo) in t.values().iter().zip(&mut self.columns).zip(&mut memos) {
+                // Keep the tuple's own (Arc-shared) values in the row
+                // view, exactly like push_tuple; only the code matters.
+                col.push_cached(v, memo);
+            }
+            self.tuples.push(t);
+        }
+        Ok(())
+    }
+
     /// All tuples, in insertion order (the row view of the columnar
     /// store).
     pub fn tuples(&self) -> &[Tuple] {
@@ -202,22 +261,19 @@ impl Relation {
     }
 
     /// Builds a relation from pre-identified tuples (fragment
-    /// construction / reassembly).
+    /// construction / reassembly), via the bulk
+    /// [`Relation::extend_tuples`] path.
     pub fn from_tuples(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Self, RelationError> {
-        let mut rel = Relation::new(schema);
-        rel.tuples.reserve(tuples.len());
-        for t in tuples {
-            rel.push_tuple(t)?;
-        }
+        let mut rel = Relation::with_capacity(schema, tuples.len());
+        rel.extend_tuples(tuples)?;
         Ok(rel)
     }
 
-    /// Builds a relation from literal rows, assigning fresh ids in order.
+    /// Builds a relation from literal rows, assigning fresh ids in
+    /// order, via the bulk [`Relation::extend_rows`] path.
     pub fn from_rows(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> Result<Self, RelationError> {
         let mut rel = Relation::with_capacity(schema, rows.len());
-        for row in rows {
-            rel.push(row)?;
-        }
+        rel.extend_rows(rows)?;
         Ok(rel)
     }
 
@@ -316,6 +372,47 @@ mod tests {
         let r2 = Relation::from_tuples(schema(), r.tuples().to_vec()).unwrap();
         assert_eq!(r2.len(), 2);
         assert_eq!(r2.tuples()[0].tid, TupleId(0));
+    }
+
+    #[test]
+    fn extend_rows_matches_cell_by_cell_push() {
+        let rows: Vec<Vec<Value>> = (0..30).map(|i| vals![i % 3, format!("s{}", i % 4)]).collect();
+        let mut pushed = Relation::new(schema());
+        for row in rows.clone() {
+            pushed.push(row).unwrap();
+        }
+        let mut bulk = Relation::new(schema());
+        bulk.extend_rows(rows).unwrap();
+        assert_eq!(bulk.tuples(), pushed.tuples());
+        for (a, b) in bulk.columns().iter().zip(pushed.columns()) {
+            assert_eq!(a.codes(), b.codes());
+            assert_eq!(a.dict().snapshot(), b.dict().snapshot());
+        }
+        // Fresh pushes continue after the batch.
+        assert_eq!(bulk.push(vals![9, "z"]).unwrap(), TupleId(30));
+    }
+
+    #[test]
+    fn extend_rows_validates_everything_before_appending() {
+        let mut r = Relation::new(schema());
+        r.push(vals![1, "x"]).unwrap();
+        let err = r.extend_rows(vec![vals![2, "y"], vals![3]]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        assert_eq!(r.len(), 1, "a failing batch must leave the relation unchanged");
+        assert_eq!(r.columns()[0].len(), 1);
+    }
+
+    #[test]
+    fn extend_tuples_preserves_ids_and_advances_counter() {
+        let mut r = Relation::new(schema());
+        r.extend_tuples(vec![
+            Tuple::new(TupleId(5), vals![1, "x"]),
+            Tuple::new(TupleId(2), vals![1, "y"]),
+        ])
+        .unwrap();
+        assert_eq!(r.push(vals![2, "z"]).unwrap(), TupleId(6));
+        assert!(r.find(TupleId(5)).is_some());
+        assert_eq!(r.columns()[0].codes(), &[0, 0, 1]);
     }
 
     #[test]

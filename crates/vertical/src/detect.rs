@@ -57,7 +57,7 @@ pub fn detect_vertical(
 ) -> Result<VerticalDetection, RelationError> {
     let n = partition.n_sites();
     let ledger = ShipmentLedger::new(n);
-    let mut clocks = SiteClocks::new(n);
+    let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut locally_checked = 0usize;
 

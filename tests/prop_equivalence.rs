@@ -64,6 +64,58 @@ fn build_cfd(patterns: &[(Option<i64>, Option<i64>, Option<u8>)], rhs_const: Opt
     Cfd::with_names("prop", s, &["a", "b", "c"], &["d"], tableau).unwrap()
 }
 
+/// Compares two [`Detection`]s field by field, requiring *bit*
+/// equality on every f64 (clocks included) — the pool's determinism
+/// guarantee, not an epsilon match.
+fn assert_detections_identical(
+    base: &Detection,
+    got: &Detection,
+    name: &str,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let label = format!("{name} @ {threads} threads");
+    prop_assert_eq!(&base.violations.all_tids(), &got.violations.all_tids(), "{} Vio", &label);
+    prop_assert_eq!(base.violations.per_cfd.len(), got.violations.per_cfd.len(), "{}", &label);
+    for ((na, va), (nb, vb)) in base.violations.per_cfd.iter().zip(&got.violations.per_cfd) {
+        prop_assert_eq!(na, nb, "{}", &label);
+        prop_assert_eq!(&va.tids, &vb.tids, "{} per-CFD Vio", &label);
+        prop_assert_eq!(&va.patterns, &vb.patterns, "{} Vioπ", &label);
+    }
+    prop_assert_eq!(base.shipped_tuples, got.shipped_tuples, "{} |M|", &label);
+    prop_assert_eq!(base.shipped_cells, got.shipped_cells, "{} cells", &label);
+    prop_assert_eq!(base.shipped_bytes, got.shipped_bytes, "{} bytes", &label);
+    prop_assert_eq!(base.control_messages, got.control_messages, "{} control", &label);
+    prop_assert_eq!(
+        base.paper_cost.to_bits(),
+        got.paper_cost.to_bits(),
+        "{} paper_cost {} vs {}",
+        &label,
+        base.paper_cost,
+        got.paper_cost
+    );
+    prop_assert_eq!(
+        base.response_time.to_bits(),
+        got.response_time.to_bits(),
+        "{} response_time {} vs {}",
+        &label,
+        base.response_time,
+        got.response_time
+    );
+    prop_assert_eq!(base.site_clocks.len(), got.site_clocks.len(), "{}", &label);
+    for (s, (ca, cb)) in base.site_clocks.iter().zip(&got.site_clocks).enumerate() {
+        prop_assert_eq!(
+            ca.to_bits(),
+            cb.to_bits(),
+            "{} clock of site {}: {} vs {}",
+            &label,
+            s,
+            ca,
+            cb
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -243,6 +295,50 @@ proptest! {
             prop_assert_eq!(a.violations.all_tids(), b.violations.all_tids(), "{}", det.name());
             prop_assert_eq!(a.shipped_tuples, b.shipped_tuples, "{} |M|", det.name());
             prop_assert_eq!(a.shipped_cells, b.shipped_cells, "{} cells", det.name());
+        }
+    }
+
+    /// The scoped thread pool never changes anything: for pool sizes
+    /// {1, 2, 8}, all five detectors produce identical violation
+    /// reports, ledger totals (tuples / cells / bytes / control
+    /// messages), paper cost, and bit-identical response time and
+    /// per-site clock values — on both round-robin and predicate
+    /// partitions (the latter exercising the partitioning-condition
+    /// exclusion from the statistics exchange).
+    #[test]
+    fn pool_size_never_changes_results(
+        rows in arb_rows(),
+        patterns in arb_cfd(),
+        n_sites in 2usize..5,
+    ) {
+        let rel = build_relation(&rows);
+        let cfd = build_cfd(&patterns, None);
+        let sigma = vec![cfd.clone()];
+        let a = rel.schema().require("a").unwrap();
+        let round_robin = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
+        let by_pred = HorizontalPartition::by_predicates(
+            &rel,
+            (0..4i64).map(|v| Predicate::atom(Atom::eq(a, v))).collect(),
+        )
+        .unwrap();
+        for partition in [&round_robin, &by_pred] {
+            let sequential = RunConfig::default().with_threads(1);
+            for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
+                let base = det.run(partition, &cfd, &sequential);
+                for threads in [2usize, 8] {
+                    let cfg = RunConfig::default().with_threads(threads);
+                    let got = det.run(partition, &cfd, &cfg);
+                    assert_detections_identical(&base, &got, det.name(), threads)?;
+                }
+            }
+            for det in [&SeqDetect::default() as &dyn MultiDetector, &ClustDetect::default()] {
+                let base = det.run(partition, &sigma, &sequential);
+                for threads in [2usize, 8] {
+                    let cfg = RunConfig::default().with_threads(threads);
+                    let got = det.run(partition, &sigma, &cfg);
+                    assert_detections_identical(&base, &got, det.name(), threads)?;
+                }
+            }
         }
     }
 

@@ -47,6 +47,32 @@ fn pick_cfd(s: &Arc<Schema>, which: usize) -> Cfd {
     }
 }
 
+/// Bit-level equality of two [`Detection`]s (clocks included) — the
+/// pool determinism guarantee for the §VIII extensions.
+fn assert_identical(
+    base: &Detection,
+    got: &Detection,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&base.violations.all_tids(), &got.violations.all_tids(), "{}", threads);
+    prop_assert_eq!(base.shipped_tuples, got.shipped_tuples, "{} |M|", threads);
+    prop_assert_eq!(base.shipped_cells, got.shipped_cells, "{} cells", threads);
+    prop_assert_eq!(base.shipped_bytes, got.shipped_bytes, "{} bytes", threads);
+    prop_assert_eq!(base.control_messages, got.control_messages, "{} control", threads);
+    prop_assert_eq!(base.paper_cost.to_bits(), got.paper_cost.to_bits(), "{} paper", threads);
+    prop_assert_eq!(
+        base.response_time.to_bits(),
+        got.response_time.to_bits(),
+        "{} response",
+        threads
+    );
+    prop_assert_eq!(base.site_clocks.len(), got.site_clocks.len(), "{}", threads);
+    for (s, (ca, cb)) in base.site_clocks.iter().zip(&got.site_clocks).enumerate() {
+        prop_assert_eq!(ca.to_bits(), cb.to_bits(), "{} threads, clock of site {}", threads, s);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -103,6 +129,41 @@ proptest! {
             last = d.shipped_tuples;
         }
         prop_assert_eq!(last, 0, "full replication must ship nothing");
+    }
+
+    /// Pool-size determinism for the §VIII extensions, which the main
+    /// determinism suite (over the five horizontal detectors) does not
+    /// cover: hybrid detection's parallel per-cell gather and
+    /// replicated detection's pooled phases produce bit-identical
+    /// outputs — ledger totals, paper cost, per-site clocks — for pool
+    /// sizes {1, 2, 8}.
+    #[test]
+    fn pool_size_never_changes_hybrid_or_replicated(
+        rows in arb_rows(),
+        which in arb_cfd_pick(),
+        n_cells in 2usize..4,
+    ) {
+        let rel = build(&rows);
+        let s = schema();
+        let cfd = pick_cfd(&s, which);
+        let sigma = std::slice::from_ref(&cfd);
+        let sequential = RunConfig::default().with_threads(1);
+
+        let horizontal = HorizontalPartition::round_robin(&rel, n_cells).unwrap();
+        let hybrid = HybridPartition::new(&horizontal, &[&["a", "b"], &["c", "d"]]).unwrap();
+        let hybrid_base =
+            detect_hybrid(&hybrid, sigma, CoordinatorStrategy::MinShipment, &sequential).unwrap();
+
+        let replicated = ReplicatedPartition::chained(horizontal.clone(), 2).unwrap();
+        let rep_base = detect_replicated(&replicated, sigma, &sequential);
+
+        for threads in [2usize, 8] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let h = detect_hybrid(&hybrid, sigma, CoordinatorStrategy::MinShipment, &cfg).unwrap();
+            assert_identical(&hybrid_base, &h, threads)?;
+            let r = detect_replicated(&replicated, sigma, &cfg);
+            assert_identical(&rep_base, &r, threads)?;
+        }
     }
 
     /// Hybrid reassembly invariant: the partition always restores the
