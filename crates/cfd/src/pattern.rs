@@ -8,9 +8,12 @@
 //! `≍` is a per-attribute integer compare over the relation's code
 //! columns.
 
-use dcd_relation::{Atom, AttrId, Conjunction, Relation, Tuple, Value, NO_CODE, WILDCARD_CODE};
+use dcd_relation::{
+    Atom, AttrId, Conjunction, Dictionary, Relation, Tuple, Value, NO_CODE, WILDCARD_CODE,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One cell of a pattern tuple: either a constant from the attribute's
 /// domain or the unnamed variable `_` (wildcard).
@@ -198,14 +201,30 @@ impl CompiledPattern {
     /// Compiles `pattern` against `rel`'s dictionaries. `lhs`/`rhs` name
     /// the CFD's attribute lists in `rel`'s schema.
     pub fn compile(pattern: &NormalPattern, rel: &Relation, lhs: &[AttrId], rhs: AttrId) -> Self {
-        debug_assert_eq!(lhs.len(), pattern.lhs.len());
-        let cell = |attr: AttrId, p: &PatternValue| match p {
+        Self::compile_with(pattern, &rel.dictionaries_of(lhs), rel.dictionary(rhs))
+    }
+
+    /// Compiles `pattern` against explicit dictionaries — one per LHS
+    /// cell (in the CFD's `X` order) plus the RHS dictionary. This is
+    /// the coordinator-side entry point: a cross-site violation index
+    /// holds the shared dictionaries but no relation, and recompiles its
+    /// tableau per delta batch (dictionaries are append-only, so a
+    /// previously-`NO_CODE` constant can gain a code when an insert
+    /// interns it).
+    pub fn compile_with(
+        pattern: &NormalPattern,
+        lhs_dicts: &[Arc<Dictionary>],
+        rhs_dict: &Dictionary,
+    ) -> Self {
+        debug_assert_eq!(lhs_dicts.len(), pattern.lhs.len());
+        let cell = |dict: &Dictionary, p: &PatternValue| match p {
             PatternValue::Wild => WILDCARD_CODE,
-            PatternValue::Const(c) => rel.dictionary(attr).code_of(c).unwrap_or(NO_CODE),
+            PatternValue::Const(c) => dict.code_of(c).unwrap_or(NO_CODE),
         };
-        let lhs_codes: Vec<u32> = lhs.iter().zip(&pattern.lhs).map(|(&a, p)| cell(a, p)).collect();
+        let lhs_codes: Vec<u32> =
+            lhs_dicts.iter().zip(&pattern.lhs).map(|(d, p)| cell(d, p)).collect();
         let feasible = lhs_codes.iter().all(|&c| c != NO_CODE);
-        CompiledPattern { lhs: lhs_codes, rhs: cell(rhs, &pattern.rhs), feasible }
+        CompiledPattern { lhs: lhs_codes, rhs: cell(rhs_dict, &pattern.rhs), feasible }
     }
 
     /// `t[X] ≍ tp[X]` for row `i` of the code columns the pattern was
@@ -368,6 +387,30 @@ mod tests {
         assert!(compiled.feasible);
         assert_eq!(compiled.rhs, dcd_relation::NO_CODE);
         assert!(rel.column(rhs).codes().iter().all(|&c| c != compiled.rhs));
+    }
+
+    #[test]
+    fn compile_with_sees_late_interned_constants() {
+        use dcd_relation::{vals, Schema, ValueType};
+        let schema = Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("street", ValueType::Str)
+            .build()
+            .unwrap();
+        let mut rel = Relation::from_rows(schema, vec![vals![44, "a"]]).unwrap();
+        let lhs = [AttrId(0)];
+        let pat = NormalPattern::new(vec![PatternValue::constant(31)], PatternValue::Wild);
+        let dicts = rel.dictionaries_of(&lhs);
+        let before = CompiledPattern::compile_with(&pat, &dicts, rel.dictionary(AttrId(1)));
+        assert!(!before.feasible, "31 is not interned yet");
+        // Interning 31 (e.g. a delta insert) makes the same pattern
+        // feasible on recompilation — dictionaries are shared Arcs.
+        rel.push(vals![31, "b"]).unwrap();
+        let after = CompiledPattern::compile_with(&pat, &dicts, rel.dictionary(AttrId(1)));
+        assert!(after.feasible);
+        assert_eq!(after.lhs, vec![rel.dictionary(AttrId(0)).code_of(&Value::Int(31)).unwrap()]);
+        // And it agrees with the relation-level compile.
+        assert_eq!(after, CompiledPattern::compile(&pat, &rel, &lhs, AttrId(1)));
     }
 
     #[test]

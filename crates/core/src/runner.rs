@@ -49,7 +49,11 @@ pub struct RoundOutput {
 /// charge each site from exactly one task, so clock values stay
 /// bit-identical across pool sizes (in Measured mode the *structure*
 /// is identical, but oversubscribed cores inflate the measured secs).
-pub(crate) fn charge<R>(
+///
+/// Public so that other execution modes (the incremental delta
+/// protocol of `dcd-incr`) charge sites exactly like the batch
+/// detectors do.
+pub fn charge<R>(
     clocks: &SiteClocks,
     site: SiteId,
     cfg: &RunConfig,

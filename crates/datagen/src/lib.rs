@@ -12,6 +12,9 @@
 //!   `xrefH`),
 //! * [`noise`] — controlled error injection so that violation detection
 //!   has something to find,
+//! * [`stream`] — CDC-style update streams (insert/delete mixes with
+//!   Zipf-skewed key reuse, routed per site) feeding the incremental
+//!   detection subsystem,
 //! * [`zipf`] — a small inverse-CDF Zipf sampler.
 //!
 //! All generators are deterministic given a seed. Clean data satisfies
@@ -23,10 +26,12 @@
 
 pub mod cust;
 pub mod noise;
+pub mod stream;
 pub mod xref;
 pub mod zipf;
 
 pub use cust::CustConfig;
 pub use noise::inject_errors;
+pub use stream::{update_stream, UpdateStreamConfig};
 pub use xref::XrefConfig;
 pub use zipf::Zipf;

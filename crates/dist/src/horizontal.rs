@@ -179,6 +179,17 @@ impl HorizontalPartition {
         &self.fragments
     }
 
+    /// Mutable access to the fragments — the incremental-maintenance
+    /// hook: delta batches are applied at the owning site's fragment in
+    /// place. Callers must preserve the partition invariants
+    /// ([`Self::validate`]): sequential sites, the shared schema, and
+    /// pairwise-disjoint tuple ids. The fragments' shared dictionaries
+    /// make every mutation code-compatible across sites by
+    /// construction.
+    pub fn fragments_mut(&mut self) -> &mut [Fragment] {
+        &mut self.fragments
+    }
+
     /// The fragment at one site.
     pub fn fragment(&self, site: SiteId) -> &Fragment {
         &self.fragments[site.index()]

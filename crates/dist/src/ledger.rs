@@ -3,6 +3,11 @@
 use crate::site::SiteId;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Bytes per dictionary code on the wire. Code-shipped protocols move
+/// dense `u32` codes instead of string payloads, so their traffic is
+/// byte-accurate at `CODE_BYTES · cells` — the point of shipping codes.
+pub const CODE_BYTES: usize = 4;
+
 /// Records every transfer between sites during a detection run: data
 /// shipments (tuples / cells / bytes) and control messages (the
 /// statistics exchange of §IV-B).
@@ -54,6 +59,16 @@ impl ShipmentLedger {
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.sent_by[from.index()].fetch_add(tuples, Ordering::Relaxed);
         self.received_by[to.index()].fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    /// Records a *code-shipped* transfer of `tuples` rows totalling
+    /// `cells` `u32` cells from `from` to `to`, charged byte-accurately
+    /// at [`CODE_BYTES`] per cell. This is the single place the
+    /// code-shipping protocols (the incremental delta protocol, and any
+    /// future code-native coordinator validation) compute wire bytes —
+    /// call sites pass cell counts, never ad-hoc byte math.
+    pub fn charge_codes(&self, to: SiteId, from: SiteId, tuples: usize, cells: usize) {
+        self.ship(to, from, tuples, cells, cells * CODE_BYTES);
     }
 
     /// Records one control message of `bytes` bytes from `from` to `to`
@@ -130,6 +145,17 @@ mod tests {
         assert_eq!(recv, ledger.total_tuples());
         assert_eq!(ledger.sent_by(SiteId(0)), 7);
         assert_eq!(ledger.received_by(SiteId(2)), 4);
+    }
+
+    #[test]
+    fn charge_codes_is_byte_accurate_at_four_bytes_per_cell() {
+        let ledger = ShipmentLedger::new(2);
+        ledger.charge_codes(SiteId(1), SiteId(0), 3, 36);
+        assert_eq!(ledger.total_tuples(), 3);
+        assert_eq!(ledger.total_cells(), 36);
+        assert_eq!(ledger.total_bytes(), 36 * CODE_BYTES);
+        assert_eq!(ledger.sent_by(SiteId(0)), 3);
+        assert_eq!(ledger.received_by(SiteId(1)), 3);
     }
 
     #[test]

@@ -4,6 +4,17 @@ use crate::horizontal::HorizontalPartition;
 use crate::site::SiteId;
 use dcd_relation::RelationError;
 
+/// The chained-declustering placement rule: whether `site` holds a
+/// replica of fragment `frag` among `n` sites at replication `factor`
+/// (copies of fragment `f` live at sites `f, f+1, …, f+factor-1`
+/// mod `n`; factor 1 is plain fragmentation). The single definition —
+/// [`ReplicatedPartition::holds`] and every replica-aware protocol
+/// (batch and incremental) route through it.
+pub fn chained_holds(n: usize, factor: usize, site: usize, frag: usize) -> bool {
+    debug_assert!(site < n && frag < n);
+    (site + n - frag) % n < factor
+}
+
 /// A horizontal partition whose fragments are replicated across sites
 /// by *chained declustering*: with factor `r`, fragment `f`'s copies
 /// live at sites `f, f+1, …, f+r-1 (mod n)`. Factor 1 is plain
@@ -44,9 +55,7 @@ impl ReplicatedPartition {
 
     /// Whether `site` holds a replica of fragment `frag`.
     pub fn holds(&self, site: SiteId, frag: usize) -> bool {
-        let n = self.base.n_sites();
-        debug_assert!(site.index() < n && frag < n);
-        (site.index() + n - frag) % n < self.factor
+        chained_holds(self.base.n_sites(), self.factor, site.index(), frag)
     }
 }
 

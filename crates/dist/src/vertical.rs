@@ -120,6 +120,15 @@ impl VerticalPartition {
         &self.fragments
     }
 
+    /// Mutable access to the fragments — the incremental-maintenance
+    /// hook. Every fragment must receive the projection of the same
+    /// delta (same deletes, same inserts in the same order), or the
+    /// row alignment that [`Self::reassemble`] and the incremental
+    /// runner rely on is lost.
+    pub fn fragments_mut(&mut self) -> &mut [VFragment] {
+        &mut self.fragments
+    }
+
     /// The attribute groups (key included) — the shape the dependency
     /// preservation and refinement machinery of `dcd-vertical` consumes.
     pub fn attr_groups(&self) -> Vec<Vec<AttrId>> {

@@ -1,0 +1,104 @@
+//! The delta model: batched inserts and deletes against one relation.
+//!
+//! Incremental detection (the `dcd-incr` crate) feeds relations with
+//! CDC-style update batches instead of rebuilding them. A
+//! [`RelationDelta`] names the change — whole tuples to insert, tuple
+//! ids to delete — and [`Relation::apply_delta`](crate::Relation::apply_delta)
+//! applies it in place, returning a [`DeltaEffect`]: the *dictionary
+//! code rows* of every affected tuple. Codes are what the distributed
+//! delta protocol ships (4 bytes per cell) and what the coordinator's
+//! violation index is keyed on, so the effect is exactly the wire
+//! payload of the change.
+//!
+//! Batch semantics: deletes apply first, then inserts, in the order
+//! given. Dictionaries are append-only — deleting rows never recycles
+//! codes, so code rows observed in earlier effects stay decodable
+//! forever.
+
+use crate::tuple::{Tuple, TupleId};
+
+/// One batch of changes to a single relation: tuples to insert (with
+/// caller-assigned ids) and ids to delete. Deletes apply before
+/// inserts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelationDelta {
+    /// Tuples to append, ids preserved (the id counter advances past
+    /// them, exactly like [`Relation::push_tuple`](crate::Relation::push_tuple)).
+    pub inserts: Vec<Tuple>,
+    /// Ids of tuples to remove. Every id must be present in the
+    /// relation, and ids must not repeat within one delta.
+    pub deletes: Vec<TupleId>,
+}
+
+impl RelationDelta {
+    /// A delta with the given inserts and deletes.
+    pub fn new(inserts: Vec<Tuple>, deletes: Vec<TupleId>) -> Self {
+        RelationDelta { inserts, deletes }
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total number of operations (inserts + deletes).
+    pub fn n_ops(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// The encoded outcome of applying one [`RelationDelta`]: for every
+/// affected tuple, its id and its full-width dictionary code row (one
+/// `u32` per schema attribute, in schema order).
+///
+/// This is the shape the delta protocol ships and the violation index
+/// consumes: inserted rows carry the codes just interned through the
+/// relation's dictionaries; deleted rows carry the codes the tuple had,
+/// captured before removal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaEffect {
+    /// `(tid, code row)` per inserted tuple, in insertion order.
+    pub inserted: Vec<(TupleId, Box<[u32]>)>,
+    /// `(tid, code row)` per deleted tuple, in the delta's delete order.
+    pub deleted: Vec<(TupleId, Box<[u32]>)>,
+}
+
+impl DeltaEffect {
+    /// Whether nothing was affected.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Number of affected rows (inserted + deleted).
+    pub fn n_rows(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vals;
+
+    #[test]
+    fn delta_counts_and_emptiness() {
+        let d = RelationDelta::default();
+        assert!(d.is_empty());
+        assert_eq!(d.n_ops(), 0);
+        let d = RelationDelta::new(vec![Tuple::new(TupleId(7), vals![1])], vec![TupleId(0)]);
+        assert!(!d.is_empty());
+        assert_eq!(d.n_ops(), 2);
+    }
+
+    #[test]
+    fn effect_counts_and_emptiness() {
+        let e = DeltaEffect::default();
+        assert!(e.is_empty());
+        let e = DeltaEffect {
+            inserted: vec![(TupleId(1), vec![0, 1].into())],
+            deleted: vec![(TupleId(0), vec![2, 3].into())],
+        };
+        assert_eq!(e.n_rows(), 2);
+        assert!(!e.is_empty());
+    }
+}

@@ -49,6 +49,20 @@ pub enum RelationError {
         /// Explanation of the invalid layout.
         detail: String,
     },
+    /// A delta referenced a tuple id that is not present (or was named
+    /// twice) in the relation it was applied to.
+    UnknownTuple {
+        /// The offending tuple id.
+        tid: u64,
+    },
+    /// A delta inserted a tuple id that is already live in the
+    /// relation (and not deleted by the same delta), or twice within
+    /// one delta. Live tuple ids must stay unique — downstream indices
+    /// key on them.
+    DuplicateTuple {
+        /// The offending tuple id.
+        tid: u64,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -70,6 +84,12 @@ impl fmt::Display for RelationError {
             RelationError::InvalidKey { detail } => write!(f, "invalid key: {detail}"),
             RelationError::InvalidPartition { detail } => {
                 write!(f, "invalid partition: {detail}")
+            }
+            RelationError::UnknownTuple { tid } => {
+                write!(f, "delta names tuple t{tid}, which is not (uniquely) present")
+            }
+            RelationError::DuplicateTuple { tid } => {
+                write!(f, "delta inserts tuple t{tid}, which is already live")
             }
         }
     }

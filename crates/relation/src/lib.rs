@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod error;
 pub mod fxhash;
 pub mod ops;
@@ -55,6 +56,7 @@ pub mod store;
 pub mod tuple;
 pub mod value;
 
+pub use delta::{DeltaEffect, RelationDelta};
 pub use error::RelationError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use predicate::{Atom, CmpOp, Conjunction, Predicate};

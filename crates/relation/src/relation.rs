@@ -1,5 +1,6 @@
 //! In-memory relations: a schema plus a bag of tuples.
 
+use crate::delta::{DeltaEffect, RelationDelta};
 use crate::error::RelationError;
 use crate::fxhash::FxHashMap;
 use crate::schema::{AttrId, Schema, ValueType};
@@ -200,6 +201,92 @@ impl Relation {
             self.tuples.push(t);
         }
         Ok(())
+    }
+
+    /// Applies one delta batch in place — deletes first (order
+    /// preserved among survivors), then inserts, interning through one
+    /// [`Column::push_cached`] memo per column exactly like
+    /// [`Relation::extend_tuples`]. Returns the [`DeltaEffect`]: the
+    /// full-width dictionary code rows of every affected tuple, which
+    /// is both what the distributed delta protocol ships (4 bytes per
+    /// cell) and what a violation index needs to stay current.
+    ///
+    /// Everything is validated before anything mutates: a delete id
+    /// that is absent (or repeated within the delta), an insert that
+    /// fails schema validation, or an insert whose id is already live
+    /// (present and not deleted by this same delta) or repeated within
+    /// the delta, returns an error and leaves the relation unchanged.
+    /// The id checks matter beyond hygiene: a violation index keyed by
+    /// tuple id silently corrupts if two live rows ever share one.
+    pub fn apply_delta(&mut self, delta: &RelationDelta) -> Result<DeltaEffect, RelationError> {
+        let mut insert_ids: crate::fxhash::FxHashSet<TupleId> = crate::fxhash::FxHashSet::default();
+        for t in &delta.inserts {
+            self.validate(t.values())?;
+            if !insert_ids.insert(t.tid) {
+                return Err(RelationError::DuplicateTuple { tid: t.tid.0 });
+            }
+        }
+        let wanted: crate::fxhash::FxHashSet<TupleId> = delta.deletes.iter().copied().collect();
+        if wanted.len() != delta.deletes.len() {
+            let dup = delta
+                .deletes
+                .iter()
+                .find(|tid| delta.deletes.iter().filter(|t| t == tid).count() > 1)
+                .expect("a duplicate exists");
+            return Err(RelationError::UnknownTuple { tid: dup.0 });
+        }
+        // One scan locates every delete and rejects inserts whose id is
+        // already live (unless this very delta deletes it first).
+        let mut pos: FxHashMap<TupleId, usize> =
+            FxHashMap::with_capacity_and_hasher(delta.deletes.len(), Default::default());
+        for (i, t) in self.tuples.iter().enumerate() {
+            if wanted.contains(&t.tid) {
+                pos.insert(t.tid, i);
+            } else if insert_ids.contains(&t.tid) {
+                return Err(RelationError::DuplicateTuple { tid: t.tid.0 });
+            }
+        }
+        let mut effect = DeltaEffect::default();
+
+        if !delta.deletes.is_empty() {
+            for tid in &delta.deletes {
+                let Some(&i) = pos.get(tid) else {
+                    return Err(RelationError::UnknownTuple { tid: tid.0 });
+                };
+                let codes: Box<[u32]> = self.columns.iter().map(|c| c.codes()[i]).collect();
+                effect.deleted.push((*tid, codes));
+            }
+            let mut keep = vec![true; self.tuples.len()];
+            for &i in pos.values() {
+                keep[i] = false;
+            }
+            let mut i = 0;
+            self.tuples.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+            for col in &mut self.columns {
+                col.retain_rows(&keep);
+            }
+        }
+
+        if !delta.inserts.is_empty() {
+            self.tuples.reserve(delta.inserts.len());
+            let mut memos: Vec<FxHashMap<Value, (u32, Value)>> =
+                (0..self.columns.len()).map(|_| FxHashMap::default()).collect();
+            for t in &delta.inserts {
+                self.next_tid = self.next_tid.max(t.tid.0 + 1);
+                let mut codes = Vec::with_capacity(self.columns.len());
+                for ((v, col), memo) in t.values().iter().zip(&mut self.columns).zip(&mut memos) {
+                    col.push_cached(v, memo);
+                    codes.push(*col.codes().last().expect("push appended a code"));
+                }
+                effect.inserted.push((t.tid, codes.into_boxed_slice()));
+                self.tuples.push(t.clone());
+            }
+        }
+        Ok(effect)
     }
 
     /// All tuples, in insertion order (the row view of the columnar
@@ -413,6 +500,105 @@ mod tests {
         assert_eq!(r.push(vals![2, "z"]).unwrap(), TupleId(6));
         assert!(r.find(TupleId(5)).is_some());
         assert_eq!(r.columns()[0].codes(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn apply_delta_deletes_then_inserts_and_reports_codes() {
+        let mut r =
+            Relation::from_rows(schema(), vec![vals![1, "x"], vals![2, "y"], vals![3, "x"]])
+                .unwrap();
+        let delta = crate::RelationDelta::new(
+            vec![Tuple::new(TupleId(10), vals![2, "z"])],
+            vec![TupleId(1)],
+        );
+        let effect = r.apply_delta(&delta).unwrap();
+        // Deleted row 1 carried codes (1, 1); the insert re-uses code 1
+        // for value 2 and interns "z" fresh.
+        assert_eq!(effect.deleted, vec![(TupleId(1), vec![1, 1].into())]);
+        assert_eq!(effect.inserted, vec![(TupleId(10), vec![1, 2].into())]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.columns()[0].codes(), &[0, 2, 1]);
+        assert_eq!(r.columns()[1].codes(), &[0, 0, 2]);
+        // Survivor order is preserved; the id counter advanced.
+        assert_eq!(r.tuples()[0].tid, TupleId(0));
+        assert_eq!(r.tuples()[1].tid, TupleId(2));
+        assert_eq!(r.push(vals![9, "w"]).unwrap(), TupleId(11));
+    }
+
+    #[test]
+    fn apply_delta_is_all_or_nothing() {
+        let mut r = Relation::from_rows(schema(), vec![vals![1, "x"], vals![2, "y"]]).unwrap();
+        let snapshot = r.tuples().to_vec();
+        // Unknown delete id.
+        let err = r.apply_delta(&crate::RelationDelta::new(vec![], vec![TupleId(99)])).unwrap_err();
+        assert!(matches!(err, RelationError::UnknownTuple { tid: 99 }));
+        // Duplicated delete id.
+        let err = r
+            .apply_delta(&crate::RelationDelta::new(vec![], vec![TupleId(0), TupleId(0)]))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::UnknownTuple { tid: 0 }));
+        // Ill-typed insert, alongside a valid delete that must not run.
+        let err = r
+            .apply_delta(&crate::RelationDelta::new(
+                vec![Tuple::new(TupleId(5), vals!["oops", "x"])],
+                vec![TupleId(0)],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+        assert_eq!(r.tuples(), &snapshot[..], "failed deltas must not mutate");
+        assert_eq!(r.columns()[0].len(), 2);
+    }
+
+    #[test]
+    fn apply_delta_rejects_duplicate_insert_ids() {
+        let mut r = Relation::from_rows(schema(), vec![vals![1, "x"], vals![2, "y"]]).unwrap();
+        let snapshot = r.tuples().to_vec();
+        // Inserting an id that is already live fails.
+        let err = r
+            .apply_delta(&crate::RelationDelta::new(
+                vec![Tuple::new(TupleId(1), vals![9, "z"])],
+                vec![],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateTuple { tid: 1 }));
+        // The same id twice within one delta fails.
+        let err = r
+            .apply_delta(&crate::RelationDelta::new(
+                vec![Tuple::new(TupleId(5), vals![8, "a"]), Tuple::new(TupleId(5), vals![9, "b"])],
+                vec![],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateTuple { tid: 5 }));
+        assert_eq!(r.tuples(), &snapshot[..], "failed deltas must not mutate");
+        // Delete-then-reinsert of one id within a single delta is fine
+        // (deletes apply first).
+        r.apply_delta(&crate::RelationDelta::new(
+            vec![Tuple::new(TupleId(0), vals![7, "w"])],
+            vec![TupleId(0)],
+        ))
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.find(TupleId(0)).unwrap().get(AttrId(0)), &Value::Int(7));
+    }
+
+    #[test]
+    fn apply_delta_matches_manual_rebuild() {
+        let mut live = Relation::from_rows(
+            schema(),
+            (0..20).map(|i| vals![i % 5, format!("s{}", i % 3)]).collect(),
+        )
+        .unwrap();
+        let delta = crate::RelationDelta::new(
+            (0..4).map(|i| Tuple::new(TupleId(100 + i), vals![7, format!("n{i}")])).collect(),
+            vec![TupleId(3), TupleId(11), TupleId(19)],
+        );
+        live.apply_delta(&delta).unwrap();
+        // A from-scratch rebuild of the same final row multiset agrees
+        // tuple for tuple (ids and values).
+        let survivors: Vec<Tuple> = live.tuples().to_vec();
+        let rebuilt = Relation::from_tuples(schema(), survivors.clone()).unwrap();
+        assert_eq!(rebuilt.tuples(), &survivors[..]);
+        assert_eq!(live.len(), 21);
     }
 
     #[test]

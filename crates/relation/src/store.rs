@@ -223,6 +223,21 @@ impl Column {
         self.codes.reserve(extra);
     }
 
+    /// Drops every row whose `keep` flag is false, preserving the order
+    /// of the kept rows (`keep.len()` must equal the column length).
+    /// The delta-maintenance hook: dictionaries are append-only, so a
+    /// removed row's code simply stops being referenced — codes are
+    /// never recycled and stay decodable.
+    pub fn retain_rows(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.codes.len());
+        let mut i = 0;
+        self.codes.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+
     /// Decodes the value at `row`.
     pub fn decode(&self, row: usize) -> Value {
         self.dict.value(self.codes[row])
@@ -310,6 +325,19 @@ mod tests {
         assert_eq!(cached.dict().snapshot(), plain.dict().snapshot());
         // The memo holds one entry per distinct value, keyed canonically.
         assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn retain_rows_keeps_order_and_dictionary() {
+        let mut c = Column::new();
+        for v in ["a", "b", "a", "c", "b"] {
+            c.push(&Value::str(v));
+        }
+        c.retain_rows(&[true, false, true, false, true]);
+        assert_eq!(c.codes(), &[0, 0, 1]);
+        // The dictionary keeps every value it ever interned.
+        assert_eq!(c.dict().len(), 3);
+        assert_eq!(c.decode(2), Value::str("b"));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`dist`] — fragmentation, the shipment ledger and the cost model,
 //! * [`core`] — the paper's detection algorithms (`CTRDETECT`,
 //!   `PATDETECTS`, `PATDETECTRT`, `SEQDETECT`, `CLUSTDETECT`, mining),
+//! * [`incr`] — incremental detection: delta streams, the persistent
+//!   violation index and the code-shipped delta protocol,
 //! * [`vertical`] — dependency preservation and minimum refinement,
 //! * [`complexity`] — executable NP-hardness artifacts,
 //! * [`datagen`] — the CUST / XREF workload generators.
@@ -52,6 +54,7 @@ pub use dcd_complexity as complexity;
 pub use dcd_core as core;
 pub use dcd_datagen as datagen;
 pub use dcd_dist as dist;
+pub use dcd_incr as incr;
 pub use dcd_relation as relation;
 pub use dcd_vertical as vertical;
 
@@ -69,11 +72,12 @@ pub mod prelude {
     };
     pub use dcd_dist::{
         CostModel, Fragment, HorizontalPartition, HybridPartition, ReplicatedPartition,
-        ShipmentLedger, SiteClocks, SiteId, VFragment, VerticalPartition,
+        ShipmentLedger, SiteClocks, SiteId, VFragment, VerticalPartition, CODE_BYTES,
     };
+    pub use dcd_incr::{DeltaBatch, IncrementalRun, VerticalIncrementalRun, ViolationIndex};
     pub use dcd_relation::{
-        vals, Atom, CmpOp, Conjunction, Predicate, Relation, Schema, Tuple, TupleId, Value,
-        ValueType,
+        vals, Atom, CmpOp, Conjunction, DeltaEffect, Predicate, Relation, RelationDelta, Schema,
+        Tuple, TupleId, Value, ValueType,
     };
     pub use dcd_vertical::{detect_vertical, is_preserved, refine_exact, refine_greedy, ShipMode};
 }
