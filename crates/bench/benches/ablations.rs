@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dcd_bench::workloads::cust8;
 use dcd_cfd::pattern::tuple_matches;
 use dcd_core::sigma::{sigma_partition, sort_for_sigma};
-use dcd_core::{CtrDetect, Detector, PatDetectS, RunConfig};
+use dcd_core::{run_batch, CoordinatorStrategy, RunConfig};
 use dcd_relation::{FxHashMap, Value};
 use std::collections::HashMap;
 
@@ -82,10 +82,19 @@ fn bench_coordinator_choice(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_coordinator");
     group.sample_size(10);
     group.bench_function("single_coordinator", |b| {
-        b.iter(|| CtrDetect.run_simple(&partition, &cfd, &cfg))
+        b.iter(|| {
+            run_batch(&partition, std::slice::from_ref(&cfd), CoordinatorStrategy::Central, &cfg)
+        })
     });
     group.bench_function("per_pattern_coordinators", |b| {
-        b.iter(|| PatDetectS.run_simple(&partition, &cfd, &cfg))
+        b.iter(|| {
+            run_batch(
+                &partition,
+                std::slice::from_ref(&cfd),
+                CoordinatorStrategy::MinShipment,
+                &cfg,
+            )
+        })
     });
     group.finish();
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcd_bench::workloads::xref_h;
-use dcd_core::{mine_patterns, Detector, MiningConfig, PatDetectS, RunConfig};
+use dcd_core::{mine_patterns, run_batch, CoordinatorStrategy, MiningConfig, RunConfig};
 
 fn bench_fig3e_mining(c: &mut Criterion) {
     let w = xref_h();
@@ -14,7 +14,9 @@ fn bench_fig3e_mining(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3e_mining");
     group.sample_size(10);
     group.bench_function("PATDETECTS_no_mining", |b| {
-        b.iter(|| PatDetectS.run_simple(&partition, &fd, &cfg))
+        b.iter(|| {
+            run_batch(&partition, std::slice::from_ref(&fd), CoordinatorStrategy::MinShipment, &cfg)
+        })
     });
     for theta in [0.05f64, 0.3, 0.8] {
         let outcome =
@@ -22,7 +24,16 @@ fn bench_fig3e_mining(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("PATDETECTS_mined", format!("theta_{theta}")),
             &theta,
-            |b, _| b.iter(|| PatDetectS.run_simple(&partition, &outcome.cfd, &cfg)),
+            |b, _| {
+                b.iter(|| {
+                    run_batch(
+                        &partition,
+                        std::slice::from_ref(&outcome.cfd),
+                        CoordinatorStrategy::MinShipment,
+                        &cfg,
+                    )
+                })
+            },
         );
     }
     group.bench_function("mining_pass_itself", |b| {

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcd_bench::workloads::{cust8, xref8};
-use dcd_core::{ClustDetect, MultiDetector, RunConfig, SeqDetect};
+use dcd_core::{run_clust, run_seq, CoordinatorStrategy, RunConfig};
 
 fn bench_multi_xref(c: &mut Criterion) {
     let w = xref8();
@@ -14,10 +14,10 @@ fn bench_multi_xref(c: &mut Criterion) {
     for n_sites in [2usize, 8] {
         let partition = w.partition(n_sites);
         group.bench_with_input(BenchmarkId::new("SEQDETECT", n_sites), &n_sites, |b, _| {
-            b.iter(|| SeqDetect::default().run(&partition, &sigma, &cfg))
+            b.iter(|| run_seq(&partition, &sigma, CoordinatorStrategy::MinResponseTime, &cfg))
         });
         group.bench_with_input(BenchmarkId::new("CLUSTDETECT", n_sites), &n_sites, |b, _| {
-            b.iter(|| ClustDetect::default().run(&partition, &sigma, &cfg))
+            b.iter(|| run_clust(&partition, &sigma, CoordinatorStrategy::MinResponseTime, &cfg))
         });
     }
     group.finish();
@@ -31,10 +31,10 @@ fn bench_multi_cust(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3hi_multi_cust8");
     group.sample_size(10);
     group.bench_function("SEQDETECT", |b| {
-        b.iter(|| SeqDetect::default().run(&partition, &sigma, &cfg))
+        b.iter(|| run_seq(&partition, &sigma, CoordinatorStrategy::MinResponseTime, &cfg))
     });
     group.bench_function("CLUSTDETECT", |b| {
-        b.iter(|| ClustDetect::default().run(&partition, &sigma, &cfg))
+        b.iter(|| run_clust(&partition, &sigma, CoordinatorStrategy::MinResponseTime, &cfg))
     });
     group.finish();
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dcd_bench::workloads::cust16;
-use dcd_core::{CtrDetect, Detector, PatDetectRT, RunConfig};
+use dcd_core::{run_batch, CoordinatorStrategy, RunConfig};
 use dcd_dist::HorizontalPartition;
 
 fn bench_fig3c_datasize(c: &mut Criterion) {
@@ -17,10 +17,24 @@ fn bench_fig3c_datasize(c: &mut Criterion) {
         let partition = HorizontalPartition::round_robin(&prefix, 8).unwrap();
         group.throughput(Throughput::Elements(prefix.len() as u64));
         group.bench_with_input(BenchmarkId::new("CTRDETECT", pct), &pct, |b, _| {
-            b.iter(|| CtrDetect.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::Central,
+                    &cfg,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("PATDETECTRT", pct), &pct, |b, _| {
-            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::MinResponseTime,
+                    &cfg,
+                )
+            })
         });
     }
     group.finish();
@@ -35,7 +49,14 @@ fn bench_fig3d_tableau(c: &mut Criterion) {
     for n_patterns in [55usize, 155, 255] {
         let cfd = w.main_cfd_with(n_patterns);
         group.bench_with_input(BenchmarkId::new("PATDETECTRT", n_patterns), &n_patterns, |b, _| {
-            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::MinResponseTime,
+                    &cfg,
+                )
+            })
         });
     }
     group.finish();

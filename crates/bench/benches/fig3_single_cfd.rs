@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcd_bench::workloads::{cust8, xref8};
-use dcd_core::{CtrDetect, Detector, PatDetectRT, PatDetectS, RunConfig};
+use dcd_core::{run_batch, CoordinatorStrategy, RunConfig};
 
 fn bench_fig3a(c: &mut Criterion) {
     let w = cust8();
@@ -17,13 +17,34 @@ fn bench_fig3a(c: &mut Criterion) {
     for n_sites in [2usize, 8] {
         let partition = w.partition(n_sites);
         group.bench_with_input(BenchmarkId::new("CTRDETECT", n_sites), &n_sites, |b, _| {
-            b.iter(|| CtrDetect.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::Central,
+                    &cfg,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("PATDETECTS", n_sites), &n_sites, |b, _| {
-            b.iter(|| PatDetectS.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::MinShipment,
+                    &cfg,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("PATDETECTRT", n_sites), &n_sites, |b, _| {
-            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::MinResponseTime,
+                    &cfg,
+                )
+            })
         });
     }
     group.finish();
@@ -38,10 +59,24 @@ fn bench_fig3b(c: &mut Criterion) {
     for n_sites in [2usize, 8] {
         let partition = w.partition(n_sites);
         group.bench_with_input(BenchmarkId::new("CTRDETECT", n_sites), &n_sites, |b, _| {
-            b.iter(|| CtrDetect.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::Central,
+                    &cfg,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("PATDETECTRT", n_sites), &n_sites, |b, _| {
-            b.iter(|| PatDetectRT.run_simple(&partition, &cfd, &cfg))
+            b.iter(|| {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::MinResponseTime,
+                    &cfg,
+                )
+            })
         });
     }
     group.finish();

@@ -5,6 +5,11 @@
 //!   paths against the seed's row-oriented reference implementations
 //!   (value hashing / symbolic pattern matching), reproduced here
 //!   verbatim as the baseline (PR 2);
+//! * `coordinator_validation` — the Phase-5 batch-validation kernel:
+//!   everything 8 fragments hold gathered at one coordinator, validated
+//!   value-wise (`detect_among` over `&Tuple`s — the pre-code-native
+//!   wire) against code-native (`detect_among_codes` over `(tid,
+//!   codes)` rows), recorded via `DCD_BENCH_CODE_JSON`;
 //! * `parallel_sites` — a full `PATDETECTRT` detection round over 8
 //!   sites with the scoped thread pool at `DCD_THREADS`-style width 8
 //!   against the sequential pool (width 1). On a single-core container
@@ -21,9 +26,11 @@
 //! `DCD_BENCH_INCR_JSON=<path>` for the incremental group.
 
 use criterion::black_box;
+use dcd_cfd::codes::{detect_among_codes, CodeLayout, CodeRow};
+use dcd_cfd::detect_among;
 use dcd_cfd::pattern::tuple_matches;
 use dcd_core::sigma::{sigma_partition, sort_for_sigma, SigmaPartition, SortedCfd};
-use dcd_core::{Detector, PatDetectRT, PatDetectS, RunConfig};
+use dcd_core::{run_batch, CoordinatorStrategy, RunConfig};
 use dcd_datagen::{update_stream, UpdateStreamConfig};
 use dcd_incr::{DeltaBatch, IncrementalRun};
 use dcd_relation::ops::group_by;
@@ -112,7 +119,33 @@ fn main() {
     let partition = w.partition(8);
     let sequential = RunConfig::default().with_threads(1);
     let pooled = RunConfig::default().with_threads(8);
+
+    // coordinator_validation: the Phase-5 kernel — everything the 8
+    // fragments hold, gathered at one coordinator and validated there.
+    // Baseline: the legacy value-wise wire (`&Tuple`s, `Vec<Value>`
+    // group keys). Live: the code-native wire (`(tid, codes)` rows,
+    // packed `CodeKey`s, u32 RHS compares).
+    let attrs = cfd.shipped_attrs();
+    let gathered_tuples: Vec<&dcd_relation::Tuple> =
+        partition.fragments().iter().flat_map(|f| f.data.iter()).collect();
+    let gathered_rows: Vec<CodeRow> = partition
+        .fragments()
+        .iter()
+        .flat_map(|f| {
+            let all: Vec<usize> = (0..f.data.len()).collect();
+            f.data.code_rows(&attrs, &all)
+        })
+        .collect();
+    let layout = CodeLayout::of_relation(&partition.fragments()[0].data, &attrs);
+
     let comparisons = vec![
+        Comparison {
+            name: "coordinator_validation",
+            baseline_label: "value-wise",
+            live_label: "code-native",
+            baseline: median_time(samples, || detect_among(&gathered_tuples, &cfd)),
+            live: median_time(samples, || detect_among_codes(&gathered_rows, &cfd, &layout)),
+        },
         Comparison {
             name: "group_by",
             baseline_label: "row",
@@ -132,15 +165,27 @@ fn main() {
             baseline_label: "threads=1",
             live_label: "threads=8",
             baseline: median_time(samples, || {
-                PatDetectRT.run_simple(&partition, &cfd, &sequential)
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::MinResponseTime,
+                    &sequential,
+                )
             }),
-            live: median_time(samples, || PatDetectRT.run_simple(&partition, &cfd, &pooled)),
+            live: median_time(samples, || {
+                run_batch(
+                    &partition,
+                    std::slice::from_ref(&cfd),
+                    CoordinatorStrategy::MinResponseTime,
+                    &pooled,
+                )
+            }),
         },
     ];
 
     for c in &comparisons {
         println!(
-            "  {:<18} {} {:>10.3?}   {} {:>10.3?}   speedup {:>5.2}x",
+            "  {:<22} {} {:>10.3?}   {} {:>10.3?}   speedup {:>5.2}x",
             c.name,
             c.baseline_label,
             c.baseline,
@@ -170,7 +215,12 @@ fn main() {
         black_box(run.apply_batch(&batch).expect("generated batches apply cleanly"));
         batch_times.push(start.elapsed());
         let start = Instant::now();
-        black_box(PatDetectS.run_simple(run.partition(), &cfd, &RunConfig::default()));
+        black_box(run_batch(
+            run.partition(),
+            std::slice::from_ref(&cfd),
+            CoordinatorStrategy::MinShipment,
+            &RunConfig::default(),
+        ));
         full_times.push(start.elapsed());
     }
     batch_times.sort();
@@ -183,7 +233,7 @@ fn main() {
         live: batch_times[batch_times.len() / 2],
     };
     println!(
-        "  {:<18} {} {:>10.3?}   {} {:>10.3?}   speedup {:>5.2}x   (index build {:.3?}, {} ops/batch)",
+        "  {:<22} {} {:>10.3?}   {} {:>10.3?}   speedup {:>5.2}x   (index build {:.3?}, {} ops/batch)",
         incr.name,
         incr.baseline_label,
         incr.baseline,
@@ -228,6 +278,41 @@ fn main() {
             incr.speedup(),
         );
         std::fs::write(&path, json).expect("write DCD_BENCH_INCR_JSON");
+        println!("  wrote {path}");
+    }
+
+    if let Ok(path) = std::env::var("DCD_BENCH_CODE_JSON") {
+        let c = &comparisons[0];
+        assert_eq!(c.name, "coordinator_validation");
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"dcd_coordinator_validation\",\n",
+                "  \"workload\": \"cust16 (fig3 scaling), DCD_SCALE={}, 8 sites, full gather\",\n",
+                "  \"tuples\": {},\n",
+                "  \"lhs_attrs\": {},\n",
+                "  \"patterns\": {},\n",
+                "  \"cores\": {},\n",
+                "  \"value_wise_ms\": {:.3},\n",
+                "  \"code_native_ms\": {:.3},\n",
+                "  \"speedup\": {:.2},\n",
+                "  \"note\": \"Phase-5 batch validation of one full 8-site gather at a \
+                 coordinator. value_wise is the legacy wire (&Tuple payloads, Vec<Value> \
+                 group keys); code_native is what run_single_cfd ships since the \
+                 code-native port ((tid, codes) rows, packed CodeKeys, u32 RHS compares, \
+                 4 bytes/cell on the ledger).\"\n",
+                "}}\n"
+            ),
+            dcd_bench::workloads::scale(),
+            rel.len(),
+            cfd.lhs.len(),
+            cfd.tableau.len(),
+            cores,
+            c.baseline.as_secs_f64() * 1e3,
+            c.live.as_secs_f64() * 1e3,
+            c.speedup(),
+        );
+        std::fs::write(&path, json).expect("write DCD_BENCH_CODE_JSON");
         println!("  wrote {path}");
     }
 

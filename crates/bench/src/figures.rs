@@ -6,8 +6,7 @@
 
 use crate::workloads::{cust16, cust8, xref8, xref_h};
 use dcd_core::{
-    mine_patterns, ClustDetect, CtrDetect, Detector, MiningConfig, MultiDetector, PatDetectRT,
-    PatDetectS, RunConfig, SeqDetect,
+    mine_patterns, run_batch, run_clust, run_seq, CoordinatorStrategy, MiningConfig, RunConfig,
 };
 use dcd_dist::HorizontalPartition;
 
@@ -62,6 +61,16 @@ fn cfg() -> RunConfig {
     RunConfig::default()
 }
 
+/// One single-CFD run through the engine (the figures sweep strategies
+/// directly; the labels come from the strategy's paper name).
+fn run_single(
+    partition: &HorizontalPartition,
+    cfd: &dcd_cfd::SimpleCfd,
+    strategy: CoordinatorStrategy,
+) -> dcd_core::Detection {
+    run_batch(partition, std::slice::from_ref(cfd), strategy, &cfg())
+}
+
 /// Exp-1 on CUST (Fig. 3(a)): response time vs number of sites, three
 /// single-CFD algorithms, cust8, |Tp| = 255.
 pub fn fig3a() -> FigureResult {
@@ -89,9 +98,12 @@ fn single_cfd_site_sweep(
     for n_sites in 2..=8 {
         let partition = partition_for(n_sites);
         let x = n_sites as f64;
-        ctr.push((x, CtrDetect.run_simple(&partition, cfd, &cfg()).response_time));
-        pats.push((x, PatDetectS.run_simple(&partition, cfd, &cfg()).response_time));
-        patrt.push((x, PatDetectRT.run_simple(&partition, cfd, &cfg()).response_time));
+        ctr.push((x, run_single(&partition, cfd, CoordinatorStrategy::Central).response_time));
+        pats.push((x, run_single(&partition, cfd, CoordinatorStrategy::MinShipment).response_time));
+        patrt.push((
+            x,
+            run_single(&partition, cfd, CoordinatorStrategy::MinResponseTime).response_time,
+        ));
     }
     FigureResult {
         id,
@@ -118,8 +130,11 @@ pub fn fig3c() -> FigureResult {
         let prefix = w.prefix(fraction);
         let partition = HorizontalPartition::round_robin(&prefix, 8).expect("round robin");
         let x = (prefix.len() as f64) / 1000.0;
-        ctr.push((x, CtrDetect.run_simple(&partition, &cfd, &cfg()).response_time));
-        patrt.push((x, PatDetectRT.run_simple(&partition, &cfd, &cfg()).response_time));
+        ctr.push((x, run_single(&partition, &cfd, CoordinatorStrategy::Central).response_time));
+        patrt.push((
+            x,
+            run_single(&partition, &cfd, CoordinatorStrategy::MinResponseTime).response_time,
+        ));
     }
     FigureResult {
         id: "fig3c",
@@ -143,8 +158,11 @@ pub fn fig3d() -> FigureResult {
     for n_patterns in (55..=255).step_by(50) {
         let cfd = w.main_cfd_with(n_patterns);
         let x = n_patterns as f64;
-        ctr.push((x, CtrDetect.run_simple(&partition, &cfd, &cfg()).response_time));
-        patrt.push((x, PatDetectRT.run_simple(&partition, &cfd, &cfg()).response_time));
+        ctr.push((x, run_single(&partition, &cfd, CoordinatorStrategy::Central).response_time));
+        patrt.push((
+            x,
+            run_single(&partition, &cfd, CoordinatorStrategy::MinResponseTime).response_time,
+        ));
     }
     FigureResult {
         id: "fig3d",
@@ -164,14 +182,15 @@ pub fn fig3e() -> FigureResult {
     let w = xref_h();
     let partition = w.partition_by_info_type();
     let fd = w.mining_fd();
-    let baseline = PatDetectS.run_simple(&partition, &fd, &cfg()).shipped_tuples as f64;
+    let baseline =
+        run_single(&partition, &fd, CoordinatorStrategy::MinShipment).shipped_tuples as f64;
     let mut plain = Vec::new();
     let mut mined = Vec::new();
     let thetas = [0.01, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     for &theta in &thetas {
         let outcome =
             mine_patterns(&partition, &fd, &MiningConfig { theta, max_width: 2 }, &cfg().cost);
-        let run = PatDetectS.run_simple(&partition, &outcome.cfd, &cfg());
+        let run = run_single(&partition, &outcome.cfd, CoordinatorStrategy::MinShipment);
         plain.push((theta, baseline));
         mined.push((theta, run.shipped_tuples as f64));
     }
@@ -243,8 +262,14 @@ fn multi_cfd_site_sweep(
     for n_sites in 2..=8 {
         let partition = partition_for(n_sites);
         let x = n_sites as f64;
-        seq.push((x, metric(&SeqDetect::default().run(&partition, sigma, &cfg()))));
-        clust.push((x, metric(&ClustDetect::default().run(&partition, sigma, &cfg()))));
+        seq.push((
+            x,
+            metric(&run_seq(&partition, sigma, CoordinatorStrategy::MinResponseTime, &cfg())),
+        ));
+        clust.push((
+            x,
+            metric(&run_clust(&partition, sigma, CoordinatorStrategy::MinResponseTime, &cfg())),
+        ));
     }
     FigureResult {
         id,
@@ -270,8 +295,15 @@ pub fn fig3i() -> FigureResult {
         let prefix = w.prefix(fraction);
         let partition = HorizontalPartition::round_robin(&prefix, 8).expect("round robin");
         let x = (prefix.len() as f64) / 1000.0;
-        seq.push((x, SeqDetect::default().run(&partition, &sigma, &cfg()).response_time));
-        clust.push((x, ClustDetect::default().run(&partition, &sigma, &cfg()).response_time));
+        seq.push((
+            x,
+            run_seq(&partition, &sigma, CoordinatorStrategy::MinResponseTime, &cfg()).response_time,
+        ));
+        clust.push((
+            x,
+            run_clust(&partition, &sigma, CoordinatorStrategy::MinResponseTime, &cfg())
+                .response_time,
+        ));
     }
     FigureResult {
         id: "fig3i",

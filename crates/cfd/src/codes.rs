@@ -1,0 +1,417 @@
+//! Code-native coordinator validation: the `(tid, codes)` twin of
+//! [`detect_among`](crate::detect_among) / [`detect_pattern_among`](crate::detect_pattern_among).
+//!
+//! The batch detectors' coordinators receive σ-blocks gathered from many
+//! fragments. On the value-wise wire those are `&Tuple`s (string
+//! payloads, `Vec<Value>` group keys); on the *code-native* wire — the
+//! one the incremental delta protocol of `dcd-incr` already uses — each
+//! shipped row is just `(tid, codes)`: one `u32` dictionary code per
+//! projected attribute, 4 bytes per cell. Because fragments built
+//! through the `dcd-dist` constructors share their parent's
+//! dictionaries, codes are site-portable: the coordinator compares them
+//! directly, compiles the tableau once against the shared dictionaries
+//! ([`CompiledPattern::compile_with`]), and decodes only the *violating*
+//! group keys back to values for `Vioπ`.
+//!
+//! A [`CodeLayout`] names what the wire rows carry: which original
+//! attributes, in which order, over which dictionaries. The detection
+//! functions here reproduce the grouping semantics of their value-wise
+//! twins exactly (pinned by the equivalence tests below and by the
+//! workspace property suites).
+
+use crate::cfd::SimpleCfd;
+use crate::pattern::CompiledPattern;
+use crate::violation::ViolationSet;
+use dcd_relation::ops::CodeKey;
+use dcd_relation::{AttrId, Dictionary, FxHashMap, FxHashSet, Relation, TupleId, Value};
+use std::sync::Arc;
+
+/// One row on the code-native wire: a tuple id plus the dictionary
+/// codes of the shipped attributes, in [`CodeLayout`] order.
+pub type CodeRow = (TupleId, Box<[u32]>);
+
+/// The shape of a batch of [`CodeRow`]s: which original-schema
+/// attributes the cells hold (in cell order) and the shared
+/// dictionaries they are coded against.
+///
+/// Built once per detection round at the coordinator; validation then
+/// resolves each CFD's attributes to cell positions through it.
+#[derive(Debug, Clone)]
+pub struct CodeLayout {
+    attrs: Vec<AttrId>,
+    dicts: Vec<Arc<Dictionary>>,
+}
+
+impl CodeLayout {
+    /// A layout over explicit attributes and their dictionaries
+    /// (aligned, one dictionary per attribute).
+    pub fn new(attrs: Vec<AttrId>, dicts: Vec<Arc<Dictionary>>) -> Self {
+        debug_assert_eq!(attrs.len(), dicts.len());
+        CodeLayout { attrs, dicts }
+    }
+
+    /// The layout of rows shipped as `rel.code_rows(attrs, ..)`:
+    /// dictionaries are taken from `rel` (and are shared by every
+    /// fragment of the same partition).
+    pub fn of_relation(rel: &Relation, attrs: &[AttrId]) -> Self {
+        CodeLayout { attrs: attrs.to_vec(), dicts: rel.dictionaries_of(attrs) }
+    }
+
+    /// The attributes the rows carry, in cell order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of attribute cells per row.
+    pub fn width(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The cell position of an original-schema attribute, if carried.
+    pub fn position(&self, attr: AttrId) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == attr)
+    }
+
+    /// Resolves one CFD against this layout: LHS cell positions, RHS
+    /// cell position, the LHS dictionaries (for key decoding) and the
+    /// tableau compiled against the shared dictionaries. Resolution
+    /// costs one dictionary lookup per pattern constant — do it once
+    /// per detection round and reuse the [`ResolvedCfd`] across
+    /// coordinators and pattern blocks (it is `Sync`).
+    ///
+    /// Panics if the layout does not carry all of the CFD's attributes
+    /// — shipping a block that cannot be validated is a protocol bug,
+    /// not a data condition.
+    pub fn resolve(&self, cfd: &SimpleCfd) -> ResolvedCfd {
+        let lhs_pos: Vec<usize> = cfd
+            .lhs
+            .iter()
+            .map(|&a| self.position(a).expect("layout carries every CFD LHS attribute"))
+            .collect();
+        let rhs_pos = self.position(cfd.rhs).expect("layout carries the CFD RHS attribute");
+        let lhs_dicts: Vec<Arc<Dictionary>> =
+            lhs_pos.iter().map(|&p| self.dicts[p].clone()).collect();
+        let compiled: Vec<CompiledPattern> = cfd
+            .tableau
+            .iter()
+            .map(|p| CompiledPattern::compile_with(p, &lhs_dicts, &self.dicts[rhs_pos]))
+            .collect();
+        ResolvedCfd { lhs_pos, rhs_pos, lhs_dicts, compiled }
+    }
+}
+
+/// A CFD resolved against one [`CodeLayout`]: cell positions plus the
+/// compiled tableau, ready to validate any number of row batches
+/// without touching the dictionaries again (except to decode violating
+/// group keys).
+#[derive(Debug, Clone)]
+pub struct ResolvedCfd {
+    lhs_pos: Vec<usize>,
+    rhs_pos: usize,
+    lhs_dicts: Vec<Arc<Dictionary>>,
+    compiled: Vec<CompiledPattern>,
+}
+
+impl ResolvedCfd {
+    fn decode_key(&self, key_codes: &[u32]) -> Vec<Value> {
+        self.lhs_dicts.iter().zip(key_codes).map(|(d, &c)| d.value(c)).collect()
+    }
+
+    /// Detects violations of the resolved CFD among gathered code
+    /// rows, under the algorithmic reading — the code-native twin of
+    /// [`detect_among`](crate::detect_among), used by coordinators
+    /// whose wire carries `(tid, codes)` rows instead of tuples.
+    /// Semantically identical to running `detect_among` over the
+    /// decoded tuples (pinned by tests and the workspace equivalence
+    /// suites).
+    ///
+    /// `rows` may be owned (`&[CodeRow]`) or borrowed
+    /// (`&[&CodeRow]`) — coordinators flattening several gathered
+    /// blocks pass references instead of cloning code buffers.
+    pub fn detect_among<R: std::borrow::Borrow<CodeRow>>(&self, rows: &[R]) -> ViolationSet {
+        let mut out = ViolationSet::default();
+        if self.compiled.is_empty() || rows.is_empty() {
+            return out;
+        }
+        // Group once over rows matching *some* pattern; per group, test
+        // every pattern the group key matches — `detect_simple`'s loop,
+        // over wire rows instead of code columns.
+        let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
+        let mut lhs_buf: Vec<u32> = vec![0; self.lhs_pos.len()];
+        for (i, row) in rows.iter().enumerate() {
+            let (_, codes) = row.borrow();
+            for (b, &p) in lhs_buf.iter_mut().zip(&self.lhs_pos) {
+                *b = codes[p];
+            }
+            if self.compiled.iter().any(|p| p.feasible && p.matches_codes(&lhs_buf)) {
+                groups.entry(CodeKey::of_codes(&lhs_buf)).or_default().push(i);
+            }
+        }
+
+        let width = self.lhs_pos.len();
+        for (key, members) in &groups {
+            let key_codes = key.codes(width);
+            let mut group_flagged = false;
+            let mut member_flags: Option<Vec<bool>> = None;
+            // Distinct-RHS count computed lazily at the first matching
+            // pattern.
+            let mut fd_conflict: Option<bool> = None;
+            for pat in &self.compiled {
+                if !pat.matches_codes(&key_codes) {
+                    continue;
+                }
+                let conflict = *fd_conflict.get_or_insert_with(|| {
+                    let distinct: FxHashSet<u32> =
+                        members.iter().map(|&i| rows[i].borrow().1[self.rhs_pos]).collect();
+                    distinct.len() > 1
+                });
+                if pat.rhs_is_wild() {
+                    // Variable pattern: all members violate iff ≥2
+                    // distinct RHS codes in the group (the dictionary
+                    // is a bijection, so code equality *is* value
+                    // equality).
+                    group_flagged |= conflict;
+                } else {
+                    // Single-tuple rule: t[A] ≭ c (a NO_CODE RHS
+                    // constant differs from every row's code by
+                    // construction).
+                    let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
+                    for (fi, &i) in members.iter().enumerate() {
+                        if rows[i].borrow().1[self.rhs_pos] != pat.rhs {
+                            flags[fi] = true;
+                        }
+                    }
+                }
+                if group_flagged {
+                    break; // every member is flagged already
+                }
+            }
+            if group_flagged {
+                out.patterns.insert(self.decode_key(&key_codes));
+                out.tids.extend(members.iter().map(|&i| rows[i].borrow().0));
+            } else if let Some(flags) = member_flags {
+                let mut any = false;
+                for (fi, &i) in members.iter().enumerate() {
+                    if flags[fi] {
+                        out.tids.insert(rows[i].borrow().0);
+                        any = true;
+                    }
+                }
+                if any {
+                    out.patterns.insert(self.decode_key(&key_codes));
+                }
+            }
+        }
+        out
+    }
+
+    /// Detects violations of a single pattern `(X → A, {tp})` among
+    /// gathered code rows — the code-native twin of
+    /// [`detect_pattern_among`](crate::detect_pattern_among), used by
+    /// per-pattern coordinators (Lemma 6 blocks). Algorithmic reading.
+    pub fn detect_pattern_among<'a>(
+        &self,
+        rows: impl Iterator<Item = &'a CodeRow>,
+        pattern_idx: usize,
+    ) -> ViolationSet {
+        let pat = &self.compiled[pattern_idx];
+        let mut groups: FxHashMap<CodeKey, (Vec<TupleId>, Vec<u32>)> = FxHashMap::default();
+        let mut lhs_buf: Vec<u32> = vec![0; self.lhs_pos.len()];
+        for (tid, codes) in rows {
+            for (b, &p) in lhs_buf.iter_mut().zip(&self.lhs_pos) {
+                *b = codes[p];
+            }
+            if pat.feasible && pat.matches_codes(&lhs_buf) {
+                let entry = groups.entry(CodeKey::of_codes(&lhs_buf)).or_default();
+                entry.0.push(*tid);
+                entry.1.push(codes[self.rhs_pos]);
+            }
+        }
+        let width = self.lhs_pos.len();
+        let mut out = ViolationSet::default();
+        for (key, (tids, rhs_codes)) in groups {
+            let distinct: FxHashSet<u32> = rhs_codes.iter().copied().collect();
+            if pat.rhs_is_wild() {
+                if distinct.len() > 1 {
+                    out.tids.extend(tids);
+                    out.patterns.insert(self.decode_key(&key.codes(width)));
+                }
+            } else {
+                let mut any = false;
+                for (tid, &c) in tids.iter().zip(&rhs_codes) {
+                    if c != pat.rhs {
+                        out.tids.insert(*tid);
+                        any = true;
+                    }
+                }
+                if any {
+                    out.patterns.insert(self.decode_key(&key.codes(width)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One-shot [`ResolvedCfd::detect_among`] — resolves and validates in
+/// one call. Hot paths that validate many blocks per round should
+/// [`CodeLayout::resolve`] once instead.
+pub fn detect_among_codes(rows: &[CodeRow], cfd: &SimpleCfd, layout: &CodeLayout) -> ViolationSet {
+    if cfd.tableau.is_empty() || rows.is_empty() {
+        return ViolationSet::default();
+    }
+    layout.resolve(cfd).detect_among(rows)
+}
+
+/// One-shot [`ResolvedCfd::detect_pattern_among`] — resolves and
+/// validates one pattern block in one call.
+pub fn detect_pattern_among_codes<'a>(
+    rows: impl Iterator<Item = &'a CodeRow>,
+    cfd: &SimpleCfd,
+    pattern_idx: usize,
+    layout: &CodeLayout,
+) -> ViolationSet {
+    layout.resolve(cfd).detect_pattern_among(rows, pattern_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cfd;
+    use crate::violation::{detect_among, detect_pattern_among, detect_simple};
+    use dcd_relation::{vals, Schema, Tuple, ValueType};
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("r")
+            .attr("cc", ValueType::Int)
+            .attr("zip", ValueType::Str)
+            .attr("street", ValueType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn sample() -> Relation {
+        Relation::from_rows(
+            schema(),
+            vec![
+                vals![44, "z1", "a"],
+                vals![44, "z1", "b"],
+                vals![31, "z2", "c"],
+                vals![31, "z2", "c"],
+                vals![44, "z3", "d"],
+                vals![7, "z9", "x"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn wire(rel: &Relation, attrs: &[AttrId]) -> (Vec<CodeRow>, CodeLayout) {
+        let rows: Vec<usize> = (0..rel.len()).collect();
+        (rel.code_rows(attrs, &rows), CodeLayout::of_relation(rel, attrs))
+    }
+
+    #[test]
+    fn matches_value_wise_detect_among() {
+        let rel = sample();
+        for txt in [
+            "([cc, zip] -> [street])",
+            "([cc=44, zip] -> [street])",
+            "([cc=44, zip] -> [street=a])",
+            "([cc=99, zip] -> [street])", // infeasible constant
+        ] {
+            let cfd = parse_cfd(rel.schema(), "phi", txt).unwrap().simplify().pop().unwrap();
+            let attrs = cfd.shipped_attrs();
+            let (rows, layout) = wire(&rel, &attrs);
+            let tuples: Vec<&Tuple> = rel.iter().collect();
+            let value_wise = detect_among(&tuples, &cfd);
+            let code_native = detect_among_codes(&rows, &cfd, &layout);
+            assert_eq!(code_native.tids, value_wise.tids, "{txt} Vio");
+            assert_eq!(code_native.patterns, value_wise.patterns, "{txt} Vioπ");
+            // And both agree with the columnar whole-relation path.
+            let full = detect_simple(&rel, &cfd);
+            assert_eq!(code_native.tids, full.tids, "{txt} vs detect_simple");
+        }
+    }
+
+    #[test]
+    fn per_pattern_matches_value_wise() {
+        let rel = sample();
+        let a = parse_cfd(rel.schema(), "a", "([cc=44, zip] -> [street])").unwrap();
+        let b = parse_cfd(rel.schema(), "b", "([cc, zip] -> [street])").unwrap();
+        let cfd = crate::Cfd::merge("phi", &[&a, &b]).unwrap().simplify().pop().unwrap();
+        let attrs = cfd.shipped_attrs();
+        let (rows, layout) = wire(&rel, &attrs);
+        for l in 0..cfd.tableau.len() {
+            let value_wise = detect_pattern_among(rel.iter(), &cfd, l);
+            let code_native = detect_pattern_among_codes(rows.iter(), &cfd, l, &layout);
+            assert_eq!(code_native.tids, value_wise.tids, "pattern {l} Vio");
+            assert_eq!(code_native.patterns, value_wise.patterns, "pattern {l} Vioπ");
+        }
+    }
+
+    #[test]
+    fn layout_handles_rhs_inside_lhs_and_wider_layouts() {
+        let s = schema();
+        let rel = sample();
+        // RHS ∈ LHS: shipped_attrs dedupes, layout resolves both to the
+        // same cell.
+        let cfd = crate::Cfd::with_names(
+            "t",
+            s,
+            &["cc", "street"],
+            &["street"],
+            vec![crate::PatternTuple::new(
+                vec![crate::PatternValue::Wild, crate::PatternValue::Wild],
+                vec![crate::PatternValue::Wild],
+            )],
+        )
+        .unwrap()
+        .simplify()
+        .pop()
+        .unwrap();
+        let attrs = cfd.shipped_attrs();
+        assert_eq!(attrs.len(), 2);
+        let (rows, layout) = wire(&rel, &attrs);
+        let tuples: Vec<&Tuple> = rel.iter().collect();
+        assert_eq!(detect_among_codes(&rows, &cfd, &layout).tids, detect_among(&tuples, &cfd).tids);
+        // A layout carrying *more* attributes than the CFD needs (the
+        // cluster wire ships the union of member attributes).
+        let all: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let (wide_rows, wide_layout) = wire(&rel, &all);
+        assert_eq!(
+            detect_among_codes(&wide_rows, &cfd, &wide_layout).tids,
+            detect_among(&tuples, &cfd).tids
+        );
+    }
+
+    #[test]
+    fn cross_fragment_codes_are_portable() {
+        // Two fragments sharing dictionaries ship rows that validate
+        // together at a third party.
+        let rel = sample();
+        let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])")
+            .unwrap()
+            .simplify()
+            .pop()
+            .unwrap();
+        let attrs = cfd.shipped_attrs();
+        let mut a = rel.with_capacity_like(3);
+        let mut b = rel.with_capacity_like(3);
+        for (i, t) in rel.iter().enumerate() {
+            if i % 2 == 0 {
+                a.push_tuple(t.clone()).unwrap();
+            } else {
+                b.push_tuple(t.clone()).unwrap();
+            }
+        }
+        let rows_a: Vec<usize> = (0..a.len()).collect();
+        let rows_b: Vec<usize> = (0..b.len()).collect();
+        let mut gathered = a.code_rows(&attrs, &rows_a);
+        gathered.extend(b.code_rows(&attrs, &rows_b));
+        let layout = CodeLayout::of_relation(&a, &attrs);
+        let got = detect_among_codes(&gathered, &cfd, &layout);
+        let full = detect_simple(&rel, &cfd);
+        assert_eq!(got.tids, full.tids);
+        assert_eq!(got.patterns, full.patterns);
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`violation`] — centralized violation detection (the fixed
 //!   "SQL technique" of TODS 2008, implemented as hash aggregation):
 //!   `Vio(φ, D)` and its projected form `Vioπ`,
+//! * [`codes`] — the code-native coordinator validation twin: the same
+//!   detection semantics over `(tid, codes)` wire rows gathered from
+//!   dictionary-sharing fragments (what the distributed batch
+//!   detectors ship since the code-native wire port),
 //! * [`implication`] — FD closures and the two-tuple chase deciding
 //!   `Σ |= φ` (complete for infinite-domain attributes),
 //! * [`discovery`] — proposing CFDs from data (the complementary
@@ -31,6 +35,7 @@
 
 pub mod attrset;
 pub mod cfd;
+pub mod codes;
 pub mod discovery;
 pub mod implication;
 pub mod parse;
@@ -39,6 +44,7 @@ pub mod violation;
 
 pub use attrset::AttrSet;
 pub use cfd::{Cfd, Fd, NormalCfd, SimpleCfd};
+pub use codes::{detect_among_codes, detect_pattern_among_codes, CodeLayout, CodeRow, ResolvedCfd};
 pub use discovery::{discover, discover_cfds, DiscoveryConfig};
 pub use implication::{chase_implies, fd_closure, fd_implies, minimal_cover, sigma_implies};
 pub use parse::{parse_cfd, ParseError};

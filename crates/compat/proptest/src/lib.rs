@@ -15,7 +15,7 @@
 pub mod strategy;
 pub mod test_runner;
 
-/// `any::<T>()` and the [`Arbitrary`] trait.
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -99,7 +99,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

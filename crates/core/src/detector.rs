@@ -2,13 +2,18 @@
 
 use crate::config::RunConfig;
 use crate::report::Detection;
-use crate::runner::{run_single_cfd, CoordinatorStrategy};
-use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
-use dcd_dist::{HorizontalPartition, ShipmentLedger, SiteClocks};
+use crate::runner::{run_batch, CoordinatorStrategy};
+use dcd_cfd::{Cfd, SimpleCfd};
+use dcd_dist::HorizontalPartition;
 
 /// A detection algorithm for a single CFD over horizontally partitioned
-/// data. Implementations differ only in coordinator strategy; `run` and
-/// `run_simple` are provided.
+/// data. Implementations differ only in coordinator strategy.
+///
+/// The per-detector `run*` methods are **deprecated shims**: the public
+/// detection surface is the `DetectRequest` façade of the
+/// `distributed-cfd` root crate, which routes every topology and
+/// algorithm through one request object. The engine they all share is
+/// [`run_batch`].
 pub trait Detector {
     /// The paper's name for the algorithm.
     fn name(&self) -> &'static str;
@@ -18,52 +23,41 @@ pub trait Detector {
 
     /// Detects violations of a general CFD (each single-RHS component is
     /// processed as one round; components share clocks and ledger).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
+    )]
     fn run(&self, partition: &HorizontalPartition, cfd: &Cfd, cfg: &RunConfig) -> Detection {
-        let simples = cfd.simplify();
-        self.run_simples(partition, &simples, cfg)
+        run_batch(partition, &cfd.simplify(), self.strategy(), cfg)
     }
 
     /// Detects violations of one `(X → A, Tp)` CFD.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
+    )]
     fn run_simple(
         &self,
         partition: &HorizontalPartition,
         cfd: &SimpleCfd,
         cfg: &RunConfig,
     ) -> Detection {
-        self.run_simples(partition, std::slice::from_ref(cfd), cfg)
+        run_batch(partition, std::slice::from_ref(cfd), self.strategy(), cfg)
     }
 
     /// Detects violations of several single-RHS CFDs sequentially (the
     /// building block `SEQDETECT` also uses).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
+    )]
     fn run_simples(
         &self,
         partition: &HorizontalPartition,
         cfds: &[SimpleCfd],
         cfg: &RunConfig,
     ) -> Detection {
-        let n = partition.n_sites();
-        let ledger = ShipmentLedger::new(n);
-        let clocks = SiteClocks::new(n);
-        let mut report = ViolationReport::default();
-        let mut paper_cost = 0.0;
-        for cfd in cfds {
-            let out = run_single_cfd(partition, cfd, self.strategy(), cfg, &ledger, &clocks);
-            for (name, vs) in out.report.per_cfd {
-                report.absorb(&name, vs);
-            }
-            paper_cost += out.paper_cost;
-        }
-        Detection {
-            algorithm: self.name().to_string(),
-            violations: report,
-            shipped_tuples: ledger.total_tuples(),
-            shipped_cells: ledger.total_cells(),
-            shipped_bytes: ledger.total_bytes(),
-            control_messages: ledger.control_messages(),
-            response_time: clocks.response_time(),
-            site_clocks: clocks.snapshot(),
-            paper_cost,
-        }
+        run_batch(partition, cfds, self.strategy(), cfg)
     }
 }
 
@@ -112,6 +106,7 @@ impl Detector for PatDetectRT {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;

@@ -134,6 +134,7 @@ pub fn min_shipment_exhaustive(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use crate::detector::{Detector, PatDetectS};

@@ -4,28 +4,53 @@
 //!
 //! 1. **Vertical gather within each cell**: the cell's sub-site covering
 //!    the most of the CFD's attributes becomes the *cell coordinator*;
-//!    the other sub-sites ship their needed columns (plus the key) to
-//!    it, which joins them into the cell's projection of the relation.
+//!    the other sub-sites ship the dictionary codes of their needed
+//!    columns — `(tid, codes)` rows at 4 bytes per cell — which the
+//!    coordinator aligns row-by-row into the cell's projection of the
+//!    relation (vertical fragments of one cell hold the same rows in
+//!    the same order, so no join is needed; the codes are portable
+//!    because every fragment shares the parent relation's
+//!    dictionaries).
 //! 2. **Horizontal detection across cells**: the cell projections form a
 //!    synthesized horizontal partition (located at the cell
 //!    coordinators; all other sites empty), over which the standard
 //!    §IV-B machinery runs unchanged — σ-partitioning, statistics
-//!    exchange, per-pattern coordinators, shipment, validation.
+//!    exchange, per-pattern coordinators, code-native shipment and
+//!    validation.
 //!
 //! Both phases charge the same ledger and clocks, so the reported
-//! shipment and response time cover the whole pipeline.
+//! shipment and response time cover the whole pipeline. No tuple
+//! payload crosses the simulated wire in either phase.
 
 use crate::config::RunConfig;
 use crate::report::Detection;
 use crate::runner::{run_single_cfd, CoordinatorStrategy};
 use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
 use dcd_dist::pool::scoped_map;
-use dcd_dist::{Fragment, HorizontalPartition, HybridPartition, ShipmentLedger, SiteClocks};
-use dcd_relation::ops::hash_join;
-use dcd_relation::{AttrId, Relation, RelationError, Tuple, Value};
+use dcd_dist::{
+    Fragment, HorizontalPartition, HybridPartition, ShipmentLedger, SiteClocks, TID_CELLS,
+};
+use dcd_relation::{AttrId, Dictionary, Relation, RelationError, Value};
+use std::sync::Arc;
 
 /// Detects violations of Σ in a hybrid partition.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `distributed_cfd::DetectRequest` over `Topology::Hybrid` instead"
+)]
 pub fn detect_hybrid(
+    partition: &HybridPartition,
+    sigma: &[Cfd],
+    strategy: CoordinatorStrategy,
+    cfg: &RunConfig,
+) -> Result<Detection, RelationError> {
+    run_hybrid(partition, sigma, strategy, cfg)
+}
+
+/// Runs `HYBRIDDETECT` over a hybrid partition — the engine behind the
+/// deprecated [`detect_hybrid`] shim and the `DetectRequest` façade of
+/// the `distributed-cfd` root crate.
+pub fn run_hybrid(
     partition: &HybridPartition,
     sigma: &[Cfd],
     strategy: CoordinatorStrategy,
@@ -37,6 +62,42 @@ pub fn detect_hybrid(
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
 
+    // The full-width dictionary set, one per original attribute: every
+    // cell's vertical fragments share the parent relation's
+    // dictionaries, so cell 0's first-covering fragment names the
+    // dictionary all sites code that attribute against. Null is
+    // interned up front (before any pool phase) — it is the padding
+    // code for attributes outside a gathered projection.
+    let schema = partition.schema().clone();
+    let cell0 = &partition.cells()[0].vertical;
+    let full_dicts: Vec<Arc<Dictionary>> = schema
+        .attr_ids()
+        .map(|a| {
+            let owner = cell0
+                .fragments()
+                .iter()
+                .find(|f| f.covers(std::slice::from_ref(&a)))
+                .expect("vertical coverage is validated at construction");
+            let local = owner.local_attr(a).expect("covered");
+            owner.data.dictionary(local).clone()
+        })
+        .collect();
+    let null_codes: Vec<u32> = full_dicts.iter().map(|d| d.intern(&Value::Null).0).collect();
+    // The join-free gather rests on cross-cell dictionary sharing:
+    // every cell's fragment must code attribute `a` against the same
+    // dictionary cell 0 does (guaranteed by the dcd-dist constructors,
+    // which project all cells from one parent relation). Debug builds
+    // verify it, like `shared_layout` does for horizontal partitions.
+    debug_assert!(
+        partition.cells().iter().all(|cell| cell.vertical.fragments().iter().all(|f| {
+            f.attrs.iter().enumerate().all(|(local, &a)| {
+                Arc::ptr_eq(f.data.dictionary(AttrId(local as u16)), &full_dicts[a.index()])
+            })
+        })),
+        "hybrid cells must share one dictionary set per attribute \
+         (build the partition through dcd-dist)"
+    );
+
     let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
     for cfd in &simples {
         // ---- Phase 1: vertical gather inside each cell, cells in
@@ -47,11 +108,12 @@ pub fn detect_hybrid(
             .map(|_| Fragment {
                 site: dcd_dist::SiteId(0),
                 predicate: None,
-                data: Relation::new(partition.schema().clone()),
+                data: Relation::with_dictionaries(schema.clone(), full_dicts.clone(), 0)
+                    .expect("one dictionary per attribute"),
             })
             .collect();
         let gathered = scoped_map(cfg.threads, partition.cells().len(), |ci| {
-            gather_cell(partition, ci, cfd, cfg, &ledger, &clocks)
+            gather_cell(partition, ci, cfd, cfg, &ledger, &clocks, &full_dicts, &null_codes)
         });
         for (ci, outcome) in gathered.into_iter().enumerate() {
             let (coord_vfrag, projection) = outcome?;
@@ -63,8 +125,7 @@ pub fn detect_hybrid(
         for (i, f) in fragments.iter_mut().enumerate() {
             f.site = dcd_dist::SiteId(i as u32);
         }
-        let synthesized =
-            HorizontalPartition::from_fragments(partition.schema().clone(), fragments)?;
+        let synthesized = HorizontalPartition::from_fragments(schema.clone(), fragments)?;
 
         // ---- Phase 2: standard horizontal detection across cells. ----
         let out = run_single_cfd(&synthesized, cfd, strategy, cfg, &ledger, &clocks);
@@ -88,9 +149,12 @@ pub fn detect_hybrid(
 }
 
 /// Gathers one cell's projection of the CFD's attributes at the cell's
-/// best-covering sub-site. Returns the chosen sub-site index and the
-/// gathered rows as *full-width, null-padded* tuples of the original
-/// schema (so phase 2 can treat them as horizontal fragments).
+/// best-covering sub-site, entirely on the code-native wire. Returns
+/// the chosen sub-site index and the gathered rows as a *full-width*
+/// relation over the shared dictionaries (attributes outside the
+/// projection carry the null code), so phase 2 can treat it as a
+/// horizontal fragment.
+#[allow(clippy::too_many_arguments)] // internal per-cell task of run_hybrid
 fn gather_cell(
     partition: &HybridPartition,
     cell_idx: usize,
@@ -98,12 +162,30 @@ fn gather_cell(
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
     clocks: &SiteClocks,
+    full_dicts: &[Arc<Dictionary>],
+    null_codes: &[u32],
 ) -> Result<(usize, Relation), RelationError> {
     let cell = &partition.cells()[cell_idx];
     let vertical = &cell.vertical;
     let schema = partition.schema();
     let needed: Vec<AttrId> = cfd.shipped_attrs();
-    let key = schema.key();
+    let n_rows = vertical.fragments()[0].data.len();
+    // Row alignment is what replaces the key join: every vertical
+    // fragment of a cell holds the same tuples in the same order (the
+    // dcd-dist constructor projects them in one pass). Debug builds
+    // verify the tid sequences match before codes are paired
+    // positionally.
+    debug_assert!(
+        vertical.fragments().iter().all(|f| {
+            f.data.len() == n_rows
+                && f.data
+                    .tuples()
+                    .iter()
+                    .zip(vertical.fragments()[0].data.tuples())
+                    .all(|(a, b)| a.tid == b.tid)
+        }),
+        "vertical fragments of a hybrid cell must be row-aligned"
+    );
 
     // Cell coordinator: vertical fragment covering most needed attrs.
     let coord = (0..vertical.n_sites())
@@ -114,26 +196,16 @@ fn gather_cell(
         .expect("cells have at least one vertical fragment");
     let coord_site = partition.site_of(cell_idx, coord);
 
-    // Accumulate: start from the coordinator's own needed columns.
-    let project_needed = |vidx: usize| -> Result<Relation, RelationError> {
-        let frag = &vertical.fragments()[vidx];
-        let keep: Vec<AttrId> = frag
-            .attrs
-            .iter()
-            .copied()
-            .filter(|a| needed.contains(a) || key.contains(a))
-            .map(|a| frag.local_attr(a).expect("attr in fragment"))
-            .collect();
-        dcd_relation::ops::project(&frag.data, "gather", &keep)
-    };
-    let mut acc = project_needed(coord)?;
-    let mut have: Vec<AttrId> = vertical.fragments()[coord]
-        .attrs
-        .iter()
-        .copied()
-        .filter(|a| needed.contains(a) || key.contains(a))
-        .collect();
-
+    // Attribute placement: which vertical fragment supplies each needed
+    // attribute — the coordinator's own columns first, then the other
+    // fragments in site order (each ships only attributes nobody
+    // earlier supplied, so every column moves at most once).
+    let mut owner_of: Vec<Option<(usize, AttrId)>> = vec![None; schema.arity()];
+    for &a in &needed {
+        if let Some(local) = vertical.fragments()[coord].local_attr(a) {
+            owner_of[a.index()] = Some((coord, local));
+        }
+    }
     for (vi, frag) in vertical.fragments().iter().enumerate() {
         if vi == coord {
             continue;
@@ -142,55 +214,47 @@ fn gather_cell(
             .attrs
             .iter()
             .copied()
-            .filter(|a| needed.contains(a) && !have.contains(a))
+            .filter(|a| needed.contains(a) && owner_of[a.index()].is_none())
             .collect();
         if useful.is_empty() {
             continue;
         }
-        let shipped = project_needed(vi)?;
+        for &a in &useful {
+            owner_of[a.index()] = Some((vi, frag.local_attr(a).expect("attr in fragment")));
+        }
+        // The fragment scans its rows once and ships the useful columns
+        // as `(tid, codes)` rows; the coordinator waits for the sender.
         let from = partition.site_of(cell_idx, vi);
         clocks.advance(from, cfg.cost.scan_time(frag.data.len()));
-        ledger.ship(
-            coord_site,
-            from,
-            shipped.len(),
-            shipped.len() * shipped.schema().arity(),
-            shipped.wire_size(),
-        );
-        // Intra-cell transfer: coordinator waits for the sender.
-        clocks.advance(from, cfg.cost.send_time(shipped.len()));
+        ledger.charge_codes(coord_site, from, n_rows, n_rows * (useful.len() + TID_CELLS));
+        clocks.advance(from, cfg.cost.send_time(n_rows));
         clocks.wait_until(coord_site, clocks.now(from));
-        let key_left: Vec<AttrId> = key
-            .iter()
-            .map(|&k| acc.schema().require(schema.attr_name(k)))
-            .collect::<Result<_, _>>()?;
-        let key_right: Vec<AttrId> = key
-            .iter()
-            .map(|&k| shipped.schema().require(schema.attr_name(k)))
-            .collect::<Result<_, _>>()?;
-        acc = hash_join(&acc, &shipped, &key_left, &key_right, "gather")?;
-        have.extend(useful);
     }
 
-    // Null-pad to the original schema width.
-    let mut out = Relation::with_capacity(schema.clone(), acc.len());
-    let positions: Vec<(usize, AttrId)> = schema
+    // Assemble the full-width code rows by row alignment (vertical
+    // fragments of one cell hold the same tuples in the same order);
+    // unneeded attributes pad with the null code.
+    let columns: Vec<&[u32]> = schema
         .attr_ids()
-        .filter_map(|orig| {
-            acc.schema().attr_id(schema.attr_name(orig)).map(|local| (orig.index(), local))
+        .map(|a| match owner_of[a.index()] {
+            Some((vi, local)) => vertical.fragments()[vi].data.column(local).codes(),
+            None => &[],
         })
         .collect();
-    for t in acc.iter() {
-        let mut row = vec![Value::Null; schema.arity()];
-        for &(oi, local) in &positions {
-            row[oi] = t.get(local).clone();
+    let mut out = Relation::with_dictionaries(schema.clone(), full_dicts.to_vec(), n_rows)?;
+    let tuples = vertical.fragments()[coord].data.tuples();
+    let mut row: Vec<u32> = vec![0; schema.arity()];
+    for r in 0..n_rows {
+        for (i, col) in columns.iter().enumerate() {
+            row[i] = if col.is_empty() { null_codes[i] } else { col[r] };
         }
-        out.push_tuple(Tuple::new(t.tid, row))?;
+        out.push_code_row(tuples[r].tid, &row)?;
     }
     Ok((coord, out))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;

@@ -167,6 +167,7 @@ pub fn mine_patterns(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;

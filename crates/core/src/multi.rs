@@ -19,22 +19,90 @@ use crate::config::RunConfig;
 use crate::local::{applicable_patterns, check_constants_locally};
 use crate::report::Detection;
 use crate::runner::{
-    assign_coordinators, charge, exchange_statistics, run_single_cfd, CoordinatorStrategy,
+    assign_coordinators, charge, exchange_statistics, run_single_cfd, shared_layout,
+    CoordinatorStrategy,
 };
 use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use dcd_cfd::codes::{CodeRow, ResolvedCfd};
 use dcd_cfd::violation::ViolationSet;
-use dcd_cfd::{detect_among, Cfd, NormalPattern, PatternValue, SimpleCfd, ViolationReport};
+use dcd_cfd::{Cfd, NormalPattern, PatternValue, SimpleCfd, ViolationReport};
 use dcd_dist::pool::scoped_map;
-use dcd_dist::{HorizontalPartition, ShipmentLedger, SiteClocks, SiteId};
-use dcd_relation::{AttrId, FxHashSet, Tuple};
+use dcd_dist::{HorizontalPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS};
+use dcd_relation::{AttrId, FxHashSet};
 
 /// A detection algorithm for a *set* Σ of CFDs.
+///
+/// `run` is a **deprecated shim**: the public detection surface is the
+/// `DetectRequest` façade of the `distributed-cfd` root crate; the
+/// engines it dispatches to are [`run_seq`] and [`run_clust`].
 pub trait MultiDetector {
     /// The paper's name for the algorithm.
     fn name(&self) -> &'static str;
 
     /// Detects violations of all CFDs in Σ.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
+    )]
     fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection;
+}
+
+/// Runs `SEQDETECT`: pipelined sequential processing, one CFD at a
+/// time over one shared ledger and clock set — the engine behind
+/// [`SeqDetect`] and the `DetectRequest` façade.
+pub fn run_seq(
+    partition: &HorizontalPartition,
+    sigma: &[Cfd],
+    inner: CoordinatorStrategy,
+    cfg: &RunConfig,
+) -> Detection {
+    let n = partition.n_sites();
+    let ledger = ShipmentLedger::new(n);
+    let clocks = SiteClocks::new(n);
+    let mut report = ViolationReport::default();
+    let mut paper_cost = 0.0;
+    for cfd in sigma {
+        for simple in cfd.simplify() {
+            let out = run_single_cfd(partition, &simple, inner, cfg, &ledger, &clocks);
+            for (name, vs) in out.report.per_cfd {
+                report.absorb(&name, vs);
+            }
+            paper_cost += out.paper_cost;
+        }
+    }
+    finish("SEQDETECT", report, &ledger, &clocks, paper_cost)
+}
+
+/// Runs `CLUSTDETECT`: clusters CFDs by LHS containment and ships each
+/// tuple at most once per cluster — the engine behind [`ClustDetect`]
+/// and the `DetectRequest` façade.
+pub fn run_clust(
+    partition: &HorizontalPartition,
+    sigma: &[Cfd],
+    inner: CoordinatorStrategy,
+    cfg: &RunConfig,
+) -> Detection {
+    let n = partition.n_sites();
+    let ledger = ShipmentLedger::new(n);
+    let clocks = SiteClocks::new(n);
+    let mut report = ViolationReport::default();
+    let mut paper_cost = 0.0;
+
+    let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
+    let clusters = cluster_by_lhs(&simples);
+    for cluster in clusters {
+        let members: Vec<&SimpleCfd> = cluster.iter().map(|&i| &simples[i]).collect();
+        let out = if members.len() == 1 {
+            run_single_cfd(partition, members[0], inner, cfg, &ledger, &clocks)
+        } else {
+            run_cluster(partition, &members, inner, cfg, &ledger, &clocks)
+        };
+        for (name, vs) in out.report.per_cfd {
+            report.absorb(&name, vs);
+        }
+        paper_cost += out.paper_cost;
+    }
+    finish("CLUSTDETECT", report, &ledger, &clocks, paper_cost)
 }
 
 /// `SEQDETECT`: pipelined sequential processing, one CFD at a time.
@@ -57,21 +125,7 @@ impl MultiDetector for SeqDetect {
     }
 
     fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
-        let n = partition.n_sites();
-        let ledger = ShipmentLedger::new(n);
-        let clocks = SiteClocks::new(n);
-        let mut report = ViolationReport::default();
-        let mut paper_cost = 0.0;
-        for cfd in sigma {
-            for simple in cfd.simplify() {
-                let out = run_single_cfd(partition, &simple, self.inner, cfg, &ledger, &clocks);
-                for (name, vs) in out.report.per_cfd {
-                    report.absorb(&name, vs);
-                }
-                paper_cost += out.paper_cost;
-            }
-        }
-        finish(self.name(), report, &ledger, &clocks, paper_cost)
+        run_seq(partition, sigma, self.inner, cfg)
     }
 }
 
@@ -95,27 +149,7 @@ impl MultiDetector for ClustDetect {
     }
 
     fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
-        let n = partition.n_sites();
-        let ledger = ShipmentLedger::new(n);
-        let clocks = SiteClocks::new(n);
-        let mut report = ViolationReport::default();
-        let mut paper_cost = 0.0;
-
-        let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
-        let clusters = cluster_by_lhs(&simples);
-        for cluster in clusters {
-            let members: Vec<&SimpleCfd> = cluster.iter().map(|&i| &simples[i]).collect();
-            let out = if members.len() == 1 {
-                run_single_cfd(partition, members[0], self.inner, cfg, &ledger, &clocks)
-            } else {
-                run_cluster(partition, &members, self.inner, cfg, &ledger, &clocks)
-            };
-            for (name, vs) in out.report.per_cfd {
-                report.absorb(&name, vs);
-            }
-            paper_cost += out.paper_cost;
-        }
-        finish(self.name(), report, &ledger, &clocks, paper_cost)
+        run_clust(partition, sigma, self.inner, cfg)
     }
 }
 
@@ -308,8 +342,9 @@ fn run_cluster(
     let frag_sizes: Vec<usize> = partition.fragments().iter().map(|f| f.data.len()).collect();
     let assignment = assign_coordinators(strategy, &lstat, &frag_sizes, &cfg.cost);
 
-    // Shipment: the union of the members' (X ∪ A) attributes, once per
-    // tuple for the whole cluster.
+    // Shipment, on the code-native wire: the union of the members'
+    // (X ∪ A) attributes, once per tuple for the whole cluster, shipped
+    // as `(tid, codes)` rows and charged at 4 bytes/cell.
     let mut attrs: Vec<AttrId> = Vec::new();
     for m in &variable_members {
         for a in m.shipped_attrs() {
@@ -319,8 +354,12 @@ fn run_cluster(
         }
     }
     attrs.sort();
+    let layout = shared_layout(partition.fragments(), &attrs);
+    // Resolve every member against the union layout once; each
+    // coordinator validates all members from the same compilation.
+    let resolved: Vec<ResolvedCfd> = variable_members.iter().map(|m| layout.resolve(m)).collect();
     let mut matrix = vec![vec![0usize; n]; n];
-    let mut gathered: Vec<Vec<&Tuple>> = vec![Vec::new(); n];
+    let mut gathered: Vec<Vec<CodeRow>> = vec![Vec::new(); n];
     for (l, coord) in assignment.iter().enumerate() {
         let Some(c) = *coord else { continue };
         for (i, frag) in partition.fragments().iter().enumerate() {
@@ -329,24 +368,25 @@ fn run_cluster(
                 continue;
             }
             if i != c.index() {
-                let bytes: usize =
-                    block.iter().map(|&ti| frag.data.tuples()[ti].wire_size_of(&attrs)).sum();
-                ledger.ship(c, frag.site, block.len(), block.len() * attrs.len(), bytes);
+                let cells = block.len() * (attrs.len() + TID_CELLS);
+                ledger.charge_codes(c, frag.site, block.len(), cells);
                 matrix[c.index()][i] += block.len();
             }
-            gathered[c.index()].extend(block.iter().map(|&ti| &frag.data.tuples()[ti]));
+            gathered[c.index()].extend(frag.data.code_rows(&attrs, block));
         }
     }
     clocks.transfer(&matrix, &cfg.cost);
 
-    // Validate every member CFD at each coordinator, in parallel.
+    // Validate every member CFD at each coordinator, in parallel, on
+    // codes (each member's attributes resolve to cell positions of the
+    // cluster's union layout).
     let validated = scoped_map(cfg.threads, n, |c| {
-        let tuples = &gathered[c];
-        if tuples.is_empty() {
+        let rows = &gathered[c];
+        if rows.is_empty() {
             return None;
         }
         let site = SiteId(c as u32);
-        let analytic = cfg.cost.check_time(tuples.len()) * variable_members.len() as f64;
+        let analytic = cfg.cost.check_time(rows.len()) * variable_members.len() as f64;
         Some(charge(
             clocks,
             site,
@@ -354,7 +394,8 @@ fn run_cluster(
             || {
                 variable_members
                     .iter()
-                    .map(|m| (m.name.clone(), detect_among(tuples, m)))
+                    .zip(&resolved)
+                    .map(|(m, r)| (m.name.clone(), r.detect_among(rows)))
                     .collect::<Vec<(String, ViolationSet)>>()
             },
             |_| analytic,
@@ -374,6 +415,7 @@ fn run_cluster(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;

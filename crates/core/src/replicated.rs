@@ -16,17 +16,32 @@
 use crate::config::RunConfig;
 use crate::local::applicable_patterns;
 use crate::report::Detection;
-use crate::runner::{charge, exchange_statistics};
+use crate::runner::{charge, exchange_statistics, shared_layout};
 use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use dcd_cfd::codes::CodeRow;
 use dcd_cfd::violation::ViolationSet;
-use dcd_cfd::{detect_pattern_among, Cfd, SimpleCfd, ViolationReport};
+use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
 use dcd_dist::pool::scoped_map;
-use dcd_dist::{ReplicatedPartition, ShipmentLedger, SiteClocks, SiteId};
-use dcd_relation::Tuple;
+use dcd_dist::{ReplicatedPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS};
 
 /// Detects violations of Σ over replicated fragments, exploiting
 /// replica placement to cut shipment.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `distributed_cfd::DetectRequest` over `Topology::Replicated` instead"
+)]
 pub fn detect_replicated(
+    partition: &ReplicatedPartition,
+    sigma: &[Cfd],
+    cfg: &RunConfig,
+) -> Detection {
+    run_replicated(partition, sigma, cfg)
+}
+
+/// Runs `REPDETECT` over a replicated partition — the engine behind
+/// the deprecated [`detect_replicated`] shim and the `DetectRequest`
+/// façade of the `distributed-cfd` root crate.
+pub fn run_replicated(
     partition: &ReplicatedPartition,
     sigma: &[Cfd],
     cfg: &RunConfig,
@@ -133,11 +148,15 @@ fn run_one(
     exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
 
     // Replica-aware coordinator per pattern: maximize locally available
-    // tuples.
+    // tuples. Fragments the coordinator holds no replica of ship their
+    // blocks as `(tid, codes)` rows over the code-native wire.
     let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
     let mut matrix = vec![vec![0usize; n]; n];
-    let mut gathered: Vec<Vec<(usize, Vec<&Tuple>)>> = vec![Vec::new(); n];
+    let mut gathered: Vec<Vec<(usize, Vec<CodeRow>)>> = vec![Vec::new(); n];
     let attrs = sorted.cfd.shipped_attrs();
+    // Resolve the tableau once per round; every coordinator job reuses
+    // the compiled patterns.
+    let resolved = shared_layout(base.fragments(), &attrs).resolve(&sorted.cfd);
     #[allow(clippy::needless_range_loop)] // l indexes a column of lstat
     for l in 0..k {
         let total: usize = (0..n).map(|f| lstat[f][l]).sum();
@@ -154,21 +173,20 @@ fn run_one(
             })
             .expect("n > 0");
         let coord_site = SiteId(coord as u32);
-        let mut tuples: Vec<&Tuple> = Vec::new();
+        let mut rows: Vec<CodeRow> = Vec::new();
         for (f, frag) in base.fragments().iter().enumerate() {
             let block = &parts[f].blocks[l];
             if block.is_empty() {
                 continue;
             }
             if !partition.holds(coord_site, f) {
-                let bytes: usize =
-                    block.iter().map(|&ti| frag.data.tuples()[ti].wire_size_of(&attrs)).sum();
-                ledger.ship(coord_site, frag.site, block.len(), block.len() * attrs.len(), bytes);
+                let cells = block.len() * (attrs.len() + TID_CELLS);
+                ledger.charge_codes(coord_site, frag.site, block.len(), cells);
                 matrix[coord][f] += block.len();
             }
-            tuples.extend(block.iter().map(|&ti| &frag.data.tuples()[ti]));
+            rows.extend(frag.data.code_rows(&attrs, block));
         }
-        gathered[coord].push((l, tuples));
+        gathered[coord].push((l, rows));
     }
     clocks.transfer(&matrix, &cfg.cost);
 
@@ -178,15 +196,15 @@ fn run_one(
             return None;
         }
         let site = SiteId(c as u32);
-        let analytic: f64 = jobs.iter().map(|(_, ts)| cfg.cost.check_time(ts.len())).sum();
+        let analytic: f64 = jobs.iter().map(|(_, rs)| cfg.cost.check_time(rs.len())).sum();
         Some(charge(
             clocks,
             site,
             cfg,
             || {
                 let mut vs = ViolationSet::default();
-                for (l, ts) in jobs {
-                    vs.merge(detect_pattern_among(ts.iter().copied(), &sorted.cfd, *l));
+                for (l, rs) in jobs {
+                    vs.merge(resolved.detect_pattern_among(rs.iter(), *l));
                 }
                 vs
             },
@@ -205,6 +223,7 @@ fn run_one(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use crate::detector::{Detector, PatDetectS};

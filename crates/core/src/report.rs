@@ -2,6 +2,7 @@
 
 use dcd_cfd::ViolationReport;
 use serde::Serialize;
+use std::fmt;
 
 /// Everything a detection run produces: the violations plus the traffic
 /// and timing the paper's evaluation plots.
@@ -31,7 +32,8 @@ pub struct Detection {
 }
 
 impl Detection {
-    /// A compact, serializable summary for benchmark output.
+    /// A compact, serializable summary — one row of a results table,
+    /// and (via [`fmt::Display`]) a one-line human-readable report.
     pub fn summary(&self) -> DetectionSummary {
         DetectionSummary {
             algorithm: self.algorithm.clone(),
@@ -39,6 +41,7 @@ impl Detection {
             violating_patterns: self.violations.per_cfd.iter().map(|(_, v)| v.patterns.len()).sum(),
             shipped_tuples: self.shipped_tuples,
             shipped_cells: self.shipped_cells,
+            shipped_bytes: self.shipped_bytes,
             response_time: self.response_time,
             paper_cost: self.paper_cost,
         }
@@ -58,10 +61,32 @@ pub struct DetectionSummary {
     pub shipped_tuples: usize,
     /// Total cells shipped.
     pub shipped_cells: usize,
+    /// Bytes on the wire (code-shipped paths: 4 bytes per cell).
+    pub shipped_bytes: usize,
     /// Simulated response time (seconds).
     pub response_time: f64,
     /// §III-B formula cost (seconds).
     pub paper_cost: f64,
+}
+
+impl fmt::Display for DetectionSummary {
+    /// The one-line report the examples print:
+    /// `PATDETECTS: 6 violating tuples (2 patterns), shipped 3 tuples
+    /// (15 cells, 60 B), response 0.0041s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} violating tuples ({} patterns), shipped {} tuples ({} cells, {} B), \
+             response {:.4}s",
+            self.algorithm,
+            self.violating_tuples,
+            self.violating_patterns,
+            self.shipped_tuples,
+            self.shipped_cells,
+            self.shipped_bytes,
+            self.response_time,
+        )
+    }
 }
 
 #[cfg(test)]

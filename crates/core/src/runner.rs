@@ -10,12 +10,16 @@
 
 use crate::config::{ComputeModel, RunConfig};
 use crate::local::{applicable_patterns, check_constants_locally};
+use crate::report::Detection;
 use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use dcd_cfd::codes::{CodeLayout, CodeRow};
 use dcd_cfd::violation::ViolationSet;
-use dcd_cfd::{detect_among, detect_pattern_among, SimpleCfd, ViolationReport};
+use dcd_cfd::{SimpleCfd, ViolationReport};
 use dcd_dist::pool::scoped_map;
-use dcd_dist::{CostModel, HorizontalPartition, ShipmentLedger, SiteClocks, SiteId};
-use dcd_relation::Tuple;
+use dcd_dist::{
+    CostModel, Fragment, HorizontalPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS,
+};
+use dcd_relation::AttrId;
 use std::time::Instant;
 
 /// How coordinators are assigned to the pattern tuples of one CFD.
@@ -30,6 +34,34 @@ pub enum CoordinatorStrategy {
     /// Per pattern, greedily minimize the §III-B response-time estimate
     /// (`PATDETECTRT`).
     MinResponseTime,
+}
+
+impl CoordinatorStrategy {
+    /// The paper's name for the single-CFD algorithm this strategy
+    /// realizes — the label a [`crate::Detection`] carries.
+    pub fn algorithm_name(self) -> &'static str {
+        match self {
+            CoordinatorStrategy::Central => "CTRDETECT",
+            CoordinatorStrategy::MinShipment => "PATDETECTS",
+            CoordinatorStrategy::MinResponseTime => "PATDETECTRT",
+        }
+    }
+}
+
+/// The [`CodeLayout`] of wire rows shipped over `attrs` in a
+/// partition. Fragments of one partition code against a single shared
+/// dictionary set (the `dcd-dist` constructors guarantee it), so the
+/// first fragment's dictionaries describe every site's rows; debug
+/// builds verify the sharing.
+pub(crate) fn shared_layout(fragments: &[Fragment], attrs: &[AttrId]) -> CodeLayout {
+    debug_assert!(
+        fragments.iter().all(|f| attrs.iter().all(|&a| std::sync::Arc::ptr_eq(
+            f.data.dictionary(a),
+            fragments[0].data.dictionary(a)
+        ))),
+        "fragments must share one dictionary set (build partitions through dcd-dist)"
+    );
+    CodeLayout::of_relation(&fragments[0].data, attrs)
 }
 
 /// Result of one single-CFD detection round.
@@ -204,32 +236,42 @@ pub fn run_single_cfd(
     let frag_sizes: Vec<usize> = partition.fragments().iter().map(|f| f.data.len()).collect();
     let assignment = assign_coordinators(strategy, &lstat, &frag_sizes, &cfg.cost);
 
-    // ---- Phase 4: shipment. ----
+    // ---- Phase 4: shipment, on the code-native wire. Sites ship
+    // `(tid, codes)` rows over the CFD's shipped attributes —
+    // dictionaries are shared across fragments, so codes are
+    // site-portable — charged byte-accurately at 4 bytes/cell via
+    // `charge_codes` (attribute cells plus `TID_CELLS` id cells per
+    // row). No tuple payload crosses the simulated wire. ----
     let attrs = sorted.cfd.shipped_attrs();
+    let layout = shared_layout(partition.fragments(), &attrs);
+    // Resolve the tableau once per round; every coordinator job reuses
+    // the compiled patterns.
+    let resolved = layout.resolve(&sorted.cfd);
     let mut matrix = vec![vec![0usize; n]; n];
-    // gathered[c] = (pattern, tuples) pairs to validate at site c.
-    let mut gathered: Vec<Vec<(usize, Vec<&Tuple>)>> = vec![Vec::new(); n];
+    // gathered[c] = (pattern, wire rows) pairs to validate at site c.
+    let mut gathered: Vec<Vec<(usize, Vec<CodeRow>)>> = vec![Vec::new(); n];
     for (l, coord) in assignment.iter().enumerate() {
         let Some(c) = *coord else { continue };
-        let mut tuples: Vec<&Tuple> = Vec::new();
+        let mut rows: Vec<CodeRow> = Vec::new();
         for (i, frag) in partition.fragments().iter().enumerate() {
             let block = &parts[i].blocks[l];
             if block.is_empty() {
                 continue;
             }
             if i != c.index() {
-                let bytes: usize =
-                    block.iter().map(|&ti| frag.data.tuples()[ti].wire_size_of(&attrs)).sum();
-                ledger.ship(c, frag.site, block.len(), block.len() * attrs.len(), bytes);
+                let cells = block.len() * (attrs.len() + TID_CELLS);
+                ledger.charge_codes(c, frag.site, block.len(), cells);
                 matrix[c.index()][i] += block.len();
             }
-            tuples.extend(block.iter().map(|&ti| &frag.data.tuples()[ti]));
+            rows.extend(frag.data.code_rows(&attrs, block));
         }
-        gathered[c.index()].push((l, tuples));
+        gathered[c.index()].push((l, rows));
     }
     clocks.transfer(&matrix, &cfg.cost);
 
-    // ---- Phase 5: validation at coordinators, in parallel. ----
+    // ---- Phase 5: validation at coordinators, in parallel, on codes:
+    // grouping keys are packed `CodeKey`s and the distinct-RHS test
+    // compares `u32` codes; only violating group keys are decoded. ----
     let validated = scoped_map(cfg.threads, n, |c| {
         let jobs = &gathered[c];
         if jobs.is_empty() {
@@ -238,28 +280,29 @@ pub fn run_single_cfd(
         let site = SiteId(c as u32);
         Some(match strategy {
             CoordinatorStrategy::Central => {
-                // One detection query over everything gathered.
-                let all: Vec<&Tuple> = jobs.iter().flat_map(|(_, ts)| ts.iter().copied()).collect();
+                // One detection query over everything gathered
+                // (flattened by reference — no row buffer is cloned).
+                let all: Vec<&CodeRow> = jobs.iter().flat_map(|(_, rs)| rs.iter()).collect();
                 let total = all.len();
                 charge(
                     clocks,
                     site,
                     cfg,
-                    || detect_among(&all, &sorted.cfd),
+                    || resolved.detect_among(&all),
                     |_| cfg.cost.check_time(total),
                 )
             }
             _ => {
                 // One detection query per pattern block.
-                let analytic: f64 = jobs.iter().map(|(_, ts)| cfg.cost.check_time(ts.len())).sum();
+                let analytic: f64 = jobs.iter().map(|(_, rs)| cfg.cost.check_time(rs.len())).sum();
                 charge(
                     clocks,
                     site,
                     cfg,
                     || {
                         let mut vs = ViolationSet::default();
-                        for (l, ts) in jobs {
-                            vs.merge(detect_pattern_among(ts.iter().copied(), &sorted.cfd, *l));
+                        for (l, rs) in jobs {
+                            vs.merge(resolved.detect_pattern_among(rs.iter(), *l));
                         }
                         vs
                     },
@@ -277,6 +320,44 @@ pub fn run_single_cfd(
 
     let paper_cost = cfg.cost.paper_cost(&matrix, &local_secs);
     RoundOutput { report, paper_cost }
+}
+
+/// Runs a full batch detection session of single-RHS CFDs over a
+/// horizontal partition — the engine behind the [`crate::Detector`]
+/// trait shims and the `DetectRequest` façade of the `distributed-cfd`
+/// root crate. CFDs are processed as sequential rounds over one shared
+/// ledger and clock set (the pipelining `SEQDETECT` also builds on);
+/// the returned [`Detection`] is labelled with the strategy's paper
+/// name ([`CoordinatorStrategy::algorithm_name`]).
+pub fn run_batch(
+    partition: &HorizontalPartition,
+    cfds: &[SimpleCfd],
+    strategy: CoordinatorStrategy,
+    cfg: &RunConfig,
+) -> Detection {
+    let n = partition.n_sites();
+    let ledger = ShipmentLedger::new(n);
+    let clocks = SiteClocks::new(n);
+    let mut report = ViolationReport::default();
+    let mut paper_cost = 0.0;
+    for cfd in cfds {
+        let out = run_single_cfd(partition, cfd, strategy, cfg, &ledger, &clocks);
+        for (name, vs) in out.report.per_cfd {
+            report.absorb(&name, vs);
+        }
+        paper_cost += out.paper_cost;
+    }
+    Detection {
+        algorithm: strategy.algorithm_name().to_string(),
+        violations: report,
+        shipped_tuples: ledger.total_tuples(),
+        shipped_cells: ledger.total_cells(),
+        shipped_bytes: ledger.total_bytes(),
+        control_messages: ledger.control_messages(),
+        response_time: clocks.response_time(),
+        site_clocks: clocks.snapshot(),
+        paper_cost,
+    }
 }
 
 /// Assigns a coordinator to every pattern (None if no site holds any

@@ -34,9 +34,17 @@ pub struct HorizontalPartition {
 impl HorizontalPartition {
     /// Builds a partition from explicit fragments. Fragment `i` must be
     /// sited at `SiteId(i)` and share the partition schema.
+    ///
+    /// All fragments of a partition code against **one shared
+    /// dictionary set** — that is what lets the detection algorithms
+    /// ship bare dictionary codes between sites. Fragments built by
+    /// this module's constructors already share (checked by `Arc`
+    /// identity, which is free); fragments assembled by hand over
+    /// their own dictionaries are re-encoded onto the first fragment's
+    /// dictionaries here.
     pub fn from_fragments(
         schema: Arc<Schema>,
-        fragments: Vec<Fragment>,
+        mut fragments: Vec<Fragment>,
     ) -> Result<Self, RelationError> {
         if fragments.is_empty() {
             return Err(RelationError::InvalidPartition {
@@ -60,6 +68,20 @@ impl HorizontalPartition {
                         schema.name()
                     ),
                 });
+            }
+        }
+        let (head, tail) = fragments.split_at_mut(1);
+        for frag in tail {
+            let shared = frag
+                .data
+                .columns()
+                .iter()
+                .zip(head[0].data.columns())
+                .all(|(a, b)| Arc::ptr_eq(a.dict(), b.dict()));
+            if !shared {
+                let mut rebuilt = head[0].data.with_capacity_like(frag.data.len());
+                rebuilt.extend_tuples(frag.data.tuples().to_vec())?;
+                frag.data = rebuilt;
             }
         }
         Ok(HorizontalPartition { schema, fragments })

@@ -8,6 +8,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// byte-accurate at `CODE_BYTES · cells` — the point of shipping codes.
 pub const CODE_BYTES: usize = 4;
 
+/// Wire cells occupied by one 8-byte tuple id in a code-shipped row
+/// (two `u32` cells). Every `(tid, codes)` row — batch coordinator
+/// gathers and incremental deltas alike — pays this on top of its
+/// attribute cells, so shipment accounting stays byte-accurate.
+pub const TID_CELLS: usize = 2;
+
 /// Records every transfer between sites during a detection run: data
 /// shipments (tuples / cells / bytes) and control messages (the
 /// statistics exchange of §IV-B).

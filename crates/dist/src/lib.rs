@@ -40,7 +40,7 @@ pub use clocks::SiteClocks;
 pub use cost::CostModel;
 pub use horizontal::{Fragment, HorizontalPartition};
 pub use hybrid::{HybridCell, HybridPartition};
-pub use ledger::{ShipmentLedger, CODE_BYTES};
+pub use ledger::{ShipmentLedger, CODE_BYTES, TID_CELLS};
 pub use replicated::{chained_holds, ReplicatedPartition};
 pub use site::SiteId;
 pub use vertical::{VFragment, VerticalPartition};

@@ -60,8 +60,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Wire cells occupied by one 8-byte tuple id in the code-shipped
-/// protocol (two `u32` cells).
-pub const TID_CELLS: usize = 2;
+/// protocol (two `u32` cells) — re-exported from the ledger, which all
+/// code-shipping protocols (batch and incremental) share.
+pub use dcd_dist::TID_CELLS;
 
 /// The algorithm label incremental detections carry.
 pub const ALGORITHM: &str = "INCRDETECT";

@@ -336,6 +336,40 @@ impl Relation {
             .collect()
     }
 
+    /// The `(tid, codes)` wire rows of the given tuple indices,
+    /// projected onto `attrs` (in the given order) — what a site
+    /// serializes when shipping a σ-block to a coordinator over the
+    /// code-native wire. One `u32` per cell; decoding happens only at
+    /// the receiver, and only for violating group keys.
+    pub fn code_rows(&self, attrs: &[AttrId], rows: &[usize]) -> Vec<(TupleId, Box<[u32]>)> {
+        let cols: Vec<&[u32]> = self.code_slices(attrs);
+        rows.iter().map(|&i| (self.tuples[i].tid, cols.iter().map(|c| c[i]).collect())).collect()
+    }
+
+    /// Appends a row given as dictionary codes (one per attribute, in
+    /// schema order), preserving `tid` — the receiving end of the
+    /// code-shipped wire. The codes must come from this relation's own
+    /// dictionaries (fragments built through the `dcd-dist`
+    /// constructors share them, which is what makes codes
+    /// site-portable); the row view is rebuilt by dictionary decode —
+    /// `Arc`-cloned canonical values, no re-interning.
+    ///
+    /// Panics if any code was never assigned by the corresponding
+    /// dictionary.
+    pub fn push_code_row(&mut self, tid: TupleId, codes: &[u32]) -> Result<(), RelationError> {
+        if codes.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: codes.len(),
+            });
+        }
+        self.next_tid = self.next_tid.max(tid.0 + 1);
+        let values: Vec<Value> =
+            codes.iter().zip(&mut self.columns).map(|(&c, col)| col.push_code(c)).collect();
+        self.tuples.push(Tuple::new(tid, values));
+        Ok(())
+    }
+
     /// Iterates over the tuples.
     pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
         self.tuples.iter()
@@ -599,6 +633,30 @@ mod tests {
         let rebuilt = Relation::from_tuples(schema(), survivors.clone()).unwrap();
         assert_eq!(rebuilt.tuples(), &survivors[..]);
         assert_eq!(live.len(), 21);
+    }
+
+    #[test]
+    fn code_rows_and_push_code_row_round_trip() {
+        let parent =
+            Relation::from_rows(schema(), vec![vals![1, "x"], vals![2, "y"], vals![1, "y"]])
+                .unwrap();
+        let rows = parent.code_rows(&[AttrId(0), AttrId(1)], &[0, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, TupleId(0));
+        assert_eq!(rows[1].0, TupleId(2));
+        // A receiver sharing the dictionaries rebuilds identical rows
+        // from codes alone.
+        let mut recv = parent.empty_like();
+        for (tid, codes) in &rows {
+            recv.push_code_row(*tid, codes).unwrap();
+        }
+        assert_eq!(recv.tuples()[0], parent.tuples()[0]);
+        assert_eq!(recv.tuples()[1], parent.tuples()[2]);
+        assert_eq!(recv.columns()[0].codes(), &[0, 0]);
+        // The id counter advanced past the received ids.
+        assert_eq!(recv.push(vals![5, "q"]).unwrap(), TupleId(3));
+        // Arity is validated.
+        assert!(recv.push_code_row(TupleId(9), &[0]).is_err());
     }
 
     #[test]

@@ -218,6 +218,19 @@ impl Column {
         canonical
     }
 
+    /// Appends an *already interned* code (the receiving end of the
+    /// code-shipped wire: the sender's codes are valid here because the
+    /// two columns share one dictionary). Returns the decoded canonical
+    /// value for the caller's row view — a dictionary array read, no
+    /// hashing or re-interning.
+    ///
+    /// Panics if `code` was never assigned by this column's dictionary.
+    pub fn push_code(&mut self, code: u32) -> Value {
+        let canonical = self.dict.value(code);
+        self.codes.push(code);
+        canonical
+    }
+
     /// Reserves room for `extra` more rows.
     pub fn reserve(&mut self, extra: usize) {
         self.codes.reserve(extra);

@@ -17,6 +17,7 @@
 //! reduction, often cutting traffic dramatically.
 
 use dcd_cfd::{Cfd, PatternValue, ViolationReport};
+use dcd_core::{Detection, RunConfig};
 use dcd_dist::{CostModel, ShipmentLedger, SiteClocks, SiteId, VerticalPartition};
 use dcd_relation::ops::hash_join;
 use dcd_relation::{AttrId, Relation, RelationError};
@@ -32,7 +33,9 @@ pub enum ShipMode {
     Filtered,
 }
 
-/// Result of a vertical detection run.
+/// Result of a vertical detection run (the legacy output shape of the
+/// deprecated [`detect_vertical`] shim; [`run_vertical`] returns the
+/// workspace-wide [`Detection`] instead).
 #[derive(Debug)]
 pub struct VerticalDetection {
     /// Per-CFD violations.
@@ -49,19 +52,57 @@ pub struct VerticalDetection {
 
 /// Detects violations of Σ in a vertical partition, shipping projected
 /// columns to per-CFD coordinators where necessary.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `distributed_cfd::DetectRequest` over `Topology::Vertical` instead"
+)]
 pub fn detect_vertical(
     partition: &VerticalPartition,
     sigma: &[Cfd],
     mode: ShipMode,
     cost: &CostModel,
 ) -> Result<VerticalDetection, RelationError> {
+    let cfg = RunConfig { cost: *cost, ..RunConfig::default() };
+    let (d, locally_checked) = run_impl(partition, sigma, mode, &cfg)?;
+    Ok(VerticalDetection {
+        violations: d.violations,
+        shipped_tuples: d.shipped_tuples,
+        shipped_cells: d.shipped_cells,
+        response_time: d.response_time,
+        locally_checked,
+    })
+}
+
+/// Runs `VERTDETECT` over a vertical partition — the engine behind the
+/// deprecated [`detect_vertical`] shim and the `DetectRequest` façade
+/// of the `distributed-cfd` root crate. Same placement rules, with the
+/// full [`Detection`] accounting (bytes, per-site clocks, the §III-B
+/// paper cost) every other topology reports.
+pub fn run_vertical(
+    partition: &VerticalPartition,
+    sigma: &[Cfd],
+    mode: ShipMode,
+    cfg: &RunConfig,
+) -> Result<Detection, RelationError> {
+    run_impl(partition, sigma, mode, cfg).map(|(d, _)| d)
+}
+
+fn run_impl(
+    partition: &VerticalPartition,
+    sigma: &[Cfd],
+    mode: ShipMode,
+    cfg: &RunConfig,
+) -> Result<(Detection, usize), RelationError> {
+    let cost: &CostModel = &cfg.cost;
     let n = partition.n_sites();
     let ledger = ShipmentLedger::new(n);
     let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut locally_checked = 0usize;
+    let mut paper_cost = 0.0;
 
     for cfd in sigma {
+        let mut local_secs = vec![0.0_f64; n];
         let needed: Vec<AttrId> = {
             let set = cfd.attrs();
             set.iter().collect()
@@ -71,9 +112,14 @@ pub fn detect_vertical(
             let frag = &partition.fragments()[host];
             let local_cfd = rebase_cfd(cfd, &frag.data, &frag.attrs)?;
             let vs = dcd_cfd::detect(&frag.data, &local_cfd);
-            clocks.advance(SiteId(host as u32), cost.check_time(frag.data.len()));
+            let secs = cost.check_time(frag.data.len());
+            clocks.advance(SiteId(host as u32), secs);
             report.absorb(cfd.name(), vs);
             locally_checked += 1;
+            // §III-B with zero shipment and one active site reduces to
+            // the host's check time (`local_secs` is not involved —
+            // this branch never reaches the shipment accounting below).
+            paper_cost += secs;
             continue;
         }
 
@@ -109,7 +155,9 @@ pub fn detect_vertical(
                 continue;
             }
             let shipped = restrict_to_needed(partition, i, &needed, cfd, mode)?;
-            clocks.advance(frag.site, cost.scan_time(frag.data.len()));
+            let secs = cost.scan_time(frag.data.len());
+            clocks.advance(frag.site, secs);
+            local_secs[i] += secs;
             let bytes = shipped.wire_size();
             ledger.ship(
                 coord_site,
@@ -129,17 +177,25 @@ pub fn detect_vertical(
         // Coordinator joins + checks.
         let local_cfd = rebase_cfd_by_names(cfd, &acc)?;
         let vs = dcd_cfd::detect(&acc, &local_cfd);
-        clocks.advance(coord_site, cost.check_time(acc.len()));
+        let secs = cost.check_time(acc.len());
+        clocks.advance(coord_site, secs);
+        local_secs[coord] += secs;
         report.absorb(cfd.name(), vs);
+        paper_cost += cost.paper_cost(&matrix, &local_secs);
     }
 
-    Ok(VerticalDetection {
+    let d = Detection {
+        algorithm: "VERTDETECT".to_string(),
         violations: report,
         shipped_tuples: ledger.total_tuples(),
         shipped_cells: ledger.total_cells(),
+        shipped_bytes: ledger.total_bytes(),
+        control_messages: ledger.control_messages(),
         response_time: clocks.response_time(),
-        locally_checked,
-    })
+        site_clocks: clocks.snapshot(),
+        paper_cost,
+    };
+    Ok((d, locally_checked))
 }
 
 /// Projects fragment `idx` onto its needed attributes (plus key) and, in
@@ -236,6 +292,7 @@ fn rebase_cfd_by_names(cfd: &Cfd, local: &Relation) -> Result<Cfd, RelationError
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;

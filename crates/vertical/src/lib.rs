@@ -27,6 +27,8 @@ pub mod detect;
 pub mod preservation;
 pub mod refine;
 
-pub use detect::{detect_vertical, ShipMode, VerticalDetection};
+#[allow(deprecated)] // the shim stays importable for one release
+pub use detect::detect_vertical;
+pub use detect::{run_vertical, ShipMode, VerticalDetection};
 pub use preservation::{is_preserved, locally_checkable_at, unpreserved};
 pub use refine::{refine_exact, refine_greedy, Augmentation};

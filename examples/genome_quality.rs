@@ -40,20 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let cfg = RunConfig::default();
-    println!(
-        "\n{:<12} {:>10} {:>12} {:>14}",
-        "algorithm", "violations", "shipped", "resp time (s)"
-    );
-    let seq = SeqDetect::default().run(&partition, &sigma, &cfg);
-    let clust = ClustDetect::default().run(&partition, &sigma, &cfg);
+    println!();
+    let request = |alg: Algorithm| {
+        DetectRequest::over(partition.clone())
+            .cfds(sigma.iter().cloned())
+            .algorithm(alg)
+            .config(cfg)
+            .run()
+    };
+    let seq = request(Algorithm::seq_detect())?;
+    let clust = request(Algorithm::clust_detect())?;
     for d in [&seq, &clust] {
-        println!(
-            "{:<12} {:>10} {:>12} {:>14.3}",
-            d.algorithm,
-            d.violations.all_tids().len(),
-            d.shipped_tuples,
-            d.response_time
-        );
+        println!("{}", d.summary());
     }
     assert_eq!(seq.violations.all_tids(), clust.violations.all_tids());
     let saved = 100.0 * (1.0 - clust.shipped_tuples as f64 / seq.shipped_tuples as f64);

@@ -27,26 +27,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("rule: {cfd}\n");
 
     let cfg = RunConfig::default();
-    println!(
-        "{:<12} {:>10} {:>12} {:>14} {:>12}",
-        "algorithm", "violations", "shipped", "resp time (s)", "ctrl msgs"
-    );
-    for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-        let d = det.run_simple(&partition, &cfd, &cfg);
-        println!(
-            "{:<12} {:>10} {:>12} {:>14.3} {:>12}",
-            d.algorithm,
-            d.violations.all_tids().len(),
-            d.shipped_tuples,
-            d.response_time,
-            d.control_messages
-        );
-    }
-
-    // Sanity: all agree with the centralized baseline.
     let baseline = detect_simple(&dirty, &cfd);
-    for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-        let d = det.run_simple(&partition, &cfd, &cfg);
+    for alg in [Algorithm::CtrDetect, Algorithm::PatDetectS, Algorithm::PatDetectRT] {
+        let d = DetectRequest::over(partition.clone())
+            .cfd(cfd.to_cfd())
+            .algorithm(alg)
+            .config(cfg)
+            .run()?;
+        println!("{}", d.summary());
+        // Sanity: every algorithm agrees with the centralized baseline.
         assert_eq!(d.violations.all_tids(), baseline.tids);
     }
     println!("\nall distributed results equal the centralized baseline ✓");
@@ -54,9 +43,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The mining optimization on a wildcard-only FD (Exp-4's idea).
     let fd = Cfd::fd("fd", dirty.schema().clone(), &["CC", "item_title"], &["item_price"])?;
     let fd_simple = fd.simplify().pop().expect("single RHS");
-    let plain = PatDetectS.run_simple(&partition, &fd_simple, &cfg);
+    let request = |c: &SimpleCfd| {
+        DetectRequest::over(partition.clone())
+            .cfd(c.to_cfd())
+            .algorithm(Algorithm::PatDetectS)
+            .config(cfg)
+            .run()
+    };
+    let plain = request(&fd_simple)?;
     let mined = mine_patterns(&partition, &fd_simple, &MiningConfig::default(), &cfg.cost);
-    let refined = PatDetectS.run_simple(&partition, &mined.cfd, &cfg);
+    let refined = request(&mined.cfd)?;
     println!(
         "\nFD + mining: shipped {} tuples plain vs {} with {} mined patterns",
         plain.shipped_tuples, refined.shipped_tuples, mined.added

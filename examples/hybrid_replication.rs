@@ -37,28 +37,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hybrid.n_vgroups(),
         hybrid.n_sites()
     );
-    let d = detect_hybrid(
-        &hybrid,
-        std::slice::from_ref(&cfd),
-        CoordinatorStrategy::MinShipment,
-        &RunConfig::default(),
-    )?;
-    println!(
-        "HYBRIDDETECT: {} violations, {} tuples shipped (columns gathered per cell,\n\
-         then σ-blocks shipped across cells), response {:.3}s",
-        d.violations.all_tids().len(),
-        d.shipped_tuples,
-        d.response_time
-    );
+    let d = DetectRequest::over(hybrid).cfd(cfd.clone()).algorithm(Algorithm::PatDetectS).run()?;
+    println!("{}", d.summary());
+    println!("(columns gathered per cell as code rows, then σ-blocks shipped across cells)");
     assert_eq!(d.violations.all_tids(), baseline.tids);
 
     // --- Replication: chained declustering at increasing factors. ---
     println!("\n== Replicated fragments (chained declustering, 4 sites) ==");
-    println!("{:<8} {:>12} {:>14}", "factor", "shipped", "resp time (s)");
     for r in 1..=4 {
         let replicated = ReplicatedPartition::chained(horizontal.clone(), r)?;
-        let d = detect_replicated(&replicated, std::slice::from_ref(&cfd), &RunConfig::default());
-        println!("{:<8} {:>12} {:>14.3}", r, d.shipped_tuples, d.response_time);
+        let d = DetectRequest::over(replicated).cfd(cfd.clone()).run()?;
+        println!("factor {r}: {}", d.summary());
         assert_eq!(d.violations.all_tids(), baseline.tids);
     }
     println!("\nreplication trades storage for traffic: factor n ⇒ zero shipment ✓");

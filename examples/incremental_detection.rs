@@ -27,12 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sigma.len()
     );
 
-    // Build the run: one index build, code rows only.
-    let mut run = IncrementalRun::new(partition.clone(), &sigma, RunConfig::default())?;
-    let built = run.detection();
+    // Open the session through the façade: one index build, code rows
+    // only.
+    let mut session =
+        DetectRequest::over(partition.clone()).cfds(sigma.iter().cloned()).session()?;
+    let built = session.detection();
     println!(
         "index build: coordinator {}, {} tuples shipped as {} cells ({} bytes), {} violations\n",
-        run.coordinator(),
+        session.coordinator(),
         built.shipped_tuples,
         built.shipped_cells,
         built.shipped_bytes,
@@ -53,17 +55,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, per_site) in stream.into_iter().enumerate() {
         let batch = DeltaBatch::from(per_site);
         let (ins, del) = (batch.n_inserts(), batch.n_deletes());
-        let out = run.apply_batch(&batch)?;
-        let shipped_now = run.detection().shipped_bytes;
+        let report = session.apply_batch(&batch)?;
+        let shipped_now = session.detection().shipped_bytes;
         // What a from-scratch PATDETECTS run on the materialized state
-        // would ship for the same report.
-        let full = PatDetectS.run(run.partition(), &sigma[0], &RunConfig::default());
+        // would ship for the same report (the session owns the live
+        // partition; the horizontal variant exposes it).
+        let IncrementalSession::Horizontal(run) = &session else { unreachable!("horizontal") };
+        let full = DetectRequest::over(run.partition().clone())
+            .cfd(sigma[0].clone())
+            .algorithm(Algorithm::PatDetectS)
+            .run()?;
         println!(
             "{:<7} {:>6} {:>6} {:>12} {:>12} {:>14}",
             i + 1,
             ins,
             del,
-            out.report.all_tids().len(),
+            report.all_tids().len(),
             shipped_now - shipped_before,
             full.shipped_bytes,
         );
@@ -72,11 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sanity: the maintained report equals full re-detection on the
     // materialized state.
-    let rel = run.materialize()?;
+    let rel = session.materialize()?;
     let global = detect_set(&rel, &sigma);
-    assert_eq!(run.report().all_tids(), global.all_tids());
+    assert_eq!(session.report().all_tids(), global.all_tids());
     for (name, vs) in &global.per_cfd {
-        let report = run.report();
+        let report = session.report();
         let (_, got) = report.per_cfd.iter().find(|(n, _)| n == name).expect("entry");
         assert_eq!(&got.tids, &vs.tids, "{name}");
         assert_eq!(&got.patterns, &vs.patterns, "{name}");

@@ -78,23 +78,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}: {} tuples", f.site, f.data.len());
     }
 
-    // --- Distributed detection with each algorithm. ---
+    // --- Distributed detection through the one front door: a
+    // DetectRequest per algorithm, same topology, same Σ. Sites ship
+    // (tid, codes) rows — 4 bytes per cell — never tuple payloads. ---
     println!("\n== Distributed detection ==");
     let cfg = RunConfig::default();
-    for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-        let mut total = ViolationReport::default();
-        let mut shipped = 0;
-        for cfd in &sigma {
-            let d = det.run(&partition, cfd, &cfg);
-            shipped += d.shipped_tuples;
-            for (n, v) in d.violations.per_cfd {
-                total.absorb(&n, v);
-            }
-        }
-        let mut ids: Vec<u64> = total.all_tids().iter().map(|t| t.0 + 1).collect();
-        ids.sort();
-        println!("  {:<12} shipped {:>2} tuples, found t{:?}", det.name(), shipped, ids);
-        assert_eq!(total.all_tids(), report.all_tids(), "distributed == centralized");
+    for alg in [Algorithm::CtrDetect, Algorithm::PatDetectS, Algorithm::PatDetectRT] {
+        let d = DetectRequest::over(partition.clone())
+            .cfds(sigma.iter().cloned())
+            .algorithm(alg)
+            .config(cfg)
+            .run()?;
+        println!("  {}", d.summary());
+        assert_eq!(d.violations.all_tids(), report.all_tids(), "distributed == centralized");
     }
     println!("\nAll algorithms agree with centralized detection.");
     Ok(())

@@ -44,15 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Distributed detection with the discovered Σ.
     let partition = HorizontalPartition::round_robin(&dirty, 6)?;
-    let d = ClustDetect::default().run(&partition, &rules, &RunConfig::default());
-    println!(
-        "\nCLUSTDETECT over 6 sites: {} violating tuples across {} rules, \
-         {} tuples shipped, {:.3}s simulated",
-        d.violations.all_tids().len(),
-        d.violations.per_cfd.len(),
-        d.shipped_tuples,
-        d.response_time
-    );
+    let d = DetectRequest::over(partition)
+        .cfds(rules.iter().cloned())
+        .algorithm(Algorithm::clust_detect())
+        .run()?;
+    println!("\nover 6 sites: {}", d.summary());
 
     // The street corruptions are caught by the street rules.
     let street_hits: usize = d

@@ -91,11 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Detection with column shipment (unrefined partition) ==");
     let baseline = detect_set(&d0, &sigma);
     for mode in [ShipMode::Full, ShipMode::Filtered] {
-        let out = detect_vertical(&partition, &sigma, mode, &CostModel::default())?;
-        println!(
-            "  {:?}: {} rows shipped, {} CFDs checked locally, resp {:.4}s",
-            mode, out.shipped_tuples, out.locally_checked, out.response_time
-        );
+        let out = DetectRequest::over(partition.clone())
+            .cfds(sigma.iter().cloned())
+            .ship_mode(mode)
+            .run()?;
+        println!("  {:?}: {}", mode, out.summary());
         assert_eq!(out.violations.all_tids(), baseline.all_tids());
     }
     println!("\nvertical detection equals centralized detection ✓");

@@ -6,8 +6,13 @@
 //! that are fragmented — horizontally or vertically — and distributed
 //! across sites, while minimizing data shipment or response time.
 //!
-//! This crate is a facade re-exporting the workspace:
+//! This crate is a facade re-exporting the workspace, plus the one
+//! public detection API:
 //!
+//! * [`api`] — [`DetectRequest`]: one code-native request object over
+//!   every topology ([`Topology`]) and algorithm ([`Algorithm`]),
+//!   batch (`run()` → [`Detection`](dcd_core::Detection)) or
+//!   incremental (`session()` → [`IncrementalSession`]),
 //! * [`relation`] — the in-memory relational engine substrate,
 //! * [`cfd`] — CFDs: pattern tableaux, centralized detection, implication,
 //! * [`dist`] — fragmentation, the shipment ledger and the cost model,
@@ -25,7 +30,8 @@
 //! use distributed_cfd::prelude::*;
 //!
 //! // The EMP relation of the paper's Fig. 1(a), as a workload would
-//! // build it: schema, rows, a CFD, a fragmentation — then detection.
+//! // build it: schema, rows, a CFD, a fragmentation — then one
+//! // DetectRequest, whatever the topology or algorithm.
 //! let schema = Schema::builder("emp")
 //!     .attr("id", ValueType::Int)
 //!     .attr("CC", ValueType::Int)
@@ -40,15 +46,23 @@
 //! ])?;
 //! let cfd = parse_cfd(&schema, "cfd1", "([CC=44, zip] -> [street])")?;
 //!
-//! // Distribute over three sites and detect with PATDETECTS.
+//! // Distribute over three sites and detect with PATDETECTS. Sites
+//! // ship (tid, codes) rows — 4 bytes per cell — never tuple payloads.
 //! let partition = HorizontalPartition::round_robin(&rel, 3)?;
-//! let detection = PatDetectS.run(&partition, &cfd, &RunConfig::default());
+//! let detection = DetectRequest::over(partition)
+//!     .cfd(cfd)
+//!     .algorithm(Algorithm::PatDetectS)
+//!     .run()?;
 //! assert_eq!(detection.violations.all_tids().len(), 2);
+//! println!("{}", detection.summary()); // one-line report
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 
+pub mod api;
+
+pub use api::{Algorithm, DetectRequest, IncrementalSession, Topology};
 pub use dcd_cfd as cfd;
 pub use dcd_complexity as complexity;
 pub use dcd_core as core;
@@ -60,24 +74,28 @@ pub use dcd_vertical as vertical;
 
 /// One-stop imports for the common API surface.
 pub mod prelude {
+    pub use crate::api::{Algorithm, DetectRequest, IncrementalSession, Topology};
     pub use dcd_cfd::{
         detect, detect_set, detect_simple, discover, discover_cfds, parse_cfd, satisfies, Cfd,
-        DiscoveryConfig, NormalPattern, PatternTuple, PatternValue, SimpleCfd, ViolationReport,
-        ViolationSet,
+        CodeLayout, DiscoveryConfig, NormalPattern, PatternTuple, PatternValue, SimpleCfd,
+        ViolationReport, ViolationSet,
     };
+    #[allow(deprecated)] // the legacy shims stay importable for one release
+    pub use dcd_core::{detect_hybrid, detect_replicated};
     pub use dcd_core::{
-        detect_hybrid, detect_replicated, mine_patterns, ClustDetect, CoordinatorStrategy,
-        CtrDetect, Detection, Detector, MiningConfig, MultiDetector, PatDetectRT, PatDetectS,
-        RunConfig, SeqDetect,
+        mine_patterns, ClustDetect, CoordinatorStrategy, CtrDetect, Detection, DetectionSummary,
+        Detector, MiningConfig, MultiDetector, PatDetectRT, PatDetectS, RunConfig, SeqDetect,
     };
     pub use dcd_dist::{
         CostModel, Fragment, HorizontalPartition, HybridPartition, ReplicatedPartition,
-        ShipmentLedger, SiteClocks, SiteId, VFragment, VerticalPartition, CODE_BYTES,
+        ShipmentLedger, SiteClocks, SiteId, VFragment, VerticalPartition, CODE_BYTES, TID_CELLS,
     };
     pub use dcd_incr::{DeltaBatch, IncrementalRun, VerticalIncrementalRun, ViolationIndex};
     pub use dcd_relation::{
         vals, Atom, CmpOp, Conjunction, DeltaEffect, Predicate, Relation, RelationDelta, Schema,
         Tuple, TupleId, Value, ValueType,
     };
-    pub use dcd_vertical::{detect_vertical, is_preserved, refine_exact, refine_greedy, ShipMode};
+    #[allow(deprecated)] // the legacy shim stays importable for one release
+    pub use dcd_vertical::detect_vertical;
+    pub use dcd_vertical::{is_preserved, refine_exact, refine_greedy, ShipMode};
 }

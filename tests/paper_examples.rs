@@ -3,6 +3,12 @@
 //! checked locally), Example 5 (CTRDETECT ships 4 tuples for φ1 on the
 //! Fig. 1(b) partition) and Example 6 (PATDETECTS ships 3).
 
+// The suite drives the legacy entry points deliberately: they are the
+// pinned reference the new `DetectRequest` façade is proven against
+// (see tests/prop_facade.rs), and stay as deprecated shims for one
+// release.
+#![allow(deprecated)]
+
 use distributed_cfd::prelude::*;
 
 fn emp_schema() -> std::sync::Arc<Schema> {
@@ -131,17 +137,27 @@ fn example6_patdetects_ships_three_tuples() {
 }
 
 /// Each tuple/attribute is shipped at most once (§IV guarantee): for φ1
-/// only the CC, zip, street cells of matching tuples move.
+/// only the CC, zip, street cells of matching tuples move, plus the
+/// row-identifying tuple id.
+///
+/// Accounting note: before the code-native wire port, a shipped row
+/// counted `|X ∪ A|` value cells (3 here) and its bytes were the sum
+/// of string payload lengths. Rows now travel as `(tid, codes)` —
+/// `TID_CELLS` (= 2) id cells plus one `u32` code per attribute — so
+/// the same 3-tuple shipment is 3 × (3 + 2) = 15 cells, and bytes are
+/// exact: `CODE_BYTES` (= 4) per cell.
 #[test]
 fn shipment_is_projected_and_bounded() {
     let schema = emp_schema();
     let rel = d0();
     let partition = fig1b(&rel);
     let d = PatDetectS.run(&partition, &phi1(&schema), &RunConfig::default());
-    // 3 tuples × 3 attributes (CC, zip, street).
-    assert_eq!(d.shipped_cells, 9);
+    // 3 tuples × (3 attributes (CC, zip, street) + 2 tid cells).
+    assert_eq!(d.shipped_cells, 3 * (3 + TID_CELLS));
+    assert_eq!(d.shipped_bytes, d.shipped_cells * CODE_BYTES);
     let d_ctr = CtrDetect.run(&partition, &phi1(&schema), &RunConfig::default());
-    assert_eq!(d_ctr.shipped_cells, 12);
+    assert_eq!(d_ctr.shipped_cells, 4 * (3 + TID_CELLS));
+    assert_eq!(d_ctr.shipped_bytes, d_ctr.shipped_cells * CODE_BYTES);
 }
 
 /// The full Σ, distributed: every algorithm reproduces Example 1.

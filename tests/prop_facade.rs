@@ -1,0 +1,264 @@
+//! Façade equivalence: `DetectRequest` is pinned **bit-identical** to
+//! every legacy entry point it replaces — all five detectors over
+//! horizontal partitions, the hybrid, replicated and vertical
+//! detectors — at pool widths 1 and 8, on random relations, CFDs and
+//! partitions. Every field of the [`Detection`] must match, f64s
+//! compared by bits (the determinism contract, not an epsilon match),
+//! so the shims can be retired without a behavior change.
+
+// The whole point of this suite is to drive the deprecated shims as
+// the reference implementation.
+#![allow(deprecated)]
+
+use distributed_cfd::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("r")
+        .attr("id", ValueType::Int)
+        .attr("a", ValueType::Int)
+        .attr("b", ValueType::Int)
+        .attr("c", ValueType::Str)
+        .attr("d", ValueType::Str)
+        .key(&["id"])
+        .build()
+        .unwrap()
+}
+
+/// Rows over tiny domains so FD groups collide often.
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, u8, u8)>> {
+    prop::collection::vec((0..4i64, 0..4i64, 0..3u8, 0..3u8), 1..40)
+}
+
+fn build_relation(rows: &[(i64, i64, u8, u8)]) -> Relation {
+    Relation::from_rows(
+        schema(),
+        rows.iter()
+            .enumerate()
+            .map(|(i, &(a, b, c, d))| vals![i, a, b, format!("c{c}"), format!("d{d}")])
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// A random CFD over the schema: LHS ⊆ {a, b, c}, RHS = d, patterns
+/// mixing wildcards and small constants; optionally a constant RHS.
+fn arb_patterns() -> impl Strategy<Value = Vec<(Option<i64>, Option<i64>, Option<u8>)>> {
+    prop::collection::vec(
+        (prop::option::of(0..4i64), prop::option::of(0..4i64), prop::option::of(0..3u8)),
+        1..4,
+    )
+}
+
+fn build_cfd(
+    name: &str,
+    patterns: &[(Option<i64>, Option<i64>, Option<u8>)],
+    rhs_const: Option<u8>,
+) -> Cfd {
+    let s = schema();
+    let tableau = patterns
+        .iter()
+        .map(|(a, b, c)| {
+            let pv = |o: &Option<i64>| match o {
+                Some(v) => PatternValue::constant(*v),
+                None => PatternValue::Wild,
+            };
+            let pc = |o: &Option<u8>| match o {
+                Some(v) => PatternValue::constant(format!("c{v}")),
+                None => PatternValue::Wild,
+            };
+            let rhs = match rhs_const {
+                Some(v) => PatternValue::constant(format!("d{v}")),
+                None => PatternValue::Wild,
+            };
+            PatternTuple::new(vec![pv(a), pv(b), pc(c)], vec![rhs])
+        })
+        .collect();
+    Cfd::with_names(name, s, &["a", "b", "c"], &["d"], tableau).unwrap()
+}
+
+/// Field-by-field bit equality of two [`Detection`]s.
+fn assert_identical(base: &Detection, got: &Detection, label: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&base.algorithm, &got.algorithm, "{} algorithm", label);
+    prop_assert_eq!(base.violations.per_cfd.len(), got.violations.per_cfd.len(), "{}", label);
+    for ((na, va), (nb, vb)) in base.violations.per_cfd.iter().zip(&got.violations.per_cfd) {
+        prop_assert_eq!(na, nb, "{}", label);
+        prop_assert_eq!(&va.tids, &vb.tids, "{} Vio", label);
+        prop_assert_eq!(&va.patterns, &vb.patterns, "{} Vioπ", label);
+    }
+    prop_assert_eq!(base.shipped_tuples, got.shipped_tuples, "{} |M|", label);
+    prop_assert_eq!(base.shipped_cells, got.shipped_cells, "{} cells", label);
+    prop_assert_eq!(base.shipped_bytes, got.shipped_bytes, "{} bytes", label);
+    prop_assert_eq!(base.control_messages, got.control_messages, "{} control", label);
+    prop_assert_eq!(base.response_time.to_bits(), got.response_time.to_bits(), "{} time", label);
+    prop_assert_eq!(base.paper_cost.to_bits(), got.paper_cost.to_bits(), "{} paper", label);
+    prop_assert_eq!(base.site_clocks.len(), got.site_clocks.len(), "{}", label);
+    for (s, (ca, cb)) in base.site_clocks.iter().zip(&got.site_clocks).enumerate() {
+        prop_assert_eq!(ca.to_bits(), cb.to_bits(), "{} clock of site {}", label, s);
+    }
+    Ok(())
+}
+
+fn facade(
+    topology: impl Into<Topology>,
+    sigma: &[Cfd],
+    algorithm: Algorithm,
+    cfg: RunConfig,
+    mode: ShipMode,
+) -> Detection {
+    DetectRequest::over(topology)
+        .cfds(sigma.iter().cloned())
+        .algorithm(algorithm)
+        .config(cfg)
+        .ship_mode(mode)
+        .run()
+        .expect("facade run succeeds on generated inputs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Horizontal topology: all five detectors, façade ≡ legacy, pool
+    /// widths 1 and 8.
+    #[test]
+    fn facade_matches_legacy_horizontal(
+        rows in arb_rows(),
+        pats in arb_patterns(),
+        rhs_const in prop::option::of(0..3u8),
+        pats2 in arb_patterns(),
+        n_sites in 1..5usize,
+    ) {
+        let rel = build_relation(&rows);
+        let cfd = build_cfd("p1", &pats, rhs_const);
+        let cfd2 = build_cfd("p2", &pats2, None);
+        let sigma = vec![cfd.clone(), cfd2];
+        let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
+        for threads in [1usize, 8] {
+            let cfg = RunConfig::default().with_threads(threads);
+            // The three single-CFD detectors (one CFD, like the trait).
+            for (alg, det) in [
+                (Algorithm::CtrDetect, &CtrDetect as &dyn Detector),
+                (Algorithm::PatDetectS, &PatDetectS),
+                (Algorithm::PatDetectRT, &PatDetectRT),
+            ] {
+                let legacy = det.run(&partition, &cfd, &cfg);
+                let new = facade(
+                    partition.clone(),
+                    std::slice::from_ref(&cfd),
+                    alg,
+                    cfg,
+                    ShipMode::Full,
+                );
+                assert_identical(&legacy, &new, &format!("{} @{threads}", det.name()))?;
+            }
+            // The two multi-CFD detectors (two CFDs).
+            let legacy = SeqDetect::default().run(&partition, &sigma, &cfg);
+            let new = facade(partition.clone(), &sigma, Algorithm::seq_detect(), cfg, ShipMode::Full);
+            assert_identical(&legacy, &new, &format!("SEQDETECT @{threads}"))?;
+            let legacy = ClustDetect::default().run(&partition, &sigma, &cfg);
+            let new =
+                facade(partition.clone(), &sigma, Algorithm::clust_detect(), cfg, ShipMode::Full);
+            assert_identical(&legacy, &new, &format!("CLUSTDETECT @{threads}"))?;
+        }
+    }
+
+    /// Replicated topology: façade ≡ `detect_replicated` at factors 1–3.
+    #[test]
+    fn facade_matches_legacy_replicated(
+        rows in arb_rows(),
+        pats in arb_patterns(),
+        factor in 1..4usize,
+    ) {
+        let rel = build_relation(&rows);
+        let cfd = build_cfd("p", &pats, None);
+        let base = HorizontalPartition::round_robin(&rel, 3).unwrap();
+        let replicated = ReplicatedPartition::chained(base, factor.min(3)).unwrap();
+        for threads in [1usize, 8] {
+            let cfg = RunConfig::default().with_threads(threads);
+            let legacy = detect_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
+            let new = facade(
+                replicated.clone(),
+                std::slice::from_ref(&cfd),
+                Algorithm::PatDetectS,
+                cfg,
+                ShipMode::Full,
+            );
+            assert_identical(&legacy, &new, &format!("REPDETECT @{threads}"))?;
+        }
+    }
+
+    /// Hybrid topology: façade ≡ `detect_hybrid` for every strategy.
+    #[test]
+    fn facade_matches_legacy_hybrid(
+        rows in arb_rows(),
+        pats in arb_patterns(),
+        n_cells in 1..4usize,
+    ) {
+        let rel = build_relation(&rows);
+        let cfd = build_cfd("p", &pats, None);
+        let horizontal = HorizontalPartition::round_robin(&rel, n_cells).unwrap();
+        let hybrid = HybridPartition::new(&horizontal, &[&["a", "b"], &["c", "d"]]).unwrap();
+        for threads in [1usize, 8] {
+            let cfg = RunConfig::default().with_threads(threads);
+            for (alg, strategy) in [
+                (Algorithm::CtrDetect, CoordinatorStrategy::Central),
+                (Algorithm::PatDetectS, CoordinatorStrategy::MinShipment),
+                (Algorithm::PatDetectRT, CoordinatorStrategy::MinResponseTime),
+            ] {
+                let legacy =
+                    detect_hybrid(&hybrid, std::slice::from_ref(&cfd), strategy, &cfg).unwrap();
+                let new = facade(
+                    hybrid.clone(),
+                    std::slice::from_ref(&cfd),
+                    alg,
+                    cfg,
+                    ShipMode::Full,
+                );
+                assert_identical(&legacy, &new, &format!("HYBRID {strategy:?} @{threads}"))?;
+            }
+        }
+    }
+
+    /// Vertical topology: façade ≡ `detect_vertical` on the fields the
+    /// legacy result reports, both ship modes.
+    #[test]
+    fn facade_matches_legacy_vertical(
+        rows in arb_rows(),
+        pats in arb_patterns(),
+        rhs_const in prop::option::of(0..3u8),
+    ) {
+        let rel = build_relation(&rows);
+        let cfd = build_cfd("p", &pats, rhs_const);
+        let partition =
+            VerticalPartition::by_attribute_groups(&rel, &[&["a", "b"], &["c"], &["d"]]).unwrap();
+        for mode in [ShipMode::Full, ShipMode::Filtered] {
+            let legacy =
+                detect_vertical(&partition, std::slice::from_ref(&cfd), mode, &CostModel::default())
+                    .unwrap();
+            let new = facade(
+                partition.clone(),
+                std::slice::from_ref(&cfd),
+                Algorithm::PatDetectS,
+                RunConfig::default(),
+                mode,
+            );
+            prop_assert_eq!(legacy.violations.per_cfd.len(), new.violations.per_cfd.len());
+            for ((na, va), (nb, vb)) in
+                legacy.violations.per_cfd.iter().zip(&new.violations.per_cfd)
+            {
+                prop_assert_eq!(na, nb);
+                prop_assert_eq!(&va.tids, &vb.tids, "{:?} Vio", mode);
+                prop_assert_eq!(&va.patterns, &vb.patterns, "{:?} Vioπ", mode);
+            }
+            prop_assert_eq!(legacy.shipped_tuples, new.shipped_tuples, "{:?} |M|", mode);
+            prop_assert_eq!(legacy.shipped_cells, new.shipped_cells, "{:?} cells", mode);
+            prop_assert_eq!(
+                legacy.response_time.to_bits(),
+                new.response_time.to_bits(),
+                "{:?} time",
+                mode
+            );
+        }
+    }
+}
