@@ -106,7 +106,6 @@ impl Detector for PatDetectRT {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;
@@ -149,7 +148,7 @@ mod tests {
         let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
         let cfg = RunConfig::default();
         for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-            let d = det.run(&partition, &cfd, &cfg);
+            let d = run_batch(&partition, &cfd.simplify(), det.strategy(), &cfg);
             assert_eq!(d.violations.all_tids(), global.tids, "{}", det.name());
             assert_eq!(d.violations.per_cfd[0].1.patterns, global.patterns, "{}", det.name());
         }
@@ -165,8 +164,8 @@ mod tests {
         let merged = dcd_cfd::Cfd::merge("phi", &[&cfd, &cfd2]).unwrap();
         let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
         let cfg = RunConfig::default();
-        let ctr = CtrDetect.run(&partition, &merged, &cfg);
-        let pats = PatDetectS.run(&partition, &merged, &cfg);
+        let ctr = run_batch(&partition, &merged.simplify(), CtrDetect.strategy(), &cfg);
+        let pats = run_batch(&partition, &merged.simplify(), PatDetectS.strategy(), &cfg);
         assert!(pats.shipped_tuples <= ctr.shipped_tuples);
         assert_eq!(pats.violations.all_tids(), ctr.violations.all_tids());
     }
@@ -176,7 +175,8 @@ mod tests {
         let rel = sample(30);
         let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
         let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
-        let d = PatDetectRT.run(&partition, &cfd, &RunConfig::default());
+        let d =
+            run_batch(&partition, &cfd.simplify(), PatDetectRT.strategy(), &RunConfig::default());
         assert_eq!(d.algorithm, "PATDETECTRT");
         assert!(d.shipped_tuples > 0);
         assert!(d.shipped_cells >= d.shipped_tuples * 3);
@@ -193,7 +193,8 @@ mod tests {
         let schema = rel.schema().clone();
         let cfd = dcd_cfd::Cfd::fd("both", schema, &["cc", "zip"], &["street", "city"]).unwrap();
         let partition = HorizontalPartition::round_robin(&rel, 2).unwrap();
-        let d = PatDetectS.run(&partition, &cfd, &RunConfig::default());
+        let d =
+            run_batch(&partition, &cfd.simplify(), PatDetectS.strategy(), &RunConfig::default());
         assert_eq!(d.violations.per_cfd.len(), 2); // one entry per RHS attr
     }
 
@@ -204,7 +205,7 @@ mod tests {
         let partition = HorizontalPartition::round_robin(&rel, 1).unwrap();
         let global = dcd_cfd::detect(&rel, &cfd);
         for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-            let d = det.run(&partition, &cfd, &RunConfig::default());
+            let d = run_batch(&partition, &cfd.simplify(), det.strategy(), &RunConfig::default());
             assert_eq!(d.shipped_tuples, 0, "{}", det.name());
             assert_eq!(d.violations.all_tids(), global.tids);
         }

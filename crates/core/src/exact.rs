@@ -134,10 +134,10 @@ pub fn min_shipment_exhaustive(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use crate::detector::{Detector, PatDetectS};
+    use crate::runner::run_batch;
     use dcd_cfd::parse_cfd;
     use dcd_relation::{vals, Relation, Schema, ValueType};
     use std::sync::Arc;
@@ -222,7 +222,12 @@ mod tests {
         let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
         let simple = cfd.simplify().pop().unwrap();
         let opt = min_shipment_exhaustive(&partition, std::slice::from_ref(&simple)).unwrap();
-        let heur = PatDetectS.run_simple(&partition, &simple, &crate::RunConfig::default());
+        let heur = run_batch(
+            &partition,
+            std::slice::from_ref(&simple),
+            PatDetectS.strategy(),
+            &crate::RunConfig::default(),
+        );
         assert!(heur.shipped_tuples >= opt, "heuristic {} < optimum {opt}", heur.shipped_tuples);
     }
 

@@ -254,7 +254,6 @@ fn gather_cell(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;
@@ -309,13 +308,9 @@ mod tests {
         ];
         let global = dcd_cfd::detect_set(&rel, &sigma);
         assert!(!global.all_tids().is_empty());
-        let d = detect_hybrid(
-            &partition,
-            &sigma,
-            CoordinatorStrategy::MinShipment,
-            &RunConfig::default(),
-        )
-        .unwrap();
+        let d =
+            run_hybrid(&partition, &sigma, CoordinatorStrategy::MinShipment, &RunConfig::default())
+                .unwrap();
         assert_eq!(d.violations.all_tids(), global.all_tids());
         assert!(d.shipped_tuples > 0, "cross-fragment CFDs must ship");
         assert!(d.response_time > 0.0);
@@ -327,7 +322,7 @@ mod tests {
         let partition = hybrid(&rel, 1);
         let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
         let global = dcd_cfd::detect(&rel, &cfd);
-        let d = detect_hybrid(
+        let d = run_hybrid(
             &partition,
             std::slice::from_ref(&cfd),
             CoordinatorStrategy::MinShipment,
@@ -347,7 +342,7 @@ mod tests {
         // title, cc, zip all live in vertical group 0.
         let cfd = parse_cfd(rel.schema(), "phi", "([cc, title] -> [zip])").unwrap();
         let global = dcd_cfd::detect(&rel, &cfd);
-        let d = detect_hybrid(
+        let d = run_hybrid(
             &partition,
             std::slice::from_ref(&cfd),
             CoordinatorStrategy::MinShipment,
@@ -371,13 +366,9 @@ mod tests {
             CoordinatorStrategy::MinShipment,
             CoordinatorStrategy::MinResponseTime,
         ] {
-            let d = detect_hybrid(
-                &partition,
-                std::slice::from_ref(&cfd),
-                strategy,
-                &RunConfig::default(),
-            )
-            .unwrap();
+            let d =
+                run_hybrid(&partition, std::slice::from_ref(&cfd), strategy, &RunConfig::default())
+                    .unwrap();
             assert_eq!(d.violations.all_tids(), global.tids, "{strategy:?}");
         }
     }

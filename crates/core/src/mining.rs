@@ -167,7 +167,6 @@ pub fn mine_patterns(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;
@@ -323,18 +322,29 @@ mod tests {
     #[test]
     fn mining_reduces_shipment_for_fds() {
         use crate::detector::{Detector, PatDetectS};
+        use crate::runner::run_batch;
         let rel = skewed(400);
         let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
         let fd = parse_cfd(rel.schema(), "fd", "([cc, zip] -> [street])").unwrap();
         let simple = fd.simplify().pop().unwrap();
-        let plain = PatDetectS.run_simple(&partition, &simple, &crate::RunConfig::default());
+        let plain = run_batch(
+            &partition,
+            std::slice::from_ref(&simple),
+            PatDetectS.strategy(),
+            &crate::RunConfig::default(),
+        );
         let out = mine_patterns(
             &partition,
             &simple,
             &MiningConfig { theta: 0.05, max_width: 2 },
             &CostModel::default(),
         );
-        let refined = PatDetectS.run_simple(&partition, &out.cfd, &crate::RunConfig::default());
+        let refined = run_batch(
+            &partition,
+            std::slice::from_ref(&out.cfd),
+            PatDetectS.strategy(),
+            &crate::RunConfig::default(),
+        );
         assert_eq!(
             plain.violations.all_tids(),
             refined.violations.all_tids(),

@@ -223,10 +223,10 @@ fn run_one(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use crate::detector::{Detector, PatDetectS};
+    use crate::runner::run_batch;
     use dcd_cfd::parse_cfd;
     use dcd_dist::HorizontalPartition;
     use dcd_relation::{vals, Relation, Schema, ValueType};
@@ -264,8 +264,8 @@ mod tests {
         let replicated = ReplicatedPartition::chained(base.clone(), 1).unwrap();
         let cfd = parse_cfd(rel.schema(), "phi", "([cc, zip] -> [street])").unwrap();
         let cfg = RunConfig::default();
-        let plain = PatDetectS.run(&base, &cfd, &cfg);
-        let rep = detect_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
+        let plain = run_batch(&base, &cfd.simplify(), PatDetectS.strategy(), &cfg);
+        let rep = run_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
         assert_eq!(rep.violations.all_tids(), plain.violations.all_tids());
         assert_eq!(rep.shipped_tuples, plain.shipped_tuples);
     }
@@ -280,7 +280,7 @@ mod tests {
         let mut last = usize::MAX;
         for r in 1..=4 {
             let replicated = ReplicatedPartition::chained(base.clone(), r).unwrap();
-            let d = detect_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
+            let d = run_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
             assert_eq!(d.violations.all_tids(), global.tids, "r = {r}");
             assert!(
                 d.shipped_tuples <= last,
@@ -299,7 +299,7 @@ mod tests {
         let base = HorizontalPartition::round_robin(&rel, 3).unwrap();
         let replicated = ReplicatedPartition::chained(base, 2).unwrap();
         let cfd = parse_cfd(rel.schema(), "c", "([cc=44, zip] -> [street=s0])").unwrap();
-        let d = detect_replicated(&replicated, std::slice::from_ref(&cfd), &RunConfig::default());
+        let d = run_replicated(&replicated, std::slice::from_ref(&cfd), &RunConfig::default());
         assert_eq!(d.shipped_tuples, 0);
         let global = dcd_cfd::detect(&rel, &cfd);
         assert_eq!(d.violations.all_tids(), global.tids);
@@ -315,7 +315,7 @@ mod tests {
             parse_cfd(rel.schema(), "b", "([zip] -> [street])").unwrap(),
         ];
         let global = dcd_cfd::detect_set(&rel, &sigma);
-        let d = detect_replicated(&replicated, &sigma, &RunConfig::default());
+        let d = run_replicated(&replicated, &sigma, &RunConfig::default());
         assert_eq!(d.violations.all_tids(), global.all_tids());
         assert_eq!(d.violations.per_cfd.len(), 2);
     }

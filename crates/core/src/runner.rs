@@ -92,6 +92,9 @@ pub fn charge<R>(
     work: impl FnOnce() -> R,
     analytic_of: impl FnOnce(&R) -> f64,
 ) -> (R, f64) {
+    // dcd-lint: allow(wall-clock) — `ComputeModel::Measured` scales real
+    // elapsed time by design; `Analytic` (the deterministic default)
+    // never reads `start`.
     let start = Instant::now();
     let r = work();
     let secs = match cfg.compute {

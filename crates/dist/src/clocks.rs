@@ -19,6 +19,34 @@
 //! [`SiteClocks::transfer`] are whole-vector synchronization steps and
 //! must be called from the coordinating thread between phases, never
 //! from inside one.
+//!
+//! # Atomics audit
+//!
+//! Unlike the `Relaxed` meters of [`ShipmentLedger`](crate::ledger::ShipmentLedger),
+//! the clocks *are* read mid-phase (a task re-reads the clock of the
+//! site it owns, and [`SiteClocks::wait_until`] compares against a
+//! sender's clock), so the orderings here are deliberately
+//! acquire/release:
+//!
+//! * **Loads** (`now`, `response_time`, `snapshot`, `Clone`) use
+//!   `Acquire`, so a value observed from another thread is one that
+//!   thread fully published.
+//! * **RMW loops** (`advance`, `wait_until`) use
+//!   `compare_exchange_weak(.., AcqRel, Acquire)`: the success
+//!   ordering publishes the new time, the failure ordering re-reads
+//!   an up-to-date value for the retry.
+//! * **Stores** (`barrier`, `transfer`) use `Release`; both are
+//!   between-phases steps on the coordinating thread, where the pool
+//!   join already ordered prior phase work, so `Release` is aimed at
+//!   the next phase's `Acquire` readers.
+//!
+//! Under the single-writer-per-phase contract these edges are
+//! belt-and-braces — the pool's scope join would order the accesses
+//! anyway — but they make the type safe to read concurrently without
+//! leaning on that contract, at no measurable cost on the coarse
+//! per-site phases. `dcd_lint`'s `relaxed-atomic` rule keeps
+//! `Ordering::Relaxed` from creeping in here: this file is *not* on
+//! its whitelist.
 
 use crate::cost::CostModel;
 use crate::site::SiteId;

@@ -21,6 +21,27 @@ pub const TID_CELLS: usize = 2;
 /// The ledger is shared by reference across the per-site phases of a
 /// round, so all counters use interior mutability; methods take `&self`
 /// and the type is `Sync`.
+///
+/// # Atomics audit (`Ordering::Relaxed` throughout)
+///
+/// Every operation on these counters is `Relaxed`, which is exact —
+/// not approximate — for how they are used:
+///
+/// * **Writes** are `fetch_add` read-modify-writes. Atomicity of the
+///   RMW alone guarantees no increment is lost, whatever the ordering;
+///   the counters are pure meters and never publish *other* memory, so
+///   no acquire/release edge is needed on the write side.
+/// * **Reads** (the `shipped_*`/`control_*`/`sent_by`/`received_by`
+///   accessors) happen either on the single coordinating thread, or
+///   after the phase's [`pool::scoped_map`](crate::pool::scoped_map)
+///   scope has joined its workers — and `thread::scope` join is a
+///   happens-before edge covering everything the workers did, so the
+///   totals read are complete without any ordering on the loads.
+/// * Nothing branches on an in-flight counter value: no
+///   synchronization decision ever hangs off these atomics.
+///
+/// This audit is what whitelists this file for the `relaxed-atomic`
+/// rule of `dcd_lint`.
 #[derive(Debug)]
 pub struct ShipmentLedger {
     n_sites: usize,

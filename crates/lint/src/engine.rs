@@ -1,0 +1,168 @@
+//! The workspace driver: discover files, classify them, run the fact
+//! pass then the rules, and filter suppressed findings.
+
+use crate::diag::Diagnostic;
+use crate::rules::{check_file, collect_facts, HashFacts};
+use crate::source::{FileClass, SourceFile};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A completed lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving (unsuppressed) findings, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files analyzed.
+    pub checked_files: usize,
+}
+
+/// Lints every Rust source of the workspace rooted at `root`.
+///
+/// Skipped subtrees: `target/` (build output), `crates/lint/` (the
+/// analyzer's own sources and fixtures quote the very patterns it
+/// hunts), and anything named `fixtures` (deliberately violating test
+/// inputs). Everything else under `src/`, `tests/`, `examples/`,
+/// `benches/` and `crates/` is fair game.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut sources = Vec::new();
+    for path in files {
+        let rel = relative(&path, root);
+        if rel.starts_with("crates/lint/") || rel.contains("/fixtures/") {
+            continue;
+        }
+        let class = classify(&rel);
+        let src = fs::read_to_string(&path)?;
+        sources.push(SourceFile::parse(rel, class, &src));
+    }
+
+    // Pass 1: workspace-wide type facts (hash-returning fns, hash fields).
+    let mut facts = HashFacts::default();
+    for file in &sources {
+        collect_facts(file, &mut facts);
+    }
+
+    // Pass 2: rules, then suppression filtering.
+    let mut diagnostics = Vec::new();
+    let checked_files = sources.len();
+    for file in &sources {
+        for d in check_file(file, &facts) {
+            let suppressed = d.rule != "bad-suppression"
+                && file
+                    .suppressions
+                    .iter()
+                    .any(|s| s.rule == d.rule && (s.line == d.line || s.effective == d.line));
+            if !suppressed {
+                diagnostics.push(d);
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(Report { diagnostics, checked_files })
+}
+
+/// Lints a single source string (the fixture tests' entry point).
+pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let class = classify(path);
+    let file = SourceFile::parse(path.to_string(), class, src);
+    let mut facts = HashFacts::default();
+    collect_facts(&file, &mut facts);
+    check_file(&file, &facts)
+        .into_iter()
+        .filter(|d| {
+            d.rule == "bad-suppression"
+                || !file
+                    .suppressions
+                    .iter()
+                    .any(|s| s.rule == d.rule && (s.line == d.line || s.effective == d.line))
+        })
+        .collect()
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/")
+}
+
+/// Path-based file classification; see [`FileClass`].
+pub fn classify(rel: &str) -> FileClass {
+    if rel.starts_with("crates/compat/") {
+        FileClass::Compat
+    } else if rel.starts_with("crates/bench/") || rel.contains("/benches/") {
+        FileClass::Bench
+    } else if rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/examples/")
+    {
+        FileClass::Test
+    } else {
+        FileClass::Engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("src/api.rs"), FileClass::Engine);
+        assert_eq!(classify("crates/core/src/runner.rs"), FileClass::Engine);
+        assert_eq!(classify("crates/core/tests/prop.rs"), FileClass::Test);
+        assert_eq!(classify("tests/prop_facade.rs"), FileClass::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::Test);
+        assert_eq!(classify("crates/bench/src/lib.rs"), FileClass::Bench);
+        assert_eq!(classify("crates/core/benches/b.rs"), FileClass::Bench);
+        assert_eq!(classify("crates/compat/rand/src/lib.rs"), FileClass::Compat);
+    }
+
+    #[test]
+    fn suppression_on_same_or_previous_line_filters_the_finding() {
+        let src = "fn f() {\n    let t = std::time::SystemTime::now(); // dcd-lint: allow(wall-clock) — test of same-line allow\n}\n";
+        assert!(check_source("crates/core/src/x.rs", src).is_empty());
+        let src = "fn f() {\n    // dcd-lint: allow(wall-clock) — test of line-above allow\n    let t = std::time::SystemTime::now();\n}\n";
+        assert!(check_source("crates/core/src/x.rs", src).is_empty());
+        let src = "fn f() {\n    let t = std::time::SystemTime::now();\n}\n";
+        assert_eq!(check_source("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn reasonless_suppression_does_not_filter_and_is_reported() {
+        let src = "fn f() {\n    // dcd-lint: allow(wall-clock)\n    let t = std::time::SystemTime::now();\n}\n";
+        let diags = check_source("crates/core/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "wall-clock"), "finding survives");
+        assert!(
+            diags.iter().any(|d| d.rule == "bad-suppression"),
+            "and the bad allow is called out"
+        );
+    }
+}

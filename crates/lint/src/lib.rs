@@ -1,0 +1,34 @@
+//! `dcd_lint` — the workspace's own static-analysis pass.
+//!
+//! The engine's headline guarantees are *determinism* guarantees:
+//! reports, ledgers and clocks bit-identical across pool widths,
+//! byte-accurate `charge_codes` accounting, incremental ≡ full
+//! re-detection. The property-test suites enforce them dynamically, but
+//! a dynamic suite only catches an unordered-iteration or
+//! stray-accounting regression when a seed happens to hit it.
+//! Finkelstein et al.'s *Principles for Inconsistency* observation —
+//! consistency erodes through routine shortcuts, not grand design
+//! errors — applies to this codebase as much as to the data it checks.
+//! This crate is the CI-time ratchet: a dependency-free tokenizer
+//! ([`tokenizer`]) plus a rule engine ([`rules`], [`engine`]) that
+//! walks the workspace's own sources and flags the shortcuts.
+//!
+//! Run it as `cargo run -p dcd_lint -- check` (add `--format json` for
+//! machine-readable output). Suppress a finding inline with
+//! `// dcd-lint: allow(<rule>) — <reason>`; the reason is mandatory and
+//! reasonless allows are themselves findings. The rule list and the
+//! invariant each rule guards are documented in [`rules`] and in the
+//! README's "Determinism invariants" section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod rules;
+pub mod source;
+pub mod tokenizer;
+
+pub use diag::{render, Diagnostic, Format};
+pub use engine::{check_source, check_workspace, Report};
+pub use rules::{describe, RULE_IDS};

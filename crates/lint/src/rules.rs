@@ -1,0 +1,677 @@
+//! The rule set. Every rule guards one invariant the test suite pins
+//! dynamically; the lint catches the *shortcut* that breaks it before a
+//! property-test seed happens to.
+//!
+//! | rule id | invariant guarded |
+//! |---|---|
+//! | `hash-iteration-order` | bit-identical outputs across pool widths |
+//! | `raw-ledger-mutation` | byte-accurate shipment accounting |
+//! | `stray-thread` | all parallelism goes through `dcd_dist::pool` |
+//! | `wall-clock` | simulated `SiteClocks` time only |
+//! | `relaxed-atomic` | audited atomic orderings, justified `unsafe` |
+//! | `deprecated-shim` | the `DetectRequest` façade is the only door |
+//!
+//! Rules are token-window analyses, not AST passes: sound about strings
+//! and comments (the tokenizer guarantees that), heuristic about types.
+//! Where a heuristic over-approximates, the inline
+//! `// dcd-lint: allow(<rule>) — <reason>` escape hatch documents the
+//! reasoning right at the site it excuses.
+
+use crate::diag::Diagnostic;
+use crate::source::{FileClass, SourceFile};
+use std::collections::BTreeSet;
+
+/// All rule ids, in reporting order.
+pub const RULE_IDS: [&str; 7] = [
+    "hash-iteration-order",
+    "raw-ledger-mutation",
+    "stray-thread",
+    "wall-clock",
+    "relaxed-atomic",
+    "deprecated-shim",
+    "bad-suppression",
+];
+
+/// One-line description per rule (the `rules` subcommand and README).
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        "hash-iteration-order" => {
+            "iterating a HashMap/HashSet/FxHashMap in engine code without an \
+             order-restoring sink (sort, BTree collection, commutative reduction) \
+             — the classic way pool-width determinism breaks"
+        }
+        "raw-ledger-mutation" => {
+            "ShipmentLedger counter mutation outside `ship`/`control`, or ad-hoc \
+             `CODE_BYTES` wire-byte math outside `charge_codes` — accounting must \
+             have exactly one authority"
+        }
+        "stray-thread" => {
+            "`thread::spawn`/`thread::scope` outside `dcd_dist::pool` — parallelism \
+             that bypasses the pool bypasses the bit-identical-across-widths contract"
+        }
+        "wall-clock" => {
+            "`Instant::now`/`SystemTime` outside bench/compat — engine time is the \
+             simulated `SiteClocks` cost model, never the host clock"
+        }
+        "relaxed-atomic" => {
+            "`Ordering::Relaxed` outside the audited dist modules, or an `unsafe` \
+             block without a `// SAFETY:` comment"
+        }
+        "deprecated-shim" => {
+            "internal use of the deprecated `Detector`/`MultiDetector`/`detect_*` \
+             shims outside `tests/prop_facade.rs` — new code goes through the \
+             `DetectRequest` façade"
+        }
+        "bad-suppression" => {
+            "a `dcd-lint:` marker that is malformed or missing its reason — every \
+             allow must say why it is sound"
+        }
+        _ => "unknown rule",
+    }
+}
+
+/// Hash-container type names the heuristic treats as unordered.
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Iterator-producing methods on hash containers whose order leaks.
+const HASH_ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Tokens in a statement window that restore or neutralize iteration
+/// order: explicit sorts, ordered collections, and order-insensitive
+/// reductions.
+const ORDER_SINKS: [&str; 19] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "count",
+    "product",
+    "min",
+    "max",
+    "all",
+    "any",
+    "len",
+    "is_empty",
+    "contains",
+];
+
+/// Atomic mutation verbs (for the ledger rule).
+const ATOMIC_MUTATORS: [&str; 9] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "store",
+    "swap",
+    "get_mut",
+];
+
+/// Facts collected across the whole workspace before per-file rules
+/// run: which function names return hash containers. This feeds the
+/// `hash-iteration-order` binding heuristic so `let g = group_by(..)`
+/// is recognized across file boundaries. Field and parameter names, by
+/// contrast, are resolved *per file* — short names like `lhs` or
+/// `groups` recur all over the workspace with different types, and a
+/// global name registry would drown the rule in collisions.
+#[derive(Debug, Default)]
+pub struct HashFacts {
+    /// Function names whose return type mentions a hash container.
+    pub hash_fns: BTreeSet<String>,
+}
+
+/// Scans one file's declarations into the global facts.
+pub fn collect_facts(file: &SourceFile, facts: &mut HashFacts) {
+    let n = file.code.len();
+    for ci in 0..n {
+        // `fn NAME ( .. ) -> ..Hash..` — record NAME.
+        if file.text(ci) == "fn" && !file.text(ci + 2).is_empty() {
+            let name = file.text(ci + 1).to_string();
+            // Walk to the parameter close, then look for `->` and scan
+            // the return type until the body/semicolon.
+            let mut j = ci + 2;
+            while j < n && file.text(j) != "(" {
+                j += 1;
+            }
+            let mut d = 0i32;
+            while j < n {
+                match file.text(j) {
+                    "(" => d += 1,
+                    ")" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if file.text(j + 1) == "-" && file.text(j + 2) == ">" {
+                let mut k = j + 3;
+                while k < n && !matches!(file.text(k), "{" | ";" | "where") {
+                    if HASH_TYPES.contains(&file.text(k)) {
+                        facts.hash_fns.insert(name.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Per-file hash-typed names from `NAME: HashType<..>` declarations —
+/// struct fields, fn parameters, and `let` ascriptions alike. The hash
+/// type must be the *outermost* constructor: `groups: FxHashMap<..>`
+/// counts, `clusters: Vec<(FxHashSet<..>, ..)>` does not (iterating
+/// that `Vec` is ordered).
+fn file_hash_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for ci in 0..file.code.len() {
+        if file.text(ci + 1) == ":"
+            && HASH_TYPES.contains(&file.text(ci + 2))
+            && file.text(ci + 3) == "<"
+        {
+            let name = file.text(ci);
+            if !name.is_empty()
+                && name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                out.insert(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Runs every rule over one file.
+pub fn check_file(file: &SourceFile, facts: &HashFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    hash_iteration_order(file, facts, &mut out);
+    raw_ledger_mutation(file, &mut out);
+    stray_thread(file, &mut out);
+    wall_clock(file, &mut out);
+    relaxed_atomic(file, &mut out);
+    deprecated_shim(file, &mut out);
+    bad_suppression(file, &mut out);
+    out
+}
+
+fn diag(file: &SourceFile, ci: usize, rule: &'static str, message: String) -> Diagnostic {
+    let t = file.ct(ci);
+    Diagnostic { rule, file: file.path.clone(), line: t.line, col: t.col, message }
+}
+
+// ---------------------------------------------------------------- rule 1
+
+/// `hash-iteration-order`: engine code iterating a hash container whose
+/// element order escapes. Binding-based: the rule first resolves which
+/// local names / fields / function results are hash-typed, then flags
+/// `for .. in <hash>` and `<hash>.iter()/keys()/values()/..` unless the
+/// statement window contains an order sink (sort, BTree, commutative
+/// reduction) or the elements land in another hash container.
+fn hash_iteration_order(file: &SourceFile, facts: &HashFacts, out: &mut Vec<Diagnostic>) {
+    if file.class != FileClass::Engine {
+        return;
+    }
+    let n = file.code.len();
+    // Local hash-typed bindings in this file.
+    let mut local: BTreeSet<String> = BTreeSet::new();
+    for ci in 0..n {
+        if file.text(ci) != "let" {
+            continue;
+        }
+        let mut j = ci + 1;
+        if file.text(j) == "mut" {
+            j += 1;
+        }
+        let name = file.text(j).to_string();
+        if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+            continue;
+        }
+        // Scan the rest of the statement (type + initializer). A type
+        // ascription only counts when its outermost constructor is a
+        // hash container (`Vec<(FxHashSet, ..)>` iterates in Vec order).
+        let (_, end) = file.statement_window(j);
+        let mut typed_hash = false;
+        let mut k = j + 1;
+        if file.text(k) == ":" {
+            let mut t = k + 1;
+            while matches!(file.text(t), "&" | "mut") {
+                t += 1;
+            }
+            if HASH_TYPES.contains(&file.text(t)) {
+                typed_hash = true;
+            }
+            while k <= end && !matches!(file.text(k), ";" | "=") {
+                k += 1;
+            }
+        }
+        if file.text(k) == "=" {
+            // Initializer: `HashType::new()`, `.collect::<FxHashMap..>`,
+            // a known hash-returning fn, or cloning a known hash binding.
+            let lead = file.text(k + 1);
+            if HASH_TYPES.contains(&lead)
+                || (facts.hash_fns.contains(lead) && file.text(k + 2) == "(")
+                || (local.contains(lead) && file.text(k + 2) == "clone")
+            {
+                typed_hash = true;
+            }
+            let mut m = k + 1;
+            while m <= end && file.text(m) != ";" {
+                if file.text(m) == "collect" {
+                    // turbofish `collect::<FxHashMap<..>>`
+                    let mut q = m + 1;
+                    while q <= end && q < m + 8 {
+                        if HASH_TYPES.contains(&file.text(q)) {
+                            typed_hash = true;
+                        }
+                        q += 1;
+                    }
+                }
+                m += 1;
+            }
+        }
+        if typed_hash {
+            local.insert(name);
+        }
+    }
+
+    let fields = file_hash_names(file);
+    let is_hash_name = |name: &str| local.contains(name) || fields.contains(name);
+
+    let mut flagged_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut flag = |file: &SourceFile, ci: usize, what: &str, out: &mut Vec<Diagnostic>| {
+        let line = file.ct(ci).line;
+        if file.in_test_code(line) || !flagged_lines.insert(line) {
+            return;
+        }
+        // Sanction: an order sink in the statement window, or the
+        // elements land in a hash container again (order never escapes).
+        let (a, b) = file.statement_window(ci);
+        for w in a..=b {
+            let t = file.text(w);
+            if ORDER_SINKS.contains(&t) || HASH_TYPES.contains(&t) {
+                return;
+            }
+            // `<hash>.extend(..)` / `<hash>.insert(..)` as the consumer.
+            if (t == "extend" || t == "insert") && w >= 2 && file.text(w.wrapping_sub(1)) == "." {
+                let recv = file.text(w - 2);
+                if is_hash_name(recv) {
+                    return;
+                }
+            }
+        }
+        out.push(diag(
+            file,
+            ci,
+            "hash-iteration-order",
+            format!(
+                "iteration order of `{what}` is hash-randomized across runs and pool \
+                 widths; sort the items (or collect into a BTree map/set) before the \
+                 order can escape, or allow with the reason order cannot escape here"
+            ),
+        ));
+    };
+
+    for ci in 0..n {
+        // `NAME . method(` where NAME is hash-typed.
+        if file.text(ci + 1) == "."
+            && HASH_ITER_METHODS.contains(&file.text(ci + 2))
+            && file.text(ci + 3) == "("
+        {
+            let name = file.text(ci);
+            let prev = if ci == 0 { "" } else { file.text(ci - 1) };
+            let full = if prev == "." && file.text(ci.saturating_sub(2)) == "self" {
+                // `self.field.iter()` — field lookup.
+                file.text(ci).to_string()
+            } else if prev == "." {
+                continue; // some_expr.NAME.iter(): unknown receiver type
+            } else {
+                name.to_string()
+            };
+            if is_hash_name(&full) {
+                flag(file, ci, &format!("{}.{}()", full, file.text(ci + 2)), out);
+            }
+            // Direct call of a hash-returning fn then iterated:
+            // `group_by(..).iter()` handled below via `)` receiver.
+        }
+        // `hash_fn( .. ) . iter_method (` — iterate a fresh hash result.
+        if facts.hash_fns.contains(file.text(ci)) && file.text(ci + 1) == "(" {
+            // find matching close paren
+            let mut d = 0i32;
+            let mut j = ci + 1;
+            while j < n {
+                match file.text(j) {
+                    "(" => d += 1,
+                    ")" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if file.text(j + 1) == "." && HASH_ITER_METHODS.contains(&file.text(j + 2)) {
+                flag(file, ci, &format!("{}(..).{}()", file.text(ci), file.text(j + 2)), out);
+            }
+        }
+        // `for PAT in [&[mut]] NAME {` — direct container iteration.
+        if file.text(ci) == "for" {
+            // find `in` at the same nesting (patterns have no `in`).
+            let mut j = ci + 1;
+            while j < n && file.text(j) != "in" && file.text(j) != "{" {
+                j += 1;
+            }
+            if file.text(j) != "in" {
+                continue;
+            }
+            let mut k = j + 1;
+            while matches!(file.text(k), "&" | "mut") {
+                k += 1;
+            }
+            let (name, adv) = if file.text(k) == "self" && file.text(k + 1) == "." {
+                (file.text(k + 2).to_string(), 3)
+            } else {
+                (file.text(k).to_string(), 1)
+            };
+            // Only a *direct* iteration (`for x in map {`): method chains
+            // were flagged by the patterns above.
+            if is_hash_name(&name) && file.text(k + adv) == "{" {
+                flag(file, k, &format!("for .. in {name}"), out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 2
+
+/// `raw-ledger-mutation`: inside `ledger.rs`, the atomic counters may be
+/// mutated only by `new`/`ship`/`control` (with `charge_codes` composing
+/// `ship`); everywhere else in engine code, multiplying by `CODE_BYTES`
+/// is ad-hoc wire-byte math that must go through
+/// `ShipmentLedger::charge_codes` instead.
+fn raw_ledger_mutation(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let n = file.code.len();
+    if file.path.ends_with("crates/dist/src/ledger.rs") || file.path == "crates/dist/src/ledger.rs"
+    {
+        // Collect sanctioned fn body ranges.
+        let mut allowed: Vec<(usize, usize)> = Vec::new();
+        for ci in 0..n {
+            if file.text(ci) == "fn"
+                && matches!(file.text(ci + 1), "new" | "ship" | "control" | "charge_codes")
+            {
+                let mut j = ci + 2;
+                while j < n && file.text(j) != "{" {
+                    j += 1;
+                }
+                if j < n {
+                    allowed.push((j, file.matching_brace(j)));
+                }
+            }
+        }
+        for ci in 0..n {
+            let t = file.text(ci);
+            let is_mutator = ATOMIC_MUTATORS.contains(&t) && file.text(ci + 1) == "(";
+            let is_byte_math = t == "CODE_BYTES"
+                && (file.text(ci.wrapping_sub(1)) == "*" || file.text(ci + 1) == "*");
+            if (is_mutator || is_byte_math)
+                && !allowed.iter().any(|&(a, b)| a <= ci && ci <= b)
+                && !file.in_test_code(file.ct(ci).line)
+            {
+                out.push(diag(
+                    file,
+                    ci,
+                    "raw-ledger-mutation",
+                    format!(
+                        "`{t}` touches ledger accounting outside `ship`/`control`/`charge_codes`; \
+                         shipment counters have exactly one mutation authority"
+                    ),
+                ));
+            }
+        }
+        return;
+    }
+    if file.class != FileClass::Engine {
+        return;
+    }
+    for ci in 0..n {
+        if file.text(ci) == "CODE_BYTES"
+            && (file.text(ci.wrapping_sub(1)) == "*" || file.text(ci + 1) == "*")
+            && !file.in_use_statement(ci)
+            && !file.in_test_code(file.ct(ci).line)
+        {
+            out.push(diag(
+                file,
+                ci,
+                "raw-ledger-mutation",
+                "ad-hoc `CODE_BYTES` byte math in engine code; pass cell counts to \
+                 `ShipmentLedger::charge_codes` — it is the single place wire bytes \
+                 are computed"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 3
+
+/// `stray-thread`: `thread::spawn` / `thread::scope` anywhere but
+/// `dcd_dist::pool`. The pool is the one place allowed to create
+/// threads, because it is the one place that guarantees index-ordered
+/// merges (and therefore pool-width-independent outputs).
+fn stray_thread(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path.ends_with("crates/dist/src/pool.rs") || file.class == FileClass::Compat {
+        return;
+    }
+    for ci in 0..file.code.len() {
+        if file.text(ci) == "thread"
+            && file.text(ci + 1) == "::"
+            && matches!(file.text(ci + 2), "spawn" | "scope" | "Builder")
+            && !file.in_use_statement(ci)
+        {
+            out.push(diag(
+                file,
+                ci,
+                "stray-thread",
+                format!(
+                    "`thread::{}` outside `dcd_dist::pool`; spawn through \
+                     `pool::scoped_map` so per-site outputs merge in task order and \
+                     stay bit-identical across pool widths",
+                    file.text(ci + 2)
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 4
+
+/// `wall-clock`: `Instant::now` / `SystemTime` outside bench and compat.
+/// Engine and test time is the simulated `SiteClocks` cost model; host
+/// time in a detection path makes reports irreproducible.
+fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if matches!(file.class, FileClass::Bench | FileClass::Compat) {
+        return;
+    }
+    for ci in 0..file.code.len() {
+        if file.in_use_statement(ci) {
+            continue;
+        }
+        let hit =
+            (file.text(ci) == "Instant" && file.text(ci + 1) == "::" && file.text(ci + 2) == "now")
+                || file.text(ci) == "SystemTime";
+        if hit {
+            out.push(diag(
+                file,
+                ci,
+                "wall-clock",
+                format!(
+                    "`{}` reads the host clock; detection time is simulated via \
+                     `SiteClocks`/`CostModel` (only `crates/bench` and `crates/compat` \
+                     may touch real time)",
+                    if file.text(ci) == "SystemTime" { "SystemTime" } else { "Instant::now" }
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 5
+
+/// `relaxed-atomic`: `Relaxed` atomic orderings outside the audited
+/// `dcd_dist` modules (`ledger.rs` — monotonic counters read after the
+/// pool join; `pool.rs` — a work-claiming counter whose atomicity, not
+/// ordering, carries the contract), plus `unsafe` without a
+/// `// SAFETY:` justification in the preceding comment.
+fn relaxed_atomic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let whitelisted = file.path.ends_with("crates/dist/src/ledger.rs")
+        || file.path.ends_with("crates/dist/src/pool.rs");
+    for ci in 0..file.code.len() {
+        if file.text(ci) == "Relaxed" && !whitelisted {
+            out.push(diag(
+                file,
+                ci,
+                "relaxed-atomic",
+                "`Ordering::Relaxed` outside the audited `dcd_dist` ledger/pool \
+                 modules; pick the ordering the happens-before argument needs and \
+                 document it (see the atomics audit in `crates/dist`)"
+                    .to_string(),
+            ));
+        }
+    }
+    // `unsafe` needs a SAFETY comment nearby — scan the *full* token
+    // stream so comments are visible.
+    for (ti, t) in file.tokens.iter().enumerate() {
+        if t.is_comment() || t.text != "unsafe" {
+            continue;
+        }
+        let justified = file.tokens[..ti]
+            .iter()
+            .rev()
+            .take(6)
+            .any(|p| p.is_comment() && p.text.contains("SAFETY"));
+        if !justified {
+            out.push(Diagnostic {
+                rule: "relaxed-atomic",
+                file: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without a `// SAFETY:` comment immediately above; \
+                          state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 6
+
+/// Files that *define* the deprecated surface and may therefore mention
+/// its names.
+const SHIM_DEFINING_FILES: [&str; 2] = ["crates/core/src/detector.rs", "crates/core/src/multi.rs"];
+
+/// `deprecated-shim`: internal code reaching for the legacy entry
+/// points. The façade (`DetectRequest`) is the only supported door;
+/// `tests/prop_facade.rs` alone pins the shims until they are retired.
+fn deprecated_shim(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path.ends_with("tests/prop_facade.rs") {
+        return;
+    }
+    let defining = SHIM_DEFINING_FILES.iter().any(|d| file.path.ends_with(d));
+    let n = file.code.len();
+    for ci in 0..n {
+        if file.in_use_statement(ci) {
+            continue;
+        }
+        let t = file.text(ci);
+        let prev = if ci == 0 { "" } else { file.text(ci - 1) };
+        if prev == "fn" {
+            continue; // a definition, not a call
+        }
+        let flagged = match t {
+            // The free-function shims (their defining files only ever
+            // mention them after `fn`, in comments, or in `use`).
+            "detect_hybrid" | "detect_replicated" | "detect_vertical" => true,
+            // The deprecated trait surface.
+            "Detector" | "MultiDetector" => !defining && prev != "trait" && prev != "impl",
+            // Trait methods unique enough to match syntactically.
+            "run_simple" | "run_simples" => !defining && file.text(ci + 1) == "(",
+            // `<DetectorType>.run(..)` method-call form.
+            "run" => {
+                file.text(ci + 1) == "("
+                    && prev == "."
+                    && matches!(
+                        file.text(ci.wrapping_sub(2)),
+                        "CtrDetect" | "PatDetectS" | "PatDetectRT" | "SeqDetect" | "ClustDetect"
+                    )
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(diag(
+                file,
+                ci,
+                "deprecated-shim",
+                format!(
+                    "`{t}` is part of the deprecated pre-façade surface; build a \
+                     `DetectRequest` (or call the engine fns `run_batch`/`run_hybrid`/\
+                     `run_replicated`/`run_vertical`) — only `tests/prop_facade.rs` \
+                     pins the shims"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 7
+
+/// `bad-suppression`: malformed `dcd-lint:` markers. Not suppressible —
+/// a suppression that cannot parse cannot excuse anything, least of all
+/// itself.
+fn bad_suppression(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (line, why) in &file.bad_suppressions {
+        out.push(Diagnostic {
+            rule: "bad-suppression",
+            file: file.path.clone(),
+            line: *line,
+            col: 1,
+            message: why.clone(),
+        });
+    }
+    // Unknown rule names in otherwise well-formed suppressions.
+    for s in &file.suppressions {
+        if !RULE_IDS.contains(&s.rule.as_str()) {
+            out.push(Diagnostic {
+                rule: "bad-suppression",
+                file: file.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "`allow({})` names an unknown rule; known rules: {}",
+                    s.rule,
+                    RULE_IDS.join(", ")
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! A small lossless Rust tokenizer for the lint pass.
+//!
+//! "Lossless" here means *nothing is thrown away*: comments are emitted
+//! as tokens (two rules read them — `// SAFETY:` justifications and
+//! `// dcd-lint: allow(..)` suppressions live in comments), and every
+//! token carries its line/column so diagnostics point at real source
+//! locations. The grammar subset is exactly what the rules need to be
+//! sound about: the tokenizer must never mistake the inside of a string
+//! literal, raw string, char literal or comment for code — that is the
+//! classic way a grep-based "lint" lies to you. It handles:
+//!
+//! * line comments and **nested** block comments (`/* /* */ */`),
+//! * string literals with escapes, raw strings `r"…"`/`r#"…"#` at any
+//!   hash depth, byte and byte-raw strings, C strings,
+//! * char literals (`'a'`, `'\n'`, `'\u{1F980}'`) disambiguated from
+//!   lifetimes (`'a`, `'static`),
+//! * identifiers (including raw `r#ident`), integer/float literals,
+//!   and all multi-character punctuation the rules care about (`::`).
+//!
+//! It does **not** build an AST; the rule engine works on flat token
+//! windows plus brace-depth bookkeeping, which is the right power/weight
+//! ratio for invariant linting (rustc's own early lints on token trees
+//! take the same stance).
+
+/// What a token is, coarsely — fine enough for every rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `fn`, `HashMap`, `r#type`).
+    Ident,
+    /// A lifetime, e.g. `'a` or `'static` (tick included in the text).
+    Lifetime,
+    /// A character literal, e.g. `'x'` or `'\u{7f}'`.
+    Char,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// An integer or float literal (including `0x…`, `1_000`, `1.5e3`).
+    Number,
+    /// A `// …` line comment (text includes the slashes, not the newline).
+    LineComment,
+    /// A `/* … */` block comment, nesting included.
+    BlockComment,
+    /// A single punctuation character: `{ } ( ) [ ] ; , . : # ! ? …`.
+    /// Multi-character operators arrive as consecutive `Punct` tokens;
+    /// the engine joins the ones it cares about (`::`).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for comment tokens (which most rules skip).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes one file. The tokenizer is total: any byte sequence
+/// produces a token stream (unterminated literals run to end of file
+/// rather than panicking), so a half-edited file still gets linted.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            let token = match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.tick(),
+                'r' | 'b' | 'c' if self.raw_or_byte_string_ahead() => self.prefixed_string(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let c = self.bump().expect("peeked");
+                    Token { kind: TokenKind::Punct, text: c.to_string(), line, col }
+                }
+            };
+            out.push(Token { line, col, ..token });
+        }
+        out
+    }
+
+    /// Is the cursor at `r"`, `r#"`, `b"`, `br"`, `b'`, `c"`, `cr#"` …?
+    /// (If not, the leading letter is just the start of an identifier.)
+    fn raw_or_byte_string_ahead(&self) -> bool {
+        let mut i = 1; // past the first prefix letter
+        if (self.peek(0) == Some('b') || self.peek(0) == Some('c')) && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        // Skip raw-string hashes.
+        let mut j = i;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        match self.peek(j) {
+            Some('"') => {
+                // Hashes are only legal after an `r` somewhere in the prefix.
+                j == i || self.peek(i - 1) == Some('r') || self.peek(0) == Some('r')
+            }
+            Some('\'') if self.peek(0) == Some('b') && i == 1 => true, // byte char b'x'
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().expect("peeked"));
+        }
+        Token { kind: TokenKind::LineComment, text, line: 0, col: 0 }
+    }
+
+    fn block_comment(&mut self) -> Token {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push(self.bump().expect("peeked"));
+                text.push(self.bump().expect("peeked"));
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push(self.bump().expect("peeked"));
+                text.push(self.bump().expect("peeked"));
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        Token { kind: TokenKind::BlockComment, text, line: 0, col: 0 }
+    }
+
+    /// A plain `"…"` string with backslash escapes.
+    fn string(&mut self) -> Token {
+        let mut text = String::new();
+        text.push(self.bump().expect("opening quote")); // `"`
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push(e); // the escaped char, whatever it is
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        Token { kind: TokenKind::Str, text, line: 0, col: 0 }
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, `c"…"` — anything
+    /// with a literal prefix. Raw strings have no escapes and close only
+    /// on `"` followed by the same number of hashes.
+    fn prefixed_string(&mut self) -> Token {
+        let mut text = String::new();
+        let mut raw = false;
+        // Consume the prefix letters (`r`, `b`, `br`, `c`, `cr`).
+        while let Some(c) = self.peek(0) {
+            if c == 'r' || c == 'b' || c == 'c' {
+                raw |= c == 'r';
+                text.push(self.bump().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            // A byte char literal b'x' — delegate to char logic.
+            let c = self.tick();
+            text.push_str(&c.text);
+            return Token { kind: TokenKind::Char, text, line: 0, col: 0 };
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push(self.bump().expect("peeked"));
+        }
+        if self.peek(0) == Some('"') {
+            text.push(self.bump().expect("peeked"));
+        }
+        if raw {
+            // Raw: no escapes; close on `"` + hashes.
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                    for _ in 0..hashes {
+                        text.push(self.bump().expect("peeked hash"));
+                    }
+                    break;
+                }
+            }
+        } else {
+            // Non-raw prefixed string (b"…", c"…"): escapes apply.
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                } else if c == '"' {
+                    break;
+                }
+            }
+        }
+        Token { kind: TokenKind::Str, text, line: 0, col: 0 }
+    }
+
+    /// A tick starts either a lifetime (`'a`) or a char literal (`'a'`).
+    /// The grammar rule: it is a char literal iff the tick is followed by
+    /// an escape, or by one non-tick character and a closing tick.
+    fn tick(&mut self) -> Token {
+        let mut text = String::new();
+        text.push(self.bump().expect("tick")); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Definitely a char literal with an escape: '\n', '\u{..}'.
+                text.push(self.bump().expect("peeked"));
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                Token { kind: TokenKind::Char, text, line: 0, col: 0 }
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    // 'x' — a one-character char literal.
+                    text.push(self.bump().expect("peeked"));
+                    text.push(self.bump().expect("peeked"));
+                    Token { kind: TokenKind::Char, text, line: 0, col: 0 }
+                } else {
+                    // 'ident — a lifetime; consume the identifier.
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            text.push(self.bump().expect("peeked"));
+                        } else {
+                            break;
+                        }
+                    }
+                    Token { kind: TokenKind::Lifetime, text, line: 0, col: 0 }
+                }
+            }
+            _ => Token { kind: TokenKind::Punct, text, line: 0, col: 0 },
+        }
+    }
+
+    fn ident(&mut self) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(self.bump().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        // Raw identifiers arrive as `r` `#` `ident`? No: `r#` was already
+        // rejected by raw_or_byte_string_ahead (no quote follows), so `r`
+        // starts this ident and `#ident` would follow. Merge `r#type`.
+        if text == "r" && self.peek(0) == Some('#') {
+            text.push(self.bump().expect("peeked"));
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(self.bump().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+        }
+        Token { kind: TokenKind::Ident, text, line: 0, col: 0 }
+    }
+
+    fn number(&mut self) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for literals in real code: digits, `_`, radix
+            // letters, `.` followed by a digit (so `0..n` stays `0` `..` `n`),
+            // exponent signs.
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(text.chars().last(), Some('e') | Some('E'))
+                    && text.starts_with(|f: char| f.is_ascii_digit()));
+            if take {
+                text.push(self.bump().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        Token { kind: TokenKind::Number, text, line: 0, col: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_lex_as_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comment_inside_string_is_string() {
+        let toks = kinds(r#"let url = "https://example.com"; // real comment"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("//example"));
+        let comments: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::LineComment).collect();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].1, "// real comment");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"x = r#"has "quotes" and \ no escapes"# ;"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains(r#"has "quotes""#));
+        // The trailing `;` survives as punctuation.
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Punct && t.1 == ";"));
+    }
+
+    #[test]
+    fn raw_string_with_comment_markers_is_not_a_comment() {
+        let toks = kinds(r##"let s = r"/* not a comment // nope";"##);
+        assert!(toks
+            .iter()
+            .all(|t| t.0 != TokenKind::BlockComment && t.0 != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks =
+            kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s = 'static_ident }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).map(|t| t.1.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static_ident"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|t| t.0 == TokenKind::Char).map(|t| t.1.clone()).collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let toks = kinds(r"let crab = '\u{1F980}';");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == r"'\u{1F980}'"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let a = b"bytes"; let b = b'x'; let c = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_a_string() {
+        let toks = kinds(r#"let s = "she said \"hi\" loudly"; done"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains(r#"\"hi\""#));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "done"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_merge() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "r#type"));
+    }
+
+    #[test]
+    fn numeric_range_is_not_a_float() {
+        let toks = kinds("for i in 0..n {}");
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "0"));
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Punct && t.1 == ".").count(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof_without_panic() {
+        let toks = kinds("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().0, TokenKind::Str);
+    }
+}

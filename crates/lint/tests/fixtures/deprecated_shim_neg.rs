@@ -1,0 +1,4 @@
+pub fn pinned_reference(partition: &HybridPartition, cfd: &Cfd, cfg: &RunConfig) {
+    let _ = detect_hybrid(partition, std::slice::from_ref(cfd), strategy, cfg);
+    let _ = PatDetectS.run(&horizontal, cfd, cfg);
+}

@@ -1,0 +1,4 @@
+pub fn legacy_paths(partition: &HybridPartition, cfd: &Cfd, cfg: &RunConfig) {
+    let _ = detect_hybrid(partition, std::slice::from_ref(cfd), strategy, cfg);
+    let _ = PatDetectS.run(&horizontal, cfd, cfg);
+}

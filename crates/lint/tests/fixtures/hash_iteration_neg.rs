@@ -1,0 +1,15 @@
+use dcd_relation::FxHashMap;
+
+pub fn sorted_totals(xs: &[(u32, u32)]) -> Vec<u32> {
+    let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+    for &(k, v) in xs {
+        *m.entry(k).or_default() += v;
+    }
+    let mut out: Vec<u32> = m.values().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn total(counts: FxHashMap<u32, u32>) -> u32 {
+    counts.values().sum()
+}

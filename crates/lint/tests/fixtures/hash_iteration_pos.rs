@@ -1,0 +1,13 @@
+use dcd_relation::FxHashMap;
+
+pub fn leak_order(xs: &[(u32, u32)]) -> Vec<u32> {
+    let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+    for &(k, v) in xs {
+        *m.entry(k).or_default() += v;
+    }
+    let mut out = Vec::new();
+    for (_k, v) in &m {
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,11 @@
+impl ShipmentLedger {
+    pub fn ship(&self, to: SiteId, from: SiteId, tuples: usize, cells: usize, bytes: usize) {
+        self.tuples.fetch_add(tuples, Ordering::Relaxed);
+        self.cells.fetch_add(cells, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn charge_codes(&self, to: SiteId, from: SiteId, tuples: usize, cells: usize) {
+        self.ship(to, from, tuples, cells, cells * CODE_BYTES);
+    }
+}

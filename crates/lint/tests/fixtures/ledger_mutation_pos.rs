@@ -1,0 +1,5 @@
+use dcd_dist::CODE_BYTES;
+
+pub fn wire_bytes(cells: usize) -> usize {
+    cells * CODE_BYTES
+}

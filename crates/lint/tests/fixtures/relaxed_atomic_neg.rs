@@ -1,0 +1,7 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn ship(counter: &AtomicUsize, p: *const u32) -> u32 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    // SAFETY: the caller guarantees `p` points at a live, aligned u32.
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize, p: *const u32) -> u32 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+pub fn scoped_map(threads: usize, n: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| {});
+        }
+    });
+}

@@ -1,0 +1,5 @@
+pub fn fan_out(tasks: Vec<Box<dyn FnOnce() + Send>>) {
+    for task in tasks {
+        std::thread::spawn(task);
+    }
+}

@@ -1,0 +1,9 @@
+use std::time::Instant;
+
+pub fn measure(work: impl FnOnce()) -> f64 {
+    // dcd-lint: allow(wall-clock) — Measured compute mode scales real
+    // elapsed time by design; the deterministic default never reads it.
+    let start = Instant::now();
+    work();
+    start.elapsed().as_secs_f64()
+}

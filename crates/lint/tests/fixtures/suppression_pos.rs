@@ -1,0 +1,8 @@
+use std::time::Instant;
+
+pub fn measure(work: impl FnOnce()) -> f64 {
+    // dcd-lint: allow(wall-clock)
+    let start = Instant::now();
+    work();
+    start.elapsed().as_secs_f64()
+}

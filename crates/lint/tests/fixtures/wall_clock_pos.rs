@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+pub fn measure(work: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_secs_f64()
+}

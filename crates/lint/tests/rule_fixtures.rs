@@ -1,0 +1,157 @@
+//! Per-rule fixture tests: every rule gets one positive fixture (the
+//! violation is reported, at the expected place) and one negative
+//! fixture (the sanctioned idiom stays silent). Fixtures live under
+//! `tests/fixtures/` and are *tokenized, never compiled* — the virtual
+//! path passed to `check_source` selects the file class and the
+//! path-based whitelists, so the same bytes can be a finding in engine
+//! code and sanctioned inside `crates/dist`.
+
+use dcd_lint::check_source;
+
+/// Runs a fixture under a virtual path, returning `(rule, line)` pairs.
+fn lint(virtual_path: &str, src: &str) -> Vec<(String, u32)> {
+    check_source(virtual_path, src).into_iter().map(|d| (d.rule.to_string(), d.line)).collect()
+}
+
+fn rules(findings: &[(String, u32)]) -> Vec<&str> {
+    findings.iter().map(|(r, _)| r.as_str()).collect()
+}
+
+// ------------------------------------------------- hash-iteration-order
+
+#[test]
+fn hash_iteration_positive_flags_escaping_order() {
+    let src = include_str!("fixtures/hash_iteration_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["hash-iteration-order"], "{findings:?}");
+    assert_eq!(findings[0].1, 9, "the `for .. in &m` loop is the leak");
+}
+
+#[test]
+fn hash_iteration_negative_sanctions_sorts_and_reductions() {
+    let src = include_str!("fixtures/hash_iteration_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hash_iteration_ignores_test_code() {
+    let src = include_str!("fixtures/hash_iteration_pos.rs");
+    let findings = lint("tests/fixture.rs", src);
+    assert!(findings.is_empty(), "test files may iterate freely: {findings:?}");
+}
+
+// -------------------------------------------------- raw-ledger-mutation
+
+#[test]
+fn ledger_mutation_positive_flags_adhoc_byte_math() {
+    let src = include_str!("fixtures/ledger_mutation_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["raw-ledger-mutation"], "{findings:?}");
+    assert_eq!(findings[0].1, 4, "`cells * CODE_BYTES` is the ad-hoc math");
+}
+
+#[test]
+fn ledger_mutation_negative_sanctions_the_authorities() {
+    let src = include_str!("fixtures/ledger_mutation_neg.rs");
+    let findings = lint("crates/dist/src/ledger.rs", src);
+    assert!(findings.is_empty(), "`ship`/`charge_codes` own the counters: {findings:?}");
+}
+
+// --------------------------------------------------------- stray-thread
+
+#[test]
+fn stray_thread_positive_flags_spawn_outside_pool() {
+    let src = include_str!("fixtures/stray_thread_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["stray-thread"], "{findings:?}");
+    assert_eq!(findings[0].1, 3);
+}
+
+#[test]
+fn stray_thread_negative_allows_the_pool_itself() {
+    let src = include_str!("fixtures/stray_thread_neg.rs");
+    let findings = lint("crates/dist/src/pool.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ----------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_positive_flags_engine_instant_now() {
+    let src = include_str!("fixtures/wall_clock_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["wall-clock"], "{findings:?}");
+    assert_eq!(findings[0].1, 4);
+}
+
+#[test]
+fn wall_clock_negative_allows_bench_code() {
+    let src = include_str!("fixtures/wall_clock_neg.rs");
+    let findings = lint("crates/bench/src/fixture.rs", src);
+    assert!(findings.is_empty(), "bench code measures real time: {findings:?}");
+}
+
+// ------------------------------------------------------- relaxed-atomic
+
+#[test]
+fn relaxed_atomic_positive_flags_relaxed_and_bare_unsafe() {
+    let src = include_str!("fixtures/relaxed_atomic_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["relaxed-atomic", "relaxed-atomic"], "{findings:?}");
+    assert_eq!(findings[0].1, 4, "`Ordering::Relaxed` outside the audited modules");
+    assert_eq!(findings[1].1, 5, "`unsafe` without a SAFETY comment");
+}
+
+#[test]
+fn relaxed_atomic_negative_allows_audited_module_and_safety_comment() {
+    let src = include_str!("fixtures/relaxed_atomic_neg.rs");
+    let findings = lint("crates/dist/src/ledger.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ------------------------------------------------------ deprecated-shim
+
+#[test]
+fn deprecated_shim_positive_flags_legacy_calls() {
+    let src = include_str!("fixtures/deprecated_shim_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["deprecated-shim", "deprecated-shim"], "{findings:?}");
+    assert_eq!(findings[0].1, 2, "the `detect_hybrid` call");
+    assert_eq!(findings[1].1, 3, "the `PatDetectS.run(..)` call");
+}
+
+#[test]
+fn deprecated_shim_negative_exempts_the_facade_pin() {
+    let src = include_str!("fixtures/deprecated_shim_neg.rs");
+    let findings = lint("tests/prop_facade.rs", src);
+    assert!(findings.is_empty(), "prop_facade.rs pins the shims: {findings:?}");
+}
+
+// ------------------------------------------------------ bad-suppression
+
+#[test]
+fn suppression_without_reason_is_flagged_and_does_not_excuse() {
+    let src = include_str!("fixtures/suppression_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    let mut found = rules(&findings);
+    found.sort_unstable();
+    assert_eq!(found, ["bad-suppression", "wall-clock"]);
+}
+
+#[test]
+fn suppression_with_reason_filters_the_finding() {
+    let src = include_str!("fixtures/suppression_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(
+        findings.is_empty(),
+        "a reasoned multi-line allow covers the next code line: {findings:?}"
+    );
+}
+
+#[test]
+fn suppression_naming_an_unknown_rule_is_flagged() {
+    let src = "// dcd-lint: allow(no-such-rule) — typo'd rule id\nfn f() {}\n";
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["bad-suppression"], "{findings:?}");
+}

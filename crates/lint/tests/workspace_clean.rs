@@ -1,0 +1,26 @@
+//! The lint gate's own gate: the workspace must be clean under
+//! `dcd_lint`. Every pre-existing violation was either fixed or given
+//! an inline `// dcd-lint: allow(<rule>) — <reason>` with a real
+//! justification, so any regression shows up here (and in CI) with a
+//! rendered `file:line` diagnostic.
+
+use std::path::Path;
+
+use dcd_lint::{check_workspace, render, Format};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace sources should be readable");
+
+    assert!(
+        report.checked_files > 50,
+        "workspace walk looks truncated: only {} files checked",
+        report.checked_files
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint findings:\n{}",
+        render(&report.diagnostics, report.checked_files, Format::Text)
+    );
+}

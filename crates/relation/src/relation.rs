@@ -257,6 +257,8 @@ impl Relation {
                 effect.deleted.push((*tid, codes));
             }
             let mut keep = vec![true; self.tuples.len()];
+            // dcd-lint: allow(hash-iteration-order) — order cannot escape:
+            // each iteration writes an independent `keep[i] = false`.
             for &i in pos.values() {
                 keep[i] = false;
             }

@@ -292,9 +292,27 @@ fn rebase_cfd_by_names(cfd: &Cfd, local: &Relation) -> Result<Cfd, RelationError
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
+
+    /// The tests drive the engine (`run_impl`) directly: unlike the
+    /// deprecated `detect_vertical` shim it also reports how many CFDs
+    /// were checked locally.
+    fn vdetect(
+        p: &VerticalPartition,
+        sigma: &[Cfd],
+        mode: ShipMode,
+    ) -> Result<VerticalDetection, RelationError> {
+        let (d, locally_checked) = run_impl(p, sigma, mode, &RunConfig::default())?;
+        Ok(VerticalDetection {
+            violations: d.violations,
+            shipped_tuples: d.shipped_tuples,
+            shipped_cells: d.shipped_cells,
+            response_time: d.response_time,
+            locally_checked,
+        })
+    }
+
     use dcd_cfd::parse_cfd;
     use dcd_relation::{vals, Schema, ValueType};
 
@@ -338,8 +356,7 @@ mod tests {
         let global = dcd_cfd::detect(&rel, &cfd);
         assert!(!global.tids.is_empty());
         for mode in [ShipMode::Full, ShipMode::Filtered] {
-            let out = detect_vertical(&p, std::slice::from_ref(&cfd), mode, &CostModel::default())
-                .unwrap();
+            let out = vdetect(&p, std::slice::from_ref(&cfd), mode).unwrap();
             let (_, vs) = &out.violations.per_cfd[0];
             assert_eq!(vs.tids, global.tids, "{mode:?}");
             assert!(out.shipped_tuples > 0, "{mode:?} must ship");
@@ -354,9 +371,7 @@ mod tests {
         // zip → street lives entirely in fragment 0.
         let cfd = parse_cfd(rel.schema(), "local", "([zip] -> [street])").unwrap();
         let global = dcd_cfd::detect(&rel, &cfd);
-        let out =
-            detect_vertical(&p, std::slice::from_ref(&cfd), ShipMode::Full, &CostModel::default())
-                .unwrap();
+        let out = vdetect(&p, std::slice::from_ref(&cfd), ShipMode::Full).unwrap();
         assert_eq!(out.shipped_tuples, 0);
         assert_eq!(out.locally_checked, 1);
         let (_, vs) = &out.violations.per_cfd[0];
@@ -369,16 +384,8 @@ mod tests {
         let p = partition(&rel);
         // CC=31 matches one tuple only; the CC fragment can pre-filter.
         let cfd = parse_cfd(rel.schema(), "phi", "([CC=31, zip] -> [street])").unwrap();
-        let full =
-            detect_vertical(&p, std::slice::from_ref(&cfd), ShipMode::Full, &CostModel::default())
-                .unwrap();
-        let filt = detect_vertical(
-            &p,
-            std::slice::from_ref(&cfd),
-            ShipMode::Filtered,
-            &CostModel::default(),
-        )
-        .unwrap();
+        let full = vdetect(&p, std::slice::from_ref(&cfd), ShipMode::Full).unwrap();
+        let filt = vdetect(&p, std::slice::from_ref(&cfd), ShipMode::Filtered).unwrap();
         assert_eq!(
             full.violations.all_tids(),
             filt.violations.all_tids(),
@@ -400,9 +407,7 @@ mod tests {
         let cfd = parse_cfd(rel.schema(), "phi2", "([CC, title] -> [salary])").unwrap();
         let global = dcd_cfd::detect(&rel, &cfd);
         assert!(!global.tids.is_empty());
-        let out =
-            detect_vertical(&p, std::slice::from_ref(&cfd), ShipMode::Full, &CostModel::default())
-                .unwrap();
+        let out = vdetect(&p, std::slice::from_ref(&cfd), ShipMode::Full).unwrap();
         let (_, vs) = &out.violations.per_cfd[0];
         assert_eq!(vs.tids, global.tids);
         assert!(out.response_time > 0.0);
@@ -417,7 +422,7 @@ mod tests {
             parse_cfd(rel.schema(), "remote", "([CC, title] -> [salary])").unwrap(),
         ];
         let global = dcd_cfd::detect_set(&rel, &sigma);
-        let out = detect_vertical(&p, &sigma, ShipMode::Filtered, &CostModel::default()).unwrap();
+        let out = vdetect(&p, &sigma, ShipMode::Filtered).unwrap();
         assert_eq!(out.locally_checked, 1);
         assert_eq!(out.violations.all_tids(), global.all_tids());
     }

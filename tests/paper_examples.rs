@@ -3,13 +3,22 @@
 //! checked locally), Example 5 (CTRDETECT ships 4 tuples for φ1 on the
 //! Fig. 1(b) partition) and Example 6 (PATDETECTS ships 3).
 
-// The suite drives the legacy entry points deliberately: they are the
-// pinned reference the new `DetectRequest` façade is proven against
-// (see tests/prop_facade.rs), and stay as deprecated shims for one
-// release.
-#![allow(deprecated)]
-
 use distributed_cfd::prelude::*;
+
+/// Runs one facade request over a horizontal partition.
+fn detect_on(
+    partition: &HorizontalPartition,
+    sigma: &[Cfd],
+    algorithm: Algorithm,
+    cfg: &RunConfig,
+) -> Detection {
+    DetectRequest::over(partition.clone())
+        .cfds(sigma.iter().cloned())
+        .algorithm(algorithm)
+        .config(*cfg)
+        .run()
+        .expect("paper fixtures are valid requests")
+}
 
 fn emp_schema() -> std::sync::Arc<Schema> {
     Schema::builder("emp")
@@ -101,13 +110,13 @@ fn example4_constant_cfds_checked_locally() {
     let psi2 = parse_cfd(&schema, "psi2", "([CC=1, AC=908] -> [city=MH])").unwrap();
     let cfg = RunConfig::default();
     for cfd in [&psi1, &psi2] {
-        let d = PatDetectS.run(&partition, cfd, &cfg);
+        let d = detect_on(&partition, std::slice::from_ref(cfd), Algorithm::PatDetectS, &cfg);
         assert_eq!(d.shipped_tuples, 0, "constant CFDs must not ship");
     }
     // t2, t3 violate ψ1; t6 violates ψ2 (Example 4).
-    let d1 = PatDetectS.run(&partition, &psi1, &cfg);
+    let d1 = detect_on(&partition, std::slice::from_ref(&psi1), Algorithm::PatDetectS, &cfg);
     assert_eq!(one_based(&d1.violations.all_tids()), vec![2, 3]);
-    let d2 = PatDetectS.run(&partition, &psi2, &cfg);
+    let d2 = detect_on(&partition, std::slice::from_ref(&psi2), Algorithm::PatDetectS, &cfg);
     assert_eq!(one_based(&d2.violations.all_tids()), vec![6]);
 }
 
@@ -118,7 +127,7 @@ fn example5_ctrdetect_ships_four_tuples() {
     let schema = emp_schema();
     let rel = d0();
     let partition = fig1b(&rel);
-    let d = CtrDetect.run(&partition, &phi1(&schema), &RunConfig::default());
+    let d = detect_on(&partition, &[phi1(&schema)], Algorithm::CtrDetect, &RunConfig::default());
     assert_eq!(d.shipped_tuples, 4);
     // φ1's violations are found intact.
     assert_eq!(one_based(&d.violations.all_tids()), vec![2, 3, 4, 5, 8, 9]);
@@ -131,7 +140,7 @@ fn example6_patdetects_ships_three_tuples() {
     let schema = emp_schema();
     let rel = d0();
     let partition = fig1b(&rel);
-    let d = PatDetectS.run(&partition, &phi1(&schema), &RunConfig::default());
+    let d = detect_on(&partition, &[phi1(&schema)], Algorithm::PatDetectS, &RunConfig::default());
     assert_eq!(d.shipped_tuples, 3);
     assert_eq!(one_based(&d.violations.all_tids()), vec![2, 3, 4, 5, 8, 9]);
 }
@@ -151,11 +160,12 @@ fn shipment_is_projected_and_bounded() {
     let schema = emp_schema();
     let rel = d0();
     let partition = fig1b(&rel);
-    let d = PatDetectS.run(&partition, &phi1(&schema), &RunConfig::default());
+    let d = detect_on(&partition, &[phi1(&schema)], Algorithm::PatDetectS, &RunConfig::default());
     // 3 tuples × (3 attributes (CC, zip, street) + 2 tid cells).
     assert_eq!(d.shipped_cells, 3 * (3 + TID_CELLS));
     assert_eq!(d.shipped_bytes, d.shipped_cells * CODE_BYTES);
-    let d_ctr = CtrDetect.run(&partition, &phi1(&schema), &RunConfig::default());
+    let d_ctr =
+        detect_on(&partition, &[phi1(&schema)], Algorithm::CtrDetect, &RunConfig::default());
     assert_eq!(d_ctr.shipped_cells, 4 * (3 + TID_CELLS));
     assert_eq!(d_ctr.shipped_bytes, d_ctr.shipped_cells * CODE_BYTES);
 }
@@ -181,15 +191,16 @@ fn all_algorithms_reproduce_example1_on_fig1b() {
     let cfg = RunConfig::default();
     let expected = vec![2, 3, 4, 5, 6, 8, 9];
 
-    for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
+    for alg in [Algorithm::CtrDetect, Algorithm::PatDetectS, Algorithm::PatDetectRT] {
         let mut all = dcd_relation::FxHashSet::default();
         for cfd in &sigma {
-            all.extend(det.run(&partition, cfd, &cfg).violations.all_tids());
+            let d = detect_on(&partition, std::slice::from_ref(cfd), alg, &cfg);
+            all.extend(d.violations.all_tids());
         }
-        assert_eq!(one_based(&all), expected, "{}", det.name());
+        assert_eq!(one_based(&all), expected, "{alg:?}");
     }
-    for det in [&SeqDetect::default() as &dyn MultiDetector, &ClustDetect::default()] {
-        let d = det.run(&partition, &sigma, &cfg);
-        assert_eq!(one_based(&d.violations.all_tids()), expected, "{}", det.name());
+    for alg in [Algorithm::seq_detect(), Algorithm::clust_detect()] {
+        let d = detect_on(&partition, &sigma, alg, &cfg);
+        assert_eq!(one_based(&d.violations.all_tids()), expected, "{alg:?}");
     }
 }

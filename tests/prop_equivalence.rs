@@ -3,12 +3,6 @@
 //! violations of centralized detection, ships within its bounds, and
 //! mining never changes results.
 
-// The suite drives the legacy entry points deliberately: they are the
-// pinned reference the new `DetectRequest` façade is proven against
-// (see tests/prop_facade.rs), and stay as deprecated shims for one
-// release.
-#![allow(deprecated)]
-
 use distributed_cfd::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -35,6 +29,24 @@ fn build_relation(rows: &[(i64, i64, u8, u8)]) -> Relation {
     )
     .unwrap()
 }
+
+/// Runs one facade request over a horizontal partition.
+fn run_on(
+    partition: &HorizontalPartition,
+    sigma: &[Cfd],
+    algorithm: Algorithm,
+    cfg: &RunConfig,
+) -> Detection {
+    DetectRequest::over(partition.clone())
+        .cfds(sigma.iter().cloned())
+        .algorithm(algorithm)
+        .config(*cfg)
+        .run()
+        .expect("generated requests are valid")
+}
+
+const SINGLE_CFD_ALGORITHMS: [Algorithm; 3] =
+    [Algorithm::CtrDetect, Algorithm::PatDetectS, Algorithm::PatDetectRT];
 
 /// A random normalized CFD over the schema: LHS ⊆ {a, b, c}, RHS = d,
 /// patterns mixing wildcards and small constants.
@@ -138,11 +150,11 @@ proptest! {
         let global = detect(&rel, &cfd);
         let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
         let cfg = RunConfig::default();
-        for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-            let d = det.run(&partition, &cfd, &cfg);
-            prop_assert_eq!(&d.violations.all_tids(), &global.tids, "{}", det.name());
+        for alg in SINGLE_CFD_ALGORITHMS {
+            let d = run_on(&partition, std::slice::from_ref(&cfd), alg, &cfg);
+            prop_assert_eq!(&d.violations.all_tids(), &global.tids, "{:?}", alg);
             let (_, vs) = d.violations.per_cfd.first().expect("entry exists even when clean");
-            prop_assert_eq!(&vs.patterns, &global.patterns, "{} Vioπ", det.name());
+            prop_assert_eq!(&vs.patterns, &global.patterns, "{:?} Vioπ", alg);
         }
     }
 
@@ -178,8 +190,8 @@ proptest! {
         let global = detect_set(&rel, &sigma);
         let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
         let cfg = RunConfig::default();
-        let seq = SeqDetect::default().run(&partition, &sigma, &cfg);
-        let clust = ClustDetect::default().run(&partition, &sigma, &cfg);
+        let seq = run_on(&partition, &sigma, Algorithm::seq_detect(), &cfg);
+        let clust = run_on(&partition, &sigma, Algorithm::clust_detect(), &cfg);
         prop_assert_eq!(&seq.violations.all_tids(), &global.all_tids());
         prop_assert_eq!(&clust.violations.all_tids(), &global.all_tids());
         for (name, vs) in &global.per_cfd {
@@ -201,11 +213,11 @@ proptest! {
         let cfd = build_cfd(&patterns, Some(1)); // constant RHS
         let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
         let cfg = RunConfig::default();
-        let d = PatDetectS.run(&partition, &cfd, &cfg);
+        let d = run_on(&partition, std::slice::from_ref(&cfd), Algorithm::PatDetectS, &cfg);
         prop_assert_eq!(d.shipped_tuples, 0, "constant CFDs are local");
 
         let var = build_cfd(&patterns, None);
-        let d = PatDetectS.run(&partition, &var, &cfg);
+        let d = run_on(&partition, std::slice::from_ref(&var), Algorithm::PatDetectS, &cfg);
         prop_assert!(d.shipped_tuples <= rel.len());
         if n_sites == 1 {
             prop_assert_eq!(d.shipped_tuples, 0);
@@ -234,7 +246,7 @@ proptest! {
         let refined = detect_simple(&rel, &outcome.cfd);
         prop_assert_eq!(&plain.tids, &refined.tids);
         // And distributed detection on the refined CFD agrees too.
-        let d = PatDetectS.run_simple(&partition, &outcome.cfd, &cfg);
+        let d = run_on(&partition, &[outcome.cfd.to_cfd()], Algorithm::PatDetectS, &cfg);
         prop_assert_eq!(&d.violations.all_tids(), &plain.tids);
     }
 
@@ -282,25 +294,23 @@ proptest! {
         let part_a = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
         let part_b = HorizontalPartition::round_robin(&rebuilt, n_sites).unwrap();
 
-        let single: [&dyn Detector; 3] = [&CtrDetect, &PatDetectS, &PatDetectRT];
-        for det in single {
-            let a = det.run(&part_a, &cfd, &cfg);
-            let b = det.run(&part_b, &cfd, &cfg);
-            prop_assert_eq!(a.violations.all_tids(), b.violations.all_tids(), "{}", det.name());
+        for alg in SINGLE_CFD_ALGORITHMS {
+            let a = run_on(&part_a, std::slice::from_ref(&cfd), alg, &cfg);
+            let b = run_on(&part_b, std::slice::from_ref(&cfd), alg, &cfg);
+            prop_assert_eq!(a.violations.all_tids(), b.violations.all_tids(), "{:?}", alg);
             for ((na, va), (nb, vb)) in a.violations.per_cfd.iter().zip(&b.violations.per_cfd) {
                 prop_assert_eq!(na, nb);
-                prop_assert_eq!(&va.patterns, &vb.patterns, "{} Vioπ", det.name());
+                prop_assert_eq!(&va.patterns, &vb.patterns, "{:?} Vioπ", alg);
             }
-            prop_assert_eq!(a.shipped_tuples, b.shipped_tuples, "{} |M|", det.name());
-            prop_assert_eq!(a.shipped_cells, b.shipped_cells, "{} cells", det.name());
+            prop_assert_eq!(a.shipped_tuples, b.shipped_tuples, "{:?} |M|", alg);
+            prop_assert_eq!(a.shipped_cells, b.shipped_cells, "{:?} cells", alg);
         }
-        let multi: [&dyn MultiDetector; 2] = [&SeqDetect::default(), &ClustDetect::default()];
-        for det in multi {
-            let a = det.run(&part_a, &sigma, &cfg);
-            let b = det.run(&part_b, &sigma, &cfg);
-            prop_assert_eq!(a.violations.all_tids(), b.violations.all_tids(), "{}", det.name());
-            prop_assert_eq!(a.shipped_tuples, b.shipped_tuples, "{} |M|", det.name());
-            prop_assert_eq!(a.shipped_cells, b.shipped_cells, "{} cells", det.name());
+        for alg in [Algorithm::seq_detect(), Algorithm::clust_detect()] {
+            let a = run_on(&part_a, &sigma, alg, &cfg);
+            let b = run_on(&part_b, &sigma, alg, &cfg);
+            prop_assert_eq!(a.violations.all_tids(), b.violations.all_tids(), "{:?}", alg);
+            prop_assert_eq!(a.shipped_tuples, b.shipped_tuples, "{:?} |M|", alg);
+            prop_assert_eq!(a.shipped_cells, b.shipped_cells, "{:?} cells", alg);
         }
     }
 
@@ -329,20 +339,22 @@ proptest! {
         .unwrap();
         for partition in [&round_robin, &by_pred] {
             let sequential = RunConfig::default().with_threads(1);
-            for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-                let base = det.run(partition, &cfd, &sequential);
+            for alg in SINGLE_CFD_ALGORITHMS {
+                let name = format!("{alg:?}");
+                let base = run_on(partition, std::slice::from_ref(&cfd), alg, &sequential);
                 for threads in [2usize, 8] {
                     let cfg = RunConfig::default().with_threads(threads);
-                    let got = det.run(partition, &cfd, &cfg);
-                    assert_detections_identical(&base, &got, det.name(), threads)?;
+                    let got = run_on(partition, std::slice::from_ref(&cfd), alg, &cfg);
+                    assert_detections_identical(&base, &got, &name, threads)?;
                 }
             }
-            for det in [&SeqDetect::default() as &dyn MultiDetector, &ClustDetect::default()] {
-                let base = det.run(partition, &sigma, &sequential);
+            for alg in [Algorithm::seq_detect(), Algorithm::clust_detect()] {
+                let name = format!("{alg:?}");
+                let base = run_on(partition, &sigma, alg, &sequential);
                 for threads in [2usize, 8] {
                     let cfg = RunConfig::default().with_threads(threads);
-                    let got = det.run(partition, &sigma, &cfg);
-                    assert_detections_identical(&base, &got, det.name(), threads)?;
+                    let got = run_on(partition, &sigma, alg, &cfg);
+                    assert_detections_identical(&base, &got, &name, threads)?;
                 }
             }
         }
@@ -360,7 +372,7 @@ proptest! {
         let rel = build_relation(&rows);
         let cfd = build_cfd(&patterns, None);
         let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
-        let d = PatDetectRT.run(&partition, &cfd, &RunConfig::default());
+        let d = run_on(&partition, std::slice::from_ref(&cfd), Algorithm::PatDetectRT, &RunConfig::default());
         prop_assert!(d.response_time >= 0.0);
         prop_assert!(d.paper_cost >= 0.0);
         prop_assert!(d.response_time.is_finite());

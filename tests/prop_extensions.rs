@@ -3,12 +3,6 @@
 //! centralized detection on random inputs, and replication never
 //! increases traffic.
 
-// The suite drives the legacy entry points deliberately: they are the
-// pinned reference the new `DetectRequest` façade is proven against
-// (see tests/prop_facade.rs), and stay as deprecated shims for one
-// release.
-#![allow(deprecated)]
-
 use distributed_cfd::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -23,6 +17,17 @@ fn schema() -> Arc<Schema> {
         .key(&["id"])
         .build()
         .unwrap()
+}
+
+/// Runs one facade request (`PATDETECTS` strategy, like the legacy
+/// entry points these properties were first pinned against).
+fn run_on(topology: impl Into<Topology>, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
+    DetectRequest::over(topology)
+        .cfds(sigma.iter().cloned())
+        .algorithm(Algorithm::PatDetectS)
+        .config(*cfg)
+        .run()
+        .expect("generated requests are valid")
 }
 
 fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, u8, u8)>> {
@@ -99,13 +104,7 @@ proptest! {
         let right: Vec<&str> = names[split_point..].to_vec();
         let horizontal = HorizontalPartition::round_robin(&rel, n_cells).unwrap();
         let hybrid = HybridPartition::new(&horizontal, &[&left, &right]).unwrap();
-        let d = detect_hybrid(
-            &hybrid,
-            std::slice::from_ref(&cfd),
-            CoordinatorStrategy::MinShipment,
-            &RunConfig::default(),
-        )
-        .unwrap();
+        let d = run_on(hybrid, std::slice::from_ref(&cfd), &RunConfig::default());
         prop_assert_eq!(&d.violations.all_tids(), &global.tids);
     }
 
@@ -125,11 +124,7 @@ proptest! {
         let mut last = usize::MAX;
         for r in 1..=n_sites {
             let replicated = ReplicatedPartition::chained(base.clone(), r).unwrap();
-            let d = detect_replicated(
-                &replicated,
-                std::slice::from_ref(&cfd),
-                &RunConfig::default(),
-            );
+            let d = run_on(replicated, std::slice::from_ref(&cfd), &RunConfig::default());
             prop_assert_eq!(&d.violations.all_tids(), &global.tids, "r = {}", r);
             prop_assert!(d.shipped_tuples <= last, "r = {}", r);
             last = d.shipped_tuples;
@@ -157,17 +152,16 @@ proptest! {
 
         let horizontal = HorizontalPartition::round_robin(&rel, n_cells).unwrap();
         let hybrid = HybridPartition::new(&horizontal, &[&["a", "b"], &["c", "d"]]).unwrap();
-        let hybrid_base =
-            detect_hybrid(&hybrid, sigma, CoordinatorStrategy::MinShipment, &sequential).unwrap();
+        let hybrid_base = run_on(hybrid.clone(), sigma, &sequential);
 
         let replicated = ReplicatedPartition::chained(horizontal.clone(), 2).unwrap();
-        let rep_base = detect_replicated(&replicated, sigma, &sequential);
+        let rep_base = run_on(replicated.clone(), sigma, &sequential);
 
         for threads in [2usize, 8] {
             let cfg = RunConfig::default().with_threads(threads);
-            let h = detect_hybrid(&hybrid, sigma, CoordinatorStrategy::MinShipment, &cfg).unwrap();
+            let h = run_on(hybrid.clone(), sigma, &cfg);
             assert_identical(&hybrid_base, &h, threads)?;
-            let r = detect_replicated(&replicated, sigma, &cfg);
+            let r = run_on(replicated.clone(), sigma, &cfg);
             assert_identical(&rep_base, &r, threads)?;
         }
     }

@@ -5,12 +5,6 @@
 //! incremental run itself must be bit-identical (reports, ledger
 //! totals, paper cost, per-site clocks) at pool widths 1 and 8.
 
-// The suite drives the legacy entry points deliberately: they are the
-// pinned reference the new `DetectRequest` façade is proven against
-// (see tests/prop_facade.rs), and stay as deprecated shims for one
-// release.
-#![allow(deprecated)]
-
 use distributed_cfd::datagen::{update_stream, UpdateStreamConfig};
 use distributed_cfd::prelude::*;
 use proptest::prelude::*;
@@ -97,16 +91,24 @@ fn assert_equals_full_redetection(
     }
     // All five distributed detectors on the materialized partition.
     let cfg = RunConfig::default();
-    for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
+    let run_alg = |alg: Algorithm, sigma: &[Cfd]| {
+        DetectRequest::over(run.partition().clone())
+            .cfds(sigma.iter().cloned())
+            .algorithm(alg)
+            .config(cfg)
+            .run()
+            .expect("materialized partitions are valid requests")
+    };
+    for alg in [Algorithm::CtrDetect, Algorithm::PatDetectS, Algorithm::PatDetectRT] {
         for cfd in sigma {
-            let d = det.run(run.partition(), cfd, &cfg);
+            let d = run_alg(alg, std::slice::from_ref(cfd));
             let full = detect(&rel, cfd);
-            prop_assert_eq!(&d.violations.all_tids(), &full.tids, "{}", det.name());
+            prop_assert_eq!(&d.violations.all_tids(), &full.tids, "{:?}", alg);
         }
     }
-    for det in [&SeqDetect::default() as &dyn MultiDetector, &ClustDetect::default()] {
-        let d = det.run(run.partition(), sigma, &cfg);
-        prop_assert_eq!(d.violations.all_tids(), report.all_tids(), "{}", det.name());
+    for alg in [Algorithm::seq_detect(), Algorithm::clust_detect()] {
+        let d = run_alg(alg, sigma);
+        prop_assert_eq!(d.violations.all_tids(), report.all_tids(), "{:?}", alg);
         for (name, vs) in &report.per_cfd {
             let (_, got) = d
                 .violations
@@ -114,8 +116,8 @@ fn assert_equals_full_redetection(
                 .iter()
                 .find(|(n, _)| n == name)
                 .expect("every CFD has an entry");
-            prop_assert_eq!(&got.tids, &vs.tids, "{} Vio({})", det.name(), name);
-            prop_assert_eq!(&got.patterns, &vs.patterns, "{} Vioπ({})", det.name(), name);
+            prop_assert_eq!(&got.tids, &vs.tids, "{:?} Vio({})", alg, name);
+            prop_assert_eq!(&got.patterns, &vs.patterns, "{:?} Vioπ({})", alg, name);
         }
     }
     Ok(())

@@ -3,12 +3,6 @@
 //! refinement optimality relations, and shipment-based vertical
 //! detection equivalence.
 
-// The suite drives the legacy entry points deliberately: they are the
-// pinned reference the new `DetectRequest` façade is proven against
-// (see tests/prop_facade.rs), and stay as deprecated shims for one
-// release.
-#![allow(deprecated)]
-
 use distributed_cfd::prelude::*;
 use distributed_cfd::vertical::locally_checkable_at;
 use proptest::prelude::*;
@@ -24,6 +18,15 @@ fn schema() -> Arc<Schema> {
         .key(&["id"])
         .build()
         .unwrap()
+}
+
+/// Runs one facade request over a vertical partition.
+fn run_on(partition: &VerticalPartition, sigma: &[Cfd], mode: ShipMode) -> Detection {
+    DetectRequest::over(partition.clone())
+        .cfds(sigma.iter().cloned())
+        .ship_mode(mode)
+        .run()
+        .expect("generated requests are valid")
 }
 
 fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, u8, u8)>> {
@@ -86,12 +89,7 @@ proptest! {
             // fragment (no other CFDs can help imply it)…
             prop_assert!(locally_checkable_at(&cfd, &groups).is_some());
             // …and vertical detection needs no shipment.
-            let out = detect_vertical(
-                &partition,
-                std::slice::from_ref(&cfd),
-                ShipMode::Full,
-                &CostModel::default(),
-            ).unwrap();
+            let out = run_on(&partition, std::slice::from_ref(&cfd), ShipMode::Full);
             prop_assert_eq!(out.shipped_tuples, 0);
             let global = detect(&rel, &cfd);
             prop_assert_eq!(&out.violations.all_tids(), &global.tids);
@@ -116,7 +114,7 @@ proptest! {
         ];
         let global = detect_set(&rel, &sigma);
         for mode in [ShipMode::Full, ShipMode::Filtered] {
-            let out = detect_vertical(&partition, &sigma, mode, &CostModel::default()).unwrap();
+            let out = run_on(&partition, &sigma, mode);
             prop_assert_eq!(out.violations.all_tids(), global.all_tids(), "{:?}", mode);
         }
     }
@@ -135,12 +133,8 @@ proptest! {
         };
         let s = schema();
         let cfd = parse_cfd(&s, "f", &format!("([a={pin}, b] -> [d])")).unwrap();
-        let full = detect_vertical(
-            &partition, std::slice::from_ref(&cfd), ShipMode::Full, &CostModel::default(),
-        ).unwrap();
-        let filt = detect_vertical(
-            &partition, std::slice::from_ref(&cfd), ShipMode::Filtered, &CostModel::default(),
-        ).unwrap();
+        let full = run_on(&partition, std::slice::from_ref(&cfd), ShipMode::Full);
+        let filt = run_on(&partition, std::slice::from_ref(&cfd), ShipMode::Filtered);
         prop_assert!(filt.shipped_tuples <= full.shipped_tuples);
         prop_assert_eq!(filt.violations.all_tids(), full.violations.all_tids());
     }

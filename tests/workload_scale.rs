@@ -2,16 +2,25 @@
 //! with injected errors, run through every algorithm, checking both the
 //! findings and the paper's comparative claims at this scale.
 
-// The suite drives the legacy entry points deliberately: they are the
-// pinned reference the new `DetectRequest` façade is proven against
-// (see tests/prop_facade.rs), and stay as deprecated shims for one
-// release.
-#![allow(deprecated)]
-
 use distributed_cfd::datagen::cust::{cust_main_cfd, cust_overlapping_pair, CustConfig};
 use distributed_cfd::datagen::inject_errors;
 use distributed_cfd::datagen::xref::{xref_main_cfd, xref_second_cfd, XrefConfig};
 use distributed_cfd::prelude::*;
+
+/// Runs one facade request over a horizontal partition.
+fn run_on(
+    partition: &HorizontalPartition,
+    sigma: &[Cfd],
+    algorithm: Algorithm,
+    cfg: &RunConfig,
+) -> Detection {
+    DetectRequest::over(partition.clone())
+        .cfds(sigma.iter().cloned())
+        .algorithm(algorithm)
+        .config(*cfg)
+        .run()
+        .expect("workload fixtures are valid requests")
+}
 
 fn cust() -> (Relation, CustConfig) {
     let config = CustConfig { n_tuples: 20_000, ..CustConfig::default() };
@@ -32,9 +41,9 @@ fn all_single_cfd_algorithms_agree_on_cust() {
     );
     let partition = HorizontalPartition::round_robin(&rel, 8).unwrap();
     let cfg = RunConfig::default();
-    for det in [&CtrDetect as &dyn Detector, &PatDetectS, &PatDetectRT] {
-        let d = det.run_simple(&partition, &cfd, &cfg);
-        assert_eq!(d.violations.all_tids(), baseline.tids, "{}", det.name());
+    for alg in [Algorithm::CtrDetect, Algorithm::PatDetectS, Algorithm::PatDetectRT] {
+        let d = run_on(&partition, &[cfd.to_cfd()], alg, &cfg);
+        assert_eq!(d.violations.all_tids(), baseline.tids, "{alg:?}");
     }
 }
 
@@ -44,9 +53,9 @@ fn comparative_claims_hold_on_cust() {
     let cfd = cust_main_cfd(rel.schema(), &config, 255);
     let partition = HorizontalPartition::round_robin(&rel, 8).unwrap();
     let cfg = RunConfig::default();
-    let ctr = CtrDetect.run_simple(&partition, &cfd, &cfg);
-    let pats = PatDetectS.run_simple(&partition, &cfd, &cfg);
-    let patrt = PatDetectRT.run_simple(&partition, &cfd, &cfg);
+    let ctr = run_on(&partition, &[cfd.to_cfd()], Algorithm::CtrDetect, &cfg);
+    let pats = run_on(&partition, &[cfd.to_cfd()], Algorithm::PatDetectS, &cfg);
+    let patrt = run_on(&partition, &[cfd.to_cfd()], Algorithm::PatDetectRT, &cfg);
     // PATDETECTS minimizes shipment among the three.
     assert!(pats.shipped_tuples <= ctr.shipped_tuples);
     assert!(pats.shipped_tuples <= patrt.shipped_tuples);
@@ -63,7 +72,7 @@ fn response_time_decreases_with_sites_on_cust() {
     let mut last = f64::INFINITY;
     for n_sites in [2usize, 4, 8] {
         let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
-        let d = PatDetectRT.run_simple(&partition, &cfd, &cfg);
+        let d = run_on(&partition, &[cfd.to_cfd()], Algorithm::PatDetectRT, &cfg);
         assert!(
             d.response_time < last,
             "response time must fall with sites: {} !< {last}",
@@ -86,8 +95,8 @@ fn multi_cfd_claims_hold_on_xref() {
     let baseline = detect_set(&dirty, &sigma);
     let partition = HorizontalPartition::round_robin(&dirty, 6).unwrap();
     let cfg = RunConfig::default();
-    let seq = SeqDetect::default().run(&partition, &sigma, &cfg);
-    let clust = ClustDetect::default().run(&partition, &sigma, &cfg);
+    let seq = run_on(&partition, &sigma, Algorithm::seq_detect(), &cfg);
+    let clust = run_on(&partition, &sigma, Algorithm::clust_detect(), &cfg);
     assert_eq!(seq.violations.all_tids(), baseline.all_tids());
     assert_eq!(clust.violations.all_tids(), baseline.all_tids());
     // The paper's Exp-5 claims, at this scale:
@@ -102,16 +111,16 @@ fn overlapping_cust_pair_round_trips_through_both_multis() {
     let baseline = detect_set(&rel, &sigma);
     let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
     let cfg = RunConfig::default();
-    for det in [&SeqDetect::default() as &dyn MultiDetector, &ClustDetect::default()] {
-        let d = det.run(&partition, &sigma, &cfg);
+    for alg in [Algorithm::seq_detect(), Algorithm::clust_detect()] {
+        let d = run_on(&partition, &sigma, alg, &cfg);
         for (name, vs) in &baseline.per_cfd {
             let (_, got) = d
                 .violations
                 .per_cfd
                 .iter()
                 .find(|(n, _)| n.starts_with(name.split(':').next().unwrap()))
-                .unwrap_or_else(|| panic!("{}: missing CFD {name}", det.name()));
-            assert_eq!(&got.tids, &vs.tids, "{} / {}", det.name(), name);
+                .unwrap_or_else(|| panic!("{alg:?}: missing CFD {name}"));
+            assert_eq!(&got.tids, &vs.tids, "{:?} / {}", alg, name);
         }
     }
 }
@@ -128,7 +137,7 @@ fn fragmentation_strategy_does_not_change_results() {
     let by_type = HorizontalPartition::by_attribute(&dirty, "info_type", 7).unwrap();
     let by_org = HorizontalPartition::by_attribute(&dirty, "organism", 3).unwrap();
     for partition in [&by_rr, &by_type, &by_org] {
-        let d = PatDetectS.run_simple(partition, &cfd, &cfg);
+        let d = run_on(partition, &[cfd.to_cfd()], Algorithm::PatDetectS, &cfg);
         assert_eq!(d.violations.all_tids(), baseline.tids);
     }
 }
@@ -144,8 +153,8 @@ fn attribute_fragmentation_reduces_shipment_for_correlated_cfds() {
     let cfg = RunConfig::default();
     let by_rr = HorizontalPartition::round_robin(&dirty, 3).unwrap();
     let by_org = HorizontalPartition::by_attribute(&dirty, "organism", 3).unwrap();
-    let rr = PatDetectS.run_simple(&by_rr, &cfd, &cfg);
-    let org = PatDetectS.run_simple(&by_org, &cfd, &cfg);
+    let rr = run_on(&by_rr, &[cfd.to_cfd()], Algorithm::PatDetectS, &cfg);
+    let org = run_on(&by_org, &[cfd.to_cfd()], Algorithm::PatDetectS, &cfg);
     assert!(
         org.shipped_tuples < rr.shipped_tuples / 2,
         "organism-aligned fragmentation should at least halve shipment: {} vs {}",
