@@ -50,6 +50,6 @@ pub use implication::{chase_implies, fd_closure, fd_implies, minimal_cover, sigm
 pub use parse::{parse_cfd, ParseError};
 pub use pattern::{NormalPattern, PatternTuple, PatternValue};
 pub use violation::{
-    detect, detect_among, detect_pattern_among, detect_set, detect_simple, detect_simple_strict,
-    satisfies, ViolationReport, ViolationSet,
+    detect, detect_among, detect_constants_rows, detect_constants_rows_with, detect_pattern_among,
+    detect_set, detect_simple, detect_simple_strict, satisfies, ViolationReport, ViolationSet,
 };

@@ -234,6 +234,14 @@ impl CompiledPattern {
         self.lhs.iter().zip(cols).all(|(&pc, col)| pc == WILDCARD_CODE || pc == col[i])
     }
 
+    /// [`matches_row`](Self::matches_row) over chunked column views
+    /// (random access across chunk seams; the chunk-slice variant is the
+    /// hot path for dense scans).
+    #[inline]
+    pub fn matches_view_row(&self, cols: &[dcd_relation::CodesView<'_>], i: usize) -> bool {
+        self.lhs.iter().zip(cols).all(|(&pc, col)| pc == WILDCARD_CODE || pc == col.at(i))
+    }
+
     /// `key ≍ tp[X]` for a materialized group key of codes.
     #[inline]
     pub fn matches_codes(&self, key: &[u32]) -> bool {
@@ -366,7 +374,8 @@ mod tests {
         let compiled = CompiledPattern::compile(&pat, &rel, &lhs, rhs);
         assert!(compiled.feasible);
         assert!(compiled.rhs_is_wild());
-        let cols = rel.code_slices(&lhs);
+        let cols_data: Vec<Vec<u32>> = rel.code_views(&lhs).iter().map(|v| v.to_vec()).collect();
+        let cols: Vec<&[u32]> = cols_data.iter().map(Vec::as_slice).collect();
         for (i, t) in rel.iter().enumerate() {
             assert_eq!(compiled.matches_row(&cols, i), tuple_matches(t, &lhs, &pat.lhs), "row {i}");
         }
@@ -386,7 +395,7 @@ mod tests {
         let compiled = CompiledPattern::compile(&rhs_missing, &rel, &lhs, rhs);
         assert!(compiled.feasible);
         assert_eq!(compiled.rhs, dcd_relation::NO_CODE);
-        assert!(rel.column(rhs).codes().iter().all(|&c| c != compiled.rhs));
+        assert!(rel.column(rhs).codes().iter().all(|c| c != compiled.rhs));
     }
 
     #[test]

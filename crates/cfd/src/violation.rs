@@ -30,7 +30,7 @@
 use crate::cfd::{Cfd, SimpleCfd};
 use crate::pattern::{compile_tableau, values_match};
 use dcd_relation::ops::CodeKey;
-use dcd_relation::{FxHashMap, FxHashSet, Relation, Tuple, TupleId, Value};
+use dcd_relation::{zip_chunks, FxHashMap, FxHashSet, Relation, Tuple, TupleId, Value};
 use std::sync::Arc;
 
 /// The violations of one CFD in one relation: the tuple ids `Vio(φ, D)`
@@ -158,15 +158,25 @@ fn detect_simple_with(rel: &Relation, cfd: &SimpleCfd, strict: bool) -> Violatio
         // Every pattern names a constant the relation never saw.
         return out;
     }
-    let lhs_cols = rel.code_slices(&cfd.lhs);
+    let lhs_cols = rel.code_views(&cfd.lhs);
     let rhs_col = rel.column(cfd.rhs).codes();
     // Group once over rows matching *some* pattern; per group, test
-    // every pattern the group key matches.
+    // every pattern the group key matches. The scan walks the columns
+    // chunk-at-a-time so the hot pattern/key loop runs on plain slices.
     let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
-    for i in 0..rel.len() {
-        if compiled.iter().any(|p| p.feasible && p.matches_row(&lhs_cols, i)) {
-            groups.entry(CodeKey::of_row(&lhs_cols, i)).or_default().push(i);
+    if cfd.lhs.is_empty() {
+        // Degenerate empty-LHS key: every row shares one group.
+        for i in 0..rel.len() {
+            groups.entry(CodeKey::of_codes(&[])).or_default().push(i);
         }
+    } else {
+        zip_chunks(&lhs_cols, |base, chunk_cols| {
+            for r in 0..chunk_cols[0].len() {
+                if compiled.iter().any(|p| p.feasible && p.matches_row(chunk_cols, r)) {
+                    groups.entry(CodeKey::of_row(chunk_cols, r)).or_default().push(base + r);
+                }
+            }
+        });
     }
 
     let width = cfd.lhs.len();
@@ -221,6 +231,72 @@ fn detect_simple_with(rel: &Relation, cfd: &SimpleCfd, strict: bool) -> Violatio
                 out.patterns.insert(rel.decode_projection(&cfd.lhs, &key_codes));
             }
         }
+    }
+    out
+}
+
+/// Single-tuple detection of an all-constant-pattern CFD, restricted to
+/// rows `start..end` — the morsel unit of the distributed engines'
+/// Proposition-5 phase. Precondition (debug-asserted): every tableau
+/// pattern has a constant RHS. Under the algorithmic reading such
+/// patterns flag tuples one at a time (`t[X] ≍ tp[X] ∧ t[A] ≭ tp[A]`),
+/// so unioning the per-range results over any partition of the rows is
+/// exactly the whole-relation [`detect_simple`] — pinned by tests.
+pub fn detect_constants_rows(
+    rel: &Relation,
+    cfd: &SimpleCfd,
+    start: usize,
+    end: usize,
+) -> ViolationSet {
+    let compiled = compile_tableau(&cfd.tableau, rel, &cfd.lhs, cfd.rhs);
+    detect_constants_rows_with(rel, cfd, &compiled, start, end)
+}
+
+/// [`detect_constants_rows`] against a tableau already compiled for
+/// `rel`'s dictionaries. The distributed engines' morsel loops compile
+/// once per fragment and reuse the patterns across every (site, chunk)
+/// range.
+pub fn detect_constants_rows_with(
+    rel: &Relation,
+    cfd: &SimpleCfd,
+    compiled: &[crate::pattern::CompiledPattern],
+    start: usize,
+    end: usize,
+) -> ViolationSet {
+    let mut out = ViolationSet::default();
+    if compiled.is_empty() {
+        return out;
+    }
+    debug_assert!(
+        compiled.iter().all(|p| !p.rhs_is_wild()),
+        "detect_constants_rows requires constant-RHS patterns (single-tuple semantics)"
+    );
+    if compiled.iter().all(|p| !p.feasible) {
+        return out;
+    }
+    let lhs_cols = rel.code_views(&cfd.lhs);
+    let rhs_col = rel.column(cfd.rhs).codes();
+    let tuples = rel.tuples();
+    let mut scan_row = |i: usize, slices: &[&[u32]], r: usize| {
+        let flagged = compiled
+            .iter()
+            .any(|p| p.feasible && p.matches_row(slices, r) && rhs_col.at(i) != p.rhs);
+        if flagged {
+            let key: Vec<u32> = slices.iter().map(|col| col[r]).collect();
+            out.patterns.insert(rel.decode_projection(&cfd.lhs, &key));
+            out.tids.insert(tuples[i].tid);
+        }
+    };
+    if lhs_cols.is_empty() {
+        for i in start..end.min(rel.len()) {
+            scan_row(i, &[], 0);
+        }
+    } else {
+        dcd_relation::zip_chunks_range(&lhs_cols, start, end, |base, lo, hi, slices| {
+            for r in lo..hi {
+                scan_row(base + r, slices, r);
+            }
+        });
     }
     out
 }

@@ -1,64 +1,21 @@
 //! The three single-CFD detection algorithms of §IV-B as a common trait.
 
-use crate::config::RunConfig;
-use crate::report::Detection;
-use crate::runner::{run_batch, CoordinatorStrategy};
-use dcd_cfd::{Cfd, SimpleCfd};
-use dcd_dist::HorizontalPartition;
+use crate::runner::CoordinatorStrategy;
 
 /// A detection algorithm for a single CFD over horizontally partitioned
 /// data. Implementations differ only in coordinator strategy.
 ///
-/// The per-detector `run*` methods are **deprecated shims**: the public
-/// detection surface is the `DetectRequest` façade of the
-/// `distributed-cfd` root crate, which routes every topology and
-/// algorithm through one request object. The engine they all share is
-/// [`run_batch`].
+/// The trait carries *identity only* (name + strategy); execution goes
+/// through the `DetectRequest` façade of the `distributed-cfd` root
+/// crate, or directly through the engine they all share,
+/// [`crate::runner::run_batch`]. The pre-façade `run`/`run_simple`/
+/// `run_simples` shims have been retired.
 pub trait Detector {
     /// The paper's name for the algorithm.
     fn name(&self) -> &'static str;
 
     /// The coordinator-assignment strategy this algorithm uses.
     fn strategy(&self) -> CoordinatorStrategy;
-
-    /// Detects violations of a general CFD (each single-RHS component is
-    /// processed as one round; components share clocks and ledger).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
-    )]
-    fn run(&self, partition: &HorizontalPartition, cfd: &Cfd, cfg: &RunConfig) -> Detection {
-        run_batch(partition, &cfd.simplify(), self.strategy(), cfg)
-    }
-
-    /// Detects violations of one `(X → A, Tp)` CFD.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
-    )]
-    fn run_simple(
-        &self,
-        partition: &HorizontalPartition,
-        cfd: &SimpleCfd,
-        cfg: &RunConfig,
-    ) -> Detection {
-        run_batch(partition, std::slice::from_ref(cfd), self.strategy(), cfg)
-    }
-
-    /// Detects violations of several single-RHS CFDs sequentially (the
-    /// building block `SEQDETECT` also uses).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
-    )]
-    fn run_simples(
-        &self,
-        partition: &HorizontalPartition,
-        cfds: &[SimpleCfd],
-        cfg: &RunConfig,
-    ) -> Detection {
-        run_batch(partition, cfds, self.strategy(), cfg)
-    }
 }
 
 /// `CTRDETECT` (§IV-B): a single coordinator site for the whole CFD —
@@ -108,7 +65,10 @@ impl Detector for PatDetectRT {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RunConfig;
+    use crate::runner::run_batch;
     use dcd_cfd::parse_cfd;
+    use dcd_dist::HorizontalPartition;
     use dcd_relation::{vals, Relation, Schema, ValueType};
     use std::sync::Arc;
 

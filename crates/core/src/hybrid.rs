@@ -33,23 +33,8 @@ use dcd_dist::{
 use dcd_relation::{AttrId, Dictionary, Relation, RelationError, Value};
 use std::sync::Arc;
 
-/// Detects violations of Σ in a hybrid partition.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `distributed_cfd::DetectRequest` over `Topology::Hybrid` instead"
-)]
-pub fn detect_hybrid(
-    partition: &HybridPartition,
-    sigma: &[Cfd],
-    strategy: CoordinatorStrategy,
-    cfg: &RunConfig,
-) -> Result<Detection, RelationError> {
-    run_hybrid(partition, sigma, strategy, cfg)
-}
-
 /// Runs `HYBRIDDETECT` over a hybrid partition — the engine behind the
-/// deprecated [`detect_hybrid`] shim and the `DetectRequest` façade of
-/// the `distributed-cfd` root crate.
+/// `DetectRequest` façade of the `distributed-cfd` root crate.
 pub fn run_hybrid(
     partition: &HybridPartition,
     sigma: &[Cfd],
@@ -234,21 +219,21 @@ fn gather_cell(
     // Assemble the full-width code rows by row alignment (vertical
     // fragments of one cell hold the same tuples in the same order);
     // unneeded attributes pad with the null code.
-    let columns: Vec<&[u32]> = schema
+    let columns: Vec<Option<dcd_relation::CodesView<'_>>> = schema
         .attr_ids()
-        .map(|a| match owner_of[a.index()] {
-            Some((vi, local)) => vertical.fragments()[vi].data.column(local).codes(),
-            None => &[],
+        .map(|a| {
+            owner_of[a.index()]
+                .map(|(vi, local)| vertical.fragments()[vi].data.column(local).codes())
         })
         .collect();
     let mut out = Relation::with_dictionaries(schema.clone(), full_dicts.to_vec(), n_rows)?;
     let tuples = vertical.fragments()[coord].data.tuples();
     let mut row: Vec<u32> = vec![0; schema.arity()];
-    for r in 0..n_rows {
+    for (r, tuple) in tuples.iter().enumerate().take(n_rows) {
         for (i, col) in columns.iter().enumerate() {
-            row[i] = if col.is_empty() { null_codes[i] } else { col[r] };
+            row[i] = col.map_or(null_codes[i], |c| c.at(r));
         }
-        out.push_code_row(tuples[r].tid, &row)?;
+        out.push_code_row(tuple.tid, &row)?;
     }
     Ok((coord, out))
 }

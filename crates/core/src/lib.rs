@@ -64,13 +64,9 @@ pub mod sigma;
 pub use config::{ComputeModel, RunConfig};
 pub use detector::{CtrDetect, Detector, PatDetectRT, PatDetectS};
 pub use exact::min_shipment_exhaustive;
-#[allow(deprecated)] // the shim stays importable for one release
-pub use hybrid::detect_hybrid;
 pub use hybrid::run_hybrid;
 pub use mining::{mine_patterns, MiningConfig};
 pub use multi::{run_clust, run_seq, ClustDetect, MultiDetector, SeqDetect};
-#[allow(deprecated)] // the shim stays importable for one release
-pub use replicated::detect_replicated;
 pub use replicated::run_replicated;
 pub use report::{Detection, DetectionSummary};
 pub use runner::{run_batch, CoordinatorStrategy};

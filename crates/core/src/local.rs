@@ -9,6 +9,7 @@
 //!    `tp`, so site `Si` neither scans for nor ships tuples for that
 //!    pattern.
 
+use dcd_cfd::pattern::{compile_tableau, CompiledPattern};
 use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{detect_simple, NormalCfd, NormalPattern, SimpleCfd};
 use dcd_dist::Fragment;
@@ -49,16 +50,72 @@ pub fn check_constants_locally(frag: &Fragment, constants: &[NormalCfd]) -> Viol
         if !pattern_applicable(frag, &nc.lhs, &nc.pattern) {
             continue;
         }
-        let as_simple = SimpleCfd {
-            name: nc.origin.clone(),
-            schema: nc.schema.clone(),
-            lhs: nc.lhs.clone(),
-            rhs: nc.rhs,
-            tableau: vec![nc.pattern.clone()],
-        };
-        out.merge(detect_simple(&frag.data, &as_simple));
+        out.merge(detect_simple(&frag.data, &constant_as_simple(nc)));
     }
     out
+}
+
+/// [`check_constants_locally`] restricted to rows `start..end` of the
+/// fragment — the morsel unit of the distributed engines' Proposition-5
+/// phase. Constant CFDs flag tuples one at a time, so merging the
+/// per-range sets over any partition of a fragment's rows equals the
+/// whole-fragment check exactly (pinned by tests).
+pub fn check_constants_range(
+    frag: &Fragment,
+    constants: &[NormalCfd],
+    start: usize,
+    end: usize,
+) -> ViolationSet {
+    check_constants_range_with(frag, &compile_constants(frag, constants), start, end)
+}
+
+/// Constant CFDs pre-resolved for one fragment's morsel loop: the
+/// partitioning condition decided and each surviving pattern compiled
+/// against the fragment's dictionaries, both exactly once — per-morsel
+/// recompilation (satisfiability checks plus dictionary lookups per
+/// chunk) would otherwise dominate small chunk sizes.
+pub struct CompiledConstants {
+    cfds: Vec<(SimpleCfd, Vec<CompiledPattern>)>,
+}
+
+/// Resolves `constants` against `frag` once, for reuse across every
+/// (site, chunk) range of the fragment.
+pub fn compile_constants(frag: &Fragment, constants: &[NormalCfd]) -> CompiledConstants {
+    let cfds = constants
+        .iter()
+        .filter(|nc| pattern_applicable(frag, &nc.lhs, &nc.pattern))
+        .map(|nc| {
+            let simple = constant_as_simple(nc);
+            let compiled = compile_tableau(&simple.tableau, &frag.data, &simple.lhs, simple.rhs);
+            (simple, compiled)
+        })
+        .collect();
+    CompiledConstants { cfds }
+}
+
+/// [`check_constants_range`] with the per-fragment resolution already
+/// done ([`compile_constants`]).
+pub fn check_constants_range_with(
+    frag: &Fragment,
+    compiled: &CompiledConstants,
+    start: usize,
+    end: usize,
+) -> ViolationSet {
+    let mut out = ViolationSet::default();
+    for (simple, patterns) in &compiled.cfds {
+        out.merge(dcd_cfd::detect_constants_rows_with(&frag.data, simple, patterns, start, end));
+    }
+    out
+}
+
+fn constant_as_simple(nc: &NormalCfd) -> SimpleCfd {
+    SimpleCfd {
+        name: nc.origin.clone(),
+        schema: nc.schema.clone(),
+        lhs: nc.lhs.clone(),
+        rhs: nc.rhs,
+        tableau: vec![nc.pattern.clone()],
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +202,24 @@ mod tests {
         let global = dcd_cfd::detect_simple(&r, &simple);
         assert_eq!(merged.tids, global.tids);
         assert_eq!(merged.patterns, global.patterns);
+    }
+
+    #[test]
+    fn range_union_equals_whole_fragment_check() {
+        let r = rel();
+        let p = title_partition();
+        let cfd = parse_cfd(r.schema(), "c4", "([CC=44, AC=131] -> [city=EDI])").unwrap();
+        let simple = cfd.simplify().pop().unwrap();
+        let (_, constants) = simple.split_constant();
+        for f in p.fragments() {
+            let whole = check_constants_locally(f, &constants);
+            for split in 0..=f.data.len() {
+                let mut merged = check_constants_range(f, &constants, 0, split);
+                merged.merge(check_constants_range(f, &constants, split, f.data.len()));
+                assert_eq!(merged.tids, whole.tids, "split at {split}");
+                assert_eq!(merged.patterns, whole.patterns, "split at {split}");
+            }
+        }
     }
 
     #[test]

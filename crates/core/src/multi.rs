@@ -16,13 +16,13 @@
 //! lifted to clusters.
 
 use crate::config::RunConfig;
-use crate::local::{applicable_patterns, check_constants_locally};
+use crate::local::applicable_patterns;
 use crate::report::Detection;
 use crate::runner::{
-    assign_coordinators, charge, exchange_statistics, run_single_cfd, shared_layout,
-    CoordinatorStrategy,
+    assign_coordinators, charge, constants_phase, exchange_statistics, run_single_cfd,
+    shared_layout, sigma_phase, CoordinatorStrategy,
 };
-use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use crate::sigma::{sort_for_sigma, SigmaPartition};
 use dcd_cfd::codes::{CodeRow, ResolvedCfd};
 use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{Cfd, NormalPattern, PatternValue, SimpleCfd, ViolationReport};
@@ -32,19 +32,13 @@ use dcd_relation::{AttrId, FxHashSet};
 
 /// A detection algorithm for a *set* Σ of CFDs.
 ///
-/// `run` is a **deprecated shim**: the public detection surface is the
-/// `DetectRequest` façade of the `distributed-cfd` root crate; the
-/// engines it dispatches to are [`run_seq`] and [`run_clust`].
+/// The trait carries *identity only* (the paper name); execution goes
+/// through the `DetectRequest` façade of the `distributed-cfd` root
+/// crate, which dispatches to the engines [`run_seq`] and [`run_clust`].
+/// The pre-façade `run` shim has been retired.
 pub trait MultiDetector {
     /// The paper's name for the algorithm.
     fn name(&self) -> &'static str;
-
-    /// Detects violations of all CFDs in Σ.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `distributed_cfd::DetectRequest` over `Topology::Horizontal` instead"
-    )]
-    fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection;
 }
 
 /// Runs `SEQDETECT`: pipelined sequential processing, one CFD at a
@@ -123,10 +117,6 @@ impl MultiDetector for SeqDetect {
     fn name(&self) -> &'static str {
         "SEQDETECT"
     }
-
-    fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
-        run_seq(partition, sigma, self.inner, cfg)
-    }
 }
 
 /// `CLUSTDETECT`: clusters CFDs by LHS containment and ships each tuple
@@ -146,10 +136,6 @@ impl Default for ClustDetect {
 impl MultiDetector for ClustDetect {
     fn name(&self) -> &'static str {
         "CLUSTDETECT"
-    }
-
-    fn run(&self, partition: &HorizontalPartition, sigma: &[Cfd], cfg: &RunConfig) -> Detection {
-        run_clust(partition, sigma, self.inner, cfg)
     }
 }
 
@@ -221,27 +207,13 @@ fn run_cluster(
 
     // Constants per member: local checks (Proposition 5), as always.
     // The member loop stays sequential (a site recurs across members,
-    // and each clock must see one fixed addition order); the
-    // per-fragment inner loop fans out across the pool.
+    // and each clock must see one fixed addition order); within a
+    // member, (site, chunk) morsels fan out across the pool.
     let mut variable_members: Vec<SimpleCfd> = Vec::new();
     for m in members {
         let (var, constants) = m.split_constant();
         if !constants.is_empty() {
-            let checked = scoped_map(cfg.threads, n, |i| {
-                let frag = &partition.fragments()[i];
-                let frag_len = frag.data.len();
-                let n_consts = constants.len();
-                charge(
-                    clocks,
-                    frag.site,
-                    cfg,
-                    || check_constants_locally(frag, &constants),
-                    |_| {
-                        cfg.cost.scan_time(frag_len)
-                            + cfg.cost.match_coeff * frag_len as f64 * n_consts as f64
-                    },
-                )
-            });
+            let checked = constants_phase(partition.fragments(), &constants, cfg, clocks);
             for (i, (vs, secs)) in checked.into_iter().enumerate() {
                 local_secs[i] += secs;
                 report.absorb(&m.name, vs);
@@ -304,34 +276,18 @@ fn run_cluster(
     let sorted = sort_for_sigma(&zcfd);
     let k = sorted.cfd.tableau.len();
 
-    // σ-partition per site (one scan for the whole cluster), in
-    // parallel; the partitioning condition doubles as the Phase-2
-    // participation rule, exactly as in `run_single_cfd`.
+    // σ-partition per site (one scan for the whole cluster), one morsel
+    // per (site, chunk); the partitioning condition doubles as the
+    // Phase-2 participation rule, exactly as in `run_single_cfd`.
     let applicable: Vec<Vec<usize>> =
         partition.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
-    let scanned = scoped_map(cfg.threads, n, |i| {
-        if applicable[i].is_empty() {
-            return None;
-        }
-        let frag = &partition.fragments()[i];
-        let frag_len = frag.data.len();
-        Some(charge(
-            clocks,
-            frag.site,
-            cfg,
-            || sigma_partition(&frag.data, &sorted, &applicable[i]),
-            |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
-        ))
-    });
     let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for (i, scan) in scanned.into_iter().enumerate() {
-        match scan {
-            Some((part, secs)) => {
-                local_secs[i] += secs;
-                parts.push(part);
-            }
-            None => parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 }),
-        }
+    for (i, (part, secs)) in sigma_phase(partition.fragments(), &sorted, &applicable, cfg, clocks)
+        .into_iter()
+        .enumerate()
+    {
+        local_secs[i] += secs;
+        parts.push(part);
     }
 
     // Statistics exchange, among participating sites only.
@@ -415,7 +371,6 @@ fn run_cluster(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the tests pin the legacy shims against the engine
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;
@@ -480,14 +435,16 @@ mod tests {
         let global = dcd_cfd::detect_set(&rel, &sigma);
         let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
         let cfg = RunConfig::default();
-        for det in [&SeqDetect::default() as &dyn MultiDetector, &ClustDetect::default()] {
-            let d = det.run(&partition, &sigma, &cfg);
-            assert_eq!(d.violations.all_tids(), global.all_tids(), "{}", det.name());
+        let inner = CoordinatorStrategy::MinResponseTime;
+        let runs =
+            [run_seq(&partition, &sigma, inner, &cfg), run_clust(&partition, &sigma, inner, &cfg)];
+        for d in runs {
+            assert_eq!(d.violations.all_tids(), global.all_tids(), "{}", d.algorithm);
             // Per-CFD sets match too.
             for (name, vs) in &global.per_cfd {
                 let (_, got) =
                     d.violations.per_cfd.iter().find(|(n, _)| n == name).expect("cfd present");
-                assert_eq!(&got.tids, &vs.tids, "{} / {}", det.name(), name);
+                assert_eq!(&got.tids, &vs.tids, "{} / {}", d.algorithm, name);
             }
         }
     }
@@ -499,8 +456,9 @@ mod tests {
         let sigma = overlapping_sigma(&s);
         let partition = HorizontalPartition::round_robin(&rel, 4).unwrap();
         let cfg = RunConfig::default();
-        let seq = SeqDetect::default().run(&partition, &sigma, &cfg);
-        let clust = ClustDetect::default().run(&partition, &sigma, &cfg);
+        let inner = CoordinatorStrategy::MinResponseTime;
+        let seq = run_seq(&partition, &sigma, inner, &cfg);
+        let clust = run_clust(&partition, &sigma, inner, &cfg);
         assert!(
             clust.shipped_tuples < seq.shipped_tuples,
             "clust {} !< seq {}",
@@ -519,7 +477,12 @@ mod tests {
         ];
         let global = dcd_cfd::detect_set(&rel, &sigma);
         let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
-        let d = ClustDetect::default().run(&partition, &sigma, &RunConfig::default());
+        let d = run_clust(
+            &partition,
+            &sigma,
+            CoordinatorStrategy::MinResponseTime,
+            &RunConfig::default(),
+        );
         assert_eq!(d.violations.all_tids(), global.all_tids());
     }
 
@@ -534,7 +497,12 @@ mod tests {
         let global = dcd_cfd::detect_set(&rel, &sigma);
         assert!(!global.all_tids().is_empty());
         let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
-        let d = ClustDetect::default().run(&partition, &sigma, &RunConfig::default());
+        let d = run_clust(
+            &partition,
+            &sigma,
+            CoordinatorStrategy::MinResponseTime,
+            &RunConfig::default(),
+        );
         assert_eq!(d.violations.all_tids(), global.all_tids());
     }
 
@@ -545,8 +513,8 @@ mod tests {
         let sigma = overlapping_sigma(&s);
         let global = dcd_cfd::detect_set(&rel, &sigma);
         let partition = HorizontalPartition::round_robin(&rel, 3).unwrap();
-        let det = SeqDetect { inner: CoordinatorStrategy::MinShipment };
-        let d = det.run(&partition, &sigma, &RunConfig::default());
+        let d =
+            run_seq(&partition, &sigma, CoordinatorStrategy::MinShipment, &RunConfig::default());
         assert_eq!(d.violations.all_tids(), global.all_tids());
     }
 }

@@ -16,31 +16,16 @@
 use crate::config::RunConfig;
 use crate::local::applicable_patterns;
 use crate::report::Detection;
-use crate::runner::{charge, exchange_statistics, shared_layout};
-use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use crate::runner::{charge, constants_phase, exchange_statistics, shared_layout, sigma_phase};
+use crate::sigma::{sort_for_sigma, SigmaPartition};
 use dcd_cfd::codes::CodeRow;
 use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
 use dcd_dist::pool::scoped_map;
 use dcd_dist::{ReplicatedPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS};
 
-/// Detects violations of Σ over replicated fragments, exploiting
-/// replica placement to cut shipment.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `distributed_cfd::DetectRequest` over `Topology::Replicated` instead"
-)]
-pub fn detect_replicated(
-    partition: &ReplicatedPartition,
-    sigma: &[Cfd],
-    cfg: &RunConfig,
-) -> Detection {
-    run_replicated(partition, sigma, cfg)
-}
-
 /// Runs `REPDETECT` over a replicated partition — the engine behind
-/// the deprecated [`detect_replicated`] shim and the `DetectRequest`
-/// façade of the `distributed-cfd` root crate.
+/// the `DetectRequest` façade of the `distributed-cfd` root crate.
 pub fn run_replicated(
     partition: &ReplicatedPartition,
     sigma: &[Cfd],
@@ -88,23 +73,10 @@ fn run_one(
     let mut local_secs = vec![0.0_f64; n];
 
     // Constants: local at primaries (replicas would find the same),
-    // checked in parallel across sites.
+    // one morsel per (site, chunk).
     let (variable, constants) = cfd.split_constant();
     if !constants.is_empty() {
-        let checked = scoped_map(cfg.threads, n, |i| {
-            let frag = &base.fragments()[i];
-            let frag_len = frag.data.len();
-            charge(
-                clocks,
-                frag.site,
-                cfg,
-                || crate::local::check_constants_locally(frag, &constants),
-                |_| {
-                    cfg.cost.scan_time(frag_len)
-                        + cfg.cost.match_coeff * frag_len as f64 * constants.len() as f64
-                },
-            )
-        });
+        let checked = constants_phase(base.fragments(), &constants, cfg, clocks);
         for (i, (vs, secs)) in checked.into_iter().enumerate() {
             local_secs[i] += secs;
             report.absorb(&cfd.name, vs);
@@ -115,35 +87,19 @@ fn run_one(
         return (report, paper);
     };
 
-    // σ-partition primaries (statistics are placement-independent), in
-    // parallel; applicability doubles as exchange participation.
+    // σ-partition primaries (statistics are placement-independent), one
+    // morsel per (site, chunk); applicability doubles as exchange
+    // participation.
     let sorted = sort_for_sigma(&variable);
     let k = sorted.cfd.tableau.len();
     let applicable: Vec<Vec<usize>> =
         base.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
-    let scanned = scoped_map(cfg.threads, n, |i| {
-        if applicable[i].is_empty() {
-            return None;
-        }
-        let frag = &base.fragments()[i];
-        let frag_len = frag.data.len();
-        Some(charge(
-            clocks,
-            frag.site,
-            cfg,
-            || sigma_partition(&frag.data, &sorted, &applicable[i]),
-            |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
-        ))
-    });
     let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for (i, scan) in scanned.into_iter().enumerate() {
-        match scan {
-            Some((part, secs)) => {
-                local_secs[i] += secs;
-                parts.push(part);
-            }
-            None => parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 }),
-        }
+    for (i, (part, secs)) in
+        sigma_phase(base.fragments(), &sorted, &applicable, cfg, clocks).into_iter().enumerate()
+    {
+        local_secs[i] += secs;
+        parts.push(part);
     }
     exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
 

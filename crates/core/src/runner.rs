@@ -9,17 +9,19 @@
 //! accounting — is identical and lives here.
 
 use crate::config::{ComputeModel, RunConfig};
-use crate::local::{applicable_patterns, check_constants_locally};
+use crate::local::{applicable_patterns, check_constants_range_with, compile_constants};
 use crate::report::Detection;
-use crate::sigma::{sigma_partition, sort_for_sigma, SigmaPartition};
+use crate::sigma::{
+    sigma_partition_range_with, sort_for_sigma, SigmaIndex, SigmaPartition, SortedCfd,
+};
 use dcd_cfd::codes::{CodeLayout, CodeRow};
 use dcd_cfd::violation::ViolationSet;
-use dcd_cfd::{SimpleCfd, ViolationReport};
-use dcd_dist::pool::scoped_map;
+use dcd_cfd::{NormalCfd, SimpleCfd, ViolationReport};
+use dcd_dist::pool::{morsel_map, scoped_map};
 use dcd_dist::{
     CostModel, Fragment, HorizontalPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS,
 };
-use dcd_relation::AttrId;
+use dcd_relation::{AttrId, Relation};
 use std::time::Instant;
 
 /// How coordinators are assigned to the pattern tuples of one CFD.
@@ -105,6 +107,147 @@ pub fn charge<R>(
     (r, secs)
 }
 
+/// Times one unit of work against the host clock. Measured-mode seconds
+/// are summed per site across its morsels before the site's single clock
+/// advance; `Analytic` mode never reads the measurement.
+pub(crate) fn run_timed<R>(work: impl FnOnce() -> R) -> (R, f64) {
+    // dcd-lint: allow(wall-clock) — `ComputeModel::Measured` scales real
+    // elapsed time by design; `Analytic` (the deterministic default)
+    // ignores the value.
+    let start = Instant::now();
+    let r = work();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Global row range of chunk `c` of `rel` — the span one (site, chunk)
+/// morsel scans.
+fn chunk_span(rel: &Relation, c: usize) -> (usize, usize) {
+    let cr = rel.chunk_rows();
+    (c * cr, ((c + 1) * cr).min(rel.len()))
+}
+
+/// The morselized Proposition-5 phase shared by every engine: constant
+/// CFDs checked locally, one morsel per (site, chunk), partial violation
+/// sets merged per site in chunk order. Each site's clock is advanced
+/// exactly once — in `Analytic` mode by the same formula the
+/// site-granular phase used (so clocks are bit-identical across pool
+/// widths *and* chunk sizes), in `Measured` mode by the sum of its
+/// morsels' wall times. Returns per-site `(violations, secs_charged)`.
+pub(crate) fn constants_phase(
+    fragments: &[Fragment],
+    constants: &[NormalCfd],
+    cfg: &RunConfig,
+    clocks: &SiteClocks,
+) -> Vec<(ViolationSet, f64)> {
+    let counts: Vec<usize> = fragments.iter().map(|f| f.data.n_chunks()).collect();
+    // Per-fragment resolution (partitioning condition + tableau
+    // compilation) happens once, not once per morsel.
+    let compiled: Vec<_> = fragments.iter().map(|f| compile_constants(f, constants)).collect();
+    let partials = morsel_map(cfg.threads, &counts, |i, c| {
+        let frag = &fragments[i];
+        let (start, end) = chunk_span(&frag.data, c);
+        run_timed(|| check_constants_range_with(frag, &compiled[i], start, end))
+    });
+    partials
+        .into_iter()
+        .enumerate()
+        .map(|(i, per_site)| {
+            let frag = &fragments[i];
+            let mut vs = ViolationSet::default();
+            let mut measured = 0.0;
+            for (partial, secs) in per_site {
+                vs.merge(partial);
+                measured += secs;
+            }
+            let secs = match cfg.compute {
+                ComputeModel::Analytic => {
+                    cfg.cost.scan_time(frag.data.len())
+                        + cfg.cost.match_coeff * frag.data.len() as f64 * constants.len() as f64
+                }
+                ComputeModel::Measured { scale } => measured * scale,
+            };
+            clocks.advance(frag.site, secs);
+            (vs, secs)
+        })
+        .collect()
+}
+
+/// The morselized σ-partition phase shared by every engine: one morsel
+/// per (site, chunk), per-range partitions merged per site in chunk
+/// order — block concatenation reproduces the whole-fragment partition
+/// and `comparisons` sums exactly (each row's tries depend only on its
+/// LHS key), so clocks stay bit-identical across pool widths and chunk
+/// sizes. Sites the partitioning condition excludes (`applicable[i]`
+/// empty) contribute no morsels, get an empty partition, and are not
+/// charged. Returns per-site `(partition, secs_charged)`.
+pub(crate) fn sigma_phase(
+    fragments: &[Fragment],
+    sorted: &SortedCfd,
+    applicable: &[Vec<usize>],
+    cfg: &RunConfig,
+    clocks: &SiteClocks,
+) -> Vec<(SigmaPartition, f64)> {
+    let k = sorted.cfd.tableau.len();
+    let counts: Vec<usize> = fragments
+        .iter()
+        .zip(applicable)
+        .map(|(f, app)| if app.is_empty() { 0 } else { f.data.n_chunks() })
+        .collect();
+    // The tableau compiles — and the σ decision index builds — once per
+    // fragment; every morsel of the fragment shares the same index.
+    let indexes: Vec<SigmaIndex> = fragments
+        .iter()
+        .zip(applicable)
+        .map(|(f, app)| {
+            if app.is_empty() {
+                return SigmaIndex::build(&[], &[]);
+            }
+            let compiled = dcd_cfd::pattern::compile_tableau(
+                &sorted.cfd.tableau,
+                &f.data,
+                &sorted.cfd.lhs,
+                sorted.cfd.rhs,
+            );
+            SigmaIndex::build(&compiled, app)
+        })
+        .collect();
+    let partials = morsel_map(cfg.threads, &counts, |i, c| {
+        let frag = &fragments[i];
+        let (start, end) = chunk_span(&frag.data, c);
+        run_timed(|| sigma_partition_range_with(&frag.data, sorted, &indexes[i], start, end))
+    });
+    partials
+        .into_iter()
+        .enumerate()
+        .map(|(i, per_site)| {
+            if applicable[i].is_empty() {
+                // Partitioning condition: the site is irrelevant to every
+                // pattern — it does not even scan (and is not charged).
+                return (SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 }, 0.0);
+            }
+            let frag = &fragments[i];
+            let mut merged = SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 };
+            let mut measured = 0.0;
+            for (partial, secs) in per_site {
+                for (block, partial_block) in merged.blocks.iter_mut().zip(partial.blocks) {
+                    block.extend(partial_block);
+                }
+                merged.comparisons += partial.comparisons;
+                measured += secs;
+            }
+            let secs = match cfg.compute {
+                ComputeModel::Analytic => {
+                    cfg.cost.scan_time(frag.data.len())
+                        + cfg.cost.match_coeff * merged.comparisons as f64
+                }
+                ComputeModel::Measured { scale } => measured * scale,
+            };
+            clocks.advance(frag.site, secs);
+            (merged, secs)
+        })
+        .collect()
+}
+
 /// The §IV-B statistics exchange, with the participation rules shared
 /// by every detection round: sites whose fragmentation predicate
 /// refutes every pattern (`applicable[i]` empty) are excluded from the
@@ -162,24 +305,11 @@ pub fn run_single_cfd(
     // Local compute charged per site this round (feeds the paper formula).
     let mut local_secs = vec![0.0_f64; n];
 
-    // ---- Phase 0: constant CFDs, checked locally (Proposition 5). ----
+    // ---- Phase 0: constant CFDs, checked locally (Proposition 5),
+    // one morsel per (site, chunk). ----
     let (variable, constants) = cfd.split_constant();
     if !constants.is_empty() {
-        let checked = scoped_map(cfg.threads, n, |i| {
-            let frag = &partition.fragments()[i];
-            let frag_len = frag.data.len();
-            let n_consts = constants.len();
-            charge(
-                clocks,
-                frag.site,
-                cfg,
-                || check_constants_locally(frag, &constants),
-                |_| {
-                    cfg.cost.scan_time(frag_len)
-                        + cfg.cost.match_coeff * frag_len as f64 * n_consts as f64
-                },
-            )
-        });
+        let checked = constants_phase(partition.fragments(), &constants, cfg, clocks);
         for (i, (vs, secs)) in checked.into_iter().enumerate() {
             local_secs[i] += secs;
             report.absorb(&cfd.name, vs);
@@ -192,38 +322,19 @@ pub fn run_single_cfd(
         return RoundOutput { report, paper_cost };
     };
 
-    // ---- Phase 1: σ-partition + statistics, per site in parallel. ----
+    // ---- Phase 1: σ-partition + statistics, one morsel per (site,
+    // chunk), merged in chunk order per site. ----
     let sorted = sort_for_sigma(&variable);
     let k = sorted.cfd.tableau.len();
     // The partitioning condition, per site, up front: it decides both
     // who scans here and who participates in the Phase-2 exchange.
     let applicable: Vec<Vec<usize>> =
         partition.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
-    let scanned = scoped_map(cfg.threads, n, |i| {
-        if applicable[i].is_empty() {
-            // Partitioning condition: the site is irrelevant to every
-            // pattern — it does not even scan.
-            return None;
-        }
-        let frag = &partition.fragments()[i];
-        let frag_len = frag.data.len();
-        Some(charge(
-            clocks,
-            frag.site,
-            cfg,
-            || sigma_partition(&frag.data, &sorted, &applicable[i]),
-            |p| cfg.cost.scan_time(frag_len) + cfg.cost.match_coeff * p.comparisons as f64,
-        ))
-    });
     let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for (i, scan) in scanned.into_iter().enumerate() {
-        match scan {
-            Some((part, secs)) => {
-                local_secs[i] += secs;
-                parts.push(part);
-            }
-            None => parts.push(SigmaPartition { blocks: vec![Vec::new(); k], comparisons: 0 }),
-        }
+    let scanned = sigma_phase(partition.fragments(), &sorted, &applicable, cfg, clocks);
+    for (i, (part, secs)) in scanned.into_iter().enumerate() {
+        local_secs[i] += secs;
+        parts.push(part);
     }
 
     // ---- Phase 2: statistics exchange (control traffic + barrier),

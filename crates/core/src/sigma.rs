@@ -8,10 +8,10 @@
 //! validated at its own coordinator (Lemma 6). This module computes the
 //! per-fragment blocks `H_i^j` and the `lstat[i, j]` statistics.
 
-use dcd_cfd::pattern::compile_tableau;
+use dcd_cfd::pattern::{compile_tableau, CompiledPattern};
 use dcd_cfd::{NormalPattern, SimpleCfd};
 use dcd_relation::ops::CodeKey;
-use dcd_relation::{FxHashMap, Relation};
+use dcd_relation::{zip_chunks_range, FxHashMap, Relation, WILDCARD_CODE};
 
 /// A [`SimpleCfd`] with its tableau re-sorted most-specific-first, as
 /// required by σ. Construct via [`sort_for_sigma`].
@@ -83,49 +83,165 @@ pub fn sigma_partition(
     sorted: &SortedCfd,
     applicable: &[usize],
 ) -> SigmaPartition {
-    let k = sorted.cfd.tableau.len();
-    let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); k];
-    let compiled = compile_tableau(&sorted.cfd.tableau, fragment, &sorted.cfd.lhs, sorted.cfd.rhs);
-    let lhs_cols = fragment.code_slices(&sorted.cfd.lhs);
+    sigma_partition_range(fragment, sorted, applicable, 0, fragment.len())
+}
 
-    // Pass 1: dense group ids per distinct LHS key, one representative
-    // row per group.
-    let mut group_of: FxHashMap<CodeKey, u32> = FxHashMap::default();
-    let mut row_group: Vec<u32> = Vec::with_capacity(fragment.len());
-    let mut reps: Vec<usize> = Vec::new();
-    for ti in 0..fragment.len() {
-        let next = reps.len() as u32;
-        let gid = *group_of.entry(CodeKey::of_row(&lhs_cols, ti)).or_insert_with(|| {
-            reps.push(ti);
-            next
-        });
-        row_group.push(gid);
+/// [`sigma_partition`] restricted to the row range `start..end` of the
+/// fragment. Block entries are *global* row indices, so concatenating the
+/// partitions of consecutive ranges block-by-block reproduces the
+/// whole-fragment partition exactly, and summing `comparisons` reproduces
+/// its comparison count (each row's tries depend only on its LHS key, not
+/// on which range recomputed them). This is the morsel unit of work: one
+/// (site, chunk) morsel calls this with its chunk's row range.
+pub fn sigma_partition_range(
+    fragment: &Relation,
+    sorted: &SortedCfd,
+    applicable: &[usize],
+    start: usize,
+    end: usize,
+) -> SigmaPartition {
+    let compiled = compile_tableau(&sorted.cfd.tableau, fragment, &sorted.cfd.lhs, sorted.cfd.rhs);
+    let index = SigmaIndex::build(&compiled, applicable);
+    sigma_partition_range_with(fragment, sorted, &index, start, end)
+}
+
+/// The σ decision structure of one (fragment, CFD): compiled patterns
+/// bucketed by LHS wildcard mask, each bucket a hash map from the
+/// pattern's constant codes (non-wild positions, in `X` order) to the
+/// earliest position the linear tableau scan would have matched it at.
+/// σ of a key is then one probe per distinct mask — `O(masks)` instead
+/// of `O(|Tp|)` — and the answer (first matching applicable pattern
+/// plus the number of patterns the scan would have tried) is
+/// bit-identical to the scan it replaces. Built once per fragment; the
+/// morsel loops hand every (site, chunk) range the same index, so
+/// neither the dictionary lookups of tableau compilation nor the scan
+/// structure are re-done per morsel.
+pub struct SigmaIndex {
+    /// Distinct wildcard masks: the non-wild LHS positions, with a map
+    /// from the constant codes at those positions to the smallest scan
+    /// rank among patterns sharing both. Patterns carrying a `NO_CODE`
+    /// constant sit in the maps harmlessly — probe keys hold real codes
+    /// only, so infeasible patterns can never win a probe.
+    buckets: Vec<(Vec<usize>, FxHashMap<CodeKey, u32>)>,
+    /// The scan order the ranks index into: `applicable[rank]` is the
+    /// pattern a winning probe resolves to.
+    applicable: Vec<usize>,
+}
+
+impl SigmaIndex {
+    /// Builds the index from a fragment-compiled tableau and the
+    /// (ascending) applicable pattern indices of that fragment.
+    pub fn build(compiled: &[CompiledPattern], applicable: &[usize]) -> Self {
+        let mut buckets: Vec<(Vec<usize>, FxHashMap<CodeKey, u32>)> = Vec::new();
+        for (rank, &pi) in applicable.iter().enumerate() {
+            let pat = &compiled[pi];
+            let positions: Vec<usize> =
+                (0..pat.lhs.len()).filter(|&j| pat.lhs[j] != WILDCARD_CODE).collect();
+            let consts: Vec<u32> = positions.iter().map(|&j| pat.lhs[j]).collect();
+            let bucket = match buckets.iter_mut().find(|(p, _)| *p == positions) {
+                Some((_, map)) => map,
+                None => {
+                    buckets.push((positions, FxHashMap::default()));
+                    &mut buckets.last_mut().expect("just pushed").1
+                }
+            };
+            // Duplicate constants keep the earliest rank — exactly the
+            // pattern the linear scan would stop at.
+            bucket.entry(CodeKey::of_codes(&consts)).or_insert(rank as u32);
+        }
+        SigmaIndex { buckets, applicable: applicable.to_vec() }
     }
 
-    // Pass 2: σ per distinct key — the first applicable pattern the
-    // representative matches, plus how many patterns it tried.
+    /// σ of one LHS code key: the first applicable pattern it matches
+    /// in scan order, plus the tries the scan would have counted.
+    /// `buf` is scratch space reused across calls.
+    fn assign(&self, key: &[u32], buf: &mut Vec<u32>) -> (Option<usize>, usize) {
+        let mut best: Option<u32> = None;
+        for (positions, map) in &self.buckets {
+            buf.clear();
+            buf.extend(positions.iter().map(|&j| key[j]));
+            if let Some(&rank) = map.get(&CodeKey::of_codes(buf)) {
+                if best.is_none_or(|b| rank < b) {
+                    best = Some(rank);
+                }
+            }
+        }
+        match best {
+            Some(rank) => (Some(self.applicable[rank as usize]), rank as usize + 1),
+            None => (None, self.applicable.len()),
+        }
+    }
+}
+
+/// [`sigma_partition_range`] against a [`SigmaIndex`] already built for
+/// this fragment. This is the morsel-loop entry point: the index is
+/// built once per fragment and shared by every (site, chunk) range —
+/// per-morsel tableau compilation and re-scanning would otherwise
+/// dominate small chunk sizes.
+pub fn sigma_partition_range_with(
+    fragment: &Relation,
+    sorted: &SortedCfd,
+    index: &SigmaIndex,
+    start: usize,
+    end: usize,
+) -> SigmaPartition {
+    let k = sorted.cfd.tableau.len();
+    let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let lhs_cols = fragment.code_views(&sorted.cfd.lhs);
+
+    // Pass 1: dense group ids per distinct LHS key, one representative
+    // row per group, scanning chunk-at-a-time over the range.
+    let mut group_of: FxHashMap<CodeKey, u32> = FxHashMap::default();
+    let mut row_group: Vec<u32> = Vec::with_capacity(end.saturating_sub(start));
+    let mut reps: Vec<usize> = Vec::new();
+    if lhs_cols.is_empty() {
+        // Degenerate empty-LHS key: every row shares one group.
+        for ti in start..end {
+            let next = reps.len() as u32;
+            let gid = *group_of.entry(CodeKey::of_codes(&[])).or_insert_with(|| {
+                reps.push(ti);
+                next
+            });
+            row_group.push(gid);
+        }
+    } else {
+        zip_chunks_range(&lhs_cols, start, end, |base, lo, hi, slices| {
+            for r in lo..hi {
+                let next = reps.len() as u32;
+                let gid = *group_of.entry(CodeKey::of_row(slices, r)).or_insert_with(|| {
+                    reps.push(base + r);
+                    next
+                });
+                row_group.push(gid);
+            }
+        });
+    }
+
+    // Pass 2: σ per distinct key — the representative's key codes are
+    // gathered once, then the index answers in `O(masks)` probes what
+    // the linear tableau scan would have found (same pattern, same try
+    // count).
+    let width = sorted.cfd.lhs.len();
+    let mut key_codes: Vec<u32> = vec![0; width];
+    let mut probe_buf: Vec<u32> = Vec::with_capacity(width);
     let assigned: Vec<(Option<usize>, usize)> = reps
         .iter()
         .map(|&ri| {
-            let mut tries = 0usize;
-            for &pi in applicable {
-                tries += 1;
-                if compiled[pi].matches_row(&lhs_cols, ri) {
-                    return (Some(pi), tries);
-                }
+            for (slot, col) in key_codes.iter_mut().zip(&lhs_cols) {
+                *slot = col.at(ri);
             }
-            (None, tries)
+            index.assign(&key_codes, &mut probe_buf)
         })
         .collect();
 
     // Pass 3: assign rows in order (preserving per-block index order)
     // and accumulate the per-tuple comparison count.
     let mut comparisons = 0usize;
-    for (ti, &gid) in row_group.iter().enumerate() {
+    for (off, &gid) in row_group.iter().enumerate() {
         let (pat, tries) = assigned[gid as usize];
         comparisons += tries;
         if let Some(pi) = pat {
-            blocks[pi].push(ti);
+            blocks[pi].push(start + off);
         }
     }
     SigmaPartition { blocks, comparisons }

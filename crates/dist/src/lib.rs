@@ -23,7 +23,10 @@
 //! two-phase formula ([`CostModel::paper_cost`]): the maximum shipping
 //! time plus the maximum local-work time over all sites.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `pool` opts back in for one audited lifetime
+// erasure (scoped-borrow tasks on persistent workers); everything else
+// stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clocks;

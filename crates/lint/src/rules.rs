@@ -58,9 +58,10 @@ pub fn describe(rule: &str) -> &'static str {
              block without a `// SAFETY:` comment"
         }
         "deprecated-shim" => {
-            "internal use of the deprecated `Detector`/`MultiDetector`/`detect_*` \
-             shims outside `tests/prop_facade.rs` — new code goes through the \
-             `DetectRequest` façade"
+            "use of the retired pre-façade surface (`detect_*` free functions, \
+             `Detector::run*`/`MultiDetector::run` method calls) — the shims are \
+             gone; new code goes through the `DetectRequest` façade or the engine \
+             fns, and this rule keeps the old names from creeping back"
         }
         "bad-suppression" => {
             "a `dcd-lint:` marker that is malformed or missing its reason — every \
@@ -494,9 +495,10 @@ fn stray_thread(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 ci,
                 "stray-thread",
                 format!(
-                    "`thread::{}` outside `dcd_dist::pool`; spawn through \
-                     `pool::scoped_map` so per-site outputs merge in task order and \
-                     stay bit-identical across pool widths",
+                    "`thread::{}` outside `dcd_dist::pool`; go through \
+                     `pool::morsel_map`/`pool::scoped_map` so work runs on the \
+                     persistent workers and per-site outputs merge in (site, chunk) \
+                     order, bit-identical across pool widths",
                     file.text(ci + 2)
                 ),
             ));
@@ -586,18 +588,15 @@ fn relaxed_atomic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 
 // ---------------------------------------------------------------- rule 6
 
-/// Files that *define* the deprecated surface and may therefore mention
-/// its names.
-const SHIM_DEFINING_FILES: [&str; 2] = ["crates/core/src/detector.rs", "crates/core/src/multi.rs"];
-
-/// `deprecated-shim`: internal code reaching for the legacy entry
-/// points. The façade (`DetectRequest`) is the only supported door;
-/// `tests/prop_facade.rs` alone pins the shims until they are retired.
+/// `deprecated-shim`: the pre-façade entry points are *retired*, not
+/// merely deprecated — this rule is the reintroduction ratchet. The
+/// `Detector`/`MultiDetector` traits survive as identity (name +
+/// strategy), so mentioning them is fine; what must not come back are
+/// the free `detect_*` functions and the `run`/`run_simple`/
+/// `run_simples` execution methods the traits used to carry. No file
+/// is exempt: `tests/prop_facade.rs` now pins the façade against the
+/// engine fns and has no business naming the shims either.
 fn deprecated_shim(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if file.path.ends_with("tests/prop_facade.rs") {
-        return;
-    }
-    let defining = SHIM_DEFINING_FILES.iter().any(|d| file.path.ends_with(d));
     let n = file.code.len();
     for ci in 0..n {
         if file.in_use_statement(ci) {
@@ -609,13 +608,10 @@ fn deprecated_shim(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             continue; // a definition, not a call
         }
         let flagged = match t {
-            // The free-function shims (their defining files only ever
-            // mention them after `fn`, in comments, or in `use`).
+            // The retired free-function shims.
             "detect_hybrid" | "detect_replicated" | "detect_vertical" => true,
-            // The deprecated trait surface.
-            "Detector" | "MultiDetector" => !defining && prev != "trait" && prev != "impl",
-            // Trait methods unique enough to match syntactically.
-            "run_simple" | "run_simples" => !defining && file.text(ci + 1) == "(",
+            // The retired trait execution methods.
+            "run_simple" | "run_simples" => file.text(ci + 1) == "(",
             // `<DetectorType>.run(..)` method-call form.
             "run" => {
                 file.text(ci + 1) == "("
@@ -633,10 +629,10 @@ fn deprecated_shim(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 ci,
                 "deprecated-shim",
                 format!(
-                    "`{t}` is part of the deprecated pre-façade surface; build a \
-                     `DetectRequest` (or call the engine fns `run_batch`/`run_hybrid`/\
-                     `run_replicated`/`run_vertical`) — only `tests/prop_facade.rs` \
-                     pins the shims"
+                    "`{t}` belongs to the retired pre-façade surface; build a \
+                     `DetectRequest` (or call the engine fns `run_batch`/`run_seq`/\
+                     `run_clust`/`run_hybrid`/`run_replicated`/`run_vertical`) \
+                     instead of resurrecting the shim"
                 ),
             ));
         }

@@ -1,4 +1,7 @@
-pub fn pinned_reference(partition: &HybridPartition, cfd: &Cfd, cfg: &RunConfig) {
-    let _ = detect_hybrid(partition, std::slice::from_ref(cfd), strategy, cfg);
-    let _ = PatDetectS.run(&horizontal, cfd, cfg);
+pub fn sanctioned(partition: &HybridPartition, cfd: &Cfd, cfg: &RunConfig) {
+    let _ = run_hybrid(partition, std::slice::from_ref(cfd), strategy, cfg);
+    let _ = run_batch(&horizontal, &simples, PatDetectS.strategy(), cfg);
+    let det: &dyn Detector = &PatDetectS;
+    let _ = det.name();
+    let _ = DetectRequest::over(horizontal).cfd(cfd.clone()).run();
 }

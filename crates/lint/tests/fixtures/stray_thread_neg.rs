@@ -5,3 +5,18 @@ pub fn scoped_map(threads: usize, n: usize) {
         }
     });
 }
+
+pub fn spawn_workers(deficit: usize, spawned: &mut usize) {
+    for _ in 0..deficit {
+        let builder = std::thread::Builder::new().name("dcd-pool-worker".into());
+        if builder.spawn(worker_loop).is_ok() {
+            *spawned += 1;
+        }
+    }
+}
+
+fn worker_loop() {
+    loop {
+        std::thread::park();
+    }
+}

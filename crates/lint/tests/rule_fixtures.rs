@@ -64,15 +64,29 @@ fn ledger_mutation_negative_sanctions_the_authorities() {
 fn stray_thread_positive_flags_spawn_outside_pool() {
     let src = include_str!("fixtures/stray_thread_pos.rs");
     let findings = lint("crates/core/src/fixture.rs", src);
-    assert_eq!(rules(&findings), ["stray-thread"], "{findings:?}");
-    assert_eq!(findings[0].1, 3);
+    assert_eq!(rules(&findings), ["stray-thread", "stray-thread"], "{findings:?}");
+    assert_eq!(findings[0].1, 3, "the bare `thread::spawn`");
+    assert_eq!(findings[1].1, 9, "the hand-rolled `thread::Builder` pool");
 }
 
 #[test]
 fn stray_thread_negative_allows_the_pool_itself() {
+    // The persistent-pool internals: scoped spawns, named `Builder`
+    // workers, parking — all sanctioned inside `dcd_dist::pool`.
     let src = include_str!("fixtures/stray_thread_neg.rs");
     let findings = lint("crates/dist/src/pool.rs", src);
     assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn stray_thread_flags_pool_idiom_outside_the_pool() {
+    // The same worker-spawning idiom is a finding anywhere else.
+    let src = include_str!("fixtures/stray_thread_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(
+        findings.iter().filter(|(r, _)| r == "stray-thread").count() >= 2,
+        "scope + Builder both flagged outside the pool: {findings:?}"
+    );
 }
 
 // ----------------------------------------------------------- wall-clock
@@ -122,10 +136,19 @@ fn deprecated_shim_positive_flags_legacy_calls() {
 }
 
 #[test]
-fn deprecated_shim_negative_exempts_the_facade_pin() {
+fn deprecated_shim_negative_sanctions_engines_and_facade() {
     let src = include_str!("fixtures/deprecated_shim_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "engine fns + identity trait stay silent: {findings:?}");
+}
+
+#[test]
+fn deprecated_shim_ratchet_covers_the_facade_suite_too() {
+    // The shims are retired; even `tests/prop_facade.rs` (their old
+    // sanctioned pinning ground) may not name them anymore.
+    let src = include_str!("fixtures/deprecated_shim_pos.rs");
     let findings = lint("tests/prop_facade.rs", src);
-    assert!(findings.is_empty(), "prop_facade.rs pins the shims: {findings:?}");
+    assert_eq!(rules(&findings), ["deprecated-shim", "deprecated-shim"], "{findings:?}");
 }
 
 // ------------------------------------------------------ bad-suppression

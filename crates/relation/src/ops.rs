@@ -14,7 +14,7 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::predicate::Predicate;
 use crate::relation::Relation;
 use crate::schema::{AttrId, Schema};
-use crate::store::NO_CODE;
+use crate::store::{zip_chunks, CodesView, NO_CODE};
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
 use std::sync::Arc;
@@ -34,8 +34,10 @@ pub enum CodeKey {
 }
 
 impl CodeKey {
-    /// The key of row `i` over the given code slices (delegates to
-    /// [`CodeKey::of_codes`], which owns the packing layout).
+    /// The key of row `i` over the given dense code slices (delegates
+    /// to [`CodeKey::of_codes`], which owns the packing layout). The
+    /// slices are typically one aligned chunk of several columns — see
+    /// [`zip_chunks`] — with `i` relative to the chunk.
     #[inline]
     pub fn of_row(cols: &[&[u32]], i: usize) -> CodeKey {
         if cols.len() <= 4 {
@@ -46,6 +48,21 @@ impl CodeKey {
             CodeKey::of_codes(&buf[..cols.len()])
         } else {
             CodeKey::Wide(cols.iter().map(|c| c[i]).collect())
+        }
+    }
+
+    /// [`CodeKey::of_row`] over whole-column views (random access across
+    /// chunks; scans should zip chunks and use `of_row` instead).
+    #[inline]
+    pub fn of_view_row(cols: &[CodesView<'_>], i: usize) -> CodeKey {
+        if cols.len() <= 4 {
+            let mut buf = [0u32; 4];
+            for (slot, col) in buf.iter_mut().zip(cols) {
+                *slot = col.at(i);
+            }
+            CodeKey::of_codes(&buf[..cols.len()])
+        } else {
+            CodeKey::Wide(cols.iter().map(|c| c.at(i)).collect())
         }
     }
 
@@ -116,11 +133,11 @@ pub fn project(rel: &Relation, name: &str, attrs: &[AttrId]) -> Result<Relation,
 /// first-seen order. Deduplication runs on code keys; each distinct key
 /// is decoded once.
 pub fn project_distinct(rel: &Relation, attrs: &[AttrId]) -> Vec<Vec<Value>> {
-    let cols = rel.code_slices(attrs);
+    let cols = rel.code_views(attrs);
     let mut seen: FxHashSet<CodeKey> = FxHashSet::default();
     let mut out = Vec::new();
     for i in 0..rel.len() {
-        let key = CodeKey::of_row(&cols, i);
+        let key = CodeKey::of_view_row(&cols, i);
         if seen.insert(key.clone()) {
             out.push(rel.decode_projection(attrs, &key.codes(attrs.len())));
         }
@@ -163,13 +180,28 @@ pub fn group_codes_filtered(
     attrs: &[AttrId],
     filter: impl Fn(&Tuple) -> bool,
 ) -> FxHashMap<CodeKey, Vec<usize>> {
-    let cols = rel.code_slices(attrs);
+    let cols = rel.code_views(attrs);
+    let tuples = rel.tuples();
     let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
-    for (i, t) in rel.iter().enumerate() {
-        if filter(t) {
-            groups.entry(CodeKey::of_row(&cols, i)).or_default().push(i);
+    if cols.is_empty() {
+        // Zero grouping attributes: every accepted row lands in the one
+        // empty-key group.
+        for (i, t) in tuples.iter().enumerate() {
+            if filter(t) {
+                groups.entry(CodeKey::of_codes(&[])).or_default().push(i);
+            }
         }
+        return groups;
     }
+    // Chunk-at-a-time: the inner loop indexes dense per-chunk slices.
+    zip_chunks(&cols, |base, chunk_cols| {
+        for r in 0..chunk_cols[0].len() {
+            let i = base + r;
+            if filter(&tuples[i]) {
+                groups.entry(CodeKey::of_row(chunk_cols, r)).or_default().push(i);
+            }
+        }
+    });
     groups
 }
 
@@ -180,10 +212,10 @@ pub fn group_codes_filtered(
 /// inside the comparator. Used only by small/reporting paths.
 pub fn sort_by(rel: &Relation, attrs: &[AttrId]) -> Relation {
     let ranks: Vec<Vec<u32>> = attrs.iter().map(|&a| rel.dictionary(a).rank_map()).collect();
-    let cols = rel.code_slices(attrs);
+    let cols = rel.code_views(attrs);
     let mut idx: Vec<usize> = (0..rel.len()).collect();
     idx.sort_by_cached_key(|&i| {
-        cols.iter().zip(&ranks).map(|(c, r)| r[c[i] as usize]).collect::<Vec<u32>>()
+        cols.iter().zip(&ranks).map(|(c, r)| r[c.at(i) as usize]).collect::<Vec<u32>>()
     });
     let mut out = rel.with_capacity_like(rel.len());
     for i in idx {
@@ -209,9 +241,9 @@ fn code_translation(left: &Relation, l: AttrId, right: &Relation, r: AttrId) -> 
 /// The key of `left` row `i` expressed in `right`'s code space, or `None`
 /// if some cell's value does not exist on the right (no partner possible).
 #[inline]
-fn translated_key(cols: &[&[u32]], trans: &[Option<Vec<u32>>], i: usize) -> Option<CodeKey> {
+fn translated_key(cols: &[CodesView<'_>], trans: &[Option<Vec<u32>>], i: usize) -> Option<CodeKey> {
     let translated = |j: usize| -> u32 {
-        let code = cols[j][i];
+        let code = cols[j].at(i);
         match &trans[j] {
             None => code,
             Some(map) => map.get(code as usize).copied().unwrap_or(NO_CODE),
@@ -279,14 +311,14 @@ pub fn hash_join(
     let schema = b.build()?;
 
     // Build over the right input's own codes; probe with translated keys.
-    let rcols = right.code_slices(right_on);
+    let rcols = right.code_views(right_on);
     let mut index: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
     for i in 0..right.len() {
-        index.entry(CodeKey::of_row(&rcols, i)).or_default().push(i);
+        index.entry(CodeKey::of_view_row(&rcols, i)).or_default().push(i);
     }
     let trans: Vec<Option<Vec<u32>>> =
         left_on.iter().zip(right_on).map(|(&l, &r)| code_translation(left, l, right, r)).collect();
-    let lcols = left.code_slices(left_on);
+    let lcols = left.code_views(left_on);
     let mut out = Relation::with_capacity(schema, left.len());
     for (li, lt) in left.iter().enumerate() {
         let Some(key) = translated_key(&lcols, &trans, li) else { continue };
@@ -321,14 +353,14 @@ pub fn semijoin(
             detail: format!("semijoin key arity mismatch: {} vs {}", left_on.len(), right_on.len()),
         });
     }
-    let rcols = right.code_slices(right_on);
+    let rcols = right.code_views(right_on);
     let mut keys: FxHashSet<CodeKey> = FxHashSet::default();
     for i in 0..right.len() {
-        keys.insert(CodeKey::of_row(&rcols, i));
+        keys.insert(CodeKey::of_view_row(&rcols, i));
     }
     let trans: Vec<Option<Vec<u32>>> =
         left_on.iter().zip(right_on).map(|(&l, &r)| code_translation(left, l, right, r)).collect();
-    let lcols = left.code_slices(left_on);
+    let lcols = left.code_views(left_on);
     let mut out = left.empty_like();
     for (li, t) in left.iter().enumerate() {
         let contained = translated_key(&lcols, &trans, li).is_some_and(|key| keys.contains(&key));

@@ -4,7 +4,7 @@ use crate::delta::{DeltaEffect, RelationDelta};
 use crate::error::RelationError;
 use crate::fxhash::FxHashMap;
 use crate::schema::{AttrId, Schema, ValueType};
-use crate::store::{Column, Dictionary};
+use crate::store::{CodesView, Column, Dictionary};
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
 use std::fmt;
@@ -253,7 +253,7 @@ impl Relation {
                 let Some(&i) = pos.get(tid) else {
                     return Err(RelationError::UnknownTuple { tid: tid.0 });
                 };
-                let codes: Box<[u32]> = self.columns.iter().map(|c| c.codes()[i]).collect();
+                let codes: Box<[u32]> = self.columns.iter().map(|c| c.codes().at(i)).collect();
                 effect.deleted.push((*tid, codes));
             }
             let mut keep = vec![true; self.tuples.len()];
@@ -282,7 +282,7 @@ impl Relation {
                 let mut codes = Vec::with_capacity(self.columns.len());
                 for ((v, col), memo) in t.values().iter().zip(&mut self.columns).zip(&mut memos) {
                     col.push_cached(v, memo);
-                    codes.push(*col.codes().last().expect("push appended a code"));
+                    codes.push(col.last_code().expect("push appended a code"));
                 }
                 effect.inserted.push((t.tid, codes.into_boxed_slice()));
                 self.tuples.push(t.clone());
@@ -321,10 +321,24 @@ impl Relation {
         attrs.iter().map(|&a| self.columns[a.index()].dict().clone()).collect()
     }
 
-    /// The code slices of the given attributes, in order — the inputs of
+    /// The code views of the given attributes, in order — the inputs of
     /// every code-keyed hot loop (group-by, σ-partitioning, join keys).
-    pub fn code_slices(&self, attrs: &[AttrId]) -> Vec<&[u32]> {
+    /// The views share one chunk layout (all columns of a relation are
+    /// built with the same chunk size), so scans zip their chunks with
+    /// [`crate::store::zip_chunks`] and read dense `&[u32]` slices.
+    pub fn code_views(&self, attrs: &[AttrId]) -> Vec<CodesView<'_>> {
         attrs.iter().map(|&a| self.columns[a.index()].codes()).collect()
+    }
+
+    /// The chunk size this relation's columns were built with.
+    pub fn chunk_rows(&self) -> usize {
+        self.columns.first().map_or_else(crate::store::chunk_rows, Column::chunk_rows)
+    }
+
+    /// Number of storage chunks per column (0 when empty) — the morsel
+    /// count of this relation for chunk-granular scheduling.
+    pub fn n_chunks(&self) -> usize {
+        self.tuples.len().div_ceil(self.chunk_rows())
     }
 
     /// Decodes a code vector produced over `attrs` back into values
@@ -344,8 +358,8 @@ impl Relation {
     /// code-native wire. One `u32` per cell; decoding happens only at
     /// the receiver, and only for violating group keys.
     pub fn code_rows(&self, attrs: &[AttrId], rows: &[usize]) -> Vec<(TupleId, Box<[u32]>)> {
-        let cols: Vec<&[u32]> = self.code_slices(attrs);
-        rows.iter().map(|&i| (self.tuples[i].tid, cols.iter().map(|c| c[i]).collect())).collect()
+        let cols: Vec<CodesView<'_>> = self.code_views(attrs);
+        rows.iter().map(|&i| (self.tuples[i].tid, cols.iter().map(|c| c.at(i)).collect())).collect()
     }
 
     /// Appends a row given as dictionary codes (one per attribute, in

@@ -1,4 +1,4 @@
-//! Dictionary-encoded columnar storage.
+//! Dictionary-encoded columnar storage, chunked for morsel-driven scans.
 //!
 //! Every [`Relation`](crate::Relation) keeps, alongside its row vector, one
 //! [`Column`] per attribute: a dense array of `u32` *codes*, each code
@@ -19,13 +19,28 @@
 //! fragment constructor re-encodes nothing, and codes remain comparable
 //! between the parent and every fragment. Interning is append-only behind
 //! an `RwLock`; the per-tuple hot paths never take the lock — they read
-//! plain `&[u32]` code slices and only touch the dictionary to decode one
-//! value per *group* (or per pattern constant), not per tuple.
+//! dense code chunks and only touch the dictionary to decode one value per
+//! *group* (or per pattern constant), not per tuple.
+//!
+//! # Chunked layout
+//!
+//! A column's codes are stored as a sequence of fixed-size dense chunks
+//! ([`chunk_rows`] codes each; only the last chunk may be shorter). The
+//! chunk is the execution layer's *morsel*: `dcd_dist::pool` schedules
+//! `(site, chunk)` units onto its persistent workers, so a skewed
+//! partition still parallelizes inside its one big fragment. Scans use
+//! [`CodesView::chunks`] (plain `&[u32]` slices, no per-row division);
+//! random access goes through [`CodesView::at`]. The chunk size comes
+//! from `DCD_CHUNK_ROWS` (default [`DEFAULT_CHUNK_ROWS`]) and is captured
+//! per column at construction, so every column of one relation shares one
+//! chunk layout and multi-column scans zip aligned chunks.
 
 use crate::fxhash::FxHashMap;
 use crate::value::Value;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::ops::Index;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Sentinel code meaning "matches any value" in compiled pattern cells.
 /// Never assigned to a real value.
@@ -38,6 +53,60 @@ pub const NO_CODE: u32 = u32::MAX - 1;
 
 /// Codes at or above this bound are reserved for the sentinels above.
 const CODE_LIMIT: u32 = u32::MAX - 2;
+
+/// Rows per column chunk when neither the `DCD_CHUNK_ROWS` environment
+/// variable nor [`set_chunk_rows`] overrides it: 64Ki codes (256 KiB per
+/// chunk) — large enough that per-chunk bookkeeping is noise, small
+/// enough that one fragment yields many morsels.
+pub const DEFAULT_CHUNK_ROWS: usize = 64 * 1024;
+
+/// Process-wide programmatic override; 0 means "not set". Tests and
+/// benches that compare chunk layouts within one process use
+/// [`set_chunk_rows`] instead of re-exec'ing with a different
+/// environment.
+static CHUNK_ROWS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_chunk_rows() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("DCD_CHUNK_ROWS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_CHUNK_ROWS)
+    })
+}
+
+/// The chunk size (rows per chunk) new columns are built with:
+/// [`set_chunk_rows`] override if present, else `DCD_CHUNK_ROWS` from the
+/// environment (read once), else [`DEFAULT_CHUNK_ROWS`]. Any size ≥ 1 is
+/// valid, including non-powers-of-two; CI runs the whole suite at 257 to
+/// exercise misaligned chunk seams.
+pub fn chunk_rows() -> usize {
+    // Atomics audit: SeqCst load/store on a cold configuration knob —
+    // ordering strength is irrelevant here (the value is read once per
+    // column construction, never on a per-row path) so the strongest
+    // ordering documents that no performance case was being made.
+    match CHUNK_ROWS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => env_chunk_rows(),
+        n => n,
+    }
+}
+
+/// Overrides (or with `None` restores) the process-wide chunk size used
+/// by columns constructed *after* the call. Existing columns keep the
+/// layout they were built with — chunk size is captured per column, so
+/// relations built under different settings coexist safely.
+pub fn set_chunk_rows(rows: Option<usize>) {
+    let v = match rows {
+        Some(n) => {
+            assert!(n >= 1, "chunk size must be at least one row");
+            n
+        }
+        None => 0,
+    };
+    CHUNK_ROWS_OVERRIDE.store(v, Ordering::SeqCst);
+}
 
 #[derive(Debug, Default)]
 struct DictInner {
@@ -149,28 +218,36 @@ impl Clone for Dictionary {
 }
 
 /// One dictionary-encoded column of a relation: a shared [`Dictionary`]
-/// plus a dense array of codes, one per row in insertion order.
+/// plus a dense array of codes, one per row in insertion order, stored
+/// as fixed-size chunks (see the module docs).
+///
+/// Invariant: every chunk holds exactly `chunk_rows` codes except the
+/// last, which holds `1..=chunk_rows`.
 #[derive(Debug, Clone)]
 pub struct Column {
     dict: Arc<Dictionary>,
-    codes: Vec<u32>,
+    chunks: Vec<Vec<u32>>,
+    len: usize,
+    chunk_rows: usize,
 }
 
 impl Column {
     /// Creates an empty column over a fresh dictionary.
     pub fn new() -> Self {
-        Column { dict: Arc::new(Dictionary::new()), codes: Vec::new() }
+        Column::sharing(Arc::new(Dictionary::new()))
     }
 
     /// Creates an empty column sharing `dict` (fragment construction:
     /// codes stay comparable with every other column over `dict`).
     pub fn sharing(dict: Arc<Dictionary>) -> Self {
-        Column { dict, codes: Vec::new() }
+        Column { dict, chunks: Vec::new(), len: 0, chunk_rows: chunk_rows() }
     }
 
     /// Creates an empty column sharing `dict`, with room for `cap` rows.
     pub fn sharing_with_capacity(dict: Arc<Dictionary>, cap: usize) -> Self {
-        Column { dict, codes: Vec::with_capacity(cap) }
+        let mut c = Column::sharing(dict);
+        c.reserve(cap);
+        c
     }
 
     /// The column's dictionary.
@@ -178,27 +255,42 @@ impl Column {
         &self.dict
     }
 
-    /// The code array, one entry per row.
+    /// A read view of the code array, one entry per row (chunk-aware:
+    /// see [`CodesView`]).
     #[inline]
-    pub fn codes(&self) -> &[u32] {
-        &self.codes
+    pub fn codes(&self) -> CodesView<'_> {
+        CodesView { chunks: &self.chunks, len: self.len, chunk_rows: self.chunk_rows }
+    }
+
+    /// The chunk size this column was built with.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.codes.len()
+        self.len
     }
 
     /// Whether the column holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.len == 0
+    }
+
+    #[inline]
+    fn push_raw(&mut self, code: u32) {
+        if self.len == self.chunks.len() * self.chunk_rows {
+            self.chunks.push(Vec::with_capacity(self.chunk_rows.min(4096)));
+        }
+        self.chunks.last_mut().expect("chunk just ensured").push(code);
+        self.len += 1;
     }
 
     /// Appends a value, interning it; returns the canonical value so the
     /// caller's row store can share the dictionary's allocation.
     pub fn push(&mut self, v: &Value) -> Value {
         let (code, canonical) = self.dict.intern(v);
-        self.codes.push(code);
+        self.push_raw(code);
         canonical
     }
 
@@ -209,11 +301,13 @@ impl Column {
     /// row — on low-cardinality columns the lock all but disappears.
     pub fn push_cached(&mut self, v: &Value, memo: &mut FxHashMap<Value, (u32, Value)>) -> Value {
         if let Some((code, canonical)) = memo.get(v) {
-            self.codes.push(*code);
-            return canonical.clone();
+            let code = *code;
+            let canonical = canonical.clone();
+            self.push_raw(code);
+            return canonical;
         }
         let (code, canonical) = self.dict.intern(v);
-        self.codes.push(code);
+        self.push_raw(code);
         memo.insert(canonical.clone(), (code, canonical.clone()));
         canonical
     }
@@ -227,33 +321,56 @@ impl Column {
     /// Panics if `code` was never assigned by this column's dictionary.
     pub fn push_code(&mut self, code: u32) -> Value {
         let canonical = self.dict.value(code);
-        self.codes.push(code);
+        self.push_raw(code);
         canonical
     }
 
-    /// Reserves room for `extra` more rows.
+    /// The code of the most recently appended row, if any.
+    pub fn last_code(&self) -> Option<u32> {
+        self.chunks.last().and_then(|c| c.last().copied())
+    }
+
+    /// Reserves room for `extra` more rows (bounded by the chunk size:
+    /// chunks past the current one are allocated as they fill).
     pub fn reserve(&mut self, extra: usize) {
-        self.codes.reserve(extra);
+        if extra == 0 {
+            return;
+        }
+        let tail_room = self.chunks.len() * self.chunk_rows - self.len;
+        if extra > tail_room {
+            let want = (self.chunk_rows - self.len % self.chunk_rows).min(extra);
+            if self.len == self.chunks.len() * self.chunk_rows {
+                self.chunks.push(Vec::with_capacity(want.min(self.chunk_rows)));
+            } else if let Some(last) = self.chunks.last_mut() {
+                last.reserve(want.saturating_sub(last.capacity() - last.len()));
+            }
+        }
     }
 
     /// Drops every row whose `keep` flag is false, preserving the order
     /// of the kept rows (`keep.len()` must equal the column length).
     /// The delta-maintenance hook: dictionaries are append-only, so a
     /// removed row's code simply stops being referenced — codes are
-    /// never recycled and stay decodable.
+    /// never recycled and stay decodable. The survivors are re-packed
+    /// into dense chunks, so the chunk invariant holds afterwards.
     pub fn retain_rows(&mut self, keep: &[bool]) {
-        debug_assert_eq!(keep.len(), self.codes.len());
-        let mut i = 0;
-        self.codes.retain(|_| {
-            let k = keep[i];
-            i += 1;
-            k
-        });
+        debug_assert_eq!(keep.len(), self.len);
+        let old = std::mem::take(&mut self.chunks);
+        self.len = 0;
+        let mut row = 0;
+        for chunk in old {
+            for code in chunk {
+                if keep[row] {
+                    self.push_raw(code);
+                }
+                row += 1;
+            }
+        }
     }
 
     /// Decodes the value at `row`.
     pub fn decode(&self, row: usize) -> Value {
-        self.dict.value(self.codes[row])
+        self.dict.value(self.codes().at(row))
     }
 }
 
@@ -265,7 +382,198 @@ impl Default for Column {
 
 impl fmt::Display for Column {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Column[{} rows, {} distinct]", self.codes.len(), self.dict.len())
+        write!(f, "Column[{} rows, {} distinct]", self.len, self.dict.len())
+    }
+}
+
+/// A borrowed read view of a column's codes across its chunks.
+///
+/// Sequential scans should iterate [`CodesView::chunks`] — each chunk is
+/// a plain dense `&[u32]`, so the inner loop pays no per-row division.
+/// Random access uses [`CodesView::at`] (or indexing, which returns the
+/// code by value). All columns of one relation share a chunk layout, so
+/// views over them yield aligned chunks (see
+/// [`zip_chunks`](crate::Relation::code_views) users).
+#[derive(Clone, Copy)]
+pub struct CodesView<'a> {
+    chunks: &'a [Vec<u32>],
+    len: usize,
+    chunk_rows: usize,
+}
+
+impl<'a> CodesView<'a> {
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view covers no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The chunk size of the underlying column.
+    #[inline]
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of chunks (0 for an empty column).
+    #[inline]
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The codes of chunk `ci` as a dense slice.
+    #[inline]
+    pub fn chunk(&self, ci: usize) -> &'a [u32] {
+        &self.chunks[ci]
+    }
+
+    /// The code at `row` (random access: one division by the chunk
+    /// size). Panics if `row` is out of bounds.
+    #[inline]
+    pub fn at(&self, row: usize) -> u32 {
+        self.chunks[row / self.chunk_rows][row % self.chunk_rows]
+    }
+
+    /// The code at `row`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<u32> {
+        if row < self.len {
+            Some(self.at(row))
+        } else {
+            None
+        }
+    }
+
+    /// The last code, if any.
+    pub fn last(&self) -> Option<u32> {
+        self.chunks.last().and_then(|c| c.last().copied())
+    }
+
+    /// Iterates all codes in row order (chunk-wise internally).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+
+    /// Iterates the chunks as dense slices, in row order — the scan
+    /// fast path.
+    pub fn chunks(&self) -> impl Iterator<Item = &'a [u32]> + 'a {
+        self.chunks.iter().map(Vec::as_slice)
+    }
+
+    /// Collects the codes into one contiguous vector (test/debug and
+    /// cold-path helper).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in self.chunks {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+}
+
+impl Index<usize> for CodesView<'_> {
+    type Output = u32;
+    #[inline]
+    fn index(&self, row: usize) -> &u32 {
+        &self.chunks[row / self.chunk_rows][row % self.chunk_rows]
+    }
+}
+
+impl fmt::Debug for CodesView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for CodesView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl PartialEq<[u32]> for CodesView<'_> {
+    fn eq(&self, other: &[u32]) -> bool {
+        self.len == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[u32]> for CodesView<'_> {
+    fn eq(&self, other: &&[u32]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<u32>> for CodesView<'_> {
+    fn eq(&self, other: &Vec<u32>) -> bool {
+        *self == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u32; N]> for CodesView<'_> {
+    fn eq(&self, other: &[u32; N]) -> bool {
+        *self == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u32; N]> for CodesView<'_> {
+    fn eq(&self, other: &&[u32; N]) -> bool {
+        *self == other[..]
+    }
+}
+
+/// Walks the aligned chunks of several views in lockstep, calling
+/// `f(base_row, chunk_slices)` once per chunk with the dense per-column
+/// slices of that chunk. Every view must have the same length and chunk
+/// size (true for columns of one relation — the constructors capture one
+/// chunk size for all of them); with no views, `f` is never called.
+///
+/// This is the multi-column scan fast path: the callee indexes plain
+/// `&[u32]` slices relative to the chunk, with `base_row` recovering
+/// global row indices.
+pub fn zip_chunks<'a>(views: &[CodesView<'a>], mut f: impl FnMut(usize, &[&'a [u32]])) {
+    let Some(first) = views.first() else { return };
+    zip_chunks_range(views, 0, first.len, |base, lo, hi, slices| {
+        debug_assert!(lo == 0 && base % first.chunk_rows == 0);
+        debug_assert_eq!(hi, slices[0].len());
+        f(base, slices);
+    });
+}
+
+/// [`zip_chunks`] restricted to the global row range `start..end`: calls
+/// `f(chunk_base_row, lo, hi, chunk_slices)` once per chunk overlapping
+/// the range, where the in-range rows of that chunk are
+/// `chunk_base_row + r` for `r in lo..hi`. Morsel workers use this to
+/// scan one chunk-aligned slice of a fragment; unaligned ranges work too
+/// (the first/last chunks are walked partially).
+pub fn zip_chunks_range<'a>(
+    views: &[CodesView<'a>],
+    start: usize,
+    end: usize,
+    mut f: impl FnMut(usize, usize, usize, &[&'a [u32]]),
+) {
+    let Some(first) = views.first() else { return };
+    debug_assert!(
+        views.iter().all(|v| v.len == first.len && v.chunk_rows == first.chunk_rows),
+        "zip_chunks requires aligned chunk layouts (columns of one relation)"
+    );
+    debug_assert!(start <= end && end <= first.len);
+    if start >= end {
+        return;
+    }
+    let cr = first.chunk_rows;
+    let mut slices: Vec<&'a [u32]> = Vec::with_capacity(views.len());
+    for ci in start / cr..end.div_ceil(cr) {
+        let base = ci * cr;
+        slices.clear();
+        slices.extend(views.iter().map(|v| v.chunk(ci)));
+        let lo = start.saturating_sub(base);
+        let hi = (end - base).min(slices[0].len());
+        f(base, lo, hi, &slices);
     }
 }
 
@@ -370,5 +678,103 @@ mod tests {
         let (code, _) = d.intern(&Value::Int(0));
         // NO_CODE < WILDCARD_CODE, so this bounds the code below both.
         assert!(code < NO_CODE);
+    }
+
+    /// Builds a column with chunk size `rows`, restoring the previous
+    /// setting afterwards. The override is process-global and the test
+    /// harness runs tests concurrently, so chunk-size tests serialize
+    /// through one lock.
+    fn with_chunk_rows<T>(rows: usize, f: impl FnOnce() -> T) -> T {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = GUARD.lock().expect("chunk-size test lock poisoned");
+        set_chunk_rows(Some(rows));
+        let out = f();
+        set_chunk_rows(None);
+        out
+    }
+
+    #[test]
+    fn chunked_column_matches_flat_semantics() {
+        let codes: Vec<u32> = (0..23).map(|i| i % 5).collect();
+        for rows in [1, 3, 7, 23, 64] {
+            let c = with_chunk_rows(rows, || {
+                let mut c = Column::new();
+                for &k in &codes {
+                    c.push(&Value::Int(k as i64));
+                }
+                c
+            });
+            assert_eq!(c.chunk_rows(), rows);
+            assert_eq!(c.codes().to_vec(), codes, "rows = {rows}");
+            assert_eq!(c.codes().n_chunks(), codes.len().div_ceil(rows));
+            for (i, &k) in codes.iter().enumerate() {
+                assert_eq!(c.codes().at(i), k);
+                assert_eq!(c.codes()[i], k);
+            }
+            assert_eq!(c.codes().get(codes.len()), None);
+            assert_eq!(c.codes().last(), codes.last().copied());
+            assert_eq!(c.last_code(), codes.last().copied());
+            // Every chunk except the last is exactly full.
+            let sizes: Vec<usize> = c.codes().chunks().map(<[u32]>::len).collect();
+            for (ci, &s) in sizes.iter().enumerate() {
+                if ci + 1 < sizes.len() {
+                    assert_eq!(s, rows, "chunk {ci} of {sizes:?}");
+                } else {
+                    assert!(s >= 1 && s <= rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retain_rows_repacks_across_chunk_seams() {
+        let c = with_chunk_rows(4, || {
+            let mut c = Column::new();
+            for i in 0..11 {
+                c.push(&Value::Int(i));
+            }
+            let keep: Vec<bool> = (0..11).map(|i| i % 3 != 1).collect();
+            c.retain_rows(&keep);
+            c
+        });
+        let want: Vec<u32> = (0..11).filter(|i| i % 3 != 1).map(|i| i as u32).collect();
+        assert_eq!(c.codes().to_vec(), want);
+        // Re-packed dense: all chunks full except the last.
+        let sizes: Vec<usize> = c.codes().chunks().map(<[u32]>::len).collect();
+        assert_eq!(sizes, vec![4, 3]);
+    }
+
+    #[test]
+    fn zip_chunks_walks_aligned_layouts() {
+        let (a, b) = with_chunk_rows(5, || {
+            let mut a = Column::new();
+            let mut b = Column::new();
+            for i in 0..12 {
+                a.push(&Value::Int(i));
+                b.push(&Value::Int(i * 10));
+            }
+            (a, b)
+        });
+        let mut seen: Vec<(usize, u32, u32)> = Vec::new();
+        zip_chunks(&[a.codes(), b.codes()], |base, cols| {
+            assert_eq!(cols.len(), 2);
+            for (i, (&ca, &cb)) in cols[0].iter().zip(cols[1]).enumerate() {
+                seen.push((base + i, ca, cb));
+            }
+        });
+        assert_eq!(seen.len(), 12);
+        for (row, ca, cb) in seen {
+            assert_eq!(a.codes().at(row), ca);
+            assert_eq!(b.codes().at(row), cb);
+        }
+    }
+
+    #[test]
+    fn chunk_rows_env_and_default() {
+        // Whatever the environment says, the resolved size is positive
+        // and the override wins.
+        assert!(chunk_rows() >= 1);
+        with_chunk_rows(123, || assert_eq!(chunk_rows(), 123));
+        assert!(chunk_rows() >= 1);
     }
 }

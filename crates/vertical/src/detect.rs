@@ -33,49 +33,8 @@ pub enum ShipMode {
     Filtered,
 }
 
-/// Result of a vertical detection run (the legacy output shape of the
-/// deprecated [`detect_vertical`] shim; [`run_vertical`] returns the
-/// workspace-wide [`Detection`] instead).
-#[derive(Debug)]
-pub struct VerticalDetection {
-    /// Per-CFD violations.
-    pub violations: ViolationReport,
-    /// Total rows shipped.
-    pub shipped_tuples: usize,
-    /// Total cells shipped.
-    pub shipped_cells: usize,
-    /// Simulated response time (seconds).
-    pub response_time: f64,
-    /// CFDs checked without any shipment.
-    pub locally_checked: usize,
-}
-
-/// Detects violations of Σ in a vertical partition, shipping projected
-/// columns to per-CFD coordinators where necessary.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `distributed_cfd::DetectRequest` over `Topology::Vertical` instead"
-)]
-pub fn detect_vertical(
-    partition: &VerticalPartition,
-    sigma: &[Cfd],
-    mode: ShipMode,
-    cost: &CostModel,
-) -> Result<VerticalDetection, RelationError> {
-    let cfg = RunConfig { cost: *cost, ..RunConfig::default() };
-    let (d, locally_checked) = run_impl(partition, sigma, mode, &cfg)?;
-    Ok(VerticalDetection {
-        violations: d.violations,
-        shipped_tuples: d.shipped_tuples,
-        shipped_cells: d.shipped_cells,
-        response_time: d.response_time,
-        locally_checked,
-    })
-}
-
 /// Runs `VERTDETECT` over a vertical partition — the engine behind the
-/// deprecated [`detect_vertical`] shim and the `DetectRequest` façade
-/// of the `distributed-cfd` root crate. Same placement rules, with the
+/// `DetectRequest` façade of the `distributed-cfd` root crate, with the
 /// full [`Detection`] accounting (bytes, per-site clocks, the §III-B
 /// paper cost) every other topology reports.
 pub fn run_vertical(
@@ -295,9 +254,17 @@ fn rebase_cfd_by_names(cfd: &Cfd, local: &Relation) -> Result<Cfd, RelationError
 mod tests {
     use super::*;
 
-    /// The tests drive the engine (`run_impl`) directly: unlike the
-    /// deprecated `detect_vertical` shim it also reports how many CFDs
-    /// were checked locally.
+    /// Test-local result shape: the engine's [`Detection`] fields plus
+    /// how many CFDs were checked without shipment.
+    struct VerticalDetection {
+        violations: ViolationReport,
+        shipped_tuples: usize,
+        response_time: f64,
+        locally_checked: usize,
+    }
+
+    /// The tests drive the engine (`run_impl`) directly, which also
+    /// reports how many CFDs were checked locally.
     fn vdetect(
         p: &VerticalPartition,
         sigma: &[Cfd],
@@ -307,7 +274,6 @@ mod tests {
         Ok(VerticalDetection {
             violations: d.violations,
             shipped_tuples: d.shipped_tuples,
-            shipped_cells: d.shipped_cells,
             response_time: d.response_time,
             locally_checked,
         })

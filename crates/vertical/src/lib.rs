@@ -27,8 +27,6 @@ pub mod detect;
 pub mod preservation;
 pub mod refine;
 
-#[allow(deprecated)] // the shim stays importable for one release
-pub use detect::detect_vertical;
-pub use detect::{run_vertical, ShipMode, VerticalDetection};
+pub use detect::{run_vertical, ShipMode};
 pub use preservation::{is_preserved, locally_checkable_at, unpreserved};
 pub use refine::{refine_exact, refine_greedy, Augmentation};

@@ -2,10 +2,11 @@
 //! topology.
 //!
 //! The workspace grew five public detection entry points with five
-//! different signatures — the [`Detector`](dcd_core::Detector) trait
-//! for horizontal partitions, `detect_hybrid`, `detect_replicated`,
-//! `detect_vertical` and the incremental runs. This module folds them
-//! into a single front door, the shape a production service exposes
+//! different signatures — the per-topology engine functions
+//! (`run_batch`, `run_seq`/`run_clust`, `run_hybrid`,
+//! `run_replicated`, `run_vertical`) and the incremental runs. This
+//! module folds them into a single front door, the shape a production
+//! service exposes
 //! (measure-style front doors hiding the placement behind one request
 //! object are standard in the inconsistency-measurement literature —
 //! Livshits et al., *Properties of Inconsistency Measures for
@@ -25,8 +26,11 @@
 //! Every engine beneath the façade ships dictionary codes, never value
 //! payloads: batch coordinators gather `(tid, codes)` rows charged at
 //! 4 bytes/cell ([`dcd_dist::CODE_BYTES`]), and incremental sessions
-//! ship delta code rows the same way. The legacy entry points survive
-//! as thin deprecated shims for one release.
+//! ship delta code rows the same way. The pre-façade deprecated shims
+//! (`Detector::run*`, `MultiDetector::run`, the free `detect_*`
+//! functions) have been retired; the engines remain public for direct
+//! use, and `tests/prop_facade.rs` pins the façade bit-identical to
+//! them.
 //!
 //! ```
 //! use distributed_cfd::prelude::*;

@@ -80,8 +80,6 @@ pub mod prelude {
         CodeLayout, DiscoveryConfig, NormalPattern, PatternTuple, PatternValue, SimpleCfd,
         ViolationReport, ViolationSet,
     };
-    #[allow(deprecated)] // the legacy shims stay importable for one release
-    pub use dcd_core::{detect_hybrid, detect_replicated};
     pub use dcd_core::{
         mine_patterns, ClustDetect, CoordinatorStrategy, CtrDetect, Detection, DetectionSummary,
         Detector, MiningConfig, MultiDetector, PatDetectRT, PatDetectS, RunConfig, SeqDetect,
@@ -95,7 +93,5 @@ pub mod prelude {
         vals, Atom, CmpOp, Conjunction, DeltaEffect, Predicate, Relation, RelationDelta, Schema,
         Tuple, TupleId, Value, ValueType,
     };
-    #[allow(deprecated)] // the legacy shim stays importable for one release
-    pub use dcd_vertical::detect_vertical;
     pub use dcd_vertical::{is_preserved, refine_exact, refine_greedy, ShipMode};
 }

@@ -1,0 +1,145 @@
+//! The morsel determinism contract, pinned as a matrix: every detector
+//! × every topology must produce a bit-identical [`Detection`] across
+//! pool widths {1, 2, 8} × chunk sizes {7 rows, default}. The baseline
+//! is the width-1 default-chunk run; every other cell of the matrix
+//! must match it field for field, f64s compared by bits. This is the
+//! property `dcd_lint`'s `hash-iteration-order` and `stray-thread`
+//! rules guard statically and the morsel pipeline must uphold
+//! dynamically: scheduling (who runs which (site, chunk) morsel, in
+//! what order, stolen or not) must never reach the output.
+
+use distributed_cfd::prelude::*;
+use distributed_cfd::relation::set_chunk_rows;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("r")
+        .attr("id", ValueType::Int)
+        .attr("a", ValueType::Int)
+        .attr("b", ValueType::Int)
+        .attr("c", ValueType::Str)
+        .attr("d", ValueType::Str)
+        .key(&["id"])
+        .build()
+        .unwrap()
+}
+
+/// ~120 rows over tiny domains: plenty of FD collisions, several
+/// chunks at chunk size 7, and skew (site 0 of the round-robin gets no
+/// more than the others, but the `a = i % 3` domain skews groups).
+fn sample() -> Relation {
+    Relation::from_rows(
+        schema(),
+        (0..120)
+            .map(|i| {
+                vals![
+                    i,
+                    i % 3,
+                    i % 5,
+                    format!("c{}", i % 4),
+                    format!("d{}", if i % 7 == 0 { 9 } else { i % 2 })
+                ]
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn sigma(s: &Arc<Schema>) -> Vec<Cfd> {
+    vec![
+        parse_cfd(s, "phi1", "([a, b] -> [d])").unwrap(),
+        parse_cfd(s, "phi2", "([a=1, c] -> [d])").unwrap(),
+        parse_cfd(s, "phi3", "([b=2, c=c1] -> [d=d1])").unwrap(), // constant CFD
+    ]
+}
+
+/// Field-by-field bit equality of two [`Detection`]s.
+fn assert_identical(base: &Detection, got: &Detection, label: &str) {
+    assert_eq!(base.algorithm, got.algorithm, "{label} algorithm");
+    assert_eq!(base.violations.per_cfd.len(), got.violations.per_cfd.len(), "{label} per_cfd");
+    for ((na, va), (nb, vb)) in base.violations.per_cfd.iter().zip(&got.violations.per_cfd) {
+        assert_eq!(na, nb, "{label} cfd name");
+        assert_eq!(va.tids, vb.tids, "{label} Vio({na})");
+        assert_eq!(va.patterns, vb.patterns, "{label} Vioπ({na})");
+    }
+    assert_eq!(base.shipped_tuples, got.shipped_tuples, "{label} |M|");
+    assert_eq!(base.shipped_cells, got.shipped_cells, "{label} cells");
+    assert_eq!(base.shipped_bytes, got.shipped_bytes, "{label} bytes");
+    assert_eq!(base.control_messages, got.control_messages, "{label} control");
+    assert_eq!(base.response_time.to_bits(), got.response_time.to_bits(), "{label} time");
+    assert_eq!(base.paper_cost.to_bits(), got.paper_cost.to_bits(), "{label} paper");
+    assert_eq!(base.site_clocks.len(), got.site_clocks.len(), "{label} clocks");
+    for (s, (ca, cb)) in base.site_clocks.iter().zip(&got.site_clocks).enumerate() {
+        assert_eq!(ca.to_bits(), cb.to_bits(), "{label} clock of site {s}");
+    }
+}
+
+const ALGORITHMS: [Algorithm; 3] =
+    [Algorithm::CtrDetect, Algorithm::PatDetectS, Algorithm::PatDetectRT];
+
+/// One full sweep: rebuild the relation and all four topologies under
+/// the given chunk size, run every detector at the given width, return
+/// the labelled detections in a fixed order.
+fn sweep(chunk: Option<usize>, threads: usize) -> Vec<(String, Detection)> {
+    set_chunk_rows(chunk);
+    let rel = sample();
+    let s = rel.schema().clone();
+    let sigma = sigma(&s);
+    let cfg = RunConfig::default().with_threads(threads);
+    let horizontal = HorizontalPartition::round_robin(&rel, 4).unwrap();
+    let vertical =
+        VerticalPartition::by_attribute_groups(&rel, &[&["id", "a", "b"], &["c"], &["d"]]).unwrap();
+    let hybrid = HybridPartition::new(&horizontal, &[&["id", "a", "b"], &["c", "d"]]).unwrap();
+    let replicated = ReplicatedPartition::chained(horizontal.clone(), 2).unwrap();
+    set_chunk_rows(None);
+
+    let run = |topo: Topology, alg: Algorithm| {
+        DetectRequest::over(topo)
+            .cfds(sigma.iter().cloned())
+            .algorithm(alg)
+            .config(cfg)
+            .run()
+            .expect("matrix run succeeds")
+    };
+
+    let mut out = Vec::new();
+    for alg in ALGORITHMS {
+        out.push((format!("horizontal/{alg:?}"), run(Topology::from(horizontal.clone()), alg)));
+        out.push((format!("hybrid/{alg:?}"), run(Topology::from(hybrid.clone()), alg)));
+    }
+    out.push((
+        "horizontal/SeqDetect".into(),
+        run(horizontal.clone().into(), Algorithm::seq_detect()),
+    ));
+    out.push((
+        "horizontal/ClustDetect".into(),
+        run(horizontal.clone().into(), Algorithm::clust_detect()),
+    ));
+    out.push(("replicated".into(), run(replicated.into(), Algorithm::PatDetectS)));
+    out.push(("vertical".into(), run(vertical.into(), Algorithm::PatDetectS)));
+    out
+}
+
+#[test]
+fn detections_are_bit_identical_across_widths_and_chunk_sizes() {
+    // Baseline: one worker, default chunk size.
+    let baseline = sweep(None, 1);
+    assert!(
+        baseline.iter().any(|(_, d)| !d.violations.all_tids().is_empty()),
+        "fixture should contain violations"
+    );
+    for chunk in [None, Some(7)] {
+        for threads in [1usize, 2, 8] {
+            if chunk.is_none() && threads == 1 {
+                continue; // the baseline itself
+            }
+            let got = sweep(chunk, threads);
+            assert_eq!(baseline.len(), got.len());
+            for ((label, base), (label2, d)) in baseline.iter().zip(&got) {
+                assert_eq!(label, label2);
+                let cell = format!("{label} @threads={threads}, chunk={chunk:?}");
+                assert_identical(base, d, &cell);
+            }
+        }
+    }
+}

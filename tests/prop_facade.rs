@@ -1,16 +1,16 @@
 //! Façade equivalence: `DetectRequest` is pinned **bit-identical** to
-//! every legacy entry point it replaces — all five detectors over
-//! horizontal partitions, the hybrid, replicated and vertical
-//! detectors — at pool widths 1 and 8, on random relations, CFDs and
-//! partitions. Every field of the [`Detection`] must match, f64s
-//! compared by bits (the determinism contract, not an epsilon match),
-//! so the shims can be retired without a behavior change.
+//! the engine functions it fronts — `run_batch` for the three
+//! single-CFD detectors, `run_seq`/`run_clust` for the multi-CFD
+//! algorithms, and `run_hybrid`/`run_replicated`/`run_vertical` for the
+//! other topologies — at pool widths 1 and 8, on random relations, CFDs
+//! and partitions. Every field of the [`Detection`] must match, f64s
+//! compared by bits (the determinism contract, not an epsilon match).
+//! The pre-façade `detect_*`/`Detector::run*` shims are gone; this
+//! suite is what keeps the façade honest against the engines directly.
 
-// The whole point of this suite is to drive the deprecated shims as
-// the reference implementation.
-#![allow(deprecated)]
-
+use distributed_cfd::core::{run_batch, run_clust, run_hybrid, run_replicated, run_seq};
 use distributed_cfd::prelude::*;
+use distributed_cfd::vertical::run_vertical;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -119,10 +119,10 @@ fn facade(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Horizontal topology: all five detectors, façade ≡ legacy, pool
+    /// Horizontal topology: all five detectors, façade ≡ engine, pool
     /// widths 1 and 8.
     #[test]
-    fn facade_matches_legacy_horizontal(
+    fn facade_matches_engine_horizontal(
         rows in arb_rows(),
         pats in arb_patterns(),
         rhs_const in prop::option::of(0..3u8),
@@ -136,13 +136,13 @@ proptest! {
         let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
         for threads in [1usize, 8] {
             let cfg = RunConfig::default().with_threads(threads);
-            // The three single-CFD detectors (one CFD, like the trait).
+            // The three single-CFD detectors (one CFD, like the engine).
             for (alg, det) in [
                 (Algorithm::CtrDetect, &CtrDetect as &dyn Detector),
                 (Algorithm::PatDetectS, &PatDetectS),
                 (Algorithm::PatDetectRT, &PatDetectRT),
             ] {
-                let legacy = det.run(&partition, &cfd, &cfg);
+                let engine = run_batch(&partition, &cfd.simplify(), det.strategy(), &cfg);
                 let new = facade(
                     partition.clone(),
                     std::slice::from_ref(&cfd),
@@ -150,22 +150,23 @@ proptest! {
                     cfg,
                     ShipMode::Full,
                 );
-                assert_identical(&legacy, &new, &format!("{} @{threads}", det.name()))?;
+                assert_identical(&engine, &new, &format!("{} @{threads}", det.name()))?;
             }
             // The two multi-CFD detectors (two CFDs).
-            let legacy = SeqDetect::default().run(&partition, &sigma, &cfg);
+            let inner = CoordinatorStrategy::MinResponseTime;
+            let engine = run_seq(&partition, &sigma, inner, &cfg);
             let new = facade(partition.clone(), &sigma, Algorithm::seq_detect(), cfg, ShipMode::Full);
-            assert_identical(&legacy, &new, &format!("SEQDETECT @{threads}"))?;
-            let legacy = ClustDetect::default().run(&partition, &sigma, &cfg);
+            assert_identical(&engine, &new, &format!("SEQDETECT @{threads}"))?;
+            let engine = run_clust(&partition, &sigma, inner, &cfg);
             let new =
                 facade(partition.clone(), &sigma, Algorithm::clust_detect(), cfg, ShipMode::Full);
-            assert_identical(&legacy, &new, &format!("CLUSTDETECT @{threads}"))?;
+            assert_identical(&engine, &new, &format!("CLUSTDETECT @{threads}"))?;
         }
     }
 
-    /// Replicated topology: façade ≡ `detect_replicated` at factors 1–3.
+    /// Replicated topology: façade ≡ `run_replicated` at factors 1–3.
     #[test]
-    fn facade_matches_legacy_replicated(
+    fn facade_matches_engine_replicated(
         rows in arb_rows(),
         pats in arb_patterns(),
         factor in 1..4usize,
@@ -176,7 +177,7 @@ proptest! {
         let replicated = ReplicatedPartition::chained(base, factor.min(3)).unwrap();
         for threads in [1usize, 8] {
             let cfg = RunConfig::default().with_threads(threads);
-            let legacy = detect_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
+            let engine = run_replicated(&replicated, std::slice::from_ref(&cfd), &cfg);
             let new = facade(
                 replicated.clone(),
                 std::slice::from_ref(&cfd),
@@ -184,13 +185,13 @@ proptest! {
                 cfg,
                 ShipMode::Full,
             );
-            assert_identical(&legacy, &new, &format!("REPDETECT @{threads}"))?;
+            assert_identical(&engine, &new, &format!("REPDETECT @{threads}"))?;
         }
     }
 
-    /// Hybrid topology: façade ≡ `detect_hybrid` for every strategy.
+    /// Hybrid topology: façade ≡ `run_hybrid` for every strategy.
     #[test]
-    fn facade_matches_legacy_hybrid(
+    fn facade_matches_engine_hybrid(
         rows in arb_rows(),
         pats in arb_patterns(),
         n_cells in 1..4usize,
@@ -206,8 +207,8 @@ proptest! {
                 (Algorithm::PatDetectS, CoordinatorStrategy::MinShipment),
                 (Algorithm::PatDetectRT, CoordinatorStrategy::MinResponseTime),
             ] {
-                let legacy =
-                    detect_hybrid(&hybrid, std::slice::from_ref(&cfd), strategy, &cfg).unwrap();
+                let engine =
+                    run_hybrid(&hybrid, std::slice::from_ref(&cfd), strategy, &cfg).unwrap();
                 let new = facade(
                     hybrid.clone(),
                     std::slice::from_ref(&cfd),
@@ -215,15 +216,15 @@ proptest! {
                     cfg,
                     ShipMode::Full,
                 );
-                assert_identical(&legacy, &new, &format!("HYBRID {strategy:?} @{threads}"))?;
+                assert_identical(&engine, &new, &format!("HYBRID {strategy:?} @{threads}"))?;
             }
         }
     }
 
-    /// Vertical topology: façade ≡ `detect_vertical` on the fields the
-    /// legacy result reports, both ship modes.
+    /// Vertical topology: façade ≡ `run_vertical`, both ship modes,
+    /// every field bit-identical.
     #[test]
-    fn facade_matches_legacy_vertical(
+    fn facade_matches_engine_vertical(
         rows in arb_rows(),
         pats in arb_patterns(),
         rhs_const in prop::option::of(0..3u8),
@@ -233,32 +234,17 @@ proptest! {
         let partition =
             VerticalPartition::by_attribute_groups(&rel, &[&["a", "b"], &["c"], &["d"]]).unwrap();
         for mode in [ShipMode::Full, ShipMode::Filtered] {
-            let legacy =
-                detect_vertical(&partition, std::slice::from_ref(&cfd), mode, &CostModel::default())
-                    .unwrap();
+            let cfg = RunConfig::default();
+            let engine =
+                run_vertical(&partition, std::slice::from_ref(&cfd), mode, &cfg).unwrap();
             let new = facade(
                 partition.clone(),
                 std::slice::from_ref(&cfd),
                 Algorithm::PatDetectS,
-                RunConfig::default(),
+                cfg,
                 mode,
             );
-            prop_assert_eq!(legacy.violations.per_cfd.len(), new.violations.per_cfd.len());
-            for ((na, va), (nb, vb)) in
-                legacy.violations.per_cfd.iter().zip(&new.violations.per_cfd)
-            {
-                prop_assert_eq!(na, nb);
-                prop_assert_eq!(&va.tids, &vb.tids, "{:?} Vio", mode);
-                prop_assert_eq!(&va.patterns, &vb.patterns, "{:?} Vioπ", mode);
-            }
-            prop_assert_eq!(legacy.shipped_tuples, new.shipped_tuples, "{:?} |M|", mode);
-            prop_assert_eq!(legacy.shipped_cells, new.shipped_cells, "{:?} cells", mode);
-            prop_assert_eq!(
-                legacy.response_time.to_bits(),
-                new.response_time.to_bits(),
-                "{:?} time",
-                mode
-            );
+            assert_identical(&engine, &new, &format!("VERTICAL {mode:?}"))?;
         }
     }
 }
