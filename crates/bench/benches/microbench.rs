@@ -28,7 +28,14 @@
 //! * `incremental_delta` — per-batch maintenance of the `dcd_incr`
 //!   violation index under a CDC-style update stream, against full
 //!   re-detection on the materialized partition after each batch (the
-//!   one-off index build is reported alongside).
+//!   one-off index build is reported alongside);
+//! * `mining_on_codes` / `kernel_dispatch` / `mining_incremental` — the
+//!   detection-kernel refactor: per-mask support counting on packed
+//!   `CodeKey`s against the pre-port `Vec<Value>`-keyed loop, the
+//!   `dcd_cfd::kernel` group-validation path against the deleted
+//!   hand-rolled loop, and `DeltaEffect`-driven mined-tableau
+//!   maintenance against a full re-mine per batch (recorded via
+//!   `DCD_BENCH_MINING_JSON`).
 //!
 //! Set `DCD_BENCH_JSON=<path>` to additionally record the hot-loop
 //! results as a `BENCH_*.json` perf-trajectory entry, and
@@ -37,14 +44,15 @@
 use criterion::black_box;
 use dcd_cfd::codes::{detect_among_codes, CodeLayout, CodeRow};
 use dcd_cfd::detect_among;
-use dcd_cfd::pattern::tuple_matches;
+use dcd_cfd::pattern::{tuple_matches, CompiledPattern};
+use dcd_cfd::SimpleCfd;
 use dcd_core::sigma::{sigma_partition, sort_for_sigma, SigmaPartition, SortedCfd};
-use dcd_core::{run_batch, CoordinatorStrategy, RunConfig};
+use dcd_core::{run_batch, CoordinatorStrategy, MinedTableau, MiningConfig, RunConfig};
 use dcd_datagen::{update_stream, UpdateStreamConfig};
 use dcd_dist::{Fragment, HorizontalPartition, SiteId};
 use dcd_incr::{DeltaBatch, IncrementalRun};
-use dcd_relation::ops::group_by;
-use dcd_relation::{set_chunk_rows, AttrId, FxHashMap, Relation, Value};
+use dcd_relation::ops::{group_by, CodeKey};
+use dcd_relation::{set_chunk_rows, AttrId, FxHashMap, FxHashSet, Relation, Value};
 use std::time::{Duration, Instant};
 
 /// The seed's `group_by`: hash owned value projections, one `Vec<Value>`
@@ -77,6 +85,110 @@ fn row_sigma_partition(
         }
     }
     SigmaPartition { blocks, comparisons }
+}
+
+/// The pre-port mining support counter: per mask, owned `Vec<Value>`
+/// projections hashed as keys, thresholded inline — reproduced verbatim
+/// from `mine_patterns` before the `CodeKey` port.
+fn value_mine_supports(
+    partition: &HorizontalPartition,
+    cfd: &SimpleCfd,
+    config: &MiningConfig,
+) -> usize {
+    let m = cfd.lhs.len();
+    let masks: Vec<u32> = (1u32..(1 << m))
+        .filter(|mk| (mk.count_ones() as usize) <= config.max_width.min(m))
+        .collect();
+    let mut total = 0usize;
+    for frag in partition.fragments() {
+        let n = frag.data.len();
+        if n == 0 {
+            continue;
+        }
+        let threshold = ((config.theta * n as f64).ceil() as usize).max(1);
+        for &mask in &masks {
+            let attrs: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
+            let mut map: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+            for t in frag.data.iter() {
+                let key: Vec<Value> = attrs.iter().map(|&i| t.get(cfd.lhs[i]).clone()).collect();
+                *map.entry(key).or_insert(0) += 1;
+            }
+            map.retain(|_, c| *c >= threshold);
+            total += map.len();
+        }
+    }
+    total
+}
+
+/// The pre-refactor coordinator validation loop — the hand-rolled
+/// group-validation shape `ResolvedCfd::detect_among` carried before it
+/// was folded into `dcd_cfd::kernel` — reproduced here as the
+/// `kernel_dispatch` baseline. Vio only (the kernel path additionally
+/// decodes Vioπ keys for violating groups, so the comparison is
+/// conservative in the baseline's favor).
+fn prerefactor_detect_among(
+    rows: &[CodeRow],
+    cfd: &SimpleCfd,
+    rel: &Relation,
+    attrs: &[AttrId],
+) -> usize {
+    let lhs_pos: Vec<usize> = cfd
+        .lhs
+        .iter()
+        .map(|a| attrs.iter().position(|b| b == a).expect("shipped attrs cover the LHS"))
+        .collect();
+    let rhs_pos = attrs.iter().position(|b| *b == cfd.rhs).expect("shipped attrs cover the RHS");
+    let compiled: Vec<CompiledPattern> =
+        cfd.tableau.iter().map(|p| CompiledPattern::compile(p, rel, &cfd.lhs, cfd.rhs)).collect();
+
+    let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
+    let mut lhs_buf: Vec<u32> = vec![0; lhs_pos.len()];
+    for (i, (_, codes)) in rows.iter().enumerate() {
+        for (b, &p) in lhs_buf.iter_mut().zip(&lhs_pos) {
+            *b = codes[p];
+        }
+        if compiled.iter().any(|p| p.feasible && p.matches_codes(&lhs_buf)) {
+            groups.entry(CodeKey::of_codes(&lhs_buf)).or_default().push(i);
+        }
+    }
+
+    let width = lhs_pos.len();
+    let mut flagged = 0usize;
+    for (key, members) in &groups {
+        let key_codes = key.codes(width);
+        let mut group_flagged = false;
+        let mut member_flags: Option<Vec<bool>> = None;
+        let mut fd_conflict: Option<bool> = None;
+        for pat in &compiled {
+            if !pat.matches_codes(&key_codes) {
+                continue;
+            }
+            let conflict = *fd_conflict.get_or_insert_with(|| {
+                let distinct: FxHashSet<u32> =
+                    members.iter().map(|&i| rows[i].1[rhs_pos]).collect();
+                distinct.len() > 1
+            });
+            if pat.rhs_is_wild() {
+                group_flagged |= conflict;
+            } else {
+                let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
+                for (fi, &i) in members.iter().enumerate() {
+                    if rows[i].1[rhs_pos] != pat.rhs {
+                        flags[fi] = true;
+                    }
+                }
+            }
+            if group_flagged {
+                break;
+            }
+        }
+        if group_flagged {
+            flagged += members.len();
+        } else if let Some(flags) = member_flags {
+            flagged += flags.iter().filter(|f| **f).count();
+        }
+    }
+    flagged
 }
 
 /// Median wall time of `samples` runs (one untimed warm-up).
@@ -451,6 +563,142 @@ fn main() {
             incr.speedup(),
         );
         std::fs::write(&path, json).expect("write DCD_BENCH_INCR_JSON");
+        println!("  wrote {path}");
+    }
+
+    // ---- mining_on_codes + kernel_dispatch: the PR 8 detection-kernel
+    // refactor. Baselines are the deleted pre-refactor loops, reproduced
+    // above verbatim (value-keyed support counting; the hand-rolled
+    // group-validation loop). The incremental row maintains one
+    // MinedTableau's support counts through ±1 DeltaEffect updates
+    // against a full re-mine of the mutated partition per batch. ----
+    let mining_cfg = MiningConfig { theta: 0.1, max_width: 2 };
+    let mining = Comparison {
+        name: "mining_on_codes",
+        baseline_label: "Vec<Value>",
+        live_label: "CodeKey",
+        baseline: median_time(samples, || value_mine_supports(&partition, &cfd, &mining_cfg)),
+        live: median_time(samples, || MinedTableau::build(&partition, &cfd, &mining_cfg)),
+    };
+    let kernel = Comparison {
+        name: "kernel_dispatch",
+        baseline_label: "hand-rolled",
+        live_label: "kernel",
+        baseline: median_time(samples, || {
+            prerefactor_detect_among(&gathered_rows, &cfd, rel, &attrs)
+        }),
+        live: median_time(samples, || detect_among_codes(&gathered_rows, &cfd, &layout)),
+    };
+    for c in [&mining, &kernel] {
+        println!(
+            "  {:<22} {} {:>10.3?}   {} {:>10.3?}   speedup {:>5.2}x",
+            c.name,
+            c.baseline_label,
+            c.baseline,
+            c.live_label,
+            c.live,
+            c.speedup(),
+        );
+    }
+
+    let mut mpart = partition.clone();
+    let mut miner = MinedTableau::build(&mpart, &cfd, &mining_cfg);
+    let mine_stream = update_stream(
+        &mpart,
+        &UpdateStreamConfig { n_batches: samples, ops_per_batch, ..Default::default() },
+    );
+    let mut maintain_times: Vec<Duration> = Vec::with_capacity(samples);
+    let mut remine_times: Vec<Duration> = Vec::with_capacity(samples);
+    for per_site in mine_stream {
+        let effects: Vec<_> = per_site
+            .iter()
+            .enumerate()
+            .map(|(si, delta)| {
+                (si, mpart.fragments_mut()[si].data.apply_delta(delta).expect("batches apply"))
+            })
+            .collect();
+        let start = Instant::now();
+        for (si, eff) in &effects {
+            miner.apply_site_effect(*si, eff);
+        }
+        black_box(&miner);
+        maintain_times.push(start.elapsed());
+        let start = Instant::now();
+        black_box(MinedTableau::build(&mpart, &cfd, &mining_cfg));
+        remine_times.push(start.elapsed());
+    }
+    maintain_times.sort();
+    remine_times.sort();
+    let incr_mine = Comparison {
+        name: "mining_incremental",
+        baseline_label: "full_remine",
+        live_label: "maintain",
+        baseline: remine_times[remine_times.len() / 2],
+        live: maintain_times[maintain_times.len() / 2],
+    };
+    println!(
+        "  {:<22} {} {:>10.3?}   {} {:>10.3?}   speedup {:>5.2}x   ({} ops/batch, {} masks)",
+        incr_mine.name,
+        incr_mine.baseline_label,
+        incr_mine.baseline,
+        incr_mine.live_label,
+        incr_mine.live,
+        incr_mine.speedup(),
+        ops_per_batch,
+        miner.n_masks(),
+    );
+
+    if let Ok(path) = std::env::var("DCD_BENCH_MINING_JSON") {
+        let entry = |c: &Comparison| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"baseline\": \"{}\", ",
+                    "\"baseline_ms\": {:.3}, \"live\": \"{}\", ",
+                    "\"live_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                c.name,
+                c.baseline_label,
+                c.baseline.as_secs_f64() * 1e3,
+                c.live_label,
+                c.live.as_secs_f64() * 1e3,
+                c.speedup()
+            )
+        };
+        let entries: Vec<String> = [&mining, &kernel, &incr_mine].map(entry).to_vec();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"dcd_mining_codes\",\n",
+                "  \"workload\": \"cust16 (fig3 scaling), DCD_SCALE={}, 8 sites\",\n",
+                "  \"tuples\": {},\n",
+                "  \"lhs_attrs\": {},\n",
+                "  \"masks\": {},\n",
+                "  \"theta\": {},\n",
+                "  \"max_width\": {},\n",
+                "  \"ops_per_batch\": {},\n",
+                "  \"samples\": {},\n",
+                "  \"cores\": {},\n",
+                "  \"note\": \"mining_on_codes counts per-mask LHS supports: Vec<Value> \
+                 keys (the pre-port loop, reproduced in the bench) vs packed CodeKeys \
+                 over chunked code columns. kernel_dispatch validates one full 8-site \
+                 gather: the deleted hand-rolled group loop vs dcd_cfd::kernel (kernel \
+                 side also decodes Vioπ). mining_incremental maintains one tableau's \
+                 supports via DeltaEffect ±1 updates vs a full re-mine per batch.\",\n",
+                "  \"results\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            dcd_bench::workloads::scale(),
+            rel.len(),
+            cfd.lhs.len(),
+            miner.n_masks(),
+            mining_cfg.theta,
+            mining_cfg.max_width,
+            ops_per_batch,
+            samples,
+            cores,
+            entries.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write DCD_BENCH_MINING_JSON");
         println!("  wrote {path}");
     }
 

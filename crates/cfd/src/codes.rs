@@ -20,10 +20,11 @@
 //! workspace property suites).
 
 use crate::cfd::SimpleCfd;
+use crate::kernel::{self, LhsIndex};
 use crate::pattern::CompiledPattern;
 use crate::violation::ViolationSet;
 use dcd_relation::ops::CodeKey;
-use dcd_relation::{AttrId, Dictionary, FxHashMap, FxHashSet, Relation, TupleId, Value};
+use dcd_relation::{AttrId, Dictionary, FxHashMap, Relation, TupleId, Value};
 use std::sync::Arc;
 
 /// One row on the code-native wire: a tuple id plus the dictionary
@@ -96,7 +97,8 @@ impl CodeLayout {
             .iter()
             .map(|p| CompiledPattern::compile_with(p, &lhs_dicts, &self.dicts[rhs_pos]))
             .collect();
-        ResolvedCfd { lhs_pos, rhs_pos, lhs_dicts, compiled }
+        let index = LhsIndex::of_compiled(&compiled);
+        ResolvedCfd { lhs_pos, rhs_pos, lhs_dicts, compiled, index }
     }
 }
 
@@ -110,6 +112,9 @@ pub struct ResolvedCfd {
     rhs_pos: usize,
     lhs_dicts: Vec<Arc<Dictionary>>,
     compiled: Vec<CompiledPattern>,
+    /// The kernel's LHS bucketing, built once at resolution and shared
+    /// by every validation call (and by σ, which wraps the same type).
+    index: LhsIndex<CodeKey>,
 }
 
 impl ResolvedCfd {
@@ -129,13 +134,13 @@ impl ResolvedCfd {
     /// (`&[&CodeRow]`) — coordinators flattening several gathered
     /// blocks pass references instead of cloning code buffers.
     pub fn detect_among<R: std::borrow::Borrow<CodeRow>>(&self, rows: &[R]) -> ViolationSet {
-        let mut out = ViolationSet::default();
         if self.compiled.is_empty() || rows.is_empty() {
-            return out;
+            return ViolationSet::default();
         }
-        // Group once over rows matching *some* pattern; per group, test
-        // every pattern the group key matches — `detect_simple`'s loop,
-        // over wire rows instead of code columns.
+        // Group *all* rows by projected LHS key — `detect_simple`'s
+        // grouping, over wire rows instead of code columns; the
+        // kernel's LHS index (built once at resolution) decides per
+        // distinct key which patterns apply.
         let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
         let mut lhs_buf: Vec<u32> = vec![0; self.lhs_pos.len()];
         for (i, row) in rows.iter().enumerate() {
@@ -143,66 +148,33 @@ impl ResolvedCfd {
             for (b, &p) in lhs_buf.iter_mut().zip(&self.lhs_pos) {
                 *b = codes[p];
             }
-            if self.compiled.iter().any(|p| p.feasible && p.matches_codes(&lhs_buf)) {
-                groups.entry(CodeKey::of_codes(&lhs_buf)).or_default().push(i);
-            }
+            groups.entry(CodeKey::of_codes(&lhs_buf)).or_default().push(i);
         }
 
         let width = self.lhs_pos.len();
-        for (key, members) in &groups {
-            let key_codes = key.codes(width);
-            let mut group_flagged = false;
-            let mut member_flags: Option<Vec<bool>> = None;
-            // Distinct-RHS count computed lazily at the first matching
-            // pattern.
-            let mut fd_conflict: Option<bool> = None;
-            for pat in &self.compiled {
-                if !pat.matches_codes(&key_codes) {
-                    continue;
-                }
-                let conflict = *fd_conflict.get_or_insert_with(|| {
-                    let distinct: FxHashSet<u32> =
-                        members.iter().map(|&i| rows[i].borrow().1[self.rhs_pos]).collect();
-                    distinct.len() > 1
-                });
+        let mut key_buf: Vec<u32> = Vec::new();
+        let mut probe_buf: Vec<u32> = Vec::new();
+        kernel::detect_grouped(
+            &groups,
+            |key: &CodeKey, ranks: &mut Vec<u32>| {
+                key_buf.clear();
+                key_buf.extend(key.codes(width));
+                self.index.matched_codes_into(&key_buf, &mut probe_buf, ranks);
+            },
+            |rank| {
+                let pat = &self.compiled[rank as usize];
                 if pat.rhs_is_wild() {
-                    // Variable pattern: all members violate iff ≥2
-                    // distinct RHS codes in the group (the dictionary
-                    // is a bijection, so code equality *is* value
-                    // equality).
-                    group_flagged |= conflict;
+                    kernel::RhsSpec::Wild
                 } else {
-                    // Single-tuple rule: t[A] ≭ c (a NO_CODE RHS
-                    // constant differs from every row's code by
-                    // construction).
-                    let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
-                    for (fi, &i) in members.iter().enumerate() {
-                        if rows[i].borrow().1[self.rhs_pos] != pat.rhs {
-                            flags[fi] = true;
-                        }
-                    }
+                    kernel::RhsSpec::Const(pat.rhs)
                 }
-                if group_flagged {
-                    break; // every member is flagged already
-                }
-            }
-            if group_flagged {
-                out.patterns.insert(self.decode_key(&key_codes));
-                out.tids.extend(members.iter().map(|&i| rows[i].borrow().0));
-            } else if let Some(flags) = member_flags {
-                let mut any = false;
-                for (fi, &i) in members.iter().enumerate() {
-                    if flags[fi] {
-                        out.tids.insert(rows[i].borrow().0);
-                        any = true;
-                    }
-                }
-                if any {
-                    out.patterns.insert(self.decode_key(&key_codes));
-                }
-            }
-        }
-        out
+            },
+            Vec::len,
+            |members, fi| rows[members[fi]].borrow().1[self.rhs_pos],
+            |members, fi| rows[members[fi]].borrow().0,
+            |key| self.decode_key(&key.codes(width)),
+            false,
+        )
     }
 
     /// Detects violations of a single pattern `(X → A, {tp})` among
@@ -215,6 +187,8 @@ impl ResolvedCfd {
         pattern_idx: usize,
     ) -> ViolationSet {
         let pat = &self.compiled[pattern_idx];
+        // Pre-filtering by the single pattern makes every group match
+        // it, so the kernel sees a one-entry tableau.
         let mut groups: FxHashMap<CodeKey, (Vec<TupleId>, Vec<u32>)> = FxHashMap::default();
         let mut lhs_buf: Vec<u32> = vec![0; self.lhs_pos.len()];
         for (tid, codes) in rows {
@@ -228,28 +202,25 @@ impl ResolvedCfd {
             }
         }
         let width = self.lhs_pos.len();
-        let mut out = ViolationSet::default();
-        for (key, (tids, rhs_codes)) in groups {
-            let distinct: FxHashSet<u32> = rhs_codes.iter().copied().collect();
-            if pat.rhs_is_wild() {
-                if distinct.len() > 1 {
-                    out.tids.extend(tids);
-                    out.patterns.insert(self.decode_key(&key.codes(width)));
+        kernel::detect_grouped(
+            &groups,
+            |_key, ranks: &mut Vec<u32>| {
+                ranks.clear();
+                ranks.push(0);
+            },
+            |_rank| {
+                if pat.rhs_is_wild() {
+                    kernel::RhsSpec::Wild
+                } else {
+                    kernel::RhsSpec::Const(pat.rhs)
                 }
-            } else {
-                let mut any = false;
-                for (tid, &c) in tids.iter().zip(&rhs_codes) {
-                    if c != pat.rhs {
-                        out.tids.insert(*tid);
-                        any = true;
-                    }
-                }
-                if any {
-                    out.patterns.insert(self.decode_key(&key.codes(width)));
-                }
-            }
-        }
-        out
+            },
+            |members| members.0.len(),
+            |members, fi| members.1[fi],
+            |members, fi| members.0[fi],
+            |key| self.decode_key(&key.codes(width)),
+            false,
+        )
     }
 }
 

@@ -1,0 +1,427 @@
+//! The one group-validation kernel every detector instantiates.
+//!
+//! All of the paper's detectors — CTRDETECT's coordinator validation,
+//! PATDETECT's per-pattern blocks, SEQDETECT/CLUSTDETECT's gathered
+//! σ-blocks, the centralized "SQL technique", and the incremental
+//! violation index — reduce to one primitive: *group tuples by their LHS
+//! key, then validate each group against the tableau patterns its key
+//! matches*. This module is that primitive, written once and
+//! parameterized over the four things that genuinely differ per call
+//! site:
+//!
+//! * the **key accessor** — how a group key projects onto pattern cells
+//!   (packed [`CodeKey`]s for columnar and wire rows, `Vec<Value>` for
+//!   the value-wise fallback),
+//! * the **RHS accessor** — how a group member's right-hand side is read
+//!   (`u32` code column, wire-row cell, or `&Value`),
+//! * the **decoder** — how a violating group key becomes the `Vioπ`
+//!   value projection,
+//! * the **violation sink** — where flagged members land (a
+//!   [`ViolationSet`], or the incremental index's stateful key entries).
+//!
+//! Which patterns match a key is answered by [`LhsIndex`], the
+//! σ-style bucketing by LHS wildcard mask (one hash probe per distinct
+//! mask instead of a linear tableau scan); `dcd_core`'s σ-partition
+//! index is a thin wrapper over the same structure, so the bucketing is
+//! built once per (fragment, CFD) and shared rather than re-derived per
+//! call site.
+//!
+//! The validation semantics live in [`validate_group`] and nowhere else
+//! (enforced by the `duplicate-detect-loop` lint rule): variable
+//! patterns flag the whole group iff it holds ≥ 2 distinct RHS values;
+//! constant patterns flag individual mismatching members
+//! (`t[A] ≭ c`), plus — under the strict §II-C reading — the whole
+//! group on an FD conflict. The queued `dcd_measure` crate hooks here:
+//! a graded inconsistency measure is one more sink over the same
+//! verdicts.
+
+use crate::pattern::{CompiledPattern, NormalPattern, PatternValue};
+use crate::violation::ViolationSet;
+use dcd_relation::ops::CodeKey;
+use dcd_relation::{FxHashMap, FxHashSet, TupleId, Value, WILDCARD_CODE};
+use std::hash::Hash;
+
+/// The right-hand side of one tableau pattern, as seen by the kernel:
+/// either the wildcard (variable CFD) or a constant in the caller's RHS
+/// representation (`u32` code or `&Value`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RhsSpec<R> {
+    /// `tp[A] = _`: the group violates iff it holds ≥ 2 distinct RHS
+    /// values.
+    Wild,
+    /// `tp[A] = c`: each member with `t[A] ≭ c` violates individually.
+    Const(R),
+}
+
+/// What [`validate_group`] concluded about one LHS group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupVerdict {
+    /// No matching pattern flagged anything.
+    Clean,
+    /// Every member violates: a variable pattern saw an FD conflict (or
+    /// a constant pattern did, under the strict reading).
+    AllFlagged,
+    /// Exactly the members with `true` flags violate a constant
+    /// pattern. At least one flag is set.
+    Mixed(Vec<bool>),
+}
+
+impl GroupVerdict {
+    /// Whether member `fi` is flagged under this verdict.
+    pub fn member_flagged(&self, fi: usize) -> bool {
+        match self {
+            GroupVerdict::Clean => false,
+            GroupVerdict::AllFlagged => true,
+            GroupVerdict::Mixed(flags) => flags[fi],
+        }
+    }
+
+    /// Whether any member is flagged (i.e. the group key belongs in
+    /// `Vioπ`).
+    pub fn any_flagged(&self) -> bool {
+        !matches!(self, GroupVerdict::Clean)
+    }
+}
+
+/// Validates one LHS group against the RHS specs of the patterns its
+/// key matches, in tableau order. This is the whole detection
+/// semantics; every detector's per-group step is this function.
+///
+/// `specs` yields the matching patterns' RHS cells in tableau order;
+/// `rhs_of(fi)` reads member `fi`'s RHS value. The FD-conflict test
+/// (≥ 2 distinct RHS values) is computed lazily at the first matching
+/// pattern and shared across them; the scan stops as soon as the whole
+/// group is flagged, because further patterns cannot add members.
+pub fn validate_group<R: Eq + Hash + Copy>(
+    specs: impl IntoIterator<Item = RhsSpec<R>>,
+    n_members: usize,
+    mut rhs_of: impl FnMut(usize) -> R,
+    strict: bool,
+) -> GroupVerdict {
+    let mut group_flagged = false;
+    let mut member_flags: Option<Vec<bool>> = None;
+    // Distinct-RHS count computed lazily at the first matching pattern.
+    let mut fd_conflict: Option<bool> = None;
+    for spec in specs {
+        let conflict = *fd_conflict.get_or_insert_with(|| {
+            let distinct: FxHashSet<R> = (0..n_members).map(&mut rhs_of).collect();
+            distinct.len() > 1
+        });
+        match spec {
+            // Variable pattern: all members violate iff ≥2 distinct RHS
+            // values in the group (on codes, the dictionary is a
+            // bijection, so code equality *is* value equality).
+            RhsSpec::Wild => group_flagged |= conflict,
+            RhsSpec::Const(c) => {
+                if strict && conflict {
+                    group_flagged = true;
+                }
+                // Single-tuple rule: t[A] ≭ c (a NO_CODE RHS constant
+                // differs from every member by construction).
+                let flags = member_flags.get_or_insert_with(|| vec![false; n_members]);
+                for (fi, flag) in flags.iter_mut().enumerate() {
+                    if rhs_of(fi) != c {
+                        *flag = true;
+                    }
+                }
+            }
+        }
+        if group_flagged {
+            break; // every member is flagged; further patterns add nothing
+        }
+    }
+    if group_flagged {
+        GroupVerdict::AllFlagged
+    } else {
+        match member_flags {
+            Some(flags) if flags.contains(&true) => GroupVerdict::Mixed(flags),
+            _ => GroupVerdict::Clean,
+        }
+    }
+}
+
+/// Emits one group's verdict into a [`ViolationSet`]: flagged members'
+/// tids join `Vio`, and the decoded group key joins `Vioπ` iff any
+/// member is flagged. `decode` runs only for violating groups — decoding
+/// is the expensive step on the code paths.
+pub fn emit_group(
+    verdict: &GroupVerdict,
+    n_members: usize,
+    mut tid_of: impl FnMut(usize) -> TupleId,
+    decode: impl FnOnce() -> Vec<Value>,
+    out: &mut ViolationSet,
+) {
+    match verdict {
+        GroupVerdict::Clean => {}
+        GroupVerdict::AllFlagged => {
+            out.patterns.insert(decode());
+            out.tids.extend((0..n_members).map(tid_of));
+        }
+        GroupVerdict::Mixed(flags) => {
+            for (fi, &flagged) in flags.iter().enumerate() {
+                if flagged {
+                    out.tids.insert(tid_of(fi));
+                }
+            }
+            out.patterns.insert(decode());
+        }
+    }
+}
+
+/// The full kernel: validates every group of an LHS-keyed grouping and
+/// collects the violations. Groups whose key matches no pattern
+/// contribute nothing, so callers group *all* rows and let the
+/// [`LhsIndex`] probe — once per distinct key, not once per row —
+/// decide relevance.
+///
+/// Parameters mirror the per-call-site differences (module docs):
+/// `matched_of` fills the tableau ranks the key matches (ascending);
+/// `spec_of` reads a rank's RHS cell; `len_of`/`rhs_of`/`tid_of` access
+/// a group's member list; `decode` projects a violating key for `Vioπ`.
+#[allow(clippy::too_many_arguments)] // the advertised parameterization
+pub fn detect_grouped<'g, K: 'g, M: 'g, R: Eq + Hash + Copy>(
+    groups: impl IntoIterator<Item = (&'g K, &'g M)>,
+    mut matched_of: impl FnMut(&'g K, &mut Vec<u32>),
+    mut spec_of: impl FnMut(u32) -> RhsSpec<R>,
+    mut len_of: impl FnMut(&'g M) -> usize,
+    mut rhs_of: impl FnMut(&'g M, usize) -> R,
+    mut tid_of: impl FnMut(&'g M, usize) -> TupleId,
+    mut decode: impl FnMut(&'g K) -> Vec<Value>,
+    strict: bool,
+) -> ViolationSet {
+    let mut out = ViolationSet::default();
+    let mut ranks: Vec<u32> = Vec::new();
+    for (key, members) in groups {
+        matched_of(key, &mut ranks);
+        if ranks.is_empty() {
+            continue;
+        }
+        let n = len_of(members);
+        let verdict =
+            validate_group(ranks.iter().map(|&r| spec_of(r)), n, |fi| rhs_of(members, fi), strict);
+        emit_group(&verdict, n, |fi| tid_of(members, fi), || decode(key), &mut out);
+    }
+    out
+}
+
+/// σ-style LHS bucketing of a tableau: patterns grouped by their
+/// wildcard mask (the set of non-wild LHS positions), each bucket a
+/// hash map from the constant cells at those positions to the tableau
+/// ranks carrying them, ascending. Answering "which patterns match this
+/// key, in tableau order" is then one probe per distinct mask —
+/// `O(masks)` instead of `O(|Tp|)` — and "which pattern matches
+/// *first*" (the σ function of Lemma 6) reads the same buckets.
+///
+/// `K` is the probe-key representation: [`CodeKey`] when pattern cells
+/// are dictionary codes, `Vec<Value>` on the value-wise fallback.
+/// Infeasible compiled patterns sit in the maps harmlessly — their
+/// `NO_CODE` cells can never equal a probe key built from real codes.
+#[derive(Debug, Clone)]
+pub struct LhsIndex<K> {
+    /// Distinct wildcard masks: non-wild LHS positions plus the rank
+    /// lists keyed by the constants at those positions.
+    buckets: Vec<(Vec<usize>, FxHashMap<K, Vec<u32>>)>,
+    /// Total ranks indexed (the tableau scan length the ranks replace).
+    n_ranks: usize,
+}
+
+impl<K> Default for LhsIndex<K> {
+    fn default() -> Self {
+        LhsIndex { buckets: Vec::new(), n_ranks: 0 }
+    }
+}
+
+impl<K: Eq + Hash> LhsIndex<K> {
+    /// Number of patterns indexed.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Inserts the next pattern (rank `n_ranks`) under its mask and
+    /// constants. Ranks within a bucket entry stay ascending because
+    /// insertion follows rank order.
+    fn push(&mut self, positions: Vec<usize>, key: K) {
+        let rank = self.n_ranks as u32;
+        self.n_ranks += 1;
+        let bucket = match self.buckets.iter_mut().find(|(p, _)| *p == positions) {
+            Some((_, map)) => map,
+            None => {
+                self.buckets.push((positions, FxHashMap::default()));
+                &mut self.buckets.last_mut().expect("just pushed").1
+            }
+        };
+        bucket.entry(key).or_default().push(rank);
+    }
+
+    /// Fills `out` with every rank whose pattern matches the key
+    /// `project` describes, ascending (tableau order). `project` is
+    /// called once per mask with the non-wild positions to read.
+    pub fn matched_into(&self, mut project: impl FnMut(&[usize]) -> K, out: &mut Vec<u32>) {
+        out.clear();
+        for (positions, map) in &self.buckets {
+            if let Some(ranks) = map.get(&project(positions)) {
+                out.extend_from_slice(ranks);
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// The first rank whose pattern matches, plus the number of
+    /// patterns a linear tableau scan would have tried to find it
+    /// (`rank + 1`, or the full scan length on a miss) — exactly the σ
+    /// assignment and comparison count of Lemma 6.
+    pub fn first_matched(&self, mut project: impl FnMut(&[usize]) -> K) -> (Option<usize>, usize) {
+        let mut best: Option<u32> = None;
+        for (positions, map) in &self.buckets {
+            if let Some(ranks) = map.get(&project(positions)) {
+                let rank = ranks[0]; // ascending: the earliest rank under this mask
+                if best.is_none_or(|b| rank < b) {
+                    best = Some(rank);
+                }
+            }
+        }
+        match best {
+            Some(rank) => (Some(rank as usize), rank as usize + 1),
+            None => (None, self.n_ranks),
+        }
+    }
+}
+
+impl LhsIndex<CodeKey> {
+    /// Buckets a compiled tableau, ranks `0..compiled.len()` in tableau
+    /// order.
+    pub fn of_compiled(compiled: &[CompiledPattern]) -> Self {
+        let all: Vec<usize> = (0..compiled.len()).collect();
+        Self::of_applicable(compiled, &all)
+    }
+
+    /// Buckets a subset of a compiled tableau: rank `k` is pattern
+    /// `applicable[k]` (the σ-partition restricts to the patterns a
+    /// fragment's predicate admits; `applicable` must be ascending).
+    pub fn of_applicable(compiled: &[CompiledPattern], applicable: &[usize]) -> Self {
+        let mut index = LhsIndex::default();
+        for &pi in applicable {
+            let pat = &compiled[pi];
+            let positions: Vec<usize> =
+                (0..pat.lhs.len()).filter(|&j| pat.lhs[j] != WILDCARD_CODE).collect();
+            let consts: Vec<u32> = positions.iter().map(|&j| pat.lhs[j]).collect();
+            index.push(positions, CodeKey::of_codes(&consts));
+        }
+        index
+    }
+
+    /// Probes with a materialized key of codes, reusing `buf` as
+    /// projection scratch.
+    pub fn matched_codes_into(&self, key: &[u32], buf: &mut Vec<u32>, out: &mut Vec<u32>) {
+        self.matched_into(
+            |positions| {
+                buf.clear();
+                buf.extend(positions.iter().map(|&j| key[j]));
+                CodeKey::of_codes(buf)
+            },
+            out,
+        );
+    }
+}
+
+impl LhsIndex<Vec<Value>> {
+    /// Buckets an uncompiled tableau by its constant cells — the
+    /// value-wise fallback, where keys are `Vec<Value>` projections.
+    pub fn of_tableau(tableau: &[NormalPattern]) -> Self {
+        let mut index = LhsIndex::default();
+        for pat in tableau {
+            let positions: Vec<usize> =
+                (0..pat.lhs.len()).filter(|&j| !pat.lhs[j].is_wild()).collect();
+            let consts: Vec<Value> = positions
+                .iter()
+                .map(|&j| match &pat.lhs[j] {
+                    PatternValue::Const(c) => c.clone(),
+                    PatternValue::Wild => unreachable!("positions hold constants"),
+                })
+                .collect();
+            index.push(positions, consts);
+        }
+        index
+    }
+
+    /// Probes with a materialized key of values.
+    pub fn matched_values_into(&self, key: &[Value], out: &mut Vec<u32>) {
+        self.matched_into(|positions| positions.iter().map(|&j| key[j].clone()).collect(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(s: &[RhsSpec<u32>]) -> Vec<RhsSpec<u32>> {
+        s.to_vec()
+    }
+
+    #[test]
+    fn variable_pattern_flags_whole_group_on_conflict() {
+        let rhs = [1u32, 2, 1];
+        let v = validate_group(specs(&[RhsSpec::Wild]), 3, |i| rhs[i], false);
+        assert_eq!(v, GroupVerdict::AllFlagged);
+        let uniform = [5u32, 5];
+        let v = validate_group(specs(&[RhsSpec::Wild]), 2, |i| uniform[i], false);
+        assert_eq!(v, GroupVerdict::Clean);
+    }
+
+    #[test]
+    fn constant_pattern_flags_mismatching_members_only() {
+        let rhs = [7u32, 9, 7];
+        let v = validate_group(specs(&[RhsSpec::Const(7)]), 3, |i| rhs[i], false);
+        assert_eq!(v, GroupVerdict::Mixed(vec![false, true, false]));
+        let v = validate_group(specs(&[RhsSpec::Const(9)]), 3, |i| rhs[i], false);
+        assert_eq!(v, GroupVerdict::Mixed(vec![true, false, true]));
+    }
+
+    #[test]
+    fn strict_reading_promotes_constant_conflicts() {
+        let rhs = [7u32, 9];
+        let v = validate_group(specs(&[RhsSpec::Const(7)]), 2, |i| rhs[i], true);
+        assert_eq!(v, GroupVerdict::AllFlagged);
+        // No conflict: strict changes nothing.
+        let uniform = [9u32, 9];
+        let v = validate_group(specs(&[RhsSpec::Const(7)]), 2, |i| uniform[i], true);
+        assert_eq!(v, GroupVerdict::Mixed(vec![true, true]));
+    }
+
+    #[test]
+    fn later_patterns_stop_adding_after_group_flag() {
+        // Wild flags the group; the impossible Const(0) after it must
+        // not run (it would otherwise flag nothing new anyway, but the
+        // early break is part of the pinned scan semantics).
+        let rhs = [1u32, 2];
+        let v = validate_group(specs(&[RhsSpec::Wild, RhsSpec::Const(0)]), 2, |i| rhs[i], false);
+        assert_eq!(v, GroupVerdict::AllFlagged);
+    }
+
+    #[test]
+    fn lhs_index_matches_in_tableau_order() {
+        use crate::pattern::CompiledPattern;
+        let w = WILDCARD_CODE;
+        let pats = vec![
+            CompiledPattern { lhs: vec![4, w], rhs: w, feasible: true },
+            CompiledPattern { lhs: vec![w, 2], rhs: w, feasible: true },
+            CompiledPattern { lhs: vec![w, w], rhs: w, feasible: true },
+            CompiledPattern { lhs: vec![4, 2], rhs: w, feasible: true },
+        ];
+        let index = LhsIndex::of_compiled(&pats);
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        index.matched_codes_into(&[4, 2], &mut buf, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        index.matched_codes_into(&[4, 9], &mut buf, &mut out);
+        assert_eq!(out, vec![0, 2]);
+        index.matched_codes_into(&[9, 9], &mut buf, &mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(
+            index.first_matched(|p| {
+                CodeKey::of_codes(&p.iter().map(|&j| [9u32, 2][j]).collect::<Vec<_>>())
+            }),
+            (Some(1), 2)
+        );
+    }
+}

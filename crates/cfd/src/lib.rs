@@ -24,6 +24,10 @@
 //!   detection semantics over `(tid, codes)` wire rows gathered from
 //!   dictionary-sharing fragments (what the distributed batch
 //!   detectors ship since the code-native wire port),
+//! * [`kernel`] — the single group-validation kernel all of the above
+//!   instantiate: per-group tableau validation ([`validate_group`]) and
+//!   σ-style LHS pattern bucketing ([`LhsIndex`]) written once,
+//!   parameterized over key/RHS accessors, decoder, and sink,
 //! * [`implication`] — FD closures and the two-tuple chase deciding
 //!   `Σ |= φ` (complete for infinite-domain attributes),
 //! * [`discovery`] — proposing CFDs from data (the complementary
@@ -38,6 +42,7 @@ pub mod cfd;
 pub mod codes;
 pub mod discovery;
 pub mod implication;
+pub mod kernel;
 pub mod parse;
 pub mod pattern;
 pub mod violation;
@@ -47,6 +52,7 @@ pub use cfd::{Cfd, Fd, NormalCfd, SimpleCfd};
 pub use codes::{detect_among_codes, detect_pattern_among_codes, CodeLayout, CodeRow, ResolvedCfd};
 pub use discovery::{discover, discover_cfds, DiscoveryConfig};
 pub use implication::{chase_implies, fd_closure, fd_implies, minimal_cover, sigma_implies};
+pub use kernel::{validate_group, GroupVerdict, LhsIndex, RhsSpec};
 pub use parse::{parse_cfd, ParseError};
 pub use pattern::{NormalPattern, PatternTuple, PatternValue};
 pub use violation::{

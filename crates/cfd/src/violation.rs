@@ -28,7 +28,8 @@
 //! identical under both.
 
 use crate::cfd::{Cfd, SimpleCfd};
-use crate::pattern::{compile_tableau, values_match};
+use crate::kernel;
+use crate::pattern::compile_tableau;
 use dcd_relation::ops::CodeKey;
 use dcd_relation::{zip_chunks, FxHashMap, FxHashSet, Relation, Tuple, TupleId, Value};
 use std::sync::Arc;
@@ -143,26 +144,28 @@ pub fn detect_among(tuples: &[&Tuple], cfd: &SimpleCfd) -> ViolationSet {
 
 /// The columnar detection path: the whole algorithm runs on dictionary
 /// codes. Patterns compile once against `rel`'s dictionaries; the group
-/// keys are packed code keys; the distinct-RHS test counts distinct `u32`
-/// codes (the dictionary is a bijection, so code equality *is* value
-/// equality); only violating group keys are ever decoded back to values.
-/// Semantically identical to [`detect_among_with`] over all of `rel`'s
-/// tuples — pinned by the workspace equivalence property tests.
+/// keys are packed code keys; only violating group keys are ever
+/// decoded back to values. The validation semantics live in
+/// [`kernel::validate_group`](crate::kernel) — this function only
+/// supplies the chunk-sliced key accessor, the code-column RHS
+/// accessor, and the dictionary decoder. Semantically identical to
+/// [`detect_among_with`] over all of `rel`'s tuples — pinned by the
+/// workspace equivalence property tests.
 fn detect_simple_with(rel: &Relation, cfd: &SimpleCfd, strict: bool) -> ViolationSet {
-    let mut out = ViolationSet::default();
     if cfd.tableau.is_empty() {
-        return out;
+        return ViolationSet::default();
     }
     let compiled = compile_tableau(&cfd.tableau, rel, &cfd.lhs, cfd.rhs);
     if compiled.iter().all(|p| !p.feasible) {
         // Every pattern names a constant the relation never saw.
-        return out;
+        return ViolationSet::default();
     }
     let lhs_cols = rel.code_views(&cfd.lhs);
     let rhs_col = rel.column(cfd.rhs).codes();
-    // Group once over rows matching *some* pattern; per group, test
-    // every pattern the group key matches. The scan walks the columns
-    // chunk-at-a-time so the hot pattern/key loop runs on plain slices.
+    // Group *all* rows by LHS key, walking the columns chunk-at-a-time
+    // so the hot key loop runs on plain slices; the kernel's LHS index
+    // then decides per distinct key — not per row — which patterns
+    // apply (keys matching none emit nothing).
     let mut groups: FxHashMap<CodeKey, Vec<usize>> = FxHashMap::default();
     if cfd.lhs.is_empty() {
         // Degenerate empty-LHS key: every row shares one group.
@@ -172,67 +175,37 @@ fn detect_simple_with(rel: &Relation, cfd: &SimpleCfd, strict: bool) -> Violatio
     } else {
         zip_chunks(&lhs_cols, |base, chunk_cols| {
             for r in 0..chunk_cols[0].len() {
-                if compiled.iter().any(|p| p.feasible && p.matches_row(chunk_cols, r)) {
-                    groups.entry(CodeKey::of_row(chunk_cols, r)).or_default().push(base + r);
-                }
+                groups.entry(CodeKey::of_row(chunk_cols, r)).or_default().push(base + r);
             }
         });
     }
 
+    let index = kernel::LhsIndex::of_compiled(&compiled);
     let width = cfd.lhs.len();
     let tuples = rel.tuples();
-    for (key, members) in &groups {
-        let key_codes = key.codes(width);
-        let mut group_flagged = false;
-        let mut member_flags: Option<Vec<bool>> = None;
-        // Distinct-RHS count computed lazily at the first matching pattern.
-        let mut fd_conflict: Option<bool> = None;
-        for pat in &compiled {
-            if !pat.matches_codes(&key_codes) {
-                continue;
-            }
-            let conflict = *fd_conflict.get_or_insert_with(|| {
-                let distinct: FxHashSet<u32> = members.iter().map(|&i| rhs_col[i]).collect();
-                distinct.len() > 1
-            });
+    let mut key_buf: Vec<u32> = Vec::new();
+    let mut probe_buf: Vec<u32> = Vec::new();
+    kernel::detect_grouped(
+        &groups,
+        |key: &CodeKey, ranks: &mut Vec<u32>| {
+            key_buf.clear();
+            key_buf.extend(key.codes(width));
+            index.matched_codes_into(&key_buf, &mut probe_buf, ranks);
+        },
+        |rank| {
+            let pat = &compiled[rank as usize];
             if pat.rhs_is_wild() {
-                // Variable pattern: all members violate iff ≥2 distinct
-                // RHS values in the group.
-                group_flagged |= conflict;
+                kernel::RhsSpec::Wild
             } else {
-                if strict && conflict {
-                    group_flagged = true;
-                }
-                // Single-tuple rule: t[A] ≭ c (a NO_CODE RHS constant
-                // differs from every tuple by construction).
-                let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
-                for (fi, &i) in members.iter().enumerate() {
-                    if rhs_col[i] != pat.rhs {
-                        flags[fi] = true;
-                    }
-                }
+                kernel::RhsSpec::Const(pat.rhs)
             }
-            if group_flagged {
-                break; // every member is flagged; further patterns add nothing
-            }
-        }
-        if group_flagged {
-            out.patterns.insert(rel.decode_projection(&cfd.lhs, &key_codes));
-            out.tids.extend(members.iter().map(|&i| tuples[i].tid));
-        } else if let Some(flags) = member_flags {
-            let mut any = false;
-            for (fi, &i) in members.iter().enumerate() {
-                if flags[fi] {
-                    out.tids.insert(tuples[i].tid);
-                    any = true;
-                }
-            }
-            if any {
-                out.patterns.insert(rel.decode_projection(&cfd.lhs, &key_codes));
-            }
-        }
-    }
-    out
+        },
+        Vec::len,
+        |members, fi| rhs_col[members[fi]],
+        |members, fi| tuples[members[fi]].tid,
+        |key| rel.decode_projection(&cfd.lhs, &key.codes(width)),
+        strict,
+    )
 }
 
 /// Single-tuple detection of an all-constant-pattern CFD, restricted to
@@ -301,73 +274,37 @@ pub fn detect_constants_rows_with(
     out
 }
 
+/// The value-wise fallback: groups by `Vec<Value>` projections and
+/// reads RHS cells as `&Value`. The validation semantics live in
+/// [`kernel::validate_group`](crate::kernel) — this function only
+/// supplies the projection key accessor and the tuple-field RHS
+/// accessor.
 fn detect_among_with(tuples: &[&Tuple], cfd: &SimpleCfd, strict: bool) -> ViolationSet {
-    let mut out = ViolationSet::default();
     if cfd.tableau.is_empty() {
-        return out;
+        return ViolationSet::default();
     }
-    // Group once over tuples matching *some* pattern; per group, test
-    // every pattern the group key matches.
+    // Group *all* tuples by projection; the kernel's LHS index decides
+    // per distinct key which patterns apply.
     let mut groups: dcd_relation::FxHashMap<Vec<Value>, Vec<usize>> =
         dcd_relation::FxHashMap::default();
     for (i, t) in tuples.iter().enumerate() {
-        if cfd.tableau.iter().any(|p| crate::pattern::tuple_matches(t, &cfd.lhs, &p.lhs)) {
-            groups.entry(t.project(&cfd.lhs)).or_default().push(i);
-        }
+        groups.entry(t.project(&cfd.lhs)).or_default().push(i);
     }
 
-    for (key, members) in &groups {
-        let mut group_flagged = false;
-        let mut member_flags: Option<Vec<bool>> = None;
-        // Distinct-RHS count computed lazily at the first matching pattern.
-        let mut fd_conflict: Option<bool> = None;
-        for pat in &cfd.tableau {
-            if !values_match(key, &pat.lhs) {
-                continue;
-            }
-            let conflict = *fd_conflict.get_or_insert_with(|| {
-                let distinct: FxHashSet<&Value> =
-                    members.iter().map(|&i| tuples[i].get(cfd.rhs)).collect();
-                distinct.len() > 1
-            });
-            match pat.rhs.as_const() {
-                // Variable pattern: all members violate iff ≥2 distinct
-                // RHS values in the group.
-                None => group_flagged |= conflict,
-                Some(c) => {
-                    if strict && conflict {
-                        group_flagged = true;
-                    }
-                    // Single-tuple rule: t[A] ≭ c.
-                    let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
-                    for (fi, &i) in members.iter().enumerate() {
-                        if tuples[i].get(cfd.rhs) != c {
-                            flags[fi] = true;
-                        }
-                    }
-                }
-            }
-            if group_flagged {
-                break; // every member is flagged; further patterns add nothing
-            }
-        }
-        if group_flagged {
-            out.patterns.insert(key.clone());
-            out.tids.extend(members.iter().map(|&i| tuples[i].tid));
-        } else if let Some(flags) = member_flags {
-            let mut any = false;
-            for (fi, &i) in members.iter().enumerate() {
-                if flags[fi] {
-                    out.tids.insert(tuples[i].tid);
-                    any = true;
-                }
-            }
-            if any {
-                out.patterns.insert(key.clone());
-            }
-        }
-    }
-    out
+    let index = kernel::LhsIndex::of_tableau(&cfd.tableau);
+    kernel::detect_grouped(
+        &groups,
+        |key: &Vec<Value>, ranks: &mut Vec<u32>| index.matched_values_into(key, ranks),
+        |rank| match cfd.tableau[rank as usize].rhs.as_const() {
+            None => kernel::RhsSpec::Wild,
+            Some(c) => kernel::RhsSpec::Const(c),
+        },
+        Vec::len,
+        |members, fi| tuples[members[fi]].get(cfd.rhs),
+        |members, fi| tuples[members[fi]].tid,
+        |key| key.clone(),
+        strict,
+    )
 }
 
 /// Detects violations of a general CFD (any number of RHS attributes),
@@ -406,6 +343,8 @@ pub fn detect_pattern_among<'a>(
     pattern_idx: usize,
 ) -> ViolationSet {
     let pat = &cfd.tableau[pattern_idx];
+    // Pre-filtering by the single pattern makes every group match it,
+    // so the kernel sees a one-entry tableau.
     let mut groups: dcd_relation::FxHashMap<Vec<Value>, (Vec<TupleId>, Vec<Value>)> =
         dcd_relation::FxHashMap::default();
     for t in tuples {
@@ -415,31 +354,22 @@ pub fn detect_pattern_among<'a>(
             entry.1.push(t.get(cfd.rhs).clone());
         }
     }
-    let mut out = ViolationSet::default();
-    for (key, (tids, rhs_vals)) in groups {
-        let distinct: FxHashSet<&Value> = rhs_vals.iter().collect();
-        match pat.rhs.as_const() {
-            None => {
-                if distinct.len() > 1 {
-                    out.tids.extend(tids);
-                    out.patterns.insert(key);
-                }
-            }
-            Some(c) => {
-                let mut any = false;
-                for (tid, v) in tids.iter().zip(&rhs_vals) {
-                    if v != c {
-                        out.tids.insert(*tid);
-                        any = true;
-                    }
-                }
-                if any {
-                    out.patterns.insert(key);
-                }
-            }
-        }
-    }
-    out
+    kernel::detect_grouped(
+        &groups,
+        |_key, ranks: &mut Vec<u32>| {
+            ranks.clear();
+            ranks.push(0);
+        },
+        |_rank| match pat.rhs.as_const() {
+            None => kernel::RhsSpec::Wild,
+            Some(c) => kernel::RhsSpec::Const(c),
+        },
+        |members| members.0.len(),
+        |members, fi| &members.1[fi],
+        |members, fi| members.0[fi],
+        |key| key.clone(),
+        false,
+    )
 }
 
 #[cfg(test)]

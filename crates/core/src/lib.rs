@@ -65,7 +65,7 @@ pub use config::{ComputeModel, RunConfig};
 pub use detector::{CtrDetect, Detector, PatDetectRT, PatDetectS};
 pub use exact::min_shipment_exhaustive;
 pub use hybrid::run_hybrid;
-pub use mining::{mine_patterns, MiningConfig};
+pub use mining::{mine_patterns, MinedTableau, MiningConfig};
 pub use multi::{run_clust, run_seq, ClustDetect, MultiDetector, SeqDetect};
 pub use replicated::run_replicated;
 pub use report::{Detection, DetectionSummary};

@@ -9,10 +9,22 @@
 //! pattern(s), and let σ route the frequent groups to their own
 //! coordinators. The refined CFD is equivalent to the original because
 //! every mined pattern is subsumed by an original variable pattern.
+//!
+//! Support counting runs on packed [`CodeKey`]s over the fragments'
+//! chunked code columns — the same representation every other hot path
+//! uses — and decodes only the patterns that are actually emitted. The
+//! counts are kept per site in a [`MinedTableau`], which doubles as the
+//! *incremental* miner: a delta batch adjusts the affected keys' support
+//! (±1 per mask per changed row) instead of re-scanning the fragment,
+//! and [`MinedTableau::refine`] re-derives the closed frequent patterns
+//! from the maintained counts — bit-identical to a full re-mine of the
+//! updated fragments (pinned by the workspace property tests).
 
 use dcd_cfd::{NormalPattern, PatternValue, SimpleCfd};
 use dcd_dist::{CostModel, HorizontalPartition};
-use dcd_relation::{FxHashMap, FxHashSet, Value};
+use dcd_relation::ops::CodeKey;
+use dcd_relation::{zip_chunks, DeltaEffect, Dictionary, FxHashMap, FxHashSet};
+use std::sync::Arc;
 
 /// Mining parameters.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +57,241 @@ pub struct MiningOutcome {
     pub added: usize,
 }
 
+/// The positions of `mask`'s set bits, ascending.
+fn mask_attrs(mask: u32, m: usize) -> Vec<usize> {
+    (0..m).filter(|&i| mask & (1 << i) != 0).collect()
+}
+
+/// Per-site support state: fragment size plus the *unthresholded*
+/// per-mask support counts on packed code keys, over the fragment's own
+/// dictionaries (kept for decoding emitted patterns; they are shared
+/// with the live relation, so late-interned values stay decodable).
+#[derive(Debug, Clone)]
+struct SiteSupport {
+    n: usize,
+    counts: FxHashMap<u32, FxHashMap<CodeKey, usize>>,
+    lhs_dicts: Vec<Arc<Dictionary>>,
+}
+
+/// Incrementally-maintained mining state for one `(partition, CFD)`
+/// pair: per-site support counts on code keys, adjustable per delta
+/// batch, from which [`refine`](Self::refine) derives the closed
+/// frequent patterns at any point in the stream.
+#[derive(Debug, Clone)]
+pub struct MinedTableau {
+    cfd: SimpleCfd,
+    config: MiningConfig,
+    /// Attribute-subset bitmasks of bounded width, ascending size.
+    masks: Vec<u32>,
+    /// Schema positions of the LHS attributes (to project full-width
+    /// delta code rows).
+    lhs_pos: Vec<usize>,
+    sites: Vec<SiteSupport>,
+}
+
+impl MinedTableau {
+    /// Builds the support counts by scanning every fragment's chunked
+    /// code columns once per mask.
+    pub fn build(partition: &HorizontalPartition, cfd: &SimpleCfd, config: &MiningConfig) -> Self {
+        let m = cfd.lhs.len();
+        let mut masks: Vec<u32> = (1u32..(1 << m))
+            .filter(|mk| (mk.count_ones() as usize) <= config.max_width.min(m))
+            .collect();
+        masks.sort_by_key(|mk| mk.count_ones());
+
+        let sites = partition
+            .fragments()
+            .iter()
+            .map(|frag| {
+                let views = frag.data.code_views(&cfd.lhs);
+                let mut counts: FxHashMap<u32, FxHashMap<CodeKey, usize>> = FxHashMap::default();
+                let mut buf: Vec<u32> = Vec::with_capacity(m);
+                for &mask in &masks {
+                    let attrs = mask_attrs(mask, m);
+                    let mut map: FxHashMap<CodeKey, usize> = FxHashMap::default();
+                    // The hot loop: project the mask's columns from the
+                    // aligned chunk slices and count packed keys.
+                    zip_chunks(&views, |_base, cols| {
+                        for r in 0..cols[0].len() {
+                            buf.clear();
+                            buf.extend(attrs.iter().map(|&i| cols[i][r]));
+                            *map.entry(CodeKey::of_codes(&buf)).or_insert(0) += 1;
+                        }
+                    });
+                    counts.insert(mask, map);
+                }
+                SiteSupport {
+                    n: frag.data.len(),
+                    counts,
+                    lhs_dicts: frag.data.dictionaries_of(&cfd.lhs),
+                }
+            })
+            .collect();
+
+        MinedTableau {
+            cfd: cfd.clone(),
+            config: *config,
+            masks,
+            lhs_pos: cfd.lhs.iter().map(|a| a.index()).collect(),
+            sites,
+        }
+    }
+
+    /// The original (unrefined) CFD the counts are kept for.
+    pub fn cfd(&self) -> &SimpleCfd {
+        &self.cfd
+    }
+
+    /// Number of attribute-subset masks walked per fragment scan (the
+    /// cost-model multiplier of a full mine).
+    pub fn n_masks(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Adjusts site `si`'s support counts for one applied delta: each
+    /// affected full-width code row contributes ±1 to its projected key
+    /// under every mask. Cost is `O(rows × masks)` — independent of the
+    /// fragment size a full re-mine would scan.
+    pub fn apply_site_effect(&mut self, si: usize, eff: &DeltaEffect) {
+        let m = self.cfd.lhs.len();
+        let site = &mut self.sites[si];
+        let mut buf: Vec<u32> = Vec::with_capacity(m);
+        for (_, codes) in &eff.deleted {
+            site.n -= 1;
+            for &mask in &self.masks {
+                buf.clear();
+                buf.extend(mask_attrs(mask, m).iter().map(|&i| codes[self.lhs_pos[i]]));
+                let map = site.counts.get_mut(&mask).expect("mask counted at build");
+                let key = CodeKey::of_codes(&buf);
+                let cnt = map.get_mut(&key).expect("deleted row was counted");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    map.remove(&key);
+                }
+            }
+        }
+        for (_, codes) in &eff.inserted {
+            site.n += 1;
+            for &mask in &self.masks {
+                buf.clear();
+                buf.extend(mask_attrs(mask, m).iter().map(|&i| codes[self.lhs_pos[i]]));
+                let map = site.counts.get_mut(&mask).expect("mask counted at build");
+                *map.entry(CodeKey::of_codes(&buf)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Derives the refined tableau from the current counts: thresholds
+    /// per site, prunes non-closed patterns (a one-attribute extension
+    /// with the same support), keeps only patterns subsumed by an
+    /// original variable pattern, decodes them, and prepends them to
+    /// the original tableau in the deterministic order mining always
+    /// used. Returns the refined CFD and the number of added patterns.
+    pub fn refine(&self) -> (SimpleCfd, usize) {
+        let m = self.cfd.lhs.len();
+        let variable: Vec<&NormalPattern> =
+            self.cfd.tableau.iter().filter(|p| !p.is_constant()).collect();
+        let mut mined: FxHashSet<Vec<PatternValue>> = FxHashSet::default();
+        for site in &self.sites {
+            let n = site.n;
+            if n == 0 {
+                continue;
+            }
+            let threshold = ((self.config.theta * n as f64).ceil() as usize).max(1);
+            // Thresholded per-mask views. Support is anti-monotone, so
+            // thresholding before the closedness walk never hides a
+            // subset a frequent superset would need to compare against.
+            let mut freq: FxHashMap<u32, FxHashMap<CodeKey, usize>> = FxHashMap::default();
+            for &mask in &self.masks {
+                let map: FxHashMap<CodeKey, usize> = site.counts[&mask]
+                    .iter()
+                    .filter(|&(_, &c)| c >= threshold)
+                    .map(|(k, &c)| (k.clone(), c))
+                    .collect();
+                freq.insert(mask, map);
+            }
+
+            // Closedness: (S, v) is closed iff no one-attribute
+            // extension has the same support.
+            let mut not_closed: FxHashSet<(u32, CodeKey)> = FxHashSet::default();
+            for &mask in &self.masks {
+                let attrs = mask_attrs(mask, m);
+                if attrs.len() < 2 {
+                    continue;
+                }
+                for (key, cnt) in &freq[&mask] {
+                    let codes = key.codes(attrs.len());
+                    // Project onto each immediate subset.
+                    for (drop_pos, &drop_attr) in attrs.iter().enumerate() {
+                        let sub_mask = mask & !(1 << drop_attr);
+                        let sub_codes: Vec<u32> = codes
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != drop_pos)
+                            .map(|(_, &c)| c)
+                            .collect();
+                        let sub_key = CodeKey::of_codes(&sub_codes);
+                        if freq.get(&sub_mask).and_then(|mp| mp.get(&sub_key)) == Some(cnt) {
+                            not_closed.insert((sub_mask, sub_key));
+                        }
+                    }
+                }
+            }
+
+            // Emit closed frequent patterns subsumed by an original
+            // pattern — the only point codes are decoded to values.
+            for &mask in &self.masks {
+                let attrs = mask_attrs(mask, m);
+                for key in freq[&mask].keys() {
+                    if not_closed.contains(&(mask, key.clone())) {
+                        continue;
+                    }
+                    let codes = key.codes(attrs.len());
+                    let mut lhs = vec![PatternValue::Wild; m];
+                    for (pos, &ai) in attrs.iter().enumerate() {
+                        lhs[ai] = PatternValue::Const(site.lhs_dicts[ai].value(codes[pos]));
+                    }
+                    let subsumed = variable.iter().any(|orig| {
+                        orig.lhs.iter().zip(&lhs).all(|(o, n)| match (o, n) {
+                            (PatternValue::Wild, _) => true,
+                            (PatternValue::Const(a), PatternValue::Const(b)) => a == b,
+                            (PatternValue::Const(_), PatternValue::Wild) => false,
+                        })
+                    });
+                    if subsumed && !self.cfd.tableau.iter().any(|p| p.lhs == lhs && p.rhs.is_wild())
+                    {
+                        mined.insert(lhs);
+                    }
+                }
+            }
+        }
+
+        let mut tableau: Vec<NormalPattern> =
+            Vec::with_capacity(self.cfd.tableau.len() + mined.len());
+        let mut sorted_mined: Vec<Vec<PatternValue>> = mined.into_iter().collect();
+        // Deterministic order: most constants first, then lexicographic
+        // debug form (pattern values have no natural order; the debug
+        // form is stable).
+        sorted_mined.sort_by_key(|p| (p.iter().filter(|v| v.is_wild()).count(), format!("{p:?}")));
+        let added = sorted_mined.len();
+        for lhs in sorted_mined {
+            tableau.push(NormalPattern::new(lhs, PatternValue::Wild));
+        }
+        tableau.extend(self.cfd.tableau.iter().cloned());
+
+        (
+            SimpleCfd {
+                name: format!("{}+mined", self.cfd.name),
+                schema: self.cfd.schema.clone(),
+                lhs: self.cfd.lhs.clone(),
+                rhs: self.cfd.rhs,
+                tableau,
+            },
+            added,
+        )
+    }
+}
+
 /// Mines closed frequent LHS patterns in every fragment and returns an
 /// equivalent CFD whose tableau additionally contains them.
 ///
@@ -59,118 +306,23 @@ pub fn mine_patterns(
     config: &MiningConfig,
     cost: &CostModel,
 ) -> MiningOutcome {
-    let m = cfd.lhs.len();
-    let variable: Vec<&NormalPattern> = cfd.tableau.iter().filter(|p| !p.is_constant()).collect();
+    let tableau = MinedTableau::build(partition, cfd, config);
     let mut per_site_secs = vec![0.0; partition.n_sites()];
-
-    // Enumerate attribute subsets (bitmasks) of bounded width, by
-    // ascending size so closedness can look one level up.
-    let mut masks: Vec<u32> = (1u32..(1 << m))
-        .filter(|mk| (mk.count_ones() as usize) <= config.max_width.min(m))
-        .collect();
-    masks.sort_by_key(|mk| mk.count_ones());
-
-    let mut mined: FxHashSet<Vec<PatternValue>> = FxHashSet::default();
     for (si, frag) in partition.fragments().iter().enumerate() {
         let n = frag.data.len();
-        if n == 0 {
-            continue;
-        }
-        let threshold = ((config.theta * n as f64).ceil() as usize).max(1);
-        // Support counts per mask.
-        let mut counts: FxHashMap<u32, FxHashMap<Vec<Value>, usize>> = FxHashMap::default();
-        for &mask in &masks {
-            let attrs: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
-            let mut map: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-            for t in frag.data.iter() {
-                let key: Vec<Value> = attrs.iter().map(|&i| t.get(cfd.lhs[i]).clone()).collect();
-                *map.entry(key).or_insert(0) += 1;
-            }
-            map.retain(|_, c| *c >= threshold);
-            counts.insert(mask, map);
-        }
-        per_site_secs[si] += cost.scan_time(n) * masks.len() as f64;
-
-        // Closedness: (S, v) is closed iff no one-attribute extension has
-        // the same support.
-        let mut not_closed: FxHashSet<(u32, Vec<Value>)> = FxHashSet::default();
-        for &mask in &masks {
-            let attrs: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
-            if attrs.len() < 2 {
-                continue;
-            }
-            for (vals, cnt) in &counts[&mask] {
-                // Project onto each immediate subset.
-                for (drop_pos, &drop_attr) in attrs.iter().enumerate() {
-                    let sub_mask = mask & !(1 << drop_attr);
-                    let sub_vals: Vec<Value> = vals
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| *i != drop_pos)
-                        .map(|(_, v)| v.clone())
-                        .collect();
-                    if counts.get(&sub_mask).and_then(|mp| mp.get(&sub_vals)) == Some(cnt) {
-                        not_closed.insert((sub_mask, sub_vals));
-                    }
-                }
-            }
-        }
-
-        // Emit closed frequent patterns subsumed by an original pattern.
-        for &mask in &masks {
-            let attrs: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
-            for vals in counts[&mask].keys() {
-                if not_closed.contains(&(mask, vals.clone())) {
-                    continue;
-                }
-                let mut lhs = vec![PatternValue::Wild; m];
-                for (pos, &ai) in attrs.iter().enumerate() {
-                    lhs[ai] = PatternValue::Const(vals[pos].clone());
-                }
-                let subsumed = variable.iter().any(|orig| {
-                    orig.lhs.iter().zip(&lhs).all(|(o, n)| match (o, n) {
-                        (PatternValue::Wild, _) => true,
-                        (PatternValue::Const(a), PatternValue::Const(b)) => a == b,
-                        (PatternValue::Const(_), PatternValue::Wild) => false,
-                    })
-                });
-                if subsumed && !cfd.tableau.iter().any(|p| p.lhs == lhs && p.rhs.is_wild()) {
-                    mined.insert(lhs);
-                }
-            }
+        if n > 0 {
+            per_site_secs[si] += cost.scan_time(n) * tableau.n_masks() as f64;
         }
     }
-
-    let mut tableau: Vec<NormalPattern> = Vec::with_capacity(cfd.tableau.len() + mined.len());
-    let mut sorted_mined: Vec<Vec<PatternValue>> = mined.into_iter().collect();
-    // Deterministic order: most constants first, then lexicographic debug
-    // form (pattern values have no natural order; the debug form is
-    // stable).
-    sorted_mined.sort_by_key(|p| (p.iter().filter(|v| v.is_wild()).count(), format!("{p:?}")));
-    let added = sorted_mined.len();
-    for lhs in sorted_mined {
-        tableau.push(NormalPattern::new(lhs, PatternValue::Wild));
-    }
-    tableau.extend(cfd.tableau.iter().cloned());
-
-    MiningOutcome {
-        cfd: SimpleCfd {
-            name: format!("{}+mined", cfd.name),
-            schema: cfd.schema.clone(),
-            lhs: cfd.lhs.clone(),
-            rhs: cfd.rhs,
-            tableau,
-        },
-        per_site_secs,
-        added,
-    }
+    let (cfd, added) = tableau.refine();
+    MiningOutcome { cfd, per_site_secs, added }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dcd_cfd::parse_cfd;
-    use dcd_relation::{vals, Relation, Schema, ValueType};
+    use dcd_relation::{vals, Relation, Schema, Value, ValueType};
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
@@ -356,5 +508,35 @@ mod tests {
             refined.shipped_tuples,
             plain.shipped_tuples
         );
+    }
+
+    /// Incremental support maintenance tracks a from-scratch rebuild.
+    #[test]
+    fn incremental_counts_match_rebuild() {
+        use dcd_relation::{RelationDelta, Tuple, TupleId};
+        let rel = skewed(60);
+        let mut partition = HorizontalPartition::round_robin(&rel, 2).unwrap();
+        let fd = parse_cfd(rel.schema(), "fd", "([cc, zip] -> [street])").unwrap();
+        let simple = fd.simplify().pop().unwrap();
+        let config = MiningConfig { theta: 0.2, max_width: 2 };
+        let mut mined = MinedTableau::build(&partition, &simple, &config);
+
+        // Insert two rows at site 0, delete one at site 1.
+        let d0 = RelationDelta::new(
+            vec![
+                Tuple::new(TupleId(1000), vals![44, "z1", "sX"]),
+                Tuple::new(TupleId(1001), vals![44, "z1", "sY"]),
+            ],
+            vec![],
+        );
+        let victim = partition.fragments()[1].data.tuples()[0].tid;
+        let d1 = RelationDelta::new(vec![], vec![victim]);
+        let eff0 = partition.fragments_mut()[0].data.apply_delta(&d0).unwrap();
+        let eff1 = partition.fragments_mut()[1].data.apply_delta(&d1).unwrap();
+        mined.apply_site_effect(0, &eff0);
+        mined.apply_site_effect(1, &eff1);
+
+        let rebuilt = MinedTableau::build(&partition, &simple, &config);
+        assert_eq!(mined.refine().0.tableau, rebuilt.refine().0.tableau);
     }
 }

@@ -8,10 +8,11 @@
 //! validated at its own coordinator (Lemma 6). This module computes the
 //! per-fragment blocks `H_i^j` and the `lstat[i, j]` statistics.
 
+use dcd_cfd::kernel::LhsIndex;
 use dcd_cfd::pattern::{compile_tableau, CompiledPattern};
 use dcd_cfd::{NormalPattern, SimpleCfd};
 use dcd_relation::ops::CodeKey;
-use dcd_relation::{zip_chunks_range, FxHashMap, Relation, WILDCARD_CODE};
+use dcd_relation::{zip_chunks_range, FxHashMap, Relation};
 
 /// A [`SimpleCfd`] with its tableau re-sorted most-specific-first, as
 /// required by σ. Construct via [`sort_for_sigma`].
@@ -105,24 +106,22 @@ pub fn sigma_partition_range(
     sigma_partition_range_with(fragment, sorted, &index, start, end)
 }
 
-/// The σ decision structure of one (fragment, CFD): compiled patterns
-/// bucketed by LHS wildcard mask, each bucket a hash map from the
-/// pattern's constant codes (non-wild positions, in `X` order) to the
-/// earliest position the linear tableau scan would have matched it at.
-/// σ of a key is then one probe per distinct mask — `O(masks)` instead
-/// of `O(|Tp|)` — and the answer (first matching applicable pattern
-/// plus the number of patterns the scan would have tried) is
-/// bit-identical to the scan it replaces. Built once per fragment; the
-/// morsel loops hand every (site, chunk) range the same index, so
-/// neither the dictionary lookups of tableau compilation nor the scan
-/// structure are re-done per morsel.
+/// The σ decision structure of one (fragment, CFD): a thin wrapper
+/// over the detection kernel's [`LhsIndex`] — the same
+/// bucketing-by-wildcard-mask every detector probes, so σ shares the
+/// structure instead of re-deriving it. σ of a key is one probe per
+/// distinct mask — `O(masks)` instead of `O(|Tp|)` — and the answer
+/// (first matching applicable pattern plus the number of patterns the
+/// scan would have tried) is bit-identical to the scan it replaces.
+/// Built once per fragment; the morsel loops hand every (site, chunk)
+/// range the same index, so neither the dictionary lookups of tableau
+/// compilation nor the scan structure are re-done per morsel.
 pub struct SigmaIndex {
-    /// Distinct wildcard masks: the non-wild LHS positions, with a map
-    /// from the constant codes at those positions to the smallest scan
-    /// rank among patterns sharing both. Patterns carrying a `NO_CODE`
-    /// constant sit in the maps harmlessly — probe keys hold real codes
-    /// only, so infeasible patterns can never win a probe.
-    buckets: Vec<(Vec<usize>, FxHashMap<CodeKey, u32>)>,
+    /// The kernel's bucketing over the applicable patterns, ranks in
+    /// scan order. Patterns carrying a `NO_CODE` constant sit in the
+    /// buckets harmlessly — probe keys hold real codes only, so
+    /// infeasible patterns can never win a probe.
+    index: LhsIndex<CodeKey>,
     /// The scan order the ranks index into: `applicable[rank]` is the
     /// pattern a winning probe resolves to.
     applicable: Vec<usize>,
@@ -132,44 +131,22 @@ impl SigmaIndex {
     /// Builds the index from a fragment-compiled tableau and the
     /// (ascending) applicable pattern indices of that fragment.
     pub fn build(compiled: &[CompiledPattern], applicable: &[usize]) -> Self {
-        let mut buckets: Vec<(Vec<usize>, FxHashMap<CodeKey, u32>)> = Vec::new();
-        for (rank, &pi) in applicable.iter().enumerate() {
-            let pat = &compiled[pi];
-            let positions: Vec<usize> =
-                (0..pat.lhs.len()).filter(|&j| pat.lhs[j] != WILDCARD_CODE).collect();
-            let consts: Vec<u32> = positions.iter().map(|&j| pat.lhs[j]).collect();
-            let bucket = match buckets.iter_mut().find(|(p, _)| *p == positions) {
-                Some((_, map)) => map,
-                None => {
-                    buckets.push((positions, FxHashMap::default()));
-                    &mut buckets.last_mut().expect("just pushed").1
-                }
-            };
-            // Duplicate constants keep the earliest rank — exactly the
-            // pattern the linear scan would stop at.
-            bucket.entry(CodeKey::of_codes(&consts)).or_insert(rank as u32);
+        SigmaIndex {
+            index: LhsIndex::of_applicable(compiled, applicable),
+            applicable: applicable.to_vec(),
         }
-        SigmaIndex { buckets, applicable: applicable.to_vec() }
     }
 
     /// σ of one LHS code key: the first applicable pattern it matches
     /// in scan order, plus the tries the scan would have counted.
     /// `buf` is scratch space reused across calls.
     fn assign(&self, key: &[u32], buf: &mut Vec<u32>) -> (Option<usize>, usize) {
-        let mut best: Option<u32> = None;
-        for (positions, map) in &self.buckets {
+        let (rank, tries) = self.index.first_matched(|positions| {
             buf.clear();
             buf.extend(positions.iter().map(|&j| key[j]));
-            if let Some(&rank) = map.get(&CodeKey::of_codes(buf)) {
-                if best.is_none_or(|b| rank < b) {
-                    best = Some(rank);
-                }
-            }
-        }
-        match best {
-            Some(rank) => (Some(self.applicable[rank as usize]), rank as usize + 1),
-            None => (None, self.applicable.len()),
-        }
+            CodeKey::of_codes(buf)
+        });
+        (rank.map(|r| self.applicable[r]), tries)
     }
 }
 

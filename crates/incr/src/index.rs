@@ -30,7 +30,7 @@
 //!   differ from) the fresh code, so "mismatch" stays true either way.
 
 use dcd_cfd::pattern::CompiledPattern;
-use dcd_cfd::{SimpleCfd, ViolationSet};
+use dcd_cfd::{validate_group, GroupVerdict, RhsSpec, SimpleCfd, ViolationSet};
 use dcd_relation::ops::CodeKey;
 use dcd_relation::{Dictionary, FxHashMap, FxHashSet, TupleId, Value};
 use std::sync::Arc;
@@ -228,38 +228,34 @@ impl ViolationIndex {
             return 0;
         }
 
-        // Recompute, mirroring `detect_simple`'s per-group loop under
-        // the algorithmic (non-strict) reading.
+        // Recompute via the kernel's per-group validator under the
+        // algorithmic (non-strict) reading, feeding it the cached
+        // matched-pattern list; the sink here is the stateful key
+        // entry, not a fresh set.
         let members = &state.members;
-        let mut group_flagged = false;
-        let mut member_flags: Option<Vec<bool>> = None;
-        let mut fd_conflict: Option<bool> = None;
-        for &pi in &state.matched {
-            let pat = &self.compiled[pi];
-            debug_assert!(pat.matches_codes(&key_codes), "matched lists never go stale");
-            let conflict = *fd_conflict.get_or_insert_with(|| {
-                let distinct: FxHashSet<u32> = members.iter().map(|&(_, r)| r).collect();
-                distinct.len() > 1
-            });
-            if pat.rhs_is_wild() {
-                group_flagged |= conflict;
-            } else {
-                let flags = member_flags.get_or_insert_with(|| vec![false; members.len()]);
-                for (fi, &(_, r)) in members.iter().enumerate() {
-                    if r != pat.rhs {
-                        flags[fi] = true;
-                    }
+        let verdict = validate_group(
+            state.matched.iter().map(|&pi| {
+                let pat = &self.compiled[pi];
+                debug_assert!(pat.matches_codes(&key_codes), "matched lists never go stale");
+                if pat.rhs_is_wild() {
+                    RhsSpec::Wild
+                } else {
+                    RhsSpec::Const(pat.rhs)
                 }
+            }),
+            members.len(),
+            |fi| members[fi].1,
+            false,
+        );
+        match verdict {
+            GroupVerdict::AllFlagged => {
+                state.flagged = members.iter().map(|&(t, _)| t).collect();
             }
-            if group_flagged {
-                break;
+            GroupVerdict::Mixed(flags) => {
+                state.flagged =
+                    members.iter().zip(&flags).filter(|(_, &f)| f).map(|(&(t, _), _)| t).collect();
             }
-        }
-        if group_flagged {
-            state.flagged = members.iter().map(|&(t, _)| t).collect();
-        } else if let Some(flags) = member_flags {
-            state.flagged =
-                members.iter().zip(&flags).filter(|(_, &f)| f).map(|(&(t, _), _)| t).collect();
+            GroupVerdict::Clean => {}
         }
         if !state.flagged.is_empty() {
             self.live.tids.extend(state.flagged.iter().copied());

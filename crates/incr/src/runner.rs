@@ -46,7 +46,7 @@ use crate::index::ViolationIndex;
 use dcd_cfd::{Cfd, ViolationReport};
 use dcd_core::report::Detection;
 use dcd_core::runner::{charge, RoundOutput};
-use dcd_core::{ComputeModel, RunConfig};
+use dcd_core::{ComputeModel, MinedTableau, MiningConfig, RunConfig};
 use dcd_dist::pool::scoped_map;
 use dcd_dist::{
     chained_holds as holds, Fragment, HorizontalPartition, ReplicatedPartition, ShipmentLedger,
@@ -129,6 +129,9 @@ pub struct IncrementalRun {
     /// Chained-declustering replication factor (1 = no replication).
     factor: usize,
     indices: Vec<ViolationIndex>,
+    /// Incrementally-maintained mined tableaux (see
+    /// [`Self::track_mining`]); empty unless mining is tracked.
+    miners: Vec<MinedTableau>,
     coordinator: SiteId,
     ledger: ShipmentLedger,
     clocks: SiteClocks,
@@ -232,6 +235,7 @@ impl IncrementalRun {
             partition,
             factor,
             indices,
+            miners: Vec::new(),
             coordinator,
             ledger,
             clocks,
@@ -364,6 +368,25 @@ impl IncrementalRun {
         }
         self.clocks.transfer(&matrix, &cfg.cost);
 
+        // Mined-tableau maintenance: each site adjusts its tracked
+        // support counts from its own effect — `rows × masks` key
+        // updates instead of the `fragment × masks` scan a re-mine
+        // costs. Site order, then miner order, keeps the f64 sums
+        // deterministic.
+        if !self.miners.is_empty() {
+            for (i, effect) in effects.iter().enumerate() {
+                if effect.is_empty() {
+                    continue;
+                }
+                for miner in &mut self.miners {
+                    let secs = cfg.cost.scan_time(effect.n_rows()) * miner.n_masks() as f64;
+                    miner.apply_site_effect(i, effect);
+                    self.clocks.advance(SiteId(i as u32), secs);
+                    local_secs[i] += secs;
+                }
+            }
+        }
+
         // Phase 4: index maintenance at the coordinator (parallel per
         // CFD, charged in CFD order).
         let deletes: Vec<TupleId> =
@@ -423,6 +446,32 @@ impl IncrementalRun {
     /// index sizes are visible for diagnostics: distinct keys per CFD.
     pub fn index_key_counts(&self) -> Vec<usize> {
         self.indices.iter().map(ViolationIndex::key_count).collect()
+    }
+
+    /// Registers `cfd` for incremental mined-tableau maintenance: the
+    /// per-site support counts are built once from the current
+    /// fragments (charged like a full mine, `scan × masks` per site),
+    /// then kept current by every subsequent [`Self::apply_batch`] at
+    /// `rows × masks` key updates instead of a re-mine. Returns a
+    /// handle for [`Self::mined_cfd`].
+    pub fn track_mining(&mut self, cfd: &dcd_cfd::SimpleCfd, config: &MiningConfig) -> usize {
+        let miner = MinedTableau::build(&self.partition, cfd, config);
+        for (i, frag) in self.partition.fragments().iter().enumerate() {
+            let n = frag.data.len();
+            if n > 0 {
+                let secs = self.cfg.cost.scan_time(n) * miner.n_masks() as f64;
+                self.clocks.advance(SiteId(i as u32), secs);
+            }
+        }
+        self.miners.push(miner);
+        self.miners.len() - 1
+    }
+
+    /// The refined CFD derived from miner `id`'s *maintained* counts —
+    /// bit-identical to re-mining the materialized fragments — plus the
+    /// number of mined patterns.
+    pub fn mined_cfd(&self, id: usize) -> (dcd_cfd::SimpleCfd, usize) {
+        self.miners[id].refine()
     }
 }
 

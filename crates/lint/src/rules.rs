@@ -10,6 +10,7 @@
 //! | `wall-clock` | simulated `SiteClocks` time only |
 //! | `relaxed-atomic` | audited atomic orderings, justified `unsafe` |
 //! | `deprecated-shim` | the `DetectRequest` façade is the only door |
+//! | `duplicate-detect-loop` | group validation lives in `dcd_cfd::kernel` only |
 //!
 //! Rules are token-window analyses, not AST passes: sound about strings
 //! and comments (the tokenizer guarantees that), heuristic about types.
@@ -22,13 +23,14 @@ use crate::source::{FileClass, SourceFile};
 use std::collections::BTreeSet;
 
 /// All rule ids, in reporting order.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 8] = [
     "hash-iteration-order",
     "raw-ledger-mutation",
     "stray-thread",
     "wall-clock",
     "relaxed-atomic",
     "deprecated-shim",
+    "duplicate-detect-loop",
     "bad-suppression",
 ];
 
@@ -62,6 +64,12 @@ pub fn describe(rule: &str) -> &'static str {
              `Detector::run*`/`MultiDetector::run` method calls) — the shims are \
              gone; new code goes through the `DetectRequest` façade or the engine \
              fns, and this rule keeps the old names from creeping back"
+        }
+        "duplicate-detect-loop" => {
+            "a hand-rolled per-group tableau-validation loop outside \
+             `dcd_cfd::kernel` — the group-validation semantics (distinct-RHS \
+             conflict, wildcard/constant flagging) have exactly one home; \
+             instantiate `kernel::detect_grouped`/`validate_group` instead"
         }
         "bad-suppression" => {
             "a `dcd-lint:` marker that is malformed or missing its reason — every \
@@ -211,6 +219,7 @@ pub fn check_file(file: &SourceFile, facts: &HashFacts) -> Vec<Diagnostic> {
     wall_clock(file, &mut out);
     relaxed_atomic(file, &mut out);
     deprecated_shim(file, &mut out);
+    duplicate_detect_loop(file, &mut out);
     bad_suppression(file, &mut out);
     out
 }
@@ -640,6 +649,96 @@ fn deprecated_shim(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------- rule 7
+
+/// `duplicate-detect-loop`: a hand-rolled group-validation loop outside
+/// `dcd_cfd::kernel`. The workspace once carried five per-group
+/// tableau-validation loops (columnar, code-row, value-wise, per-pattern
+/// ×2); they were folded into the one kernel, and this rule is the
+/// reintroduction ratchet. The shape flagged is a `for` body that does
+/// all four things every duplicated loop did:
+///
+/// 1. accumulates into a hash container (`insert`/`or_insert`/..),
+/// 2. reads RHS cells (an identifier mentioning `rhs`),
+/// 3. decides a flag/conflict (an identifier mentioning `flag` or
+///    `conflict`),
+/// 4. compares for distinctness (`!=`, or a `> 1` distinct count).
+///
+/// A body that delegates to the kernel (`validate_group`,
+/// `detect_grouped`, `emit_group`, or matching on `GroupVerdict`/
+/// building `RhsSpec`s) is sanctioned — that is the *intended* way to
+/// run group validation, not a duplicate of it.
+fn duplicate_detect_loop(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.class != FileClass::Engine || file.path.ends_with("crates/cfd/src/kernel.rs") {
+        return;
+    }
+    const KERNEL_CALLS: [&str; 5] =
+        ["validate_group", "detect_grouped", "emit_group", "GroupVerdict", "RhsSpec"];
+    const ACCUMULATORS: [&str; 4] = ["insert", "or_insert", "or_insert_with", "get_or_insert_with"];
+    let n = file.code.len();
+    for ci in 0..n {
+        if file.text(ci) != "for" {
+            continue;
+        }
+        // Loop head: `for PAT in EXPR {` — find the `in`, then the body.
+        let mut j = ci + 1;
+        while j < n && file.text(j) != "in" && file.text(j) != "{" {
+            j += 1;
+        }
+        if file.text(j) != "in" {
+            continue;
+        }
+        let mut b = j + 1;
+        while b < n && !matches!(file.text(b), "{" | ";") {
+            b += 1;
+        }
+        if file.text(b) != "{" {
+            continue;
+        }
+        let end = file.matching_brace(b);
+        let (mut accumulates, mut rhs, mut flags, mut compares) = (false, false, false, false);
+        let mut sanctioned = false;
+        for w in b..=end {
+            let t = file.text(w);
+            if KERNEL_CALLS.contains(&t) {
+                sanctioned = true;
+                break;
+            }
+            if ACCUMULATORS.contains(&t) {
+                accumulates = true;
+            }
+            if t.contains("rhs") {
+                rhs = true;
+            }
+            if t.contains("flag") || t.contains("conflict") {
+                flags = true;
+            }
+            if (t == "!" && file.text(w + 1) == "=") || (t == ">" && file.text(w + 1) == "1") {
+                compares = true;
+            }
+        }
+        if !sanctioned
+            && accumulates
+            && rhs
+            && flags
+            && compares
+            && !file.in_test_code(file.ct(ci).line)
+        {
+            out.push(diag(
+                file,
+                ci,
+                "duplicate-detect-loop",
+                "this loop re-implements per-group tableau validation (RHS \
+                 accumulation + distinctness test + flag decision); the one \
+                 group-validation kernel is `dcd_cfd::kernel` — instantiate \
+                 `kernel::detect_grouped` (or `validate_group` for a \
+                 pre-grouped member list) instead of duplicating its semantics"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rule 8
 
 /// `bad-suppression`: malformed `dcd-lint:` markers. Not suppressible —
 /// a suppression that cannot parse cannot excuse anything, least of all

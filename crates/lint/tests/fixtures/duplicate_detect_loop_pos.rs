@@ -1,0 +1,25 @@
+use dcd_relation::{FxHashMap, FxHashSet, TupleId};
+
+/// A pre-refactor group-validation loop: accumulates distinct RHS codes
+/// per group, decides a conflict from the distinct count, and flags the
+/// members — exactly the shape PR 8 folded into `dcd_cfd::kernel`.
+pub fn validate_by_hand(
+    groups: &FxHashMap<u64, Vec<usize>>,
+    rhs_col: &[u32],
+    tids: &[TupleId],
+) -> Vec<TupleId> {
+    let mut flagged: Vec<TupleId> = Vec::new();
+    for (_key, members) in groups {
+        let mut distinct: FxHashSet<u32> = FxHashSet::default();
+        for &m in members {
+            distinct.insert(rhs_col[m]);
+        }
+        let conflict = distinct.len() > 1;
+        if conflict {
+            for &m in members {
+                flagged.push(tids[m]);
+            }
+        }
+    }
+    flagged
+}

@@ -151,6 +151,32 @@ fn deprecated_shim_ratchet_covers_the_facade_suite_too() {
     assert_eq!(rules(&findings), ["deprecated-shim", "deprecated-shim"], "{findings:?}");
 }
 
+// ------------------------------------------------ duplicate-detect-loop
+
+#[test]
+fn duplicate_detect_loop_positive_flags_handrolled_validation() {
+    let src = include_str!("fixtures/duplicate_detect_loop_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["duplicate-detect-loop"], "{findings:?}");
+    assert_eq!(findings[0].1, 12, "the outer per-group loop is the duplicate");
+}
+
+#[test]
+fn duplicate_detect_loop_negative_sanctions_kernel_and_maintenance() {
+    let src = include_str!("fixtures/duplicate_detect_loop_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "kernel delegation + bookkeeping stay silent: {findings:?}");
+}
+
+#[test]
+fn duplicate_detect_loop_is_exempt_inside_the_kernel() {
+    // The kernel itself is the one place the shape is *supposed* to
+    // live.
+    let src = include_str!("fixtures/duplicate_detect_loop_pos.rs");
+    let findings = lint("crates/cfd/src/kernel.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 // ------------------------------------------------------ bad-suppression
 
 #[test]

@@ -7,20 +7,28 @@
 //!
 //! 1. pick as coordinator the fragment holding the most of the CFD's
 //!    attributes (fewest columns move),
-//! 2. every other fragment owning needed attributes ships
-//!    `π_{key ∪ needed}(Di)` to the coordinator,
-//! 3. the coordinator joins on `key(R)` and runs centralized detection.
+//! 2. every other fragment owning needed attributes ships row-aligned
+//!    `(tid, codes)` rows of those attributes — the same code wire the
+//!    horizontal engines and the incremental delta protocol use,
+//!    charged at 4 bytes/cell via
+//!    [`ShipmentLedger::charge_codes`] (the tuple id rides as
+//!    [`TID_CELLS`] cells; key *columns* never travel, the id aligns
+//!    rows),
+//! 3. the coordinator intersects the shipments by tuple id and
+//!    validates on the gathered code rows through
+//!    [`CodeLayout`]/[`ResolvedCfd`](dcd_cfd::ResolvedCfd) — decoding
+//!    only violating group keys.
 //!
 //! With [`ShipMode::Filtered`], step 2 first applies the CFD's constant
 //! patterns *locally*: a fragment owning pattern-constant attributes
 //! ships only rows that could match some pattern — the semijoin-style
 //! reduction, often cutting traffic dramatically.
 
-use dcd_cfd::{Cfd, PatternValue, ViolationReport};
+use dcd_cfd::{Cfd, CodeLayout, CodeRow, PatternValue, ViolationReport, ViolationSet};
 use dcd_core::{Detection, RunConfig};
-use dcd_dist::{CostModel, ShipmentLedger, SiteClocks, SiteId, VerticalPartition};
-use dcd_relation::ops::hash_join;
-use dcd_relation::{AttrId, Relation, RelationError};
+use dcd_dist::{CostModel, ShipmentLedger, SiteClocks, SiteId, VerticalPartition, TID_CELLS};
+use dcd_relation::{AttrId, Dictionary, FxHashMap, Relation, RelationError, TupleId};
+use std::sync::Arc;
 
 /// Shipment strategy for cross-fragment CFDs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,52 +99,66 @@ fn run_impl(
             .expect("non-empty partition");
         let coord_site = SiteId(coord as u32);
 
-        // Gather: the coordinator's own columns plus shipped projections.
-        let mut acc: Relation = restrict_to_needed(partition, coord, &needed, cfd, mode)?;
-        let mut acc_attrs: Vec<AttrId> = partition.fragments()[coord]
-            .attrs
+        // Gather on the code wire: the coordinator's own columns stay
+        // put; every other fragment ships row-aligned `(tid, codes)`
+        // rows of the needed attributes it contributes. The tuple id
+        // aligns rows across fragments, so key columns never travel.
+        let coord_attrs: Vec<AttrId> = needed
             .iter()
             .copied()
-            .filter(|a| needed.contains(a) || partition.schema().key().contains(a))
+            .filter(|a| partition.fragments()[coord].attrs.contains(a))
             .collect();
+        let (mut dicts, mut acc) = code_shipment(partition, coord, &coord_attrs, cfd, mode);
+        let mut acc_attrs = coord_attrs;
         let mut matrix = vec![vec![0usize; n]; n];
         for (i, frag) in partition.fragments().iter().enumerate() {
             if i == coord {
                 continue;
             }
-            let useful: Vec<AttrId> = frag
-                .attrs
+            let useful: Vec<AttrId> = needed
                 .iter()
                 .copied()
-                .filter(|a| needed.contains(a) && !acc_attrs.contains(a))
+                .filter(|a| frag.attrs.contains(a) && !acc_attrs.contains(a))
                 .collect();
             if useful.is_empty() {
                 continue;
             }
-            let shipped = restrict_to_needed(partition, i, &needed, cfd, mode)?;
+            let (frag_dicts, shipped) = code_shipment(partition, i, &useful, cfd, mode);
             let secs = cost.scan_time(frag.data.len());
             clocks.advance(frag.site, secs);
             local_secs[i] += secs;
-            let bytes = shipped.wire_size();
-            ledger.ship(
+            ledger.charge_codes(
                 coord_site,
                 frag.site,
                 shipped.len(),
-                shipped.len() * shipped.schema().arity(),
-                bytes,
+                shipped.len() * (useful.len() + TID_CELLS),
             );
             matrix[coord][i] += shipped.len();
-            // Join onto the accumulated relation by key.
-            let key_left: Vec<AttrId> = key_positions(&acc, partition)?;
-            let key_right: Vec<AttrId> = key_positions(&shipped, partition)?;
-            acc = hash_join(&acc, &shipped, &key_left, &key_right, "gather")?;
+            // Intersect by tuple id: a row survives only if every
+            // contributing fragment kept it (in filtered mode each
+            // drops rows its visible constants rule out). Coordinator
+            // row order is preserved — the merge is deterministic.
+            let mut by_tid: FxHashMap<TupleId, Vec<u32>> = shipped.into_iter().collect();
+            acc.retain_mut(|(tid, codes)| match by_tid.remove(tid) {
+                Some(extra) => {
+                    codes.extend(extra);
+                    true
+                }
+                None => false,
+            });
             acc_attrs.extend(useful);
+            dicts.extend(frag_dicts);
         }
         clocks.transfer(&matrix, cost);
-        // Coordinator joins + checks.
-        let local_cfd = rebase_cfd_by_names(cfd, &acc)?;
-        let vs = dcd_cfd::detect(&acc, &local_cfd);
-        let secs = cost.check_time(acc.len());
+        // Coordinator validates on the gathered code rows.
+        let rows: Vec<CodeRow> =
+            acc.into_iter().map(|(tid, codes)| (tid, codes.into_boxed_slice())).collect();
+        let layout = CodeLayout::new(acc_attrs, dicts);
+        let mut vs = ViolationSet::default();
+        for simple in cfd.simplify() {
+            vs.merge(layout.resolve(&simple).detect_among(&rows));
+        }
+        let secs = cost.check_time(rows.len());
         clocks.advance(coord_site, secs);
         local_secs[coord] += secs;
         report.absorb(cfd.name(), vs);
@@ -157,74 +179,53 @@ fn run_impl(
     Ok((d, locally_checked))
 }
 
-/// Projects fragment `idx` onto its needed attributes (plus key) and, in
-/// filtered mode, drops rows that cannot match any pattern of `cfd`
-/// judging by the locally visible constants.
-fn restrict_to_needed(
+/// Fragment `idx`'s wire payload for `ship_attrs` (original-schema
+/// ids): the attributes' dictionaries plus the `(tid, codes)` rows.
+/// In filtered mode, rows that cannot match any pattern of `cfd`
+/// judging by the locally visible constants are dropped before
+/// shipping.
+fn code_shipment(
     partition: &VerticalPartition,
     idx: usize,
-    needed: &[AttrId],
+    ship_attrs: &[AttrId],
     cfd: &Cfd,
     mode: ShipMode,
-) -> Result<Relation, RelationError> {
+) -> (Vec<Arc<Dictionary>>, Vec<(TupleId, Vec<u32>)>) {
     let frag = &partition.fragments()[idx];
-    let keep_orig: Vec<AttrId> = frag
-        .attrs
-        .iter()
-        .copied()
-        .filter(|a| needed.contains(a) || partition.schema().key().contains(a))
-        .collect();
-    let keep_local: Vec<AttrId> =
-        keep_orig.iter().map(|&a| frag.local_attr(a).expect("attr is in fragment")).collect();
-    let mut rel = dcd_relation::ops::project(
-        &frag.data,
-        &format!("{}_ship", frag.data.schema().name()),
-        &keep_local,
-    )?;
-    if mode == ShipMode::Filtered {
-        // Keep rows that could match ≥1 pattern on locally visible
-        // constant positions.
-        let schema = rel.schema().clone();
-        let visible: Vec<(usize, AttrId)> = cfd
+    let locals: Vec<AttrId> =
+        ship_attrs.iter().map(|&a| frag.local_attr(a).expect("attr is in fragment")).collect();
+    let dicts: Vec<Arc<Dictionary>> =
+        locals.iter().map(|&l| frag.data.dictionary(l).clone()).collect();
+    // Keep rows that could match ≥1 pattern on locally visible
+    // constant positions (every row in Full mode).
+    let visible: Vec<(usize, AttrId)> = match mode {
+        ShipMode::Full => Vec::new(),
+        ShipMode::Filtered => cfd
             .lhs()
             .iter()
             .enumerate()
-            .filter_map(|(pi, &a)| {
-                let name = partition.schema().attr_name(a);
-                schema.attr_id(name).map(|local| (pi, local))
-            })
-            .collect();
-        if !visible.is_empty() {
-            let tuples: Vec<_> = rel
-                .tuples()
-                .iter()
-                .filter(|t| {
-                    cfd.tableau().iter().any(|tp| {
-                        visible.iter().all(|&(pi, local)| match &tp.lhs[pi] {
-                            PatternValue::Wild => true,
-                            PatternValue::Const(c) => t.get(local) == c,
-                        })
-                    })
+            .filter_map(|(pi, &a)| frag.local_attr(a).map(|local| (pi, local)))
+            .collect(),
+    };
+    let keeps = |t: &dcd_relation::Tuple| {
+        visible.is_empty()
+            || cfd.tableau().iter().any(|tp| {
+                visible.iter().all(|&(pi, local)| match &tp.lhs[pi] {
+                    PatternValue::Wild => true,
+                    PatternValue::Const(c) => t.get(local) == c,
                 })
-                .cloned()
-                .collect();
-            rel = Relation::from_tuples(schema, tuples)?;
-        }
-    }
-    Ok(rel)
-}
-
-/// Positions of the original key attributes inside a derived relation.
-fn key_positions(
-    rel: &Relation,
-    partition: &VerticalPartition,
-) -> Result<Vec<AttrId>, RelationError> {
-    partition
-        .schema()
-        .key()
+            })
+    };
+    let cols: Vec<_> = locals.iter().map(|&l| frag.data.column(l).codes()).collect();
+    let rows = frag
+        .data
+        .tuples()
         .iter()
-        .map(|&k| rel.schema().require(partition.schema().attr_name(k)))
-        .collect()
+        .enumerate()
+        .filter(|(_, t)| keeps(t))
+        .map(|(r, t)| (t.tid, cols.iter().map(|c| c.at(r)).collect()))
+        .collect();
+    (dicts, rows)
 }
 
 /// Re-expresses a CFD over a fragment/gathered schema by matching
@@ -363,6 +364,34 @@ mod tests {
             filt.shipped_tuples,
             full.shipped_tuples
         );
+    }
+
+    /// Pins the code-wire accounting of the gather. Before the port
+    /// the CC fragment shipped `π_{id, CC}(D1)` as value rows — 5
+    /// tuples × 2 value cells, value-sized bytes, the key column
+    /// riding along to join on. On the code wire the key column stays
+    /// home (the tuple id aligns rows as [`TID_CELLS`] cells), so the
+    /// same gather is `rows × (1 + TID_CELLS)` code cells at
+    /// [`CODE_BYTES`](dcd_dist::CODE_BYTES) each, and filtered mode
+    /// drops the CC≠44 row before it ever travels.
+    #[test]
+    fn code_wire_accounting_is_pinned() {
+        use dcd_dist::CODE_BYTES;
+        let rel = emp();
+        let p = partition(&rel);
+        let cfd = parse_cfd(rel.schema(), "phi1", "([CC=44, zip] -> [street])").unwrap();
+        let (full, _) =
+            run_impl(&p, std::slice::from_ref(&cfd), ShipMode::Full, &RunConfig::default())
+                .unwrap();
+        assert_eq!(full.shipped_tuples, 5);
+        assert_eq!(full.shipped_cells, 5 * (1 + TID_CELLS));
+        assert_eq!(full.shipped_bytes, full.shipped_cells * CODE_BYTES);
+        let (filt, _) =
+            run_impl(&p, std::slice::from_ref(&cfd), ShipMode::Filtered, &RunConfig::default())
+                .unwrap();
+        assert_eq!(filt.shipped_tuples, 4, "CC≠44 row filtered before shipping");
+        assert_eq!(filt.shipped_cells, 4 * (1 + TID_CELLS));
+        assert_eq!(filt.shipped_bytes, filt.shipped_cells * CODE_BYTES);
     }
 
     #[test]

@@ -57,10 +57,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use dcd_cfd::{Cfd, ViolationReport};
+use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
 use dcd_core::runner::run_batch;
 use dcd_core::{
-    run_clust, run_hybrid, run_replicated, run_seq, CoordinatorStrategy, Detection, RunConfig,
+    run_clust, run_hybrid, run_replicated, run_seq, CoordinatorStrategy, Detection, MiningConfig,
+    RunConfig,
 };
 use dcd_dist::{
     HorizontalPartition, HybridPartition, ReplicatedPartition, SiteId, VerticalPartition,
@@ -353,6 +354,42 @@ impl IncrementalSession {
         match self {
             IncrementalSession::Horizontal(run) => run.materialize(),
             IncrementalSession::Vertical(run) => run.materialize(),
+        }
+    }
+
+    /// Registers a compiled CFD for incremental mined-tableau
+    /// maintenance (§IV-B refinement kept current under deltas): the
+    /// per-site support counts are built once from the current
+    /// fragments, then every [`Self::apply_batch`] adjusts them from
+    /// the batch's affected code rows — `rows × masks` key updates
+    /// instead of a full re-mine. Returns a handle for
+    /// [`Self::mined_cfd`]. Horizontal (and replicated) sessions only;
+    /// vertical sessions return an error (mining walks LHS item sets
+    /// over horizontal fragments).
+    pub fn track_mining(
+        &mut self,
+        cfd: &SimpleCfd,
+        config: &MiningConfig,
+    ) -> Result<usize, RelationError> {
+        match self {
+            IncrementalSession::Horizontal(run) => Ok(run.track_mining(cfd, config)),
+            IncrementalSession::Vertical(_) => Err(RelationError::InvalidPartition {
+                detail: "mined-tableau maintenance needs horizontal fragments; \
+                         vertical sessions do not support track_mining"
+                    .into(),
+            }),
+        }
+    }
+
+    /// The refined CFD derived from a tracked miner's maintained
+    /// counts — bit-identical to re-mining the materialized fragments —
+    /// plus the number of mined patterns.
+    pub fn mined_cfd(&self, id: usize) -> (SimpleCfd, usize) {
+        match self {
+            IncrementalSession::Horizontal(run) => run.mined_cfd(id),
+            IncrementalSession::Vertical(_) => {
+                unreachable!("track_mining rejects vertical sessions, so no id can exist")
+            }
         }
     }
 }

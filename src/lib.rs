@@ -82,7 +82,8 @@ pub mod prelude {
     };
     pub use dcd_core::{
         mine_patterns, ClustDetect, CoordinatorStrategy, CtrDetect, Detection, DetectionSummary,
-        Detector, MiningConfig, MultiDetector, PatDetectRT, PatDetectS, RunConfig, SeqDetect,
+        Detector, MinedTableau, MiningConfig, MultiDetector, PatDetectRT, PatDetectS, RunConfig,
+        SeqDetect,
     };
     pub use dcd_dist::{
         CostModel, Fragment, HorizontalPartition, HybridPartition, ReplicatedPartition,

@@ -152,6 +152,7 @@ proptest! {
         alg_pick in 0usize..5,
         mode_pick in 0usize..2,
         factor_seed in 0usize..100,
+        theta in 0.05f64..0.6,
     ) {
         let rel = build_relation(&rows);
         let sigma = vec![
@@ -194,6 +195,33 @@ proptest! {
             let label = format!("{name}/{alg:?}");
             assert_bit_identical(&d1, &d8, &label)?;
             prop_assert_eq!(d1.violations.all_tids(), oracle.all_tids(), "{} Vio(Σ)", label);
+        }
+
+        // Route the same request through a mined tableau: refine phi1
+        // on the horizontal partition (CodeKey counting), then detect
+        // with the refined CFD over horizontal and vertical topologies
+        // — the mined constants must round-trip like hand-written ones.
+        let simple = sigma[0].clone().simplify().pop().unwrap();
+        let outcome = mine_patterns(
+            &horizontal,
+            &simple,
+            &MiningConfig { theta, max_width: 2 },
+            &CostModel::default(),
+        );
+        let mined_sigma = vec![outcome.cfd.to_cfd()];
+        let mined_oracle = detect_set(&rel, &mined_sigma);
+        let vertical =
+            VerticalPartition::by_attribute_groups(&rel, &[&["a", "c"], &["b", "d"]]).unwrap();
+        for (name, topology) in
+            [("horizontal", Topology::from(horizontal)), ("vertical", vertical.into())]
+        {
+            let d1 = request(topology.clone(), &mined_sigma, alg, 1, mode);
+            let d8 = request(topology, &mined_sigma, alg, 8, mode);
+            let label = format!("mined/{name}/{alg:?}");
+            assert_bit_identical(&d1, &d8, &label)?;
+            prop_assert_eq!(
+                d1.violations.all_tids(), mined_oracle.all_tids(), "{} Vio(Σ)", label
+            );
         }
     }
 

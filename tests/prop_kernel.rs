@@ -1,0 +1,244 @@
+//! Kernel and mined-tableau equivalence properties, the PR 8 pinning
+//! suite: (1) `validate_group` — the one group-validation kernel every
+//! detector now instantiates — matches a naive spelling of the paper's
+//! per-group semantics on arbitrary spec lists; (2) the kernel's three
+//! instantiations (columnar `detect_simple`, row-wise `detect_among`,
+//! code-native `detect_among_codes`) agree tuple-for-tuple and
+//! pattern-for-pattern on random relations; (3) an incrementally
+//! maintained [`MinedTableau`] equals a full re-mine of the
+//! materialized partition after *every prefix* of a generated delta
+//! stream — both on the raw [`IncrementalRun`] and through the
+//! [`IncrementalSession`] facade.
+
+use distributed_cfd::cfd::{
+    detect_among, detect_among_codes, validate_group, CodeLayout, GroupVerdict, RhsSpec,
+};
+use distributed_cfd::datagen::{update_stream, UpdateStreamConfig};
+use distributed_cfd::prelude::*;
+use distributed_cfd::relation::AttrId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("r")
+        .attr("id", ValueType::Int)
+        .attr("a", ValueType::Int)
+        .attr("b", ValueType::Int)
+        .attr("c", ValueType::Str)
+        .attr("d", ValueType::Str)
+        .key(&["id"])
+        .build()
+        .unwrap()
+}
+
+/// Rows over tiny domains so FD groups collide often.
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, u8, u8)>> {
+    prop::collection::vec((0..4i64, 0..4i64, 0..3u8, 0..3u8), 1..40)
+}
+
+fn build_relation(rows: &[(i64, i64, u8, u8)]) -> Relation {
+    Relation::from_rows(
+        schema(),
+        rows.iter()
+            .enumerate()
+            .map(|(i, &(a, b, c, d))| vals![i as i64, a, b, format!("c{c}"), format!("d{d}")])
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// A random CFD over LHS ⊆ {a, b, c}, RHS = d, with wildcard/constant
+/// mixes in the tableau.
+fn arb_cfd() -> impl Strategy<Value = Vec<(Option<i64>, Option<i64>, Option<u8>)>> {
+    prop::collection::vec(
+        (prop::option::of(0..4i64), prop::option::of(0..4i64), prop::option::of(0..3u8)),
+        1..4,
+    )
+}
+
+fn build_cfd(
+    name: &str,
+    patterns: &[(Option<i64>, Option<i64>, Option<u8>)],
+    rhs_const: Option<u8>,
+) -> Cfd {
+    let s = schema();
+    let tableau = patterns
+        .iter()
+        .map(|(a, b, c)| {
+            let pv = |o: &Option<i64>| match o {
+                Some(v) => PatternValue::constant(*v),
+                None => PatternValue::Wild,
+            };
+            let pc = |o: &Option<u8>| match o {
+                Some(v) => PatternValue::constant(format!("c{v}")),
+                None => PatternValue::Wild,
+            };
+            let rhs = match rhs_const {
+                Some(v) => PatternValue::constant(format!("d{v}")),
+                None => PatternValue::Wild,
+            };
+            PatternTuple::new(vec![pv(a), pv(b), pc(c)], vec![rhs])
+        })
+        .collect();
+    Cfd::with_names(name, s, &["a", "b", "c"], &["d"], tableau).unwrap()
+}
+
+/// The paper's per-group semantics, spelled out naively: a variable
+/// pattern flags the whole group iff it holds ≥2 distinct RHS values; a
+/// constant pattern flags each member whose RHS differs from the
+/// constant (plus the whole group under strict mode when the FD also
+/// conflicts). No laziness, no early exit — the oracle the kernel must
+/// match.
+fn naive_group_flags(specs: &[RhsSpec<u32>], rhs: &[u32], strict: bool) -> Vec<bool> {
+    let distinct: std::collections::HashSet<u32> = rhs.iter().copied().collect();
+    let conflict = distinct.len() > 1;
+    let mut all = false;
+    let mut flags = vec![false; rhs.len()];
+    for spec in specs {
+        match spec {
+            RhsSpec::Wild => all |= conflict,
+            RhsSpec::Const(c) => {
+                all |= strict && conflict;
+                for (f, r) in flags.iter_mut().zip(rhs) {
+                    if r != c {
+                        *f = true;
+                    }
+                }
+            }
+        }
+    }
+    if all {
+        vec![true; rhs.len()]
+    } else {
+        flags
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `validate_group` equals the naive per-group semantics for every
+    /// mix of wild/constant RHS specs, member multiset and strictness.
+    #[test]
+    fn validate_group_matches_naive_semantics(
+        specs in prop::collection::vec(prop::option::of(0..4u32), 1..5),
+        rhs in prop::collection::vec(0..4u32, 1..8),
+        strict in any::<bool>(),
+    ) {
+        let specs: Vec<RhsSpec<u32>> = specs
+            .iter()
+            .map(|o| match o {
+                Some(c) => RhsSpec::Const(*c),
+                None => RhsSpec::Wild,
+            })
+            .collect();
+        let verdict = validate_group(specs.iter().copied(), rhs.len(), |fi| rhs[fi], strict);
+        let want = naive_group_flags(&specs, &rhs, strict);
+        for (fi, w) in want.iter().enumerate() {
+            prop_assert_eq!(
+                verdict.member_flagged(fi), *w,
+                "member {} of {:?} under {:?} (strict={})", fi, rhs, specs, strict
+            );
+        }
+        prop_assert_eq!(verdict.any_flagged(), want.contains(&true));
+        if let GroupVerdict::Mixed(flags) = &verdict {
+            prop_assert!(flags.contains(&true), "Mixed verdicts carry ≥1 flag");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The kernel's three accessor instantiations — columnar over the
+    /// whole relation, row-wise over `&Tuple`s, code-native over
+    /// shipped `(tid, codes)` rows — compute identical `Vio` and `Vioπ`.
+    #[test]
+    fn kernel_instantiations_agree_on_random_relations(
+        rows in arb_rows(),
+        patterns in arb_cfd(),
+        rhs_const in prop::option::of(0..3u8),
+    ) {
+        let rel = build_relation(&rows);
+        for simple in build_cfd("phi", &patterns, rhs_const).simplify() {
+            let columnar = detect_simple(&rel, &simple);
+            let tuples: Vec<&Tuple> = rel.iter().collect();
+            let row_wise = detect_among(&tuples, &simple);
+            let attrs: Vec<AttrId> = simple.shipped_attrs();
+            let indices: Vec<usize> = (0..rel.len()).collect();
+            let code_rows = rel.code_rows(&attrs, &indices);
+            let layout = CodeLayout::of_relation(&rel, &attrs);
+            let code_native = detect_among_codes(&code_rows, &simple, &layout);
+            prop_assert_eq!(&columnar.tids, &row_wise.tids, "columnar vs row-wise Vio");
+            prop_assert_eq!(&columnar.patterns, &row_wise.patterns, "columnar vs row-wise Vioπ");
+            prop_assert_eq!(&columnar.tids, &code_native.tids, "columnar vs codes Vio");
+            prop_assert_eq!(&columnar.patterns, &code_native.patterns, "columnar vs codes Vioπ");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// After every prefix of the delta stream, the incrementally
+    /// maintained mined tableau — ±1 support updates from each batch's
+    /// `DeltaEffect`s — refines to exactly the CFD a full re-mine of
+    /// the materialized partition produces, and the
+    /// `IncrementalSession` facade reports the same thing.
+    #[test]
+    fn maintained_mined_tableau_equals_full_remine_after_every_prefix(
+        rows in arb_rows(),
+        patterns in arb_cfd(),
+        n_sites in 1usize..5,
+        ops in 4usize..16,
+        seed in 0u64..1000,
+        insert_ratio in 0.3f64..1.0,
+        theta in 0.05f64..0.6,
+        max_width in 1usize..4,
+    ) {
+        let rel = build_relation(&rows);
+        // Wild RHS keeps the tableau variable, so mined constants are
+        // subsumable and actually get emitted.
+        let cfd = build_cfd("phi", &patterns, None);
+        let simple = cfd.clone().simplify().pop().unwrap();
+        let config = MiningConfig { theta, max_width };
+        let sigma = vec![cfd.clone()];
+        let partition = HorizontalPartition::round_robin(&rel, n_sites).unwrap();
+        let stream = update_stream(&partition, &UpdateStreamConfig {
+            n_batches: 3,
+            ops_per_batch: ops,
+            insert_ratio,
+            seed,
+            ..Default::default()
+        });
+        let mut run =
+            IncrementalRun::new(partition.clone(), &sigma, RunConfig::default()).unwrap();
+        let id = run.track_mining(&simple, &config);
+        let mut session = DetectRequest::over(partition)
+            .cfd(cfd)
+            .session()
+            .expect("horizontal partitions support sessions");
+        let sid = session.track_mining(&simple, &config).expect("horizontal sessions mine");
+
+        let check = |run: &IncrementalRun, session: &IncrementalSession|
+            -> Result<(), TestCaseError> {
+            let (got, added) = run.mined_cfd(id);
+            let (want, want_added) =
+                MinedTableau::build(run.partition(), &simple, &config).refine();
+            prop_assert_eq!(&got.tableau, &want.tableau, "maintained vs re-mined tableau");
+            prop_assert_eq!(&got.name, &want.name);
+            prop_assert_eq!(added, want_added, "mined-pattern count");
+            let (via_session, session_added) = session.mined_cfd(sid);
+            prop_assert_eq!(&via_session.tableau, &got.tableau, "facade vs raw run");
+            prop_assert_eq!(session_added, added);
+            Ok(())
+        };
+        check(&run, &session)?;
+        for batch in stream {
+            let batch = DeltaBatch::from(batch);
+            run.apply_batch(&batch).unwrap();
+            session.apply_batch(&batch).unwrap();
+            check(&run, &session)?;
+        }
+    }
+}
