@@ -20,7 +20,7 @@
 //! workspace property suites).
 
 use crate::cfd::SimpleCfd;
-use crate::kernel::{self, LhsIndex};
+use crate::kernel::{self, KernelCounters, LhsIndex};
 use crate::pattern::CompiledPattern;
 use crate::violation::ViolationSet;
 use dcd_relation::ops::CodeKey;
@@ -98,7 +98,14 @@ impl CodeLayout {
             .map(|p| CompiledPattern::compile_with(p, &lhs_dicts, &self.dicts[rhs_pos]))
             .collect();
         let index = LhsIndex::of_compiled(&compiled);
-        ResolvedCfd { lhs_pos, rhs_pos, lhs_dicts, compiled, index }
+        ResolvedCfd {
+            lhs_pos,
+            rhs_pos,
+            lhs_dicts,
+            compiled,
+            index,
+            counters: KernelCounters::default(),
+        }
     }
 }
 
@@ -115,9 +122,19 @@ pub struct ResolvedCfd {
     /// The kernel's LHS bucketing, built once at resolution and shared
     /// by every validation call (and by σ, which wraps the same type).
     index: LhsIndex<CodeKey>,
+    /// Kernel instrument handles; detached by default, bound to a run's
+    /// registry via [`Self::set_counters`].
+    counters: KernelCounters,
 }
 
 impl ResolvedCfd {
+    /// Binds the kernel counters every subsequent validation call
+    /// reports into (engines pass handles registered in the run's
+    /// `MetricsRegistry`; the default is detached and costs the same).
+    pub fn set_counters(&mut self, counters: KernelCounters) {
+        self.counters = counters;
+    }
+
     fn decode_key(&self, key_codes: &[u32]) -> Vec<Value> {
         self.lhs_dicts.iter().zip(key_codes).map(|(d, &c)| d.value(c)).collect()
     }
@@ -174,6 +191,7 @@ impl ResolvedCfd {
             |members, fi| rows[members[fi]].borrow().0,
             |key| self.decode_key(&key.codes(width)),
             false,
+            &self.counters,
         )
     }
 
@@ -220,6 +238,7 @@ impl ResolvedCfd {
             |members, fi| members.0[fi],
             |key| self.decode_key(&key.codes(width)),
             false,
+            &self.counters,
         )
     }
 }

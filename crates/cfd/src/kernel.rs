@@ -37,9 +37,89 @@
 
 use crate::pattern::{CompiledPattern, NormalPattern, PatternValue};
 use crate::violation::ViolationSet;
+use dcd_obs::{Counter, MetricsRegistry};
 use dcd_relation::ops::CodeKey;
 use dcd_relation::{FxHashMap, FxHashSet, TupleId, Value, WILDCARD_CODE};
 use std::hash::Hash;
+
+/// Instrument handles for the kernel: how many groups were validated,
+/// the [`GroupVerdict`] mix, and how many [`LhsIndex`] probes ran.
+/// `Default` yields functional *detached* counters (no registry), so
+/// paths without an observer pay one relaxed add per group and nothing
+/// more; [`KernelCounters::register`] binds the same handles into a
+/// run's registry. Counts accumulate at coordinators over gathered
+/// rows — work whose extent is independent of pool width and chunk
+/// size — and counter merges commute exactly, so registered counts are
+/// pinned bit-identical across `DCD_THREADS`/`DCD_CHUNK_ROWS`.
+#[derive(Debug, Clone, Default)]
+pub struct KernelCounters {
+    /// Groups validated (key matched ≥ 1 pattern).
+    pub groups: Counter,
+    /// Groups whose verdict was [`GroupVerdict::Clean`].
+    pub clean: Counter,
+    /// Groups whose verdict was [`GroupVerdict::AllFlagged`].
+    pub all_flagged: Counter,
+    /// Groups whose verdict was [`GroupVerdict::Mixed`].
+    pub mixed: Counter,
+    /// [`LhsIndex`] probes (one per distinct group key).
+    pub probes: Counter,
+}
+
+impl KernelCounters {
+    /// Counters registered under the kernel metric families
+    /// (`dcd_kernel_groups_total{verdict}`, `dcd_kernel_probes_total`).
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        let groups = "dcd_kernel_groups_total";
+        let help = "LHS groups validated by the detection kernel, by verdict";
+        KernelCounters {
+            groups: registry.counter(groups, help, &[("verdict", "any")]),
+            clean: registry.counter(groups, help, &[("verdict", "clean")]),
+            all_flagged: registry.counter(groups, help, &[("verdict", "all_flagged")]),
+            mixed: registry.counter(groups, help, &[("verdict", "mixed")]),
+            probes: registry.counter(
+                "dcd_kernel_probes_total",
+                "LhsIndex probes (one per distinct group key)",
+                &[],
+            ),
+        }
+    }
+
+    /// Folds one batch of local tallies into the handles (one relaxed
+    /// add per counter, however many groups the batch validated).
+    pub fn absorb(&self, tally: &KernelTally) {
+        self.probes.inc(tally.probes);
+        self.groups.inc(tally.clean + tally.all_flagged + tally.mixed);
+        self.clean.inc(tally.clean);
+        self.all_flagged.inc(tally.all_flagged);
+        self.mixed.inc(tally.mixed);
+    }
+}
+
+/// Plain-integer kernel tallies accumulated inside one
+/// [`detect_grouped`] call and folded into [`KernelCounters`] once at
+/// the end — the hot loop never touches an atomic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KernelTally {
+    /// Index probes performed.
+    pub probes: u64,
+    /// Groups concluding [`GroupVerdict::Clean`].
+    pub clean: u64,
+    /// Groups concluding [`GroupVerdict::AllFlagged`].
+    pub all_flagged: u64,
+    /// Groups concluding [`GroupVerdict::Mixed`].
+    pub mixed: u64,
+}
+
+impl KernelTally {
+    /// Records one verdict.
+    pub fn record(&mut self, verdict: &GroupVerdict) {
+        match verdict {
+            GroupVerdict::Clean => self.clean += 1,
+            GroupVerdict::AllFlagged => self.all_flagged += 1,
+            GroupVerdict::Mixed(_) => self.mixed += 1,
+        }
+    }
+}
 
 /// The right-hand side of one tableau pattern, as seen by the kernel:
 /// either the wildcard (variable CFD) or a constant in the caller's RHS
@@ -188,19 +268,24 @@ pub fn detect_grouped<'g, K: 'g, M: 'g, R: Eq + Hash + Copy>(
     mut tid_of: impl FnMut(&'g M, usize) -> TupleId,
     mut decode: impl FnMut(&'g K) -> Vec<Value>,
     strict: bool,
+    counters: &KernelCounters,
 ) -> ViolationSet {
     let mut out = ViolationSet::default();
     let mut ranks: Vec<u32> = Vec::new();
+    let mut tally = KernelTally::default();
     for (key, members) in groups {
         matched_of(key, &mut ranks);
+        tally.probes += 1;
         if ranks.is_empty() {
             continue;
         }
         let n = len_of(members);
         let verdict =
             validate_group(ranks.iter().map(|&r| spec_of(r)), n, |fi| rhs_of(members, fi), strict);
+        tally.record(&verdict);
         emit_group(&verdict, n, |fi| tid_of(members, fi), || decode(key), &mut out);
     }
+    counters.absorb(&tally);
     out
 }
 
@@ -396,6 +481,36 @@ mod tests {
         let rhs = [1u32, 2];
         let v = validate_group(specs(&[RhsSpec::Wild, RhsSpec::Const(0)]), 2, |i| rhs[i], false);
         assert_eq!(v, GroupVerdict::AllFlagged);
+    }
+
+    #[test]
+    fn kernel_counters_tally_probes_and_verdict_mix() {
+        let reg = MetricsRegistry::new();
+        let counters = KernelCounters::register(&reg);
+        // Three groups: one conflicted (AllFlagged), one clean, one
+        // constant-mismatch (Mixed).
+        let groups: Vec<(u32, Vec<u32>)> = vec![(0, vec![1, 2]), (1, vec![5, 5]), (2, vec![7, 9])];
+        let refs: Vec<(&u32, &Vec<u32>)> = groups.iter().map(|(k, m)| (k, m)).collect();
+        let _ = detect_grouped(
+            refs,
+            |&k, ranks| {
+                ranks.clear();
+                ranks.push(if k == 2 { 1 } else { 0 });
+            },
+            |rank| if rank == 0 { RhsSpec::Wild } else { RhsSpec::Const(7u32) },
+            |m| m.len(),
+            |m, fi| m[fi],
+            |_, fi| TupleId(fi as u64),
+            |_| vec![],
+            false,
+            &counters,
+        );
+        assert_eq!(counters.probes.get(), 3);
+        assert_eq!(counters.groups.get(), 3);
+        assert_eq!(counters.all_flagged.get(), 1);
+        assert_eq!(counters.clean.get(), 1);
+        assert_eq!(counters.mixed.get(), 1);
+        assert_eq!(reg.counter_total("dcd_kernel_probes_total"), 3);
     }
 
     #[test]

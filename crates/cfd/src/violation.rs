@@ -205,6 +205,7 @@ fn detect_simple_with(rel: &Relation, cfd: &SimpleCfd, strict: bool) -> Violatio
         |members, fi| tuples[members[fi]].tid,
         |key| rel.decode_projection(&cfd.lhs, &key.codes(width)),
         strict,
+        &kernel::KernelCounters::default(),
     )
 }
 
@@ -304,6 +305,7 @@ fn detect_among_with(tuples: &[&Tuple], cfd: &SimpleCfd, strict: bool) -> Violat
         |members, fi| tuples[members[fi]].tid,
         |key| key.clone(),
         strict,
+        &kernel::KernelCounters::default(),
     )
 }
 
@@ -369,6 +371,7 @@ pub fn detect_pattern_among<'a>(
         |members, fi| members.0[fi],
         |key| key.clone(),
         false,
+        &kernel::KernelCounters::default(),
     )
 }
 

@@ -30,6 +30,7 @@ use dcd_dist::pool::scoped_map;
 use dcd_dist::{
     Fragment, HorizontalPartition, HybridPartition, ShipmentLedger, SiteClocks, TID_CELLS,
 };
+use dcd_obs::RunObserver;
 use dcd_relation::{AttrId, Dictionary, Relation, RelationError, Value};
 use std::sync::Arc;
 
@@ -42,7 +43,8 @@ pub fn run_hybrid(
     cfg: &RunConfig,
 ) -> Result<Detection, RelationError> {
     let n = partition.n_sites();
-    let ledger = ShipmentLedger::new(n);
+    let obs = RunObserver::new();
+    let ledger = ShipmentLedger::observed(n, &obs.registry);
     let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
@@ -97,9 +99,11 @@ pub fn run_hybrid(
                     .expect("one dictionary per attribute"),
             })
             .collect();
+        let before = clocks.snapshot();
         let gathered = scoped_map(cfg.threads, partition.cells().len(), |ci| {
             gather_cell(partition, ci, cfd, cfg, &ledger, &clocks, &full_dicts, &null_codes)
         });
+        obs.span_sites(&format!("gather:{}", cfd.name), &before, &clocks.snapshot());
         for (ci, outcome) in gathered.into_iter().enumerate() {
             let (coord_vfrag, projection) = outcome?;
             let site = partition.site_of(ci, coord_vfrag);
@@ -113,24 +117,14 @@ pub fn run_hybrid(
         let synthesized = HorizontalPartition::from_fragments(schema.clone(), fragments)?;
 
         // ---- Phase 2: standard horizontal detection across cells. ----
-        let out = run_single_cfd(&synthesized, cfd, strategy, cfg, &ledger, &clocks);
+        let out = run_single_cfd(&synthesized, cfd, strategy, cfg, &ledger, &clocks, &obs);
         for (name, vs) in out.report.per_cfd {
             report.absorb(&name, vs);
         }
         paper_cost += out.paper_cost;
     }
 
-    Ok(Detection {
-        algorithm: "HYBRIDDETECT".to_string(),
-        violations: report,
-        shipped_tuples: ledger.total_tuples(),
-        shipped_cells: ledger.total_cells(),
-        shipped_bytes: ledger.total_bytes(),
-        control_messages: ledger.control_messages(),
-        response_time: clocks.response_time(),
-        site_clocks: clocks.snapshot(),
-        paper_cost,
-    })
+    Ok(Detection::collect("HYBRIDDETECT", report, paper_cost, &ledger, &clocks, &obs))
 }
 
 /// Gathers one cell's projection of the CFD's attributes at the cell's

@@ -87,6 +87,9 @@ pub struct MinedTableau {
     /// delta code rows).
     lhs_pos: Vec<usize>,
     sites: Vec<SiteSupport>,
+    /// Per-mask support-count updates, fed to a run registry when bound
+    /// via [`Self::set_counter`]; detached (free) otherwise.
+    mask_updates: dcd_obs::Counter,
 }
 
 impl MinedTableau {
@@ -134,7 +137,15 @@ impl MinedTableau {
             masks,
             lhs_pos: cfd.lhs.iter().map(|a| a.index()).collect(),
             sites,
+            mask_updates: dcd_obs::Counter::detached(),
         }
+    }
+
+    /// Binds the maintenance counter to a run registry: every row a
+    /// delta touches counts one update per mask under
+    /// `dcd_mining_mask_updates_total`.
+    pub fn set_counter(&mut self, counter: dcd_obs::Counter) {
+        self.mask_updates = counter;
     }
 
     /// The original (unrefined) CFD the counts are kept for.
@@ -154,6 +165,8 @@ impl MinedTableau {
     /// fragment size a full re-mine would scan.
     pub fn apply_site_effect(&mut self, si: usize, eff: &DeltaEffect) {
         let m = self.cfd.lhs.len();
+        let touched = (eff.deleted.len() + eff.inserted.len()) * self.masks.len();
+        self.mask_updates.inc(touched as u64);
         let site = &mut self.sites[si];
         let mut buf: Vec<u32> = Vec::with_capacity(m);
         for (_, codes) in &eff.deleted {

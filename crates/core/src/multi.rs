@@ -28,6 +28,7 @@ use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{Cfd, NormalPattern, PatternValue, SimpleCfd, ViolationReport};
 use dcd_dist::pool::scoped_map;
 use dcd_dist::{HorizontalPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS};
+use dcd_obs::RunObserver;
 use dcd_relation::{AttrId, FxHashSet};
 
 /// A detection algorithm for a *set* Σ of CFDs.
@@ -51,20 +52,21 @@ pub fn run_seq(
     cfg: &RunConfig,
 ) -> Detection {
     let n = partition.n_sites();
-    let ledger = ShipmentLedger::new(n);
+    let obs = RunObserver::new();
+    let ledger = ShipmentLedger::observed(n, &obs.registry);
     let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
     for cfd in sigma {
         for simple in cfd.simplify() {
-            let out = run_single_cfd(partition, &simple, inner, cfg, &ledger, &clocks);
+            let out = run_single_cfd(partition, &simple, inner, cfg, &ledger, &clocks, &obs);
             for (name, vs) in out.report.per_cfd {
                 report.absorb(&name, vs);
             }
             paper_cost += out.paper_cost;
         }
     }
-    finish("SEQDETECT", report, &ledger, &clocks, paper_cost)
+    Detection::collect("SEQDETECT", report, paper_cost, &ledger, &clocks, &obs)
 }
 
 /// Runs `CLUSTDETECT`: clusters CFDs by LHS containment and ships each
@@ -77,7 +79,8 @@ pub fn run_clust(
     cfg: &RunConfig,
 ) -> Detection {
     let n = partition.n_sites();
-    let ledger = ShipmentLedger::new(n);
+    let obs = RunObserver::new();
+    let ledger = ShipmentLedger::observed(n, &obs.registry);
     let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
@@ -87,16 +90,16 @@ pub fn run_clust(
     for cluster in clusters {
         let members: Vec<&SimpleCfd> = cluster.iter().map(|&i| &simples[i]).collect();
         let out = if members.len() == 1 {
-            run_single_cfd(partition, members[0], inner, cfg, &ledger, &clocks)
+            run_single_cfd(partition, members[0], inner, cfg, &ledger, &clocks, &obs)
         } else {
-            run_cluster(partition, &members, inner, cfg, &ledger, &clocks)
+            run_cluster(partition, &members, inner, cfg, &ledger, &clocks, &obs)
         };
         for (name, vs) in out.report.per_cfd {
             report.absorb(&name, vs);
         }
         paper_cost += out.paper_cost;
     }
-    finish("CLUSTDETECT", report, &ledger, &clocks, paper_cost)
+    Detection::collect("CLUSTDETECT", report, paper_cost, &ledger, &clocks, &obs)
 }
 
 /// `SEQDETECT`: pipelined sequential processing, one CFD at a time.
@@ -139,26 +142,6 @@ impl MultiDetector for ClustDetect {
     }
 }
 
-fn finish(
-    name: &str,
-    report: ViolationReport,
-    ledger: &ShipmentLedger,
-    clocks: &SiteClocks,
-    paper_cost: f64,
-) -> Detection {
-    Detection {
-        algorithm: name.to_string(),
-        violations: report,
-        shipped_tuples: ledger.total_tuples(),
-        shipped_cells: ledger.total_cells(),
-        shipped_bytes: ledger.total_bytes(),
-        control_messages: ledger.control_messages(),
-        response_time: clocks.response_time(),
-        site_clocks: clocks.snapshot(),
-        paper_cost,
-    }
-}
-
 /// Greedy clustering on the LHS containment condition: a CFD joins the
 /// first cluster whose common attribute set `Z` satisfies `X ⊆ Z` or
 /// `Z ⊆ X`; `Z` shrinks to the intersection. Returns clusters as index
@@ -197,6 +180,7 @@ fn run_cluster(
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
     clocks: &SiteClocks,
+    obs: &RunObserver,
 ) -> crate::runner::RoundOutput {
     let n = partition.n_sites();
     let mut report = ViolationReport::default();
@@ -213,7 +197,9 @@ fn run_cluster(
     for m in members {
         let (var, constants) = m.split_constant();
         if !constants.is_empty() {
+            let before = clocks.snapshot();
             let checked = constants_phase(partition.fragments(), &constants, cfg, clocks);
+            obs.span_sites(&format!("constants:{}", m.name), &before, &clocks.snapshot());
             for (i, (vs, secs)) in checked.into_iter().enumerate() {
                 local_secs[i] += secs;
                 report.absorb(&m.name, vs);
@@ -244,7 +230,7 @@ fn run_cluster(
         // Degenerate cluster; fall back to sequential rounds.
         let mut paper_cost = 0.0;
         for m in &variable_members {
-            let out = run_single_cfd(partition, m, strategy, cfg, ledger, clocks);
+            let out = run_single_cfd(partition, m, strategy, cfg, ledger, clocks, obs);
             for (name, vs) in out.report.per_cfd {
                 report.absorb(&name, vs);
             }
@@ -282,16 +268,18 @@ fn run_cluster(
     let applicable: Vec<Vec<usize>> =
         partition.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
     let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for (i, (part, secs)) in sigma_phase(partition.fragments(), &sorted, &applicable, cfg, clocks)
-        .into_iter()
-        .enumerate()
-    {
+    let before = clocks.snapshot();
+    let scanned = sigma_phase(partition.fragments(), &sorted, &applicable, cfg, clocks);
+    obs.span_sites("sigma:cluster", &before, &clocks.snapshot());
+    for (i, (part, secs)) in scanned.into_iter().enumerate() {
         local_secs[i] += secs;
         parts.push(part);
     }
 
     // Statistics exchange, among participating sites only.
+    let before = clocks.snapshot();
     exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
+    obs.span_sites("exchange:cluster", &before, &clocks.snapshot());
 
     // Coordinators per projected pattern.
     let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
@@ -312,8 +300,17 @@ fn run_cluster(
     attrs.sort();
     let layout = shared_layout(partition.fragments(), &attrs);
     // Resolve every member against the union layout once; each
-    // coordinator validates all members from the same compilation.
-    let resolved: Vec<ResolvedCfd> = variable_members.iter().map(|m| layout.resolve(m)).collect();
+    // coordinator validates all members from the same compilation,
+    // feeding the run's kernel counters.
+    let counters = dcd_cfd::KernelCounters::register(&obs.registry);
+    let resolved: Vec<ResolvedCfd> = variable_members
+        .iter()
+        .map(|m| {
+            let mut r = layout.resolve(m);
+            r.set_counters(counters.clone());
+            r
+        })
+        .collect();
     let mut matrix = vec![vec![0usize; n]; n];
     let mut gathered: Vec<Vec<CodeRow>> = vec![Vec::new(); n];
     for (l, coord) in assignment.iter().enumerate() {
@@ -331,11 +328,14 @@ fn run_cluster(
             gathered[c.index()].extend(frag.data.code_rows(&attrs, block));
         }
     }
+    let before = clocks.snapshot();
     clocks.transfer(&matrix, &cfg.cost);
+    obs.span_sites("ship:cluster", &before, &clocks.snapshot());
 
     // Validate every member CFD at each coordinator, in parallel, on
     // codes (each member's attributes resolve to cell positions of the
     // cluster's union layout).
+    let before = clocks.snapshot();
     let validated = scoped_map(cfg.threads, n, |c| {
         let rows = &gathered[c];
         if rows.is_empty() {
@@ -357,6 +357,7 @@ fn run_cluster(
             |_| analytic,
         ))
     });
+    obs.span_sites("validate:cluster", &before, &clocks.snapshot());
     for (c, outcome) in validated.into_iter().enumerate() {
         if let Some((results, secs)) = outcome {
             local_secs[c] += secs;

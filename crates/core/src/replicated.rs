@@ -23,6 +23,7 @@ use dcd_cfd::violation::ViolationSet;
 use dcd_cfd::{Cfd, SimpleCfd, ViolationReport};
 use dcd_dist::pool::scoped_map;
 use dcd_dist::{ReplicatedPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS};
+use dcd_obs::RunObserver;
 
 /// Runs `REPDETECT` over a replicated partition — the engine behind
 /// the `DetectRequest` façade of the `distributed-cfd` root crate.
@@ -32,31 +33,22 @@ pub fn run_replicated(
     cfg: &RunConfig,
 ) -> Detection {
     let n = partition.n_sites();
-    let ledger = ShipmentLedger::new(n);
+    let obs = RunObserver::new();
+    let ledger = ShipmentLedger::observed(n, &obs.registry);
     let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
 
     let simples: Vec<SimpleCfd> = sigma.iter().flat_map(Cfd::simplify).collect();
     for cfd in &simples {
-        let out = run_one(partition, cfd, cfg, &ledger, &clocks);
+        let out = run_one(partition, cfd, cfg, &ledger, &clocks, &obs);
         for (name, vs) in out.0.per_cfd {
             report.absorb(&name, vs);
         }
         paper_cost += out.1;
     }
 
-    Detection {
-        algorithm: "REPDETECT".to_string(),
-        violations: report,
-        shipped_tuples: ledger.total_tuples(),
-        shipped_cells: ledger.total_cells(),
-        shipped_bytes: ledger.total_bytes(),
-        control_messages: ledger.control_messages(),
-        response_time: clocks.response_time(),
-        site_clocks: clocks.snapshot(),
-        paper_cost,
-    }
+    Detection::collect("REPDETECT", report, paper_cost, &ledger, &clocks, &obs)
 }
 
 fn run_one(
@@ -65,6 +57,7 @@ fn run_one(
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
     clocks: &SiteClocks,
+    obs: &RunObserver,
 ) -> (ViolationReport, f64) {
     let base = partition.base();
     let n = base.n_sites();
@@ -76,7 +69,9 @@ fn run_one(
     // one morsel per (site, chunk).
     let (variable, constants) = cfd.split_constant();
     if !constants.is_empty() {
+        let before = clocks.snapshot();
         let checked = constants_phase(base.fragments(), &constants, cfg, clocks);
+        obs.span_sites(&format!("constants:{}", cfd.name), &before, &clocks.snapshot());
         for (i, (vs, secs)) in checked.into_iter().enumerate() {
             local_secs[i] += secs;
             report.absorb(&cfd.name, vs);
@@ -95,13 +90,16 @@ fn run_one(
     let applicable: Vec<Vec<usize>> =
         base.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
     let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
-    for (i, (part, secs)) in
-        sigma_phase(base.fragments(), &sorted, &applicable, cfg, clocks).into_iter().enumerate()
-    {
+    let before = clocks.snapshot();
+    let scanned = sigma_phase(base.fragments(), &sorted, &applicable, cfg, clocks);
+    obs.span_sites(&format!("sigma:{}", cfd.name), &before, &clocks.snapshot());
+    for (i, (part, secs)) in scanned.into_iter().enumerate() {
         local_secs[i] += secs;
         parts.push(part);
     }
+    let before = clocks.snapshot();
     exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
+    obs.span_sites(&format!("exchange:{}", cfd.name), &before, &clocks.snapshot());
 
     // Replica-aware coordinator per pattern: maximize locally available
     // tuples. Fragments the coordinator holds no replica of ship their
@@ -111,8 +109,9 @@ fn run_one(
     let mut gathered: Vec<Vec<(usize, Vec<CodeRow>)>> = vec![Vec::new(); n];
     let attrs = sorted.cfd.shipped_attrs();
     // Resolve the tableau once per round; every coordinator job reuses
-    // the compiled patterns.
-    let resolved = shared_layout(base.fragments(), &attrs).resolve(&sorted.cfd);
+    // the compiled patterns and feeds the run's kernel counters.
+    let mut resolved = shared_layout(base.fragments(), &attrs).resolve(&sorted.cfd);
+    resolved.set_counters(dcd_cfd::KernelCounters::register(&obs.registry));
     #[allow(clippy::needless_range_loop)] // l indexes a column of lstat
     for l in 0..k {
         let total: usize = (0..n).map(|f| lstat[f][l]).sum();
@@ -144,8 +143,11 @@ fn run_one(
         }
         gathered[coord].push((l, rows));
     }
+    let before = clocks.snapshot();
     clocks.transfer(&matrix, &cfg.cost);
+    obs.span_sites(&format!("ship:{}", cfd.name), &before, &clocks.snapshot());
 
+    let before = clocks.snapshot();
     let validated = scoped_map(cfg.threads, n, |c| {
         let jobs = &gathered[c];
         if jobs.is_empty() {
@@ -167,6 +169,7 @@ fn run_one(
             |_| analytic,
         ))
     });
+    obs.span_sites(&format!("validate:{}", cfd.name), &before, &clocks.snapshot());
     for (c, outcome) in validated.into_iter().enumerate() {
         if let Some((vs, secs)) = outcome {
             local_secs[c] += secs;

@@ -1,6 +1,8 @@
 //! The output of a distributed detection run.
 
 use dcd_cfd::ViolationReport;
+use dcd_dist::{ShipmentLedger, SiteClocks};
+use dcd_obs::{MetricsSnapshot, RunObserver, RunTrace};
 use serde::Serialize;
 use std::fmt;
 
@@ -20,6 +22,8 @@ pub struct Detection {
     pub shipped_bytes: usize,
     /// Control messages exchanged (statistics, coordination).
     pub control_messages: usize,
+    /// Control bytes on the wire (the messages' payloads).
+    pub control_bytes: usize,
     /// Simulated response time under the per-site clock model (seconds).
     pub response_time: f64,
     /// Final per-site clock values, in site order (`response_time` is
@@ -29,9 +33,58 @@ pub struct Detection {
     /// Response time under the literal §III-B two-phase formula, summed
     /// over detection rounds (seconds). Always ≥ `response_time`.
     pub paper_cost: f64,
+    /// The run's metrics registry, frozen at completion. Shipment
+    /// counters mirror the ledger exactly; everything in here is
+    /// bit-identical across pool widths and chunk sizes.
+    pub metrics: MetricsSnapshot,
+    /// Phase-level spans on the simulated clock, exportable as
+    /// chrome-trace JSON ([`RunTrace::chrome_trace_json`]).
+    pub trace: RunTrace,
 }
 
 impl Detection {
+    /// Assembles a [`Detection`] from a finished run: ledger totals,
+    /// clock state, and the observer's registry and trace. Sets the
+    /// run-summary gauges (`dcd_run_violating_tuples`,
+    /// `dcd_run_violating_patterns`, `dcd_run_response_seconds`)
+    /// before the snapshot is frozen — every engine finishes through
+    /// here so the families are uniform across detectors.
+    pub fn collect(
+        algorithm: &str,
+        violations: ViolationReport,
+        paper_cost: f64,
+        ledger: &ShipmentLedger,
+        clocks: &SiteClocks,
+        obs: &RunObserver,
+    ) -> Detection {
+        let tuples = violations.all_tids().len();
+        let patterns: usize = violations.per_cfd.iter().map(|(_, v)| v.patterns.len()).sum();
+        let response_time = clocks.response_time();
+        obs.registry
+            .gauge("dcd_run_violating_tuples", "Distinct violating tuples across all CFDs", &[])
+            .set(tuples as f64);
+        obs.registry
+            .gauge("dcd_run_violating_patterns", "Total Vioπ patterns across all CFDs", &[])
+            .set(patterns as f64);
+        obs.registry
+            .gauge("dcd_run_response_seconds", "Simulated response time of the run", &[])
+            .set(response_time);
+        Detection {
+            algorithm: algorithm.to_string(),
+            violations,
+            shipped_tuples: ledger.total_tuples(),
+            shipped_cells: ledger.total_cells(),
+            shipped_bytes: ledger.total_bytes(),
+            control_messages: ledger.control_messages(),
+            control_bytes: ledger.control_bytes(),
+            response_time,
+            site_clocks: clocks.snapshot(),
+            paper_cost,
+            metrics: obs.registry.snapshot(),
+            trace: obs.trace(),
+        }
+    }
+
     /// A compact, serializable summary — one row of a results table,
     /// and (via [`fmt::Display`]) a one-line human-readable report.
     pub fn summary(&self) -> DetectionSummary {
@@ -42,6 +95,8 @@ impl Detection {
             shipped_tuples: self.shipped_tuples,
             shipped_cells: self.shipped_cells,
             shipped_bytes: self.shipped_bytes,
+            control_messages: self.control_messages,
+            control_bytes: self.control_bytes,
             response_time: self.response_time,
             paper_cost: self.paper_cost,
         }
@@ -63,6 +118,10 @@ pub struct DetectionSummary {
     pub shipped_cells: usize,
     /// Bytes on the wire (code-shipped paths: 4 bytes per cell).
     pub shipped_bytes: usize,
+    /// Control messages exchanged (statistics, coordination).
+    pub control_messages: usize,
+    /// Control bytes on the wire.
+    pub control_bytes: usize,
     /// Simulated response time (seconds).
     pub response_time: f64,
     /// §III-B formula cost (seconds).
@@ -72,18 +131,20 @@ pub struct DetectionSummary {
 impl fmt::Display for DetectionSummary {
     /// The one-line report the examples print:
     /// `PATDETECTS: 6 violating tuples (2 patterns), shipped 3 tuples
-    /// (15 cells, 60 B), response 0.0041s`.
+    /// (15 cells, 60 B), 12 control msgs (192 B), response 0.0041s`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "{}: {} violating tuples ({} patterns), shipped {} tuples ({} cells, {} B), \
-             response {:.4}s",
+             {} control msgs ({} B), response {:.4}s",
             self.algorithm,
             self.violating_tuples,
             self.violating_patterns,
             self.shipped_tuples,
             self.shipped_cells,
             self.shipped_bytes,
+            self.control_messages,
+            self.control_bytes,
             self.response_time,
         )
     }
@@ -112,12 +173,36 @@ mod tests {
             shipped_cells: 30,
             shipped_bytes: 100,
             control_messages: 4,
+            control_bytes: 64,
             response_time: 1.5,
             site_clocks: vec![1.5, 0.5],
             paper_cost: 2.0,
+            metrics: MetricsSnapshot::default(),
+            trace: RunTrace::default(),
         };
         let s = d.summary();
         assert_eq!(s.violating_tuples, 2); // distinct across CFDs
         assert_eq!(s.shipped_tuples, 10);
+        assert_eq!(s.control_messages, 4);
+        assert_eq!(s.control_bytes, 64);
+        let line = s.to_string();
+        assert!(line.contains("4 control msgs (64 B)"), "{line}");
+    }
+
+    #[test]
+    fn collect_freezes_gauges_and_ledger_totals() {
+        use dcd_dist::SiteId;
+        let ledger = ShipmentLedger::new(2);
+        ledger.ship(SiteId(0), SiteId(1), 3, 9, 36);
+        ledger.control(SiteId(0), SiteId(1), 16);
+        let clocks = SiteClocks::new(2);
+        clocks.advance(SiteId(0), 0.25);
+        let obs = RunObserver::new();
+        let d = Detection::collect("test", ViolationReport::default(), 0.5, &ledger, &clocks, &obs);
+        assert_eq!(d.shipped_tuples, 3);
+        assert_eq!(d.control_messages, 1);
+        assert_eq!(d.control_bytes, 16);
+        let v = d.metrics.value("dcd_run_response_seconds", "").expect("gauge present");
+        assert_eq!(*v, dcd_obs::SampleValue::GaugeBits(0.25_f64.to_bits()));
     }
 }

@@ -21,6 +21,7 @@ use dcd_dist::pool::{morsel_map, scoped_map};
 use dcd_dist::{
     CostModel, Fragment, HorizontalPartition, ShipmentLedger, SiteClocks, SiteId, TID_CELLS,
 };
+use dcd_obs::RunObserver;
 use dcd_relation::{AttrId, Relation};
 use std::time::Instant;
 
@@ -297,6 +298,7 @@ pub fn run_single_cfd(
     cfg: &RunConfig,
     ledger: &ShipmentLedger,
     clocks: &SiteClocks,
+    obs: &RunObserver,
 ) -> RoundOutput {
     let n = partition.n_sites();
     let mut report = ViolationReport::default();
@@ -309,7 +311,9 @@ pub fn run_single_cfd(
     // one morsel per (site, chunk). ----
     let (variable, constants) = cfd.split_constant();
     if !constants.is_empty() {
+        let before = clocks.snapshot();
         let checked = constants_phase(partition.fragments(), &constants, cfg, clocks);
+        obs.span_sites(&format!("constants:{}", cfd.name), &before, &clocks.snapshot());
         for (i, (vs, secs)) in checked.into_iter().enumerate() {
             local_secs[i] += secs;
             report.absorb(&cfd.name, vs);
@@ -331,7 +335,9 @@ pub fn run_single_cfd(
     let applicable: Vec<Vec<usize>> =
         partition.fragments().iter().map(|f| applicable_patterns(f, &sorted.cfd)).collect();
     let mut parts: Vec<SigmaPartition> = Vec::with_capacity(n);
+    let before = clocks.snapshot();
     let scanned = sigma_phase(partition.fragments(), &sorted, &applicable, cfg, clocks);
+    obs.span_sites(&format!("sigma:{}", cfd.name), &before, &clocks.snapshot());
     for (i, (part, secs)) in scanned.into_iter().enumerate() {
         local_secs[i] += secs;
         parts.push(part);
@@ -343,7 +349,9 @@ pub fn run_single_cfd(
     // fewer than two sites hold an applicable pattern there is nothing
     // to exchange and the whole phase — messages and barrier — is
     // skipped, preserving `SEQDETECT`'s pipelining across such rounds.
+    let before = clocks.snapshot();
     exchange_statistics(&applicable, k, n, cfg, ledger, clocks);
+    obs.span_sites(&format!("exchange:{}", cfd.name), &before, &clocks.snapshot());
 
     // ---- Phase 3: coordinator assignment. ----
     let lstat: Vec<Vec<usize>> = parts.iter().map(SigmaPartition::lstat).collect();
@@ -359,8 +367,10 @@ pub fn run_single_cfd(
     let attrs = sorted.cfd.shipped_attrs();
     let layout = shared_layout(partition.fragments(), &attrs);
     // Resolve the tableau once per round; every coordinator job reuses
-    // the compiled patterns.
-    let resolved = layout.resolve(&sorted.cfd);
+    // the compiled patterns — and feeds the run's kernel counters
+    // (register-or-get: rounds of one run accumulate into one family).
+    let mut resolved = layout.resolve(&sorted.cfd);
+    resolved.set_counters(dcd_cfd::KernelCounters::register(&obs.registry));
     let mut matrix = vec![vec![0usize; n]; n];
     // gathered[c] = (pattern, wire rows) pairs to validate at site c.
     let mut gathered: Vec<Vec<(usize, Vec<CodeRow>)>> = vec![Vec::new(); n];
@@ -381,11 +391,14 @@ pub fn run_single_cfd(
         }
         gathered[c.index()].push((l, rows));
     }
+    let before = clocks.snapshot();
     clocks.transfer(&matrix, &cfg.cost);
+    obs.span_sites(&format!("ship:{}", cfd.name), &before, &clocks.snapshot());
 
     // ---- Phase 5: validation at coordinators, in parallel, on codes:
     // grouping keys are packed `CodeKey`s and the distinct-RHS test
     // compares `u32` codes; only violating group keys are decoded. ----
+    let before = clocks.snapshot();
     let validated = scoped_map(cfg.threads, n, |c| {
         let jobs = &gathered[c];
         if jobs.is_empty() {
@@ -425,6 +438,7 @@ pub fn run_single_cfd(
             }
         })
     });
+    obs.span_sites(&format!("validate:{}", cfd.name), &before, &clocks.snapshot());
     for (c, outcome) in validated.into_iter().enumerate() {
         if let Some((vs, secs)) = outcome {
             local_secs[c] += secs;
@@ -450,28 +464,19 @@ pub fn run_batch(
     cfg: &RunConfig,
 ) -> Detection {
     let n = partition.n_sites();
-    let ledger = ShipmentLedger::new(n);
+    let obs = RunObserver::new();
+    let ledger = ShipmentLedger::observed(n, &obs.registry);
     let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut paper_cost = 0.0;
     for cfd in cfds {
-        let out = run_single_cfd(partition, cfd, strategy, cfg, &ledger, &clocks);
+        let out = run_single_cfd(partition, cfd, strategy, cfg, &ledger, &clocks, &obs);
         for (name, vs) in out.report.per_cfd {
             report.absorb(&name, vs);
         }
         paper_cost += out.paper_cost;
     }
-    Detection {
-        algorithm: strategy.algorithm_name().to_string(),
-        violations: report,
-        shipped_tuples: ledger.total_tuples(),
-        shipped_cells: ledger.total_cells(),
-        shipped_bytes: ledger.total_bytes(),
-        control_messages: ledger.control_messages(),
-        response_time: clocks.response_time(),
-        site_clocks: clocks.snapshot(),
-        paper_cost,
-    }
+    Detection::collect(strategy.algorithm_name(), report, paper_cost, &ledger, &clocks, &obs)
 }
 
 /// Assigns a coordinator to every pattern (None if no site holds any
@@ -653,6 +658,7 @@ mod tests {
         ] {
             let ledger = ShipmentLedger::new(3);
             let clocks = SiteClocks::new(3);
+            let obs = RunObserver::new();
             let out = run_single_cfd(
                 &partition,
                 &simple,
@@ -660,6 +666,7 @@ mod tests {
                 &RunConfig::default(),
                 &ledger,
                 &clocks,
+                &obs,
             );
             let (_, vs) = &out.report.per_cfd[0];
             assert_eq!(vs.tids, global.tids, "{strategy:?}");
@@ -689,7 +696,16 @@ mod tests {
         ] {
             let ledger = ShipmentLedger::new(2);
             let clocks = SiteClocks::new(2);
-            run_single_cfd(&partition, &simple, strategy, &RunConfig::default(), &ledger, &clocks);
+            let obs = RunObserver::new();
+            run_single_cfd(
+                &partition,
+                &simple,
+                strategy,
+                &RunConfig::default(),
+                &ledger,
+                &clocks,
+                &obs,
+            );
             assert!(
                 ledger.total_tuples() <= rel.len(),
                 "{strategy:?} shipped {} > {}",
@@ -712,6 +728,7 @@ mod tests {
         let simple = cfd.simplify().pop().unwrap();
         let ledger = ShipmentLedger::new(3);
         let clocks = SiteClocks::new(3);
+        let obs = RunObserver::new();
         let out = run_single_cfd(
             &partition,
             &simple,
@@ -719,6 +736,7 @@ mod tests {
             &RunConfig::default(),
             &ledger,
             &clocks,
+            &obs,
         );
         assert_eq!(ledger.total_tuples(), 0);
         // Tuple 1 (44, z2, b) violates street=a.
@@ -739,6 +757,7 @@ mod tests {
         let simple = cfd.simplify().pop().unwrap();
         let ledger = ShipmentLedger::new(2);
         let clocks = SiteClocks::new(2);
+        let obs = RunObserver::new();
         run_single_cfd(
             &partition,
             &simple,
@@ -746,6 +765,7 @@ mod tests {
             &RunConfig::measured(1.0),
             &ledger,
             &clocks,
+            &obs,
         );
         assert!(clocks.response_time() > 0.0);
     }

@@ -54,6 +54,47 @@ pub struct ShipmentLedger {
     sent_by: Vec<AtomicUsize>,
     /// Tuples received, per destination site.
     received_by: Vec<AtomicUsize>,
+    /// Optional per-site-pair metric mirror (see [`Self::observed`]).
+    mirror: Option<LedgerMirror>,
+}
+
+/// Pre-registered per-site-pair counter handles mirroring the ledger
+/// into a [`MetricsRegistry`](dcd_obs::MetricsRegistry). Handles are
+/// built once at [`ShipmentLedger::observed`] time (registration takes
+/// the registry `Mutex`; the hot `ship`/`control` paths touch only the
+/// counters' atomic cells), indexed `from · n + to`.
+#[derive(Debug)]
+struct LedgerMirror {
+    tuples: Vec<dcd_obs::Counter>,
+    cells: Vec<dcd_obs::Counter>,
+    bytes: Vec<dcd_obs::Counter>,
+    control_msgs: Vec<dcd_obs::Counter>,
+    control_bytes: Vec<dcd_obs::Counter>,
+}
+
+impl LedgerMirror {
+    fn register(n: usize, registry: &dcd_obs::MetricsRegistry) -> Self {
+        let family = |name: &str, help: &str| -> Vec<dcd_obs::Counter> {
+            let mut v = Vec::with_capacity(n * n);
+            for from in 0..n {
+                for to in 0..n {
+                    let (from, to) = (from.to_string(), to.to_string());
+                    v.push(registry.counter(name, help, &[("from", &from), ("to", &to)]));
+                }
+            }
+            v
+        };
+        LedgerMirror {
+            tuples: family("dcd_shipped_tuples_total", "Tuples shipped between sites"),
+            cells: family("dcd_shipped_cells_total", "Attribute cells shipped between sites"),
+            bytes: family("dcd_shipped_bytes_total", "Data bytes on the simulated wire"),
+            control_msgs: family(
+                "dcd_control_messages_total",
+                "Control messages exchanged (statistics, coordination)",
+            ),
+            control_bytes: family("dcd_control_bytes_total", "Control bytes exchanged"),
+        }
+    }
 }
 
 impl ShipmentLedger {
@@ -68,7 +109,21 @@ impl ShipmentLedger {
             control_bytes: AtomicUsize::new(0),
             sent_by: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             received_by: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            mirror: None,
         }
+    }
+
+    /// An empty ledger over `n` sites that additionally mirrors every
+    /// transfer into per-site-pair counters of `registry`
+    /// (`dcd_shipped_{tuples,cells,bytes}_total{from,to}` and
+    /// `dcd_control_{messages,bytes}_total{from,to}`). The mirror rides
+    /// inside the existing mutation authorities (`ship`/`control`), so
+    /// registry totals always equal the ledger totals — the cross-layer
+    /// consistency `tests/fuzz_smoke.rs` asserts.
+    pub fn observed(n: usize, registry: &dcd_obs::MetricsRegistry) -> Self {
+        let mut ledger = ShipmentLedger::new(n);
+        ledger.mirror = Some(LedgerMirror::register(n, registry));
+        ledger
     }
 
     /// Number of sites this ledger covers.
@@ -86,6 +141,12 @@ impl ShipmentLedger {
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.sent_by[from.index()].fetch_add(tuples, Ordering::Relaxed);
         self.received_by[to.index()].fetch_add(tuples, Ordering::Relaxed);
+        if let Some(m) = &self.mirror {
+            let pair = from.index() * self.n_sites + to.index();
+            m.tuples[pair].inc(tuples as u64);
+            m.cells[pair].inc(cells as u64);
+            m.bytes[pair].inc(bytes as u64);
+        }
     }
 
     /// Records a *code-shipped* transfer of `tuples` rows totalling
@@ -104,6 +165,11 @@ impl ShipmentLedger {
         debug_assert!(to.index() < self.n_sites && from.index() < self.n_sites);
         self.control_msgs.fetch_add(1, Ordering::Relaxed);
         self.control_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(m) = &self.mirror {
+            let pair = from.index() * self.n_sites + to.index();
+            m.control_msgs[pair].inc(1);
+            m.control_bytes[pair].inc(bytes as u64);
+        }
     }
 
     /// Total tuples shipped — the paper's `|M|`.
@@ -193,6 +259,31 @@ mod tests {
         assert_eq!(ledger.control_messages(), 2);
         assert_eq!(ledger.control_bytes(), 40);
         assert_eq!(ledger.total_tuples(), 0, "control traffic is not data shipment");
+    }
+
+    #[test]
+    fn observed_ledger_mirrors_every_transfer_into_the_registry() {
+        let registry = dcd_obs::MetricsRegistry::new();
+        let ledger = ShipmentLedger::observed(3, &registry);
+        ledger.ship(SiteId(1), SiteId(0), 4, 12, 100);
+        ledger.charge_codes(SiteId(2), SiteId(1), 3, 9);
+        ledger.control(SiteId(0), SiteId(2), 16);
+        assert_eq!(registry.counter_total("dcd_shipped_tuples_total"), 7);
+        assert_eq!(registry.counter_total("dcd_shipped_cells_total"), 21);
+        assert_eq!(registry.counter_total("dcd_shipped_bytes_total"), ledger.total_bytes() as u64);
+        assert_eq!(registry.counter_total("dcd_control_messages_total"), 1);
+        assert_eq!(registry.counter_total("dcd_control_bytes_total"), 16);
+        // Per-pair series decompose the totals.
+        let snap = registry.snapshot();
+        use dcd_obs::SampleValue;
+        assert_eq!(
+            snap.value("dcd_shipped_tuples_total", "{from=\"0\",to=\"1\"}"),
+            Some(&SampleValue::Counter(4))
+        );
+        assert_eq!(
+            snap.value("dcd_shipped_tuples_total", "{from=\"1\",to=\"2\"}"),
+            Some(&SampleValue::Counter(3))
+        );
     }
 
     #[test]

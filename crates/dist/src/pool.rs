@@ -49,7 +49,12 @@
 //! read; the `remaining == 0` wakeup orders job completion before result
 //! collection). This audit is what whitelists this file for the
 //! `relaxed-atomic` rule of `dcd_lint`; thread spawning anywhere else in
-//! the workspace is rejected by its `stray-thread` rule.
+//! the workspace is rejected by its `stray-thread` rule. The only
+//! atomics in sight are the opaque `dcd_obs` counter handles feeding the
+//! **host-scope** observability registry (morsels executed, steals,
+//! initial queue depths — values that legitimately vary with pool width
+//! and chunk size, so they are excluded from determinism pinning); their
+//! `Relaxed` audit lives in `crates/obs/src/registry.rs`.
 #![allow(unsafe_code)]
 
 use std::collections::VecDeque;
@@ -124,6 +129,8 @@ struct Job {
     status: Mutex<JobStatus>,
     /// Signaled when `remaining` hits zero.
     done: Condvar,
+    /// Host-scope steal meter (`dcd_pool_steals_total`).
+    steals: dcd_obs::Counter,
 }
 
 impl Job {
@@ -138,6 +145,7 @@ impl Job {
         for off in 1..p {
             let victim = (pid + off) % p;
             if let Some(m) = self.deques[victim].lock().expect("deque poisoned").pop_back() {
+                self.steals.inc(1);
                 return Some(m);
             }
         }
@@ -259,6 +267,14 @@ where
         .collect();
     let total = morsels.len();
 
+    // Host-scope observability: what the hardware did, not what the
+    // simulation decided. Morsel/steal counts vary with `DCD_THREADS`
+    // and `DCD_CHUNK_ROWS`, so they live in the process-wide registry,
+    // outside the per-run determinism pinning.
+    let host = dcd_obs::host_registry();
+    host.counter("dcd_pool_morsels_total", "Morsels executed by the worker pool", &[])
+        .inc(total as u64);
+
     let mut flat: Vec<Option<T>>;
     if threads <= 1 || total <= 1 {
         flat = morsels.iter().map(|&(s, c)| Some(task(s, c))).collect();
@@ -276,9 +292,17 @@ where
             .map(|p| {
                 let lo = p * total / participants;
                 let hi = (p + 1) * total / participants;
+                host.gauge(
+                    "dcd_pool_queue_depth",
+                    "Initial morsel-queue depth per participant at job submission",
+                    &[("participant", &p.to_string())],
+                )
+                .set((hi - lo) as f64);
                 Mutex::new((lo..hi).collect())
             })
             .collect();
+        let steals =
+            host.counter("dcd_pool_steals_total", "Morsels stolen from a victim's deque", &[]);
         // SAFETY: this function blocks below until `remaining == 0`, so
         // `run_one` outlives every dereference (module safety protocol).
         let erased = unsafe { erase_task(&run_one) };
@@ -287,6 +311,7 @@ where
             task: erased,
             status: Mutex::new(JobStatus { remaining: total, panic: None }),
             done: Condvar::new(),
+            steals,
         });
 
         let pool = pool();

@@ -52,6 +52,7 @@ use dcd_dist::{
     chained_holds as holds, Fragment, HorizontalPartition, ReplicatedPartition, ShipmentLedger,
     SiteClocks, SiteId, VerticalPartition,
 };
+use dcd_obs::RunObserver;
 use dcd_relation::{
     AttrId, DeltaEffect, Dictionary, FxHashSet, Relation, RelationDelta, RelationError, Tuple,
     TupleId,
@@ -138,6 +139,7 @@ pub struct IncrementalRun {
     cfg: RunConfig,
     paper_cost: f64,
     rounds: usize,
+    obs: RunObserver,
 }
 
 impl IncrementalRun {
@@ -177,13 +179,15 @@ impl IncrementalRun {
         let arity = partition.schema().arity();
         let sizes: Vec<usize> = partition.fragments().iter().map(|f| f.data.len()).collect();
         let coordinator = SiteId((0..n).max_by_key(|&i| (sizes[i], n - i)).expect("n ≥ 1") as u32);
-        let ledger = ShipmentLedger::new(n);
+        let obs = RunObserver::new();
+        let ledger = ShipmentLedger::observed(n, &obs.registry);
         let clocks = SiteClocks::new(n);
         let mut local_secs = vec![0.0_f64; n];
 
         // Phase 1: every site scans its fragment once, encoding the
         // (tid, codes) rows it will ship (parallel; the charge wraps
         // the actual encode so Measured mode sees the real work).
+        let before = clocks.snapshot();
         let encoded: Vec<(CodeRows, f64)> = scoped_map(cfg.threads, n, |i| {
             let frag = &partition.fragments()[i];
             if sizes[i] == 0 {
@@ -197,6 +201,7 @@ impl IncrementalRun {
                 |_| cfg.cost.scan_time(sizes[i]),
             )
         });
+        obs.span_sites("incr:build-scan", &before, &clocks.snapshot());
         let mut rows: CodeRows = Vec::with_capacity(sizes.iter().sum());
         for (i, (site_rows, secs)) in encoded.into_iter().enumerate() {
             local_secs[i] += secs;
@@ -213,7 +218,9 @@ impl IncrementalRun {
             ledger.charge_codes(coordinator, frag.site, sizes[i], sizes[i] * (arity + TID_CELLS));
             matrix[coordinator.index()][i] = sizes[i];
         }
+        let before = clocks.snapshot();
         clocks.transfer(&matrix, &cfg.cost);
+        obs.span_sites("incr:build-ship", &before, &clocks.snapshot());
 
         // Phase 3: index build at the coordinator, in parallel per CFD,
         // charged in CFD order.
@@ -221,14 +228,19 @@ impl IncrementalRun {
         let mut indices: Vec<ViolationIndex> =
             cfds.into_iter().map(|cfd| ViolationIndex::new(cfd, &dicts)).collect();
         let built: Vec<Mutex<&mut ViolationIndex>> = indices.iter_mut().map(Mutex::new).collect();
-        let secs_per_cfd = scoped_map(cfg.threads, built.len(), |c| {
+        let before = clocks.snapshot();
+        let per_cfd = scoped_map(cfg.threads, built.len(), |c| {
             let mut idx = built[c].lock().expect("index slot poisoned");
-            timed(&cfg, || idx.apply(&[], &rows), |&touched| cfg.cost.check_time(touched)).1
+            timed(&cfg, || idx.apply(&[], &rows), |&touched| cfg.cost.check_time(touched))
         });
-        for secs in secs_per_cfd {
+        let mut revalidated = 0u64;
+        for (touched, secs) in per_cfd {
+            revalidated += touched as u64;
             clocks.advance(coordinator, secs);
             local_secs[coordinator.index()] += secs;
         }
+        obs.span_sites("incr:build-index", &before, &clocks.snapshot());
+        revalidated_counter(&obs).inc(revalidated);
 
         let paper_cost = cfg.cost.paper_cost(&matrix, &local_secs);
         Ok(IncrementalRun {
@@ -242,6 +254,7 @@ impl IncrementalRun {
             cfg,
             paper_cost,
             rounds: 0,
+            obs,
         })
     }
 
@@ -293,9 +306,16 @@ impl IncrementalRun {
         let coordinator = self.coordinator;
         let factor = self.factor;
         let mut local_secs = vec![0.0_f64; n];
+        let round_start = self.clocks.response_time();
+        let ops: usize = batch.per_site.iter().map(|d| d.n_ops()).sum();
+        self.obs
+            .registry
+            .counter("dcd_incr_deltas_applied_total", "Delta operations applied across sites", &[])
+            .inc(ops as u64);
 
         // Phase 1: apply at every site, in parallel (one task per
         // site; each task owns its fragment through the mutex).
+        let before = self.clocks.snapshot();
         let outcomes: Vec<Result<(DeltaEffect, f64), RelationError>> = {
             let clocks = &self.clocks;
             let tasks: Vec<Mutex<(&mut Fragment, &RelationDelta)>> = self
@@ -325,6 +345,7 @@ impl IncrementalRun {
                 result.map(|e| (e, secs))
             })
         };
+        self.obs.span_sites("incr:apply", &before, &self.clocks.snapshot());
         let mut effects: Vec<DeltaEffect> = Vec::with_capacity(n);
         for (i, outcome) in outcomes.into_iter().enumerate() {
             let (effect, secs) = outcome?;
@@ -335,6 +356,7 @@ impl IncrementalRun {
         // Phase 2: delta manifests (one control message per
         // participating non-coordinator site).
         let k = self.indices.len();
+        let before = self.clocks.snapshot();
         for (i, effect) in effects.iter().enumerate() {
             if effect.is_empty() || i == coordinator.index() {
                 continue;
@@ -342,6 +364,7 @@ impl IncrementalRun {
             self.ledger.control(coordinator, SiteId(i as u32), 8 * k);
             self.clocks.advance(SiteId(i as u32), cfg.cost.control_time(1));
         }
+        self.obs.span_sites("incr:manifest", &before, &self.clocks.snapshot());
 
         // Phase 3: ship (tid, codes) delta rows — to the other replica
         // holders (synchronization) and to the coordinator unless it
@@ -366,7 +389,9 @@ impl IncrementalRun {
                 matrix[coordinator.index()][i] += rows;
             }
         }
+        let before = self.clocks.snapshot();
         self.clocks.transfer(&matrix, &cfg.cost);
+        self.obs.span_sites("incr:ship", &before, &self.clocks.snapshot());
 
         // Mined-tableau maintenance: each site adjusts its tracked
         // support counts from its own effect — `rows × masks` key
@@ -395,14 +420,20 @@ impl IncrementalRun {
             effects.into_iter().flat_map(|e| e.inserted).collect();
         let updated: Vec<Mutex<&mut ViolationIndex>> =
             self.indices.iter_mut().map(Mutex::new).collect();
-        let secs_per_cfd = scoped_map(cfg.threads, updated.len(), |c| {
+        let before = self.clocks.snapshot();
+        let per_cfd = scoped_map(cfg.threads, updated.len(), |c| {
             let mut idx = updated[c].lock().expect("index slot poisoned");
-            timed(&cfg, || idx.apply(&deletes, &inserts), |&touched| cfg.cost.check_time(touched)).1
+            timed(&cfg, || idx.apply(&deletes, &inserts), |&touched| cfg.cost.check_time(touched))
         });
-        for secs in secs_per_cfd {
+        let mut revalidated = 0u64;
+        for (touched, secs) in per_cfd {
+            revalidated += touched as u64;
             self.clocks.advance(coordinator, secs);
             local_secs[coordinator.index()] += secs;
         }
+        self.obs.span_sites("incr:maintain", &before, &self.clocks.snapshot());
+        revalidated_counter(&self.obs).inc(revalidated);
+        observe_lag(&self.obs, round_start, self.clocks.response_time());
 
         let round_cost = cfg.cost.paper_cost(&matrix, &local_secs);
         self.paper_cost += round_cost;
@@ -418,7 +449,7 @@ impl IncrementalRun {
     /// A [`Detection`] snapshot of the whole run so far: the live
     /// report plus the accumulated traffic, clocks and paper cost.
     pub fn detection(&self) -> Detection {
-        snapshot_detection(&self.indices, &self.ledger, &self.clocks, self.paper_cost)
+        snapshot_detection(&self.indices, &self.ledger, &self.clocks, self.paper_cost, &self.obs)
     }
 
     /// The materialized partition (fragments mutate as batches apply).
@@ -455,7 +486,12 @@ impl IncrementalRun {
     /// `rows × masks` key updates instead of a re-mine. Returns a
     /// handle for [`Self::mined_cfd`].
     pub fn track_mining(&mut self, cfd: &dcd_cfd::SimpleCfd, config: &MiningConfig) -> usize {
-        let miner = MinedTableau::build(&self.partition, cfd, config);
+        let mut miner = MinedTableau::build(&self.partition, cfd, config);
+        miner.set_counter(self.obs.registry.counter(
+            "dcd_mining_mask_updates_total",
+            "Per-mask support-count updates applied by incremental mining maintenance",
+            &[],
+        ));
         for (i, frag) in self.partition.fragments().iter().enumerate() {
             let n = frag.data.len();
             if n > 0 {
@@ -503,18 +539,32 @@ fn snapshot_detection(
     ledger: &ShipmentLedger,
     clocks: &SiteClocks,
     paper_cost: f64,
+    obs: &RunObserver,
 ) -> Detection {
-    Detection {
-        algorithm: ALGORITHM.to_string(),
-        violations: current_report(indices),
-        shipped_tuples: ledger.total_tuples(),
-        shipped_cells: ledger.total_cells(),
-        shipped_bytes: ledger.total_bytes(),
-        control_messages: ledger.control_messages(),
-        response_time: clocks.response_time(),
-        site_clocks: clocks.snapshot(),
-        paper_cost,
-    }
+    Detection::collect(ALGORITHM, current_report(indices), paper_cost, ledger, clocks, obs)
+}
+
+/// The run's index-maintenance counter (register-or-get).
+fn revalidated_counter(obs: &RunObserver) -> dcd_obs::Counter {
+    obs.registry.counter(
+        "dcd_incr_keys_revalidated_total",
+        "Index members re-examined during incremental maintenance",
+        &[],
+    )
+}
+
+/// Records one batch's delta lag — simulated seconds from round start
+/// to completion — into the run's lag histogram (integer microseconds,
+/// so merges stay order-free).
+fn observe_lag(obs: &RunObserver, start: f64, end: f64) {
+    obs.registry
+        .histogram(
+            "dcd_incr_delta_lag_micros",
+            "Simulated delta lag per batch, in microseconds",
+            &[],
+            &[10, 100, 1_000, 10_000, 100_000, 1_000_000],
+        )
+        .observe(((end - start) * 1e6) as u64);
 }
 
 /// A stateful incremental run over a *vertical* partition.
@@ -542,6 +592,7 @@ pub struct VerticalIncrementalRun {
     cfg: RunConfig,
     paper_cost: f64,
     rounds: usize,
+    obs: RunObserver,
 }
 
 impl VerticalIncrementalRun {
@@ -573,7 +624,8 @@ impl VerticalIncrementalRun {
             .iter()
             .map(|&(f, local)| partition.fragments()[f].data.dictionary(local).clone())
             .collect();
-        let ledger = ShipmentLedger::new(n);
+        let obs = RunObserver::new();
+        let ledger = ShipmentLedger::observed(n, &obs.registry);
         let clocks = SiteClocks::new(n);
         let mut local_secs = vec![0.0_f64; n];
         let n_rows = partition.fragments()[0].data.len();
@@ -581,6 +633,7 @@ impl VerticalIncrementalRun {
         // Per-site encode scan: each fragment materializes its local
         // code rows — its wire payload — inside the charge, so
         // Measured mode sees the real work.
+        let before = clocks.snapshot();
         let encoded: Vec<(Vec<Box<[u32]>>, f64)> = scoped_map(cfg.threads, n, |f| {
             let data = &partition.fragments()[f].data;
             if data.is_empty() {
@@ -598,6 +651,7 @@ impl VerticalIncrementalRun {
                 |_| cfg.cost.scan_time(data.len()),
             )
         });
+        obs.span_sites("incr:build-scan", &before, &clocks.snapshot());
         let mut site_rows: Vec<Vec<Box<[u32]>>> = Vec::with_capacity(n);
         for (f, (rows, secs)) in encoded.into_iter().enumerate() {
             local_secs[f] += secs;
@@ -618,7 +672,9 @@ impl VerticalIncrementalRun {
             );
             matrix[coordinator.index()][f] = n_rows;
         }
+        let before = clocks.snapshot();
         clocks.transfer(&matrix, &cfg.cost);
+        obs.span_sites("incr:build-ship", &before, &clocks.snapshot());
 
         // Assemble full code rows by row alignment (each attribute read
         // from its owner's encoded payload) and build indices.
@@ -634,14 +690,19 @@ impl VerticalIncrementalRun {
         let mut indices: Vec<ViolationIndex> =
             cfds.into_iter().map(|cfd| ViolationIndex::new(cfd, &dicts)).collect();
         let built: Vec<Mutex<&mut ViolationIndex>> = indices.iter_mut().map(Mutex::new).collect();
-        let secs_per_cfd = scoped_map(cfg.threads, built.len(), |c| {
+        let before = clocks.snapshot();
+        let per_cfd = scoped_map(cfg.threads, built.len(), |c| {
             let mut idx = built[c].lock().expect("index slot poisoned");
-            timed(&cfg, || idx.apply(&[], &rows), |&touched| cfg.cost.check_time(touched)).1
+            timed(&cfg, || idx.apply(&[], &rows), |&touched| cfg.cost.check_time(touched))
         });
-        for secs in secs_per_cfd {
+        let mut revalidated = 0u64;
+        for (touched, secs) in per_cfd {
+            revalidated += touched as u64;
             clocks.advance(coordinator, secs);
             local_secs[coordinator.index()] += secs;
         }
+        obs.span_sites("incr:build-index", &before, &clocks.snapshot());
+        revalidated_counter(&obs).inc(revalidated);
 
         let paper_cost = cfg.cost.paper_cost(&matrix, &local_secs);
         Ok(VerticalIncrementalRun {
@@ -655,6 +716,7 @@ impl VerticalIncrementalRun {
             cfg,
             paper_cost,
             rounds: 0,
+            obs,
         })
     }
 
@@ -671,8 +733,14 @@ impl VerticalIncrementalRun {
         if delta.is_empty() {
             return Ok(RoundOutput { report: self.report(), paper_cost: 0.0 });
         }
+        let round_start = self.clocks.response_time();
+        self.obs
+            .registry
+            .counter("dcd_incr_deltas_applied_total", "Delta operations applied across sites", &[])
+            .inc(delta.n_ops() as u64);
 
         // Phase 1: every site applies its projection of the delta.
+        let before = self.clocks.snapshot();
         let outcomes: Vec<Result<(DeltaEffect, f64), RelationError>> = {
             let clocks = &self.clocks;
             let tasks: Vec<Mutex<&mut dcd_dist::VFragment>> =
@@ -702,6 +770,7 @@ impl VerticalIncrementalRun {
                 result.map(|e| (e, secs))
             })
         };
+        self.obs.span_sites("incr:apply", &before, &self.clocks.snapshot());
         let mut effects: Vec<DeltaEffect> = Vec::with_capacity(n);
         for (f, outcome) in outcomes.into_iter().enumerate() {
             let (effect, secs) = outcome?;
@@ -728,7 +797,9 @@ impl VerticalIncrementalRun {
             );
             matrix[coordinator.index()][f] = n_inserts;
         }
+        let before = self.clocks.snapshot();
         self.clocks.transfer(&matrix, &cfg.cost);
+        self.obs.span_sites("incr:ship", &before, &self.clocks.snapshot());
 
         // Phase 4: assemble full insert rows from the per-site effects
         // (rows align across fragments — same deletes, same insert
@@ -750,14 +821,20 @@ impl VerticalIncrementalRun {
         let deletes = delta.deletes.clone();
         let updated: Vec<Mutex<&mut ViolationIndex>> =
             self.indices.iter_mut().map(Mutex::new).collect();
-        let secs_per_cfd = scoped_map(cfg.threads, updated.len(), |c| {
+        let before = self.clocks.snapshot();
+        let per_cfd = scoped_map(cfg.threads, updated.len(), |c| {
             let mut idx = updated[c].lock().expect("index slot poisoned");
-            timed(&cfg, || idx.apply(&deletes, &inserts), |&touched| cfg.cost.check_time(touched)).1
+            timed(&cfg, || idx.apply(&deletes, &inserts), |&touched| cfg.cost.check_time(touched))
         });
-        for secs in secs_per_cfd {
+        let mut revalidated = 0u64;
+        for (touched, secs) in per_cfd {
+            revalidated += touched as u64;
             self.clocks.advance(coordinator, secs);
             local_secs[coordinator.index()] += secs;
         }
+        self.obs.span_sites("incr:maintain", &before, &self.clocks.snapshot());
+        revalidated_counter(&self.obs).inc(revalidated);
+        observe_lag(&self.obs, round_start, self.clocks.response_time());
 
         let round_cost = cfg.cost.paper_cost(&matrix, &local_secs);
         self.paper_cost += round_cost;
@@ -771,7 +848,7 @@ impl VerticalIncrementalRun {
 
     /// A [`Detection`] snapshot of the whole run so far.
     pub fn detection(&self) -> Detection {
-        snapshot_detection(&self.indices, &self.ledger, &self.clocks, self.paper_cost)
+        snapshot_detection(&self.indices, &self.ledger, &self.clocks, self.paper_cost, &self.obs)
     }
 
     /// The materialized vertical partition.

@@ -53,11 +53,14 @@ pub fn describe(rule: &str) -> &'static str {
         }
         "wall-clock" => {
             "`Instant::now`/`SystemTime` outside bench/compat — engine time is the \
-             simulated `SiteClocks` cost model, never the host clock"
+             simulated `SiteClocks` cost model, never the host clock; `crates/obs` \
+             gets its own message because span timestamps there must come from \
+             `SiteClocks` snapshots"
         }
         "relaxed-atomic" => {
-            "`Ordering::Relaxed` outside the audited dist modules, or an `unsafe` \
-             block without a `// SAFETY:` comment"
+            "`Ordering::Relaxed` outside the audited dist modules and the \
+             order-free `dcd_obs` metrics registry, or an `unsafe` block without \
+             a `// SAFETY:` comment"
         }
         "deprecated-shim" => {
             "use of the retired pre-façade surface (`detect_*` free functions, \
@@ -532,17 +535,22 @@ fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             (file.text(ci) == "Instant" && file.text(ci + 1) == "::" && file.text(ci + 2) == "now")
                 || file.text(ci) == "SystemTime";
         if hit {
-            out.push(diag(
-                file,
-                ci,
-                "wall-clock",
+            let what = if file.text(ci) == "SystemTime" { "SystemTime" } else { "Instant::now" };
+            let message = if file.path.contains("crates/obs/") {
                 format!(
-                    "`{}` reads the host clock; detection time is simulated via \
+                    "`{what}` in `dcd_obs`; observability timestamps must come from \
+                     `SiteClocks` snapshots so traces and metrics stay bit-identical \
+                     across pool widths — record spans from simulated seconds, never \
+                     the host clock"
+                )
+            } else {
+                format!(
+                    "`{what}` reads the host clock; detection time is simulated via \
                      `SiteClocks`/`CostModel` (only `crates/bench` and `crates/compat` \
-                     may touch real time)",
-                    if file.text(ci) == "SystemTime" { "SystemTime" } else { "Instant::now" }
-                ),
-            ));
+                     may touch real time)"
+                )
+            };
+            out.push(diag(file, ci, "wall-clock", message));
         }
     }
 }
@@ -550,13 +558,16 @@ fn wall_clock(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------- rule 5
 
 /// `relaxed-atomic`: `Relaxed` atomic orderings outside the audited
-/// `dcd_dist` modules (`ledger.rs` — monotonic counters read after the
-/// pool join; `pool.rs` — a work-claiming counter whose atomicity, not
-/// ordering, carries the contract), plus `unsafe` without a
-/// `// SAFETY:` justification in the preceding comment.
+/// modules (`dcd_dist`'s `ledger.rs` — monotonic counters read after
+/// the pool join; `pool.rs` — a work-claiming counter whose atomicity,
+/// not ordering, carries the contract; `dcd_obs`'s `registry.rs` —
+/// commutative metric accumulators read only from frozen snapshots),
+/// plus `unsafe` without a `// SAFETY:` justification in the preceding
+/// comment.
 fn relaxed_atomic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let whitelisted = file.path.ends_with("crates/dist/src/ledger.rs")
-        || file.path.ends_with("crates/dist/src/pool.rs");
+        || file.path.ends_with("crates/dist/src/pool.rs")
+        || file.path.ends_with("crates/obs/src/registry.rs");
     for ci in 0..file.code.len() {
         if file.text(ci) == "Relaxed" && !whitelisted {
             out.push(diag(
@@ -564,8 +575,9 @@ fn relaxed_atomic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 ci,
                 "relaxed-atomic",
                 "`Ordering::Relaxed` outside the audited `dcd_dist` ledger/pool \
-                 modules; pick the ordering the happens-before argument needs and \
-                 document it (see the atomics audit in `crates/dist`)"
+                 modules and the `dcd_obs` registry; pick the ordering the \
+                 happens-before argument needs and document it (see the atomics \
+                 audit in `crates/dist`)"
                     .to_string(),
             ));
         }

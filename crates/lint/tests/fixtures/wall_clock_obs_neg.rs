@@ -1,0 +1,13 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn record_spans(trace: &mut Vec<(usize, f64, f64)>, before: &[f64], after: &[f64]) {
+    for (site, (&b, &a)) in before.iter().zip(after).enumerate() {
+        if a > b {
+            trace.push((site, b, a));
+        }
+    }
+}
+
+pub fn accumulate(cell: &AtomicU64, n: u64) {
+    cell.fetch_add(n, Ordering::Relaxed);
+}

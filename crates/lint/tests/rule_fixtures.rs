@@ -106,6 +106,37 @@ fn wall_clock_negative_allows_bench_code() {
     assert!(findings.is_empty(), "bench code measures real time: {findings:?}");
 }
 
+#[test]
+fn wall_clock_obs_positive_gets_the_obs_specific_message() {
+    // Host-clock span timestamps inside `crates/obs` are flagged with a
+    // message that names the sanctioned source: `SiteClocks` snapshots.
+    let src = include_str!("fixtures/wall_clock_obs_pos.rs");
+    let diags = check_source("crates/obs/src/trace.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "wall-clock");
+    assert_eq!(diags[0].line, 4, "the `Instant::now` timestamp");
+    assert!(diags[0].message.contains("dcd_obs"), "{}", diags[0].message);
+    assert!(diags[0].message.contains("SiteClocks"), "{}", diags[0].message);
+}
+
+#[test]
+fn wall_clock_obs_negative_sanctions_snapshots_and_registry_atomics() {
+    // The sanctioned obs idioms: span timestamps derived from per-site
+    // clock snapshots, and `Relaxed` accumulators inside the registry.
+    let src = include_str!("fixtures/wall_clock_obs_neg.rs");
+    let findings = lint("crates/obs/src/registry.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn relaxed_atomics_flagged_outside_the_obs_registry() {
+    // The registry whitelist is file-exact: the same accumulator idiom
+    // elsewhere in `crates/obs` is still a finding.
+    let src = include_str!("fixtures/wall_clock_obs_neg.rs");
+    let findings = lint("crates/obs/src/trace.rs", src);
+    assert_eq!(rules(&findings), ["relaxed-atomic"], "{findings:?}");
+}
+
 // ------------------------------------------------------- relaxed-atomic
 
 #[test]

@@ -27,6 +27,7 @@
 use dcd_cfd::{Cfd, CodeLayout, CodeRow, PatternValue, ViolationReport, ViolationSet};
 use dcd_core::{Detection, RunConfig};
 use dcd_dist::{CostModel, ShipmentLedger, SiteClocks, SiteId, VerticalPartition, TID_CELLS};
+use dcd_obs::RunObserver;
 use dcd_relation::{AttrId, Dictionary, FxHashMap, Relation, RelationError, TupleId};
 use std::sync::Arc;
 
@@ -62,7 +63,8 @@ fn run_impl(
 ) -> Result<(Detection, usize), RelationError> {
     let cost: &CostModel = &cfg.cost;
     let n = partition.n_sites();
-    let ledger = ShipmentLedger::new(n);
+    let obs = RunObserver::new();
+    let ledger = ShipmentLedger::observed(n, &obs.registry);
     let clocks = SiteClocks::new(n);
     let mut report = ViolationReport::default();
     let mut locally_checked = 0usize;
@@ -80,7 +82,9 @@ fn run_impl(
             let local_cfd = rebase_cfd(cfd, &frag.data, &frag.attrs)?;
             let vs = dcd_cfd::detect(&frag.data, &local_cfd);
             let secs = cost.check_time(frag.data.len());
+            let before = clocks.snapshot();
             clocks.advance(SiteId(host as u32), secs);
+            obs.span_sites(&format!("local:{}", cfd.name()), &before, &clocks.snapshot());
             report.absorb(cfd.name(), vs);
             locally_checked += 1;
             // §III-B with zero shipment and one active site reduces to
@@ -111,6 +115,7 @@ fn run_impl(
         let (mut dicts, mut acc) = code_shipment(partition, coord, &coord_attrs, cfd, mode);
         let mut acc_attrs = coord_attrs;
         let mut matrix = vec![vec![0usize; n]; n];
+        let before = clocks.snapshot();
         for (i, frag) in partition.fragments().iter().enumerate() {
             if i == coord {
                 continue;
@@ -150,32 +155,29 @@ fn run_impl(
             dicts.extend(frag_dicts);
         }
         clocks.transfer(&matrix, cost);
-        // Coordinator validates on the gathered code rows.
+        obs.span_sites(&format!("gather:{}", cfd.name()), &before, &clocks.snapshot());
+        // Coordinator validates on the gathered code rows, feeding the
+        // run's kernel counters.
         let rows: Vec<CodeRow> =
             acc.into_iter().map(|(tid, codes)| (tid, codes.into_boxed_slice())).collect();
         let layout = CodeLayout::new(acc_attrs, dicts);
+        let counters = dcd_cfd::KernelCounters::register(&obs.registry);
         let mut vs = ViolationSet::default();
         for simple in cfd.simplify() {
-            vs.merge(layout.resolve(&simple).detect_among(&rows));
+            let mut resolved = layout.resolve(&simple);
+            resolved.set_counters(counters.clone());
+            vs.merge(resolved.detect_among(&rows));
         }
         let secs = cost.check_time(rows.len());
+        let before = clocks.snapshot();
         clocks.advance(coord_site, secs);
+        obs.span_sites(&format!("validate:{}", cfd.name()), &before, &clocks.snapshot());
         local_secs[coord] += secs;
         report.absorb(cfd.name(), vs);
         paper_cost += cost.paper_cost(&matrix, &local_secs);
     }
 
-    let d = Detection {
-        algorithm: "VERTDETECT".to_string(),
-        violations: report,
-        shipped_tuples: ledger.total_tuples(),
-        shipped_cells: ledger.total_cells(),
-        shipped_bytes: ledger.total_bytes(),
-        control_messages: ledger.control_messages(),
-        response_time: clocks.response_time(),
-        site_clocks: clocks.snapshot(),
-        paper_cost,
-    };
+    let d = Detection::collect("VERTDETECT", report, paper_cost, &ledger, &clocks, &obs);
     Ok((d, locally_checked))
 }
 

@@ -21,6 +21,8 @@
 //! * [`incr`] — incremental detection: delta streams, the persistent
 //!   violation index and the code-shipped delta protocol,
 //! * [`vertical`] — dependency preservation and minimum refinement,
+//! * [`obs`] — deterministic observability: the per-run metrics
+//!   registry, Prometheus-style exposition, and simulated-clock traces,
 //! * [`complexity`] — executable NP-hardness artifacts,
 //! * [`datagen`] — the CUST / XREF workload generators.
 //!
@@ -54,7 +56,13 @@
 //!     .algorithm(Algorithm::PatDetectS)
 //!     .run()?;
 //! assert_eq!(detection.violations.all_tids().len(), 2);
-//! println!("{}", detection.summary()); // one-line report
+//! // One-line report, now with control traffic:
+//! // `PATDETECTS: 2 violating tuples (1 patterns), shipped 2 tuples
+//! //  (8 cells, 32 B), 6 control msgs (48 B), response 0.0000s`.
+//! println!("{}", detection.summary());
+//! // Every run also carries its metrics and trace:
+//! println!("{}", detection.metrics.expose()); // Prometheus-style text
+//! let _chrome_json = detection.trace.chrome_trace_json();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -69,6 +77,7 @@ pub use dcd_core as core;
 pub use dcd_datagen as datagen;
 pub use dcd_dist as dist;
 pub use dcd_incr as incr;
+pub use dcd_obs as obs;
 pub use dcd_relation as relation;
 pub use dcd_vertical as vertical;
 
@@ -90,6 +99,9 @@ pub mod prelude {
         ShipmentLedger, SiteClocks, SiteId, VFragment, VerticalPartition, CODE_BYTES, TID_CELLS,
     };
     pub use dcd_incr::{DeltaBatch, IncrementalRun, VerticalIncrementalRun, ViolationIndex};
+    pub use dcd_obs::{
+        host_registry, MetricsRegistry, MetricsSnapshot, RunObserver, RunTrace, SampleValue, Span,
+    };
     pub use dcd_relation::{
         vals, Atom, CmpOp, Conjunction, DeltaEffect, Predicate, Relation, RelationDelta, Schema,
         Tuple, TupleId, Value, ValueType,

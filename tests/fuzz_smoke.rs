@@ -107,11 +107,36 @@ fn assert_bit_identical(
     prop_assert_eq!(base.shipped_cells, got.shipped_cells, "{} cells", label);
     prop_assert_eq!(base.shipped_bytes, got.shipped_bytes, "{} bytes", label);
     prop_assert_eq!(base.control_messages, got.control_messages, "{} control", label);
+    prop_assert_eq!(base.control_bytes, got.control_bytes, "{} control bytes", label);
     prop_assert_eq!(base.response_time.to_bits(), got.response_time.to_bits(), "{} time", label);
     prop_assert_eq!(base.paper_cost.to_bits(), got.paper_cost.to_bits(), "{} paper", label);
     prop_assert_eq!(base.site_clocks.len(), got.site_clocks.len(), "{}", label);
     for (s, (ca, cb)) in base.site_clocks.iter().zip(&got.site_clocks).enumerate() {
         prop_assert_eq!(ca.to_bits(), cb.to_bits(), "{} clock of site {}", label, s);
+    }
+    prop_assert_eq!(&base.metrics, &got.metrics, "{} metrics snapshot", label);
+    prop_assert_eq!(&base.trace, &got.trace, "{} trace", label);
+    Ok(())
+}
+
+/// The registry's shipment mirror must equal the ledger totals the
+/// `Detection` carries — on every random request, exactly.
+fn assert_metrics_mirror_ledger(d: &Detection, label: &str) -> Result<(), TestCaseError> {
+    let pairs = [
+        ("dcd_shipped_tuples_total", d.shipped_tuples),
+        ("dcd_shipped_cells_total", d.shipped_cells),
+        ("dcd_shipped_bytes_total", d.shipped_bytes),
+        ("dcd_control_messages_total", d.control_messages),
+        ("dcd_control_bytes_total", d.control_bytes),
+    ];
+    for (family, ledger_total) in pairs {
+        prop_assert_eq!(
+            d.metrics.counter_total(family),
+            ledger_total as u64,
+            "{}: {} diverged from the ledger",
+            label,
+            family
+        );
     }
     Ok(())
 }
@@ -194,6 +219,7 @@ proptest! {
             let d8 = request(topology, &sigma, alg, 8, mode);
             let label = format!("{name}/{alg:?}");
             assert_bit_identical(&d1, &d8, &label)?;
+            assert_metrics_mirror_ledger(&d1, &label)?;
             prop_assert_eq!(d1.violations.all_tids(), oracle.all_tids(), "{} Vio(Σ)", label);
         }
 
@@ -219,6 +245,7 @@ proptest! {
             let d8 = request(topology, &mined_sigma, alg, 8, mode);
             let label = format!("mined/{name}/{alg:?}");
             assert_bit_identical(&d1, &d8, &label)?;
+            assert_metrics_mirror_ledger(&d1, &label)?;
             prop_assert_eq!(
                 d1.violations.all_tids(), mined_oracle.all_tids(), "{} Vio(Σ)", label
             );
@@ -290,6 +317,7 @@ proptest! {
             [("horizontal", &h1), ("replicated", &rep), ("vertical", &vert)]
         {
             assert_tracks_centralized(session, &sigma, label)?;
+            assert_metrics_mirror_ledger(&session.detection(), &format!("{label} session"))?;
         }
     }
 }
