@@ -297,6 +297,10 @@ pub fn detect_grouped<'g, K: 'g, M: 'g, R: Eq + Hash + Copy>(
 /// `O(masks)` instead of `O(|Tp|)` — and "which pattern matches
 /// *first*" (the σ function of Lemma 6) reads the same buckets.
 ///
+/// One wildcard-mask bucket: the non-wild LHS positions and the rank
+/// lists keyed by the constants at those positions.
+type MaskBucket<K> = (Vec<usize>, FxHashMap<K, Vec<u32>>);
+
 /// `K` is the probe-key representation: [`CodeKey`] when pattern cells
 /// are dictionary codes, `Vec<Value>` on the value-wise fallback.
 /// Infeasible compiled patterns sit in the maps harmlessly — their
@@ -305,7 +309,7 @@ pub fn detect_grouped<'g, K: 'g, M: 'g, R: Eq + Hash + Copy>(
 pub struct LhsIndex<K> {
     /// Distinct wildcard masks: non-wild LHS positions plus the rank
     /// lists keyed by the constants at those positions.
-    buckets: Vec<(Vec<usize>, FxHashMap<K, Vec<u32>>)>,
+    buckets: Vec<MaskBucket<K>>,
     /// Total ranks indexed (the tableau scan length the ranks replace).
     n_ranks: usize,
 }

@@ -115,6 +115,9 @@ impl MinedTableau {
                     // The hot loop: project the mask's columns from the
                     // aligned chunk slices and count packed keys.
                     zip_chunks(&views, |_base, cols| {
+                        // `r` drives several parallel column slices, so an
+                        // iterator over any single column cannot replace it.
+                        #[allow(clippy::needless_range_loop)]
                         for r in 0..cols[0].len() {
                             buf.clear();
                             buf.extend(attrs.iter().map(|&i| cols[i][r]));

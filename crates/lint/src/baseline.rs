@@ -1,0 +1,265 @@
+//! The lint ratchet: stable per-rule finding counts, persisted as
+//! `lint_baseline.json` at the workspace root and compared in CI.
+//!
+//! The contract is monotone: a PR may *decrease* a rule's count (fix a
+//! finding, delete a stale allow) but never increase one — the
+//! committed baseline is the high-water mark. The JSON is hand-rolled
+//! and hand-parsed (the crate is dependency-free) with a deliberately
+//! rigid shape:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "rules": {
+//!     "bad-suppression": 0,
+//!     "crate-layering": 0
+//!   }
+//! }
+//! ```
+
+use crate::diag::Diagnostic;
+use crate::rules::RULE_IDS;
+use std::collections::BTreeMap;
+
+/// A parsed baseline: per-rule finding counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Count per rule id, sorted (BTreeMap keeps the render stable).
+    pub rules: BTreeMap<String, u64>,
+}
+
+/// The verdict of a baseline comparison. Each entry is
+/// `(rule, baseline count, current count)`.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Rules whose count increased — the ratchet fails on any.
+    pub regressions: Vec<(String, u64, u64)>,
+    /// Rules whose count decreased — the baseline can be tightened
+    /// (`--write-baseline`).
+    pub improvements: Vec<(String, u64, u64)>,
+}
+
+impl Comparison {
+    /// Does the ratchet hold?
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Counts findings per rule, zero-filled over [`RULE_IDS`] so a rule
+/// that has never fired still appears in the baseline (and a first
+/// firing is a regression from zero, not an unknown key).
+pub fn rule_counts(diags: &[Diagnostic]) -> BTreeMap<String, u64> {
+    let mut counts: BTreeMap<String, u64> = RULE_IDS.iter().map(|r| (r.to_string(), 0)).collect();
+    for d in diags {
+        *counts.entry(d.rule.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Compares current counts against a baseline. Rules missing from
+/// either side count as zero there, so adding a rule to the lint (or
+/// retiring one) needs no baseline migration.
+pub fn compare(baseline: &Baseline, current: &BTreeMap<String, u64>) -> Comparison {
+    let mut cmp = Comparison::default();
+    let mut rules: Vec<&String> = baseline.rules.keys().chain(current.keys()).collect();
+    rules.sort();
+    rules.dedup();
+    for rule in rules {
+        let base = baseline.rules.get(rule).copied().unwrap_or(0);
+        let cur = current.get(rule).copied().unwrap_or(0);
+        if cur > base {
+            cmp.regressions.push((rule.clone(), base, cur));
+        } else if cur < base {
+            cmp.improvements.push((rule.clone(), base, cur));
+        }
+    }
+    cmp
+}
+
+impl Baseline {
+    /// A baseline holding exactly `counts`.
+    pub fn from_counts(counts: &BTreeMap<String, u64>) -> Baseline {
+        Baseline { rules: counts.clone() }
+    }
+
+    /// Renders the canonical JSON form (stable key order, trailing
+    /// newline) — `--write-baseline` emits exactly this.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": {\n");
+        for (i, (rule, count)) in self.rules.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{rule}\": {count}{}\n",
+                if i + 1 < self.rules.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the baseline JSON. Accepts exactly the shape [`render`]
+    /// emits (whitespace-insensitive); anything else is an error with a
+    /// reason — a half-parsed ratchet must fail loudly, not compare
+    /// against garbage.
+    ///
+    /// [`render`]: Baseline::render
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser { chars: text.chars().collect(), pos: 0 };
+        p.expect('{')?;
+        let mut rules = BTreeMap::new();
+        let mut seen_rules = false;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "version" => {
+                    let v = p.number()?;
+                    if v != 1 {
+                        return Err(format!("unsupported baseline version {v}"));
+                    }
+                }
+                "rules" => {
+                    seen_rules = true;
+                    p.expect('{')?;
+                    if p.peek() == Some('}') {
+                        p.expect('}')?;
+                    } else {
+                        loop {
+                            let rule = p.string()?;
+                            p.expect(':')?;
+                            let count = p.number()?;
+                            rules.insert(rule, count);
+                            match p.next_token()? {
+                                ',' => continue,
+                                '}' => break,
+                                c => return Err(format!("expected `,` or `}}`, got `{c}`")),
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("unexpected key `{other}` in baseline")),
+            }
+            match p.next_token()? {
+                ',' => continue,
+                '}' => break,
+                c => return Err(format!("expected `,` or `}}`, got `{c}`")),
+            }
+        }
+        if !seen_rules {
+            return Err("baseline has no \"rules\" object".to_string());
+        }
+        Ok(Baseline { rules })
+    }
+}
+
+/// A minimal character-level parser for the baseline's JSON subset.
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next_token(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of baseline")?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next_token()? {
+            c if c == want => Ok(()),
+            c => Err(format!("expected `{want}`, got `{c}`")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos).copied() {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string in baseline".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err("expected a number in baseline".to_string());
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str) -> Diagnostic {
+        Diagnostic { rule, file: "x.rs".into(), line: 1, col: 1, message: String::new() }
+    }
+
+    #[test]
+    fn counts_are_zero_filled_over_all_rules() {
+        let counts = rule_counts(&[d("wall-clock"), d("wall-clock"), d("crate-layering")]);
+        assert_eq!(counts["wall-clock"], 2);
+        assert_eq!(counts["crate-layering"], 1);
+        assert_eq!(counts["stray-thread"], 0, "never-fired rules still present");
+        assert_eq!(counts.len(), RULE_IDS.len());
+    }
+
+    #[test]
+    fn render_parse_roundtrip_is_identity() {
+        let base = Baseline::from_counts(&rule_counts(&[d("wall-clock")]));
+        let parsed = Baseline::parse(&base.render()).expect("own render parses");
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn an_increase_is_a_regression_a_decrease_is_not() {
+        let base = Baseline::from_counts(&rule_counts(&[d("wall-clock"), d("stray-thread")]));
+        let cmp = compare(&base, &rule_counts(&[d("wall-clock"), d("wall-clock")]));
+        assert_eq!(cmp.regressions, [("wall-clock".to_string(), 1, 2)]);
+        assert_eq!(cmp.improvements, [("stray-thread".to_string(), 1, 0)]);
+        assert!(!cmp.is_ok());
+    }
+
+    #[test]
+    fn rules_unknown_to_the_baseline_regress_from_zero() {
+        let base = Baseline::default();
+        let cmp = compare(&base, &rule_counts(&[d("unused-suppression")]));
+        assert_eq!(cmp.regressions, [("unused-suppression".to_string(), 0, 1)]);
+    }
+
+    #[test]
+    fn malformed_baselines_fail_loudly() {
+        assert!(Baseline::parse("{}").is_err(), "no rules object");
+        assert!(Baseline::parse("{\"version\": 2, \"rules\": {}}").is_err(), "bad version");
+        assert!(Baseline::parse("{\"rules\": {\"a\": -1}}").is_err(), "negative count");
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,9 +1,14 @@
-//! The workspace driver: discover files, classify them, run the fact
-//! pass then the rules, and filter suppressed findings.
+//! The workspace driver: discover files, classify them, build the
+//! workspace facts (hash types + symbol graph), run the token-window
+//! and flow rules, then filter suppressed findings and audit the
+//! suppressions themselves.
 
 use crate::diag::Diagnostic;
-use crate::rules::{check_file, collect_facts, HashFacts};
+use crate::flows::check_flows;
+use crate::graph::WorkspaceFacts;
+use crate::rules::{check_file, collect_facts, HashFacts, RULE_IDS};
 use crate::source::{FileClass, SourceFile};
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -14,6 +19,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files analyzed.
     pub checked_files: usize,
+    /// The workspace symbol graph, rendered as Graphviz DOT
+    /// (`check --format dot` prints this verbatim).
+    pub symbol_graph_dot: String,
 }
 
 /// Lints every Rust source of the workspace rooted at `root`.
@@ -44,47 +52,92 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
         sources.push(SourceFile::parse(rel, class, &src));
     }
 
-    // Pass 1: workspace-wide type facts (hash-returning fns, hash fields).
-    let mut facts = HashFacts::default();
-    for file in &sources {
-        collect_facts(file, &mut facts);
-    }
-
-    // Pass 2: rules, then suppression filtering.
-    let mut diagnostics = Vec::new();
-    let checked_files = sources.len();
-    for file in &sources {
-        for d in check_file(file, &facts) {
-            let suppressed = d.rule != "bad-suppression"
-                && file
-                    .suppressions
-                    .iter()
-                    .any(|s| s.rule == d.rule && (s.line == d.line || s.effective == d.line));
-            if !suppressed {
-                diagnostics.push(d);
-            }
-        }
-    }
-    diagnostics.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    Ok(Report { diagnostics, checked_files })
+    let (diagnostics, facts) = run_rules(&sources);
+    Ok(Report { diagnostics, checked_files: sources.len(), symbol_graph_dot: facts.to_dot() })
 }
 
-/// Lints a single source string (the fixture tests' entry point).
+/// Lints a single source string (the fixture tests' entry point). The
+/// flow rules run over a one-file workspace, so fixtures exercise them
+/// the same way `check_workspace` does.
 pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
     let class = classify(path);
-    let file = SourceFile::parse(path.to_string(), class, src);
-    let mut facts = HashFacts::default();
-    collect_facts(&file, &mut facts);
-    check_file(&file, &facts)
-        .into_iter()
-        .filter(|d| {
-            d.rule == "bad-suppression"
-                || !file
-                    .suppressions
-                    .iter()
-                    .any(|s| s.rule == d.rule && (s.line == d.line || s.effective == d.line))
-        })
-        .collect()
+    let sources = vec![SourceFile::parse(path.to_string(), class, src)];
+    run_rules(&sources).0
+}
+
+/// The shared rule pipeline: pass 1 collects workspace facts (hash
+/// types, symbol graph), pass 2 runs every rule, pass 3 applies the
+/// suppressions and flags the stale ones.
+fn run_rules(sources: &[SourceFile]) -> (Vec<Diagnostic>, WorkspaceFacts) {
+    let mut hash_facts = HashFacts::default();
+    for file in sources {
+        collect_facts(file, &mut hash_facts);
+    }
+    let facts = WorkspaceFacts::build(sources);
+
+    let mut raw = Vec::new();
+    for file in sources {
+        raw.extend(check_file(file, &hash_facts));
+    }
+    check_flows(sources, &facts, &mut raw);
+
+    let mut diagnostics = apply_suppressions(sources, raw);
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    (diagnostics, facts)
+}
+
+/// Filters findings covered by a reasoned `allow(..)` on the same or
+/// previous line, then reports every well-formed suppression that
+/// excused nothing as `unused-suppression` — a stale permission slip
+/// is itself a finding. The two meta rules (`bad-suppression`,
+/// `unused-suppression`) are never suppressible.
+fn apply_suppressions(files: &[SourceFile], raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for d in raw {
+        if matches!(d.rule, "bad-suppression" | "unused-suppression") {
+            out.push(d);
+            continue;
+        }
+        let mut suppressed = false;
+        for (fi, f) in files.iter().enumerate() {
+            if f.path != d.file {
+                continue;
+            }
+            for (si, s) in f.suppressions.iter().enumerate() {
+                if s.rule == d.rule && (s.line == d.line || s.effective == d.line) {
+                    used.insert((fi, si));
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (fi, f) in files.iter().enumerate() {
+        for (si, s) in f.suppressions.iter().enumerate() {
+            // Unknown rule names are already `bad-suppression`; the
+            // meta rules cannot be allowed, so an allow naming them is
+            // stale by construction.
+            if !RULE_IDS.contains(&s.rule.as_str()) || used.contains(&(fi, si)) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "unused-suppression",
+                file: f.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "`allow({})` excuses nothing: the rule does not fire on line {} — \
+                     delete the stale suppression (or move it to the line that needs it)",
+                    s.rule, s.effective
+                ),
+            });
+        }
+    }
+    out
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -164,5 +217,14 @@ mod tests {
             diags.iter().any(|d| d.rule == "bad-suppression"),
             "and the bad allow is called out"
         );
+    }
+
+    #[test]
+    fn suppression_that_excuses_nothing_is_flagged_as_unused() {
+        let src = "fn f() {\n    // dcd-lint: allow(wall-clock) — defensive, nothing here reads time\n    let t = 1;\n}\n";
+        let diags = check_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "unused-suppression");
+        assert_eq!(diags[0].line, 2);
     }
 }

@@ -1,31 +1,59 @@
 //! The `dcd_lint` command-line front end.
 //!
 //! ```text
-//! cargo run -p dcd_lint -- check [--format text|json] [--root <path>]
+//! cargo run -p dcd_lint -- check [--format text|json|dot] [--root <path>]
+//!                               [--baseline <file>] [--write-baseline <file>]
 //! cargo run -p dcd_lint -- rules
+//! cargo run -p dcd_lint -- explain <rule>
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error — the
-//! CI gate is simply the default invocation.
+//! Exit codes: `0` clean (or ratchet holds in `--baseline` mode), `1`
+//! findings (or a per-rule count increased past the baseline), `2`
+//! usage or I/O error. The CI gate is the default invocation plus a
+//! `--baseline lint_baseline.json` leg; `--format dot` prints the
+//! workspace symbol graph (exit 0 regardless of findings — it is an
+//! artifact emitter, not a gate).
 
-use dcd_lint::{check_workspace, describe, render, Format, RULE_IDS};
+use dcd_lint::{
+    check_workspace, compare, describe, explain, render, rule_counts, Baseline, Format, RULE_IDS,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum OutFormat {
+    Text,
+    Json,
+    Dot,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
-    let mut format = Format::Text;
+    let mut explain_rule: Option<String> = None;
+    let mut format = OutFormat::Text;
     let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "check" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
+            "explain" if cmd.is_none() => {
+                cmd = Some(a.clone());
+                match it.next() {
+                    Some(rule) => explain_rule = Some(rule.clone()),
+                    None => {
+                        eprintln!("dcd_lint: explain expects a rule id (see `dcd_lint rules`)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--format" => match it.next().map(String::as_str) {
-                Some("text") => format = Format::Text,
-                Some("json") => format = Format::Json,
+                Some("text") => format = OutFormat::Text,
+                Some("json") => format = OutFormat::Json,
+                Some("dot") => format = OutFormat::Dot,
                 other => {
-                    eprintln!("dcd_lint: --format expects `text` or `json`, got {other:?}");
+                    eprintln!("dcd_lint: --format expects `text`, `json` or `dot`, got {other:?}");
                     return ExitCode::from(2);
                 }
             },
@@ -36,9 +64,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dcd_lint: --baseline expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => match it.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dcd_lint: --write-baseline expects a path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("dcd_lint: unknown argument `{other}`");
-                eprintln!("usage: dcd_lint check [--format text|json] [--root <path>] | rules");
+                usage();
                 return ExitCode::from(2);
             }
         }
@@ -50,6 +92,22 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("explain") => {
+            let rule = explain_rule.expect("parsed above");
+            match explain(&rule) {
+                Some(text) => {
+                    println!("{rule}\n    {}\n\n{}", describe(&rule), text);
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("dcd_lint: unknown rule `{rule}`; known rules:");
+                    for r in RULE_IDS {
+                        eprintln!("    {r}");
+                    }
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("check") => {
             let root = match root.or_else(find_workspace_root) {
                 Some(r) => r,
@@ -58,26 +116,86 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            match check_workspace(&root) {
-                Ok(report) => {
-                    print!("{}", render(&report.diagnostics, report.checked_files, format));
-                    if report.diagnostics.is_empty() {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::from(1)
-                    }
-                }
+            let report = match check_workspace(&root) {
+                Ok(report) => report,
                 Err(e) => {
                     eprintln!("dcd_lint: {e}");
-                    ExitCode::from(2)
+                    return ExitCode::from(2);
                 }
+            };
+            // The symbol-graph artifact mode: print DOT, gate nothing.
+            if matches!(format, OutFormat::Dot) {
+                print!("{}", report.symbol_graph_dot);
+                return ExitCode::SUCCESS;
+            }
+            let diag_format = match format {
+                OutFormat::Json => Format::Json,
+                _ => Format::Text,
+            };
+            print!("{}", render(&report.diagnostics, report.checked_files, diag_format));
+
+            let counts = rule_counts(&report.diagnostics);
+            if let Some(path) = write_baseline {
+                let rendered = Baseline::from_counts(&counts).render();
+                if let Err(e) = std::fs::write(&path, rendered) {
+                    eprintln!("dcd_lint: writing {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("dcd_lint: wrote baseline to {}", path.display());
+            }
+            if let Some(path) = baseline_path {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("dcd_lint: reading {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                };
+                let baseline = match Baseline::parse(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("dcd_lint: {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                };
+                let cmp = compare(&baseline, &counts);
+                for (rule, base, cur) in &cmp.improvements {
+                    eprintln!(
+                        "dcd_lint: baseline: `{rule}` improved {base} -> {cur} \
+                         (tighten with --write-baseline)"
+                    );
+                }
+                return if cmp.is_ok() {
+                    eprintln!("dcd_lint: baseline: ok (no per-rule count increased)");
+                    ExitCode::SUCCESS
+                } else {
+                    for (rule, base, cur) in &cmp.regressions {
+                        eprintln!(
+                            "dcd_lint: baseline: REGRESSION `{rule}` {base} -> {cur} \
+                             (counts may only decrease; fix the findings above)"
+                        );
+                    }
+                    ExitCode::from(1)
+                };
+            }
+            if report.diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
             }
         }
         _ => {
-            eprintln!("usage: dcd_lint check [--format text|json] [--root <path>] | rules");
+            usage();
             ExitCode::from(2)
         }
     }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: dcd_lint check [--format text|json|dot] [--root <path>] \
+         [--baseline <file>] [--write-baseline <file>] | rules | explain <rule>"
+    );
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` that

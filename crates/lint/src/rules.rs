@@ -11,9 +11,16 @@
 //! | `relaxed-atomic` | audited atomic orderings, justified `unsafe` |
 //! | `deprecated-shim` | the `DetectRequest` façade is the only door |
 //! | `duplicate-detect-loop` | group validation lives in `dcd_cfd::kernel` only |
+//! | `unledgered-shipment` | every wire payload is charged to the ledger |
+//! | `unobserved-phase` | every entry point and phase lands in the run trace |
+//! | `exhaustive-dispatch` | `Topology`/`Algorithm` matches stay total |
+//! | `crate-layering` | the engine dependency DAG holds at reference level |
+//! | `unused-suppression` | allows excuse a live finding, or get deleted |
 //!
-//! Rules are token-window analyses, not AST passes: sound about strings
-//! and comments (the tokenizer guarantees that), heuristic about types.
+//! The per-file rules here are token-window analyses, not AST passes:
+//! sound about strings and comments (the tokenizer guarantees that),
+//! heuristic about types. The flow families live in [`crate::flows`]
+//! and consume the workspace symbol graph instead of a token window.
 //! Where a heuristic over-approximates, the inline
 //! `// dcd-lint: allow(<rule>) — <reason>` escape hatch documents the
 //! reasoning right at the site it excuses.
@@ -22,8 +29,11 @@ use crate::diag::Diagnostic;
 use crate::source::{FileClass, SourceFile};
 use std::collections::BTreeSet;
 
-/// All rule ids, in reporting order.
-pub const RULE_IDS: [&str; 8] = [
+/// All rule ids, in reporting order. The first seven are token-window
+/// rules (this module); the next four are the flow-aware families over
+/// the workspace symbol graph ([`crate::flows`]); the last two police
+/// the suppression mechanism itself ([`crate::engine`]).
+pub const RULE_IDS: [&str; 13] = [
     "hash-iteration-order",
     "raw-ledger-mutation",
     "stray-thread",
@@ -31,6 +41,11 @@ pub const RULE_IDS: [&str; 8] = [
     "relaxed-atomic",
     "deprecated-shim",
     "duplicate-detect-loop",
+    "unledgered-shipment",
+    "unobserved-phase",
+    "exhaustive-dispatch",
+    "crate-layering",
+    "unused-suppression",
     "bad-suppression",
 ];
 
@@ -74,12 +89,155 @@ pub fn describe(rule: &str) -> &'static str {
              conflict, wildcard/constant flagging) have exactly one home; \
              instantiate `kernel::detect_grouped`/`validate_group` instead"
         }
+        "unledgered-shipment" => {
+            "a function reachable from a public engine entry point that builds \
+             code-wire payloads (`code_rows`/`code_shipment`) with no \
+             `ShipmentLedger` charge anywhere on the call path — every simulated \
+             transfer must be accounted"
+        }
+        "unobserved-phase" => {
+            "a public engine entry point returning a `Detection` without threading \
+             a `RunObserver`, or a `clocks.snapshot()` phase open that never \
+             reaches `span`/`span_sites` — phases must land in the run trace"
+        }
+        "exhaustive-dispatch" => {
+            "a `_` wildcard or lowercase catch-all arm in an engine `match` on \
+             `Topology`/`Algorithm` — adding a variant must be a compile error at \
+             every dispatch site, never a silent no-op"
+        }
+        "crate-layering" => {
+            "a reference that violates the engine dependency DAG \
+             (relation/obs → cfd/dist → core → incr/vertical), or a compat \
+             stand-in reaching back into `dcd_*`"
+        }
+        "unused-suppression" => {
+            "a well-formed `dcd-lint: allow(..)` whose rule no longer fires on \
+             the covered line — stale permission slips get deleted, not inherited"
+        }
         "bad-suppression" => {
             "a `dcd-lint:` marker that is malformed or missing its reason — every \
              allow must say why it is sound"
         }
         _ => "unknown rule",
     }
+}
+
+/// Long-form rationale per rule: what the rule analyses, why the
+/// invariant matters, and how to fix or soundly suppress a finding.
+/// This backs `dcd_lint explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "hash-iteration-order" => {
+            "Engine outputs must be bit-identical across pool widths and chunk \
+             sizes. Iterating a HashMap/FxHashMap leaks the hasher's order into \
+             whatever consumes the loop, and that order varies run to run. The \
+             rule resolves hash-typed bindings (local `let`s, fields, \
+             hash-returning fns) and flags iterations whose statement window has \
+             no order-restoring sink: a sort, a BTree collection, or a \
+             commutative reduction (sum/count/min/max). Fix by sorting before \
+             the order escapes; allow only with a proof it cannot."
+        }
+        "raw-ledger-mutation" => {
+            "The ShipmentLedger is the single accounting authority for simulated \
+             wire traffic; the paper's cost claims are only checkable because \
+             every byte goes through `ship`/`control`, with `charge_codes` \
+             composing the code-wire byte math. Inside `ledger.rs` the atomic \
+             counters may be touched only by those authorities; everywhere else, \
+             multiplying by CODE_BYTES is ad-hoc wire math that will drift from \
+             the ledger. Fix by passing cell counts to `charge_codes`."
+        }
+        "stray-thread" => {
+            "All parallelism goes through `dcd_dist::pool`: the persistent \
+             worker pool merges per-site outputs in (site, chunk) order, which \
+             is what makes results independent of DCD_THREADS. A bare \
+             `thread::spawn`/`scope`/`Builder` bypasses that merge discipline. \
+             Fix by expressing the work as `pool::morsel_map`/`scoped_map`."
+        }
+        "wall-clock" => {
+            "Engine time is simulated: `SiteClocks` advanced by the `CostModel`. \
+             `Instant::now`/`SystemTime` in a detection path makes reports and \
+             traces irreproducible. Only `crates/bench` and the compat stand-ins \
+             may read host time; the one engine exception (Measured compute \
+             mode) carries its own reasoned allow."
+        }
+        "relaxed-atomic" => {
+            "`Ordering::Relaxed` is correct only where commutativity, not \
+             ordering, carries the contract — the audited ledger/pool counters \
+             and the obs metrics registry. Anywhere else, pick the ordering the \
+             happens-before argument needs and document it. The rule also \
+             requires a `// SAFETY:` comment above every `unsafe` block."
+        }
+        "deprecated-shim" => {
+            "The pre-façade entry points (`detect_*` free fns, \
+             `Detector::run*`) are retired. The façade (`DetectRequest`) and the \
+             engine fns (`run_batch`/`run_seq`/…) are the only doors; this rule \
+             keeps the old names from creeping back through habit or copy-paste."
+        }
+        "duplicate-detect-loop" => {
+            "Group validation (distinct-RHS conflict, wildcard/constant \
+             flagging) lives in `dcd_cfd::kernel` and nowhere else — the \
+             workspace once carried five divergent copies. The rule flags `for` \
+             bodies that re-implement the shape (hash accumulation + RHS reads \
+             + flag decision + distinctness test) without delegating to \
+             `validate_group`/`detect_grouped`."
+        }
+        "unledgered-shipment" => {
+            "Flow rule over the symbol graph. Wire payloads are built by the \
+             sending-side constructors (`code_rows`, `fragment_code_rows`, \
+             `code_shipment`); a path from a public engine entry point to one \
+             of them that never passes `charge_codes`/`ship`/`control` is a \
+             shipment the ledger never saw — exactly the accounting drift the \
+             response-time claims cannot survive. The BFS does not descend into \
+             charging functions (their paths are covered), so the charge may \
+             live in the builder's caller at any depth. Fix by charging in the \
+             flagged function or every caller; the constructors themselves are \
+             exempt by name."
+        }
+        "unobserved-phase" => {
+            "Flow rule over the symbol graph, extending the PR 9 observability \
+             contract from golden tests to static checking. (a) Every public \
+             engine fn returning a `Detection` must thread a `RunObserver` — \
+             construct one, accept one, or delegate to an engine fn that does — \
+             so no entry point produces an untraced run. (b) Every \
+             `let x = clocks.snapshot()` opens a phase; if `x` never reaches a \
+             `span`/`span_sites` call before shadowing or body end, the phase \
+             was opened and silently dropped. Fix by recording the span (or \
+             deleting a snapshot that measures nothing)."
+        }
+        "exhaustive-dispatch" => {
+            "Topology and Algorithm are the engine's dispatch enums: every \
+             variant must reach a real implementation. A `_` or catch-all \
+             binding arm in an engine match on them means a future variant \
+             silently inherits someone else's behavior instead of failing to \
+             compile. Name every variant; when several share a body, bind with \
+             `v @ (A | B | C)` — that stays exhaustive. `_` inside a variant's \
+             own pattern (`Topology::Hybrid(_)`) is fine."
+        }
+        "crate-layering" => {
+            "The engine DAG — relation/obs at the bottom, cfd/dist above them, \
+             core above those, incr/vertical/complexity/datagen at the top — is \
+             what keeps the kernel reusable and the compat stand-ins swappable. \
+             The rule checks every `dcd_*`/compat crate reference in engine \
+             code against a hardcoded copy of that DAG, and forbids compat \
+             crates from referencing `dcd_*` at all. Tests and benches are \
+             exempt (dev-dependencies cut across layers by design)."
+        }
+        "unused-suppression" => {
+            "An `allow(..)` comment whose rule no longer fires on the covered \
+             line is a stale permission slip: it documents a hazard that no \
+             longer exists and will silently excuse the next, unrelated finding \
+             on that line. The engine tracks which suppressions actually \
+             matched a finding during the run and flags the rest. Fix by \
+             deleting the comment (or re-pointing it at the line that needs it)."
+        }
+        "bad-suppression" => {
+            "The accepted shape is `// dcd-lint: allow(<rule>) — <reason>`, \
+             reason mandatory: an allow that does not say why it is sound is a \
+             future regression with a permission slip. Malformed markers and \
+             unknown rule names are findings; neither can be suppressed."
+        }
+        _ => return None,
+    })
 }
 
 /// Hash-container type names the heuristic treats as unordered.

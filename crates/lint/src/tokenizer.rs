@@ -432,6 +432,58 @@ mod tests {
     }
 
     #[test]
+    fn labeled_loop_pins_exact_token_stream() {
+        // A loop label is a lifetime token even in label position; the
+        // `:` stays a separate punct and `break 'outer` re-reads the
+        // same lifetime. Flow rules rely on labels never parsing as
+        // char literals, so pin the entire stream.
+        let toks = kinds("'outer: loop { break 'outer; }");
+        let stream: Vec<(TokenKind, &str)> = toks.iter().map(|t| (t.0, t.1.as_str())).collect();
+        assert_eq!(
+            stream,
+            vec![
+                (TokenKind::Lifetime, "'outer"),
+                (TokenKind::Punct, ":"),
+                (TokenKind::Ident, "loop"),
+                (TokenKind::Punct, "{"),
+                (TokenKind::Ident, "break"),
+                (TokenKind::Lifetime, "'outer"),
+                (TokenKind::Punct, ";"),
+                (TokenKind::Punct, "}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn labeled_while_and_continue_labels_are_lifetimes() {
+        let toks = kinds("'rows: while go() { continue 'rows; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).map(|t| t.1.as_str()).collect();
+        assert_eq!(lifetimes, vec!["'rows", "'rows"]);
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::Char));
+    }
+
+    #[test]
+    fn raw_identifiers_pin_exact_token_stream() {
+        // `r#` must fuse into one Ident everywhere an identifier can
+        // appear — fn names, params, paths — while `r#"..."#` stays a
+        // raw string and `r` alone stays a plain ident.
+        let toks = kinds("fn r#type(r#match: u32) -> bool { r#match > 0 }");
+        let idents: Vec<_> =
+            toks.iter().filter(|t| t.0 == TokenKind::Ident).map(|t| t.1.as_str()).collect();
+        assert_eq!(idents, vec!["fn", "r#type", "r#match", "u32", "bool", "r#match"]);
+
+        let toks = kinds(r###"let r#false = r#"raw "str""#; r.f()"###);
+        let stream: Vec<(TokenKind, String)> = toks.iter().map(|t| (t.0, t.1.clone())).collect();
+        assert_eq!(stream[0], (TokenKind::Ident, "let".to_string()));
+        assert_eq!(stream[1], (TokenKind::Ident, "r#false".to_string()));
+        assert_eq!(stream[2], (TokenKind::Punct, "=".to_string()));
+        assert_eq!(stream[3], (TokenKind::Str, r###"r#"raw "str""#"###.to_string()));
+        assert_eq!(stream[4], (TokenKind::Punct, ";".to_string()));
+        assert_eq!(stream[5], (TokenKind::Ident, "r".to_string()));
+    }
+
+    #[test]
     fn numeric_range_is_not_a_float() {
         let toks = kinds("for i in 0..n {}");
         assert!(toks.iter().any(|t| t.0 == TokenKind::Number && t.1 == "0"));

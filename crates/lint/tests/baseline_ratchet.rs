@@ -1,0 +1,68 @@
+//! The ratchet's own gate: the committed `lint_baseline.json` must
+//! parse, cover every rule, and hold against the live workspace — and
+//! an injected regression must actually trip the comparison. CI runs
+//! the same comparison via `dcd_lint check --baseline
+//! lint_baseline.json`; this suite is the proof the gate can fail.
+
+use std::path::Path;
+
+use dcd_lint::{check_workspace, compare, rule_counts, Baseline, RULE_IDS};
+
+fn committed_baseline() -> Baseline {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint_baseline.json");
+    let text = std::fs::read_to_string(&path)
+        .expect("lint_baseline.json must be committed at the workspace root");
+    Baseline::parse(&text).expect("the committed baseline must parse")
+}
+
+#[test]
+fn committed_baseline_covers_every_rule() {
+    let baseline = committed_baseline();
+    for rule in RULE_IDS {
+        assert!(
+            baseline.rules.contains_key(rule),
+            "baseline is missing `{rule}`; regenerate with \
+             `cargo run -p dcd_lint -- check --write-baseline lint_baseline.json`"
+        );
+    }
+    // And nothing stale the engine no longer knows.
+    for rule in baseline.rules.keys() {
+        assert!(RULE_IDS.contains(&rule.as_str()), "baseline names unknown rule `{rule}`");
+    }
+}
+
+#[test]
+fn committed_baseline_roundtrips_canonically() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint_baseline.json");
+    let text = std::fs::read_to_string(&path).expect("readable baseline");
+    let parsed = Baseline::parse(&text).expect("parses");
+    assert_eq!(parsed.render(), text, "the committed file must be in canonical form");
+}
+
+#[test]
+fn live_workspace_holds_the_ratchet() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace sources should be readable");
+    let counts = rule_counts(&report.diagnostics);
+    let cmp = compare(&committed_baseline(), &counts);
+    assert!(
+        cmp.is_ok(),
+        "per-rule counts regressed past the committed baseline: {:?}",
+        cmp.regressions
+    );
+}
+
+#[test]
+fn an_injected_regression_trips_the_ratchet() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace sources should be readable");
+    let mut worse = rule_counts(&report.diagnostics);
+    *worse.get_mut("wall-clock").expect("zero-filled over RULE_IDS") += 1;
+
+    let cmp = compare(&committed_baseline(), &worse);
+    assert!(!cmp.is_ok(), "one extra finding must fail the gate");
+    assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
+    let (rule, base, cur) = &cmp.regressions[0];
+    assert_eq!(*rule, "wall-clock");
+    assert_eq!(*cur, *base + 1);
+}

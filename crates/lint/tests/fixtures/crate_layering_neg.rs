@@ -1,0 +1,13 @@
+//! Negative fixture (linted under a `crates/core/` virtual path):
+//! `dcd_core` referencing exactly the layers it owns edges to.
+//! Tokenized, never compiled.
+
+use dcd_cfd::Cfd;
+use dcd_dist::pool::Pool;
+use dcd_relation::Relation;
+
+pub fn wire(r: &Relation, c: &Cfd, pool: &Pool) -> dcd_obs::MetricsRegistry {
+    let registry = dcd_obs::MetricsRegistry::new();
+    let _ = (r, c, pool);
+    registry
+}

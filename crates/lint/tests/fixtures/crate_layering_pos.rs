@@ -1,0 +1,11 @@
+//! Positive fixture (linted under a `crates/relation/` virtual path):
+//! the bottom layer reaching up into the engine. Tokenized, never
+//! compiled.
+
+use dcd_core::runner::RunConfig;
+
+pub fn leak(cfd: &dcd_cfd::Cfd) -> u32 {
+    let cfg = RunConfig::default();
+    let _ = (cfd, cfg);
+    0
+}

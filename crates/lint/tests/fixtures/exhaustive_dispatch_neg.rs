@@ -1,0 +1,37 @@
+//! Negative fixture: total dispatches and out-of-scope matches.
+//! Tokenized, never compiled.
+
+/// Sanctioned 1: every variant named; `_` inside a variant pattern is
+/// legal — the variant itself is still spelled out.
+pub fn pick(t: &Topology) -> &'static str {
+    match t {
+        Topology::Horizontal(_) => "horizontal",
+        Topology::Vertical(_) => "vertical",
+        Topology::Hybrid(_) => "hybrid",
+        Topology::Replicated(_) => "replicated",
+    }
+}
+
+/// Sanctioned 2: a shared body bound with `v @ (A | B | C)` keeps the
+/// dispatch total while avoiding duplication.
+pub fn strategy(a: &Algorithm) -> u32 {
+    match a {
+        Algorithm::SeqDetect(_) | Algorithm::ClustDetect(_) => 1,
+        single @ (Algorithm::CtrDetect | Algorithm::PatDetectS | Algorithm::PatDetectRT) => {
+            rank(single)
+        }
+    }
+}
+
+/// Sanctioned 3: wildcards stay legal in matches that do not dispatch
+/// on the engine enums.
+pub fn parity(n: u64) -> &'static str {
+    match n % 2 {
+        0 => "even",
+        _ => "odd",
+    }
+}
+
+fn rank(_a: &Algorithm) -> u32 {
+    3
+}

@@ -1,0 +1,23 @@
+//! Positive fixture: catch-all arms in engine enum dispatches.
+//! Tokenized, never compiled.
+
+/// Finding 1: a `_` wildcard arm swallows future `Topology` variants.
+pub fn pick(t: &Topology) -> &'static str {
+    match t {
+        Topology::Horizontal(_) => "horizontal",
+        Topology::Vertical(_) => "vertical",
+        _ => "other",
+    }
+}
+
+/// Finding 2: a lowercase binding arm is the same hole with a name.
+pub fn cost(a: &Algorithm) -> u32 {
+    match a {
+        Algorithm::SeqDetect(_) => 2,
+        other => fallback(other),
+    }
+}
+
+fn fallback(_a: &Algorithm) -> u32 {
+    1
+}

@@ -1,0 +1,33 @@
+//! Negative fixture: every path from an entry point to a wire builder
+//! passes a ledger charge. Tokenized, never compiled.
+
+pub struct Block;
+pub struct ShipmentLedger;
+
+/// Sanctioned 1: the builder call and the charge live in the same body.
+pub fn broadcast(block: &Block, ledger: &ShipmentLedger) -> Vec<(u64, u64)> {
+    let rows = code_rows(block);
+    ledger.charge_codes(0, 1, rows.len() as u64, 8);
+    rows
+}
+
+/// Sanctioned 2: the helper builds rows uncharged, but its only caller
+/// charges — the BFS never descends past a charging function.
+pub fn resync(block: &Block, ledger: &ShipmentLedger) -> usize {
+    let n = stage(block);
+    ledger.ship(0, 1, n as u64);
+    n
+}
+
+fn stage(block: &Block) -> usize {
+    let rows = fragment_code_rows(block, 4);
+    rows.len()
+}
+
+fn code_rows(_b: &Block) -> Vec<(u64, u64)> {
+    Vec::new()
+}
+
+fn fragment_code_rows(_b: &Block, _n: usize) -> Vec<(u64, u64)> {
+    Vec::new()
+}

@@ -1,0 +1,31 @@
+//! Positive fixture: code-wire payloads built on uncharged paths.
+//! Tokenized, never compiled.
+
+pub struct Block;
+
+/// Leak 1: a public entry builds wire rows directly and charges nothing.
+pub fn broadcast(block: &Block) -> Vec<(u64, u64)> {
+    let rows = code_rows(block);
+    rows
+}
+
+/// Leak 2: the entry looks innocent but reaches the builder through a
+/// private helper with no ledger charge anywhere on the path.
+pub fn resync(block: &Block) -> usize {
+    stage(block)
+}
+
+fn stage(block: &Block) -> usize {
+    let rows = fragment_code_rows(block, 4);
+    rows.len()
+}
+
+// The wire format's own definitions are exempt (the rule polices their
+// callers), so neither of these is a finding.
+fn code_rows(_b: &Block) -> Vec<(u64, u64)> {
+    Vec::new()
+}
+
+fn fragment_code_rows(_b: &Block, _n: usize) -> Vec<(u64, u64)> {
+    Vec::new()
+}

@@ -1,0 +1,32 @@
+//! Negative fixture: the observed-run idiom, in full and by
+//! delegation. Tokenized, never compiled.
+
+/// Sanctioned 1: the full idiom — observer constructed, phase snapshot
+/// consumed by `span_sites` before the body ends.
+pub fn run_full(cfds: &[Cfd], clocks: &mut ClockSet) -> Detection {
+    let obs = RunObserver::new();
+    let before = clocks.snapshot();
+    let report = scan(cfds);
+    obs.span_sites("scan", &before, &clocks.snapshot());
+    Detection::collect("FULL", report, &obs)
+}
+
+/// Sanctioned 2: a thin wrapper that delegates to an observed engine
+/// entry point instead of threading an observer itself.
+pub fn run_compat(cfds: &[Cfd], clocks: &mut ClockSet) -> Detection {
+    run_full(cfds, clocks)
+}
+
+/// Sanctioned 3: `if let`/`while let` destructuring and non-clock
+/// snapshots are not phase opens.
+fn pick(partition: &Partition, clocks: &ClockSet) -> usize {
+    if let Some(host) = partition.hosts().iter().position(|h| h.alive()) {
+        return host;
+    }
+    let metrics = registry.snapshot();
+    metrics.len()
+}
+
+fn scan(_cfds: &[Cfd]) -> Report {
+    Report::empty()
+}

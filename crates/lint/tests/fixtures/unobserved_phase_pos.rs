@@ -1,0 +1,21 @@
+//! Positive fixture: a run the trace cannot see. Tokenized, never
+//! compiled.
+
+/// Finding 1: a public entry point returning a `Detection` that never
+/// threads a `RunObserver` and delegates to nothing that does.
+pub fn run_silent(cfds: &[Cfd], clocks: &ClockSet) -> Detection {
+    let report = scan(cfds);
+    Detection::from_report(report, clocks)
+}
+
+/// Finding 2: the phase is opened with a snapshot that never reaches a
+/// `span`/`span_sites` call — the run trace silently loses it.
+fn local_pass(clocks: &mut ClockSet, registry: &MetricsRegistry) {
+    let before = clocks.snapshot();
+    clocks.advance(3);
+    registry.counter("local_pass").inc();
+}
+
+fn scan(_cfds: &[Cfd]) -> Report {
+    Report::empty()
+}

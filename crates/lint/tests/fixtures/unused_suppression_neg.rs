@@ -1,0 +1,7 @@
+//! Negative fixture: a live, reasoned suppression excusing a real
+//! finding on the next line. Tokenized, never compiled.
+
+pub fn measured_now() -> std::time::Instant {
+    // dcd-lint: allow(wall-clock) — Measured mode reports real elapsed time by design
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: a stale permission slip. Tokenized, never
+//! compiled.
+
+fn tidy(rows: &mut Vec<u32>) {
+    // dcd-lint: allow(hash-iteration-order) — left over from the FxHashMap era
+    rows.sort_unstable();
+}

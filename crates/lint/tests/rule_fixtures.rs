@@ -235,3 +235,117 @@ fn suppression_naming_an_unknown_rule_is_flagged() {
     let findings = lint("crates/core/src/fixture.rs", src);
     assert_eq!(rules(&findings), ["bad-suppression"], "{findings:?}");
 }
+
+// -------------------------------------------------- unledgered-shipment
+
+#[test]
+fn unledgered_shipment_positive_flags_direct_and_transitive_leaks() {
+    let src = include_str!("fixtures/unledgered_shipment_pos.rs");
+    let findings = lint("crates/dist/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["unledgered-shipment", "unledgered-shipment"], "{findings:?}");
+    assert_eq!(findings[0].1, 7, "`broadcast` builds rows with no charge");
+    assert_eq!(findings[1].1, 18, "`stage` is reached uncharged through `resync`");
+}
+
+#[test]
+fn unledgered_shipment_negative_accepts_charges_anywhere_on_the_path() {
+    let src = include_str!("fixtures/unledgered_shipment_neg.rs");
+    let findings = lint("crates/dist/src/fixture.rs", src);
+    assert!(findings.is_empty(), "in-body and in-caller charges both cover: {findings:?}");
+}
+
+#[test]
+fn unledgered_shipment_ignores_test_code() {
+    let src = include_str!("fixtures/unledgered_shipment_pos.rs");
+    let findings = lint("crates/dist/tests/fixture.rs", src);
+    assert!(findings.is_empty(), "test topologies ship freely: {findings:?}");
+}
+
+// ------------------------------------------------------ unobserved-phase
+
+#[test]
+fn unobserved_phase_positive_flags_silent_entry_and_dangling_snapshot() {
+    let src = include_str!("fixtures/unobserved_phase_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["unobserved-phase", "unobserved-phase"], "{findings:?}");
+    assert_eq!(findings[0].1, 6, "`run_silent` never threads an observer");
+    assert_eq!(findings[1].1, 14, "`before` is opened and never spanned");
+}
+
+#[test]
+fn unobserved_phase_negative_accepts_full_idiom_and_delegation() {
+    let src = include_str!("fixtures/unobserved_phase_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// --------------------------------------------------- exhaustive-dispatch
+
+#[test]
+fn exhaustive_dispatch_positive_flags_wildcard_and_binding_arms() {
+    let src = include_str!("fixtures/exhaustive_dispatch_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["exhaustive-dispatch", "exhaustive-dispatch"], "{findings:?}");
+    assert_eq!(findings[0].1, 9, "the `_ =>` arm");
+    assert_eq!(findings[1].1, 17, "the `other =>` arm");
+}
+
+#[test]
+fn exhaustive_dispatch_negative_accepts_total_matches_and_at_bindings() {
+    let src = include_str!("fixtures/exhaustive_dispatch_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn exhaustive_dispatch_ignores_test_code() {
+    let src = include_str!("fixtures/exhaustive_dispatch_pos.rs");
+    let findings = lint("tests/fixture.rs", src);
+    assert!(findings.is_empty(), "test dispatches may catch-all: {findings:?}");
+}
+
+// ------------------------------------------------------- crate-layering
+
+#[test]
+fn crate_layering_positive_flags_upward_references() {
+    let src = include_str!("fixtures/crate_layering_pos.rs");
+    let findings = lint("crates/relation/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["crate-layering", "crate-layering"], "{findings:?}");
+    assert_eq!(findings[0].1, 5, "the `use dcd_core::..`");
+    assert_eq!(findings[1].1, 7, "the `dcd_cfd::Cfd` parameter type");
+}
+
+#[test]
+fn crate_layering_negative_accepts_owned_edges() {
+    let src = include_str!("fixtures/crate_layering_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "core may name relation/obs/cfd/dist: {findings:?}");
+}
+
+#[test]
+fn crate_layering_exempts_tests_and_constrains_compat() {
+    let src = include_str!("fixtures/crate_layering_pos.rs");
+    assert!(lint("crates/relation/tests/fixture.rs", src).is_empty(), "tests cut across layers");
+    let findings = lint("crates/compat/serde/src/fixture.rs", src);
+    assert!(
+        findings.iter().all(|(r, _)| r == "crate-layering") && findings.len() == 2,
+        "compat may not reference dcd_* at all: {findings:?}"
+    );
+}
+
+// --------------------------------------------------- unused-suppression
+
+#[test]
+fn unused_suppression_positive_flags_the_stale_allow() {
+    let src = include_str!("fixtures/unused_suppression_pos.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(rules(&findings), ["unused-suppression"], "{findings:?}");
+    assert_eq!(findings[0].1, 5, "the allow line itself is the finding site");
+}
+
+#[test]
+fn unused_suppression_negative_stays_silent_for_live_allows() {
+    let src = include_str!("fixtures/unused_suppression_neg.rs");
+    let findings = lint("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "the allow excuses a real wall-clock finding: {findings:?}");
+}

@@ -181,6 +181,10 @@ fn run_impl(
     Ok((d, locally_checked))
 }
 
+/// A fragment's wire payload: the shipped attributes' dictionaries
+/// plus the `(tid, codes)` rows.
+type WirePayload = (Vec<Arc<Dictionary>>, Vec<(TupleId, Vec<u32>)>);
+
 /// Fragment `idx`'s wire payload for `ship_attrs` (original-schema
 /// ids): the attributes' dictionaries plus the `(tid, codes)` rows.
 /// In filtered mode, rows that cannot match any pattern of `cfd`
@@ -192,7 +196,7 @@ fn code_shipment(
     ship_attrs: &[AttrId],
     cfd: &Cfd,
     mode: ShipMode,
-) -> (Vec<Arc<Dictionary>>, Vec<(TupleId, Vec<u32>)>) {
+) -> WirePayload {
     let frag = &partition.fragments()[idx];
     let locals: Vec<AttrId> =
         ship_attrs.iter().map(|&a| frag.local_attr(a).expect("attr is in fragment")).collect();

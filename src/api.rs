@@ -259,7 +259,8 @@ impl DetectRequest {
             Topology::Horizontal(p) => match self.algorithm {
                 Algorithm::SeqDetect(inner) => Ok(run_seq(p, &self.cfds, inner, &cfg)),
                 Algorithm::ClustDetect(inner) => Ok(run_clust(p, &self.cfds, inner, &cfg)),
-                single => {
+                single
+                @ (Algorithm::CtrDetect | Algorithm::PatDetectS | Algorithm::PatDetectRT) => {
                     let simples: Vec<_> = self.cfds.iter().flat_map(Cfd::simplify).collect();
                     Ok(run_batch(p, &simples, single.strategy(), &cfg))
                 }
